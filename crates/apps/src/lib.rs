@@ -1,0 +1,32 @@
+//! Application models for the Fastsocket evaluation workloads.
+//!
+//! The paper evaluates with nginx (a web server answering short-lived
+//! HTTP connections), HAProxy (a proxy that *actively* connects to
+//! backends — the workload that exposes active-connection locality),
+//! and `http_load` (a closed-loop client). This crate models:
+//!
+//! * [`sys::Sys`] — the syscall surface a worker process uses, binding
+//!   the TCP stack, OS services and the current costed operation;
+//! * [`web::WebServer`] — the nginx-like worker: accept → read request
+//!   → write response → close;
+//! * [`proxy::Proxy`] — the HAProxy-like worker: accept a client
+//!   connection, open an **active** connection to a backend, relay one
+//!   request/response, tear both down;
+//! * [`peer::ClientSlot`] and [`peer::Backend`] — scripted remote
+//!   endpoints (no CPU cost; they live across the wire) implementing
+//!   correct TCP sequencing for the 9-packet short-lived exchange;
+//! * [`workload::HttpWorkload`] — the 600-byte-request /
+//!   1200-byte-response short-lived connection profile from the paper's
+//!   introduction.
+
+pub mod peer;
+pub mod proxy;
+pub mod sys;
+pub mod web;
+pub mod workload;
+
+pub use peer::{Backend, ClientSlot};
+pub use proxy::Proxy;
+pub use sys::{Sys, Worker, LISTEN_TOKEN};
+pub use web::WebServer;
+pub use workload::HttpWorkload;

@@ -1,0 +1,513 @@
+//! Scripted remote endpoints: the closed-loop client (`http_load`) and
+//! the backend HTTP server.
+//!
+//! The paper saturates the server under test with Fastsocket-enabled
+//! clients and backends ("we have to deploy Fastsocket on the clients
+//! and backend servers to increase their throughput to the same
+//! level"); accordingly, peers here are infinitely fast — they cost no
+//! simulated CPU, only wire latency — but follow exact TCP sequencing.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use sim_net::{FlowTuple, Packet, TcpFlags};
+
+/// A closed-loop client slot: runs one short-lived connection at a
+/// time, immediately starting the next when one completes.
+#[derive(Debug)]
+pub struct ClientSlot {
+    ip: Ipv4Addr,
+    server_ip: Ipv4Addr,
+    server_port: u16,
+    request_len: u16,
+    /// Requests issued per connection (HTTP keep-alive when > 1).
+    requests_per_conn: u32,
+    requests_left: u32,
+    /// The request in flight, kept for retransmission when the server's
+    /// duplicate SYN-ACK reveals our ACK/request was lost.
+    inflight_request: Option<Packet>,
+    next_port: u16,
+    state: ClientState,
+    flow: FlowTuple,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    /// Completed connections.
+    pub completed: u64,
+    /// Responses received (= requests served), across all connections.
+    pub responses: u64,
+    /// Connections aborted by RST.
+    pub resets: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Idle,
+    SynSent,
+    AwaitResponse,
+    /// Server closed first (no keep-alive); we FIN'd back and await the
+    /// final ACK.
+    AwaitFinalAck,
+    /// We closed first (keep-alive); awaiting the server's FIN.
+    Closing,
+}
+
+impl ClientSlot {
+    /// Creates a slot with its own client IP, issuing
+    /// `requests_per_conn` request/response rounds per connection.
+    pub fn new(
+        ip: Ipv4Addr,
+        server_ip: Ipv4Addr,
+        server_port: u16,
+        request_len: u16,
+        requests_per_conn: u32,
+    ) -> Self {
+        assert!(requests_per_conn >= 1, "a connection carries at least one request");
+        ClientSlot {
+            ip,
+            server_ip,
+            server_port,
+            request_len,
+            requests_per_conn,
+            requests_left: 0,
+            inflight_request: None,
+            next_port: 1_025,
+            state: ClientState::Idle,
+            flow: FlowTuple::new(ip, 0, server_ip, server_port),
+            snd_nxt: 0,
+            rcv_nxt: 0,
+            completed: 0,
+            responses: 0,
+            resets: 0,
+        }
+    }
+
+    /// Starts a new connection, returning the SYN to send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection is already in flight.
+    pub fn start(&mut self, isn: u32) -> Packet {
+        assert_eq!(self.state, ClientState::Idle, "connection already active");
+        let port = self.next_port;
+        self.next_port = if self.next_port >= 60_999 {
+            1_025
+        } else {
+            self.next_port + 1
+        };
+        self.flow = FlowTuple::new(self.ip, port, self.server_ip, self.server_port);
+        self.snd_nxt = isn.wrapping_add(1);
+        self.rcv_nxt = 0;
+        self.requests_left = self.requests_per_conn;
+        self.inflight_request = None;
+        self.state = ClientState::SynSent;
+        Packet::new(self.flow, TcpFlags::SYN).with_seq(isn)
+    }
+
+    /// Whether the slot is between connections.
+    pub fn idle(&self) -> bool {
+        self.state == ClientState::Idle
+    }
+
+    /// Aborts the in-flight connection (client-side timeout). Returns
+    /// an RST to send so the server can reclaim its state, or `None`
+    /// when the slot was idle.
+    pub fn abort(&mut self) -> Option<Packet> {
+        if self.state == ClientState::Idle {
+            return None;
+        }
+        self.state = ClientState::Idle;
+        Some(Packet::new(self.flow, TcpFlags::RST).with_seq(self.snd_nxt))
+    }
+
+    /// The flow of the connection in flight (client perspective).
+    pub fn flow(&self) -> FlowTuple {
+        self.flow
+    }
+
+    fn request(&mut self) -> Packet {
+        let p = Packet::new(self.flow, TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(self.snd_nxt)
+            .with_ack(self.rcv_nxt)
+            .with_payload(self.request_len);
+        self.snd_nxt = self.snd_nxt.wrapping_add(u32::from(self.request_len));
+        self.inflight_request = Some(p);
+        p
+    }
+
+    fn fin_ack_resend(&self) -> Packet {
+        // Our FIN (already counted in snd_nxt) retransmitted.
+        Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(self.snd_nxt.wrapping_sub(1))
+            .with_ack(self.rcv_nxt)
+    }
+
+    /// Client-side retransmission: called by the driver when the
+    /// connection has made no progress for a while. Resends whatever
+    /// the slot is waiting on (its own last transmission may have been
+    /// lost). Returns nothing when idle.
+    pub fn nudge(&mut self, out: &mut Vec<Packet>) {
+        match self.state {
+            ClientState::Idle => {}
+            ClientState::SynSent => {
+                // Our SYN may have been lost.
+                out.push(
+                    Packet::new(self.flow, TcpFlags::SYN)
+                        .with_seq(self.snd_nxt.wrapping_sub(1)),
+                );
+            }
+            ClientState::AwaitResponse => {
+                // The handshake ACK and/or request may have been lost.
+                out.push(
+                    Packet::new(self.flow, TcpFlags::ACK)
+                        .with_seq(self.snd_nxt.wrapping_sub(u32::from(self.request_len)))
+                        .with_ack(self.rcv_nxt),
+                );
+                if let Some(req) = self.inflight_request {
+                    out.push(req);
+                }
+            }
+            ClientState::AwaitFinalAck | ClientState::Closing => {
+                out.push(self.fin_ack_resend());
+            }
+        }
+    }
+
+    /// Handles a packet from the server. Replies are appended to
+    /// `out`; returns `true` when the connection just completed (the
+    /// driver should schedule the next `start`).
+    pub fn on_packet(&mut self, pkt: &Packet, out: &mut Vec<Packet>) -> bool {
+        debug_assert_eq!(pkt.flow.reversed(), self.flow, "packet for wrong slot");
+        if pkt.flags.rst() {
+            self.resets += 1;
+            self.state = ClientState::Idle;
+            return true;
+        }
+        match self.state {
+            ClientState::Idle => false,
+            ClientState::SynSent => {
+                if pkt.flags.syn() && pkt.flags.ack() {
+                    debug_assert_eq!(pkt.ack, self.snd_nxt);
+                    self.rcv_nxt = pkt.seq.wrapping_add(1);
+                    // Handshake ACK, then the first request immediately.
+                    out.push(
+                        Packet::new(self.flow, TcpFlags::ACK)
+                            .with_seq(self.snd_nxt)
+                            .with_ack(self.rcv_nxt),
+                    );
+                    out.push(self.request());
+                    self.state = ClientState::AwaitResponse;
+                }
+                false
+            }
+            ClientState::AwaitResponse => {
+                if pkt.flags.syn() {
+                    // Duplicate SYN-ACK: our handshake ACK and request
+                    // were lost — resend both.
+                    out.push(
+                        Packet::new(self.flow, TcpFlags::ACK)
+                            .with_seq(self.snd_nxt.wrapping_sub(u32::from(self.request_len)))
+                            .with_ack(self.rcv_nxt),
+                    );
+                    if let Some(req) = self.inflight_request {
+                        out.push(req);
+                    }
+                    return false;
+                }
+                if pkt.seq_len() > 0 && pkt.seq != self.rcv_nxt {
+                    // Stale duplicate (the server's RTO fired while the
+                    // original was in flight): ignore.
+                    return false;
+                }
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(pkt.seq_len());
+                if pkt.payload_len > 0 {
+                    // One response per request.
+                    self.responses += 1;
+                    self.requests_left = self.requests_left.saturating_sub(1);
+                    if self.requests_left > 0 {
+                        // Keep-alive: next request on the same connection.
+                        out.push(self.request());
+                        return false;
+                    }
+                    if self.requests_per_conn > 1 && !pkt.flags.fin() {
+                        // Keep-alive done: the client closes first.
+                        out.push(
+                            Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+                                .with_seq(self.snd_nxt)
+                                .with_ack(self.rcv_nxt),
+                        );
+                        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                        self.state = ClientState::Closing;
+                        return false;
+                    }
+                }
+                if pkt.flags.fin() {
+                    // Server closed first (HTTP/1.0): FIN back and wait
+                    // for the final ACK (delayed-ACK coalescing).
+                    out.push(
+                        Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+                            .with_seq(self.snd_nxt)
+                            .with_ack(self.rcv_nxt),
+                    );
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.state = ClientState::AwaitFinalAck;
+                }
+                false
+            }
+            ClientState::AwaitFinalAck => {
+                if pkt.flags.fin() {
+                    // The server re-sent its FIN: our FIN+ACK was lost.
+                    out.push(self.fin_ack_resend());
+                    return false;
+                }
+                if pkt.flags.ack() && pkt.ack == self.snd_nxt {
+                    self.completed += 1;
+                    self.state = ClientState::Idle;
+                    true
+                } else {
+                    false
+                }
+            }
+            ClientState::Closing => {
+                if pkt.seq_len() > 0 && pkt.seq != self.rcv_nxt {
+                    // Duplicate data: our FIN was lost — resend it.
+                    out.push(self.fin_ack_resend());
+                    return false;
+                }
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(pkt.seq_len());
+                if pkt.flags.fin() {
+                    // The server's FIN (LAST_ACK side): acknowledge it
+                    // and the connection is done.
+                    out.push(
+                        Packet::new(self.flow, TcpFlags::ACK)
+                            .with_seq(self.snd_nxt)
+                            .with_ack(self.rcv_nxt),
+                    );
+                    self.completed += 1;
+                    self.state = ClientState::Idle;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BackendConn {
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    established: bool,
+    fin_sent: bool,
+}
+
+/// A scripted backend HTTP/1.0 server: accepts connections, answers
+/// each one-packet request with a response and a FIN (the backend
+/// closes first, so the proxy side avoids TIME_WAIT on its active
+/// connections).
+#[derive(Debug)]
+pub struct Backend {
+    ip: Ipv4Addr,
+    port: u16,
+    response_len: u16,
+    conns: HashMap<FlowTuple, BackendConn>,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl Backend {
+    /// Creates a backend at `ip:port`.
+    pub fn new(ip: Ipv4Addr, port: u16, response_len: u16) -> Self {
+        Backend {
+            ip,
+            port,
+            response_len,
+            conns: HashMap::new(),
+            served: 0,
+        }
+    }
+
+    /// The backend's address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// Handles a packet from the proxy, appending replies to `out`.
+    pub fn on_packet(&mut self, pkt: &Packet, isn: u32, out: &mut Vec<Packet>) {
+        debug_assert_eq!(pkt.flow.dst_ip, self.ip);
+        debug_assert_eq!(pkt.flow.dst_port, self.port);
+        let lflow = pkt.flow.reversed();
+        if pkt.flags.syn() && !pkt.flags.ack() {
+            let conn = BackendConn {
+                snd_nxt: isn.wrapping_add(1),
+                rcv_nxt: pkt.seq.wrapping_add(1),
+                established: false,
+                fin_sent: false,
+            };
+            self.conns.insert(lflow, conn);
+            out.push(
+                Packet::new(lflow, TcpFlags::SYN | TcpFlags::ACK)
+                    .with_seq(isn)
+                    .with_ack(pkt.seq.wrapping_add(1)),
+            );
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&lflow) else {
+            return; // stray segment for a finished connection
+        };
+        if pkt.flags.rst() {
+            self.conns.remove(&lflow);
+            return;
+        }
+        conn.rcv_nxt = conn.rcv_nxt.wrapping_add(pkt.seq_len());
+        if !conn.established && pkt.flags.ack() {
+            conn.established = true;
+        }
+        if pkt.payload_len > 0 && !conn.fin_sent {
+            // The request: answer with response + FIN.
+            out.push(
+                Packet::new(lflow, TcpFlags::PSH | TcpFlags::ACK)
+                    .with_seq(conn.snd_nxt)
+                    .with_ack(conn.rcv_nxt)
+                    .with_payload(self.response_len),
+            );
+            conn.snd_nxt = conn.snd_nxt.wrapping_add(u32::from(self.response_len));
+            out.push(
+                Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
+                    .with_seq(conn.snd_nxt)
+                    .with_ack(conn.rcv_nxt),
+            );
+            conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
+            conn.fin_sent = true;
+            self.served += 1;
+        }
+        if pkt.flags.fin() {
+            // The proxy's FIN (LAST_ACK side): acknowledge and forget.
+            out.push(
+                Packet::new(lflow, TcpFlags::ACK)
+                    .with_seq(conn.snd_nxt)
+                    .with_ack(conn.rcv_nxt),
+            );
+            self.conns.remove(&lflow);
+        }
+    }
+
+    /// Connections currently tracked.
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 2);
+    const BACKEND: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+    #[test]
+    fn client_slot_runs_full_exchange() {
+        let mut slot = ClientSlot::new(CLIENT, SERVER, 80, 600, 1);
+        let syn = slot.start(100);
+        assert!(syn.flags.syn());
+        assert!(!slot.idle());
+
+        // Server SYN-ACK -> client sends ACK + request.
+        let synack = Packet::new(syn.flow.reversed(), TcpFlags::SYN | TcpFlags::ACK)
+            .with_seq(500)
+            .with_ack(101);
+        let mut out = Vec::new();
+        assert!(!slot.on_packet(&synack, &mut out));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].payload_len, 600);
+
+        // Server ACKs the request (ignored), sends response, FIN.
+        out.clear();
+        let resp = Packet::new(syn.flow.reversed(), TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(501)
+            .with_ack(701)
+            .with_payload(1_200);
+        slot.on_packet(&resp, &mut out);
+        assert!(out.is_empty(), "delayed ACK: no reply to data alone");
+        let fin = Packet::new(syn.flow.reversed(), TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(1_701)
+            .with_ack(701);
+        slot.on_packet(&fin, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.fin() && out[0].flags.ack());
+        assert_eq!(out[0].ack, 1_702, "acks response + FIN");
+
+        // Server's final ACK completes the exchange.
+        let last = Packet::new(syn.flow.reversed(), TcpFlags::ACK)
+            .with_seq(1_702)
+            .with_ack(out[0].seq.wrapping_add(1));
+        assert!(slot.on_packet(&last, &mut Vec::new()));
+        assert_eq!(slot.completed, 1);
+        assert!(slot.idle());
+    }
+
+    #[test]
+    fn client_rotates_source_ports() {
+        let mut slot = ClientSlot::new(CLIENT, SERVER, 80, 600, 1);
+        let a = slot.start(1);
+        slot.state = ClientState::Idle;
+        let b = slot.start(1);
+        assert_ne!(a.flow.src_port, b.flow.src_port);
+    }
+
+    #[test]
+    fn client_handles_rst() {
+        let mut slot = ClientSlot::new(CLIENT, SERVER, 80, 600, 1);
+        let syn = slot.start(7);
+        let rst = Packet::new(syn.flow.reversed(), TcpFlags::RST);
+        assert!(slot.on_packet(&rst, &mut Vec::new()));
+        assert_eq!(slot.resets, 1);
+        assert!(slot.idle());
+    }
+
+    #[test]
+    fn backend_serves_request_then_fin() {
+        let mut be = Backend::new(BACKEND, 80, 1_200);
+        let flow = FlowTuple::new(SERVER, 40_000, BACKEND, 80);
+        let mut out = Vec::new();
+
+        be.on_packet(&Packet::new(flow, TcpFlags::SYN).with_seq(10), 900, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.syn() && out[0].flags.ack());
+
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::ACK).with_seq(11).with_ack(901),
+            0,
+            &mut out,
+        );
+        assert!(out.is_empty());
+
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+                .with_seq(11)
+                .with_ack(901)
+                .with_payload(600),
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "response + FIN");
+        assert_eq!(out[0].payload_len, 1_200);
+        assert!(out[1].flags.fin());
+        assert_eq!(be.served, 1);
+
+        // Proxy's FIN ends it.
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
+                .with_seq(611)
+                .with_ack(out.len() as u32), // ack value unused by the model
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.ack());
+        assert_eq!(be.open_conns(), 0);
+    }
+}

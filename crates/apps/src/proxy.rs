@@ -1,0 +1,259 @@
+//! The HAProxy-like proxy worker.
+//!
+//! For every client connection accepted, the proxy opens an **active**
+//! connection to a backend, forwards the request, relays the response
+//! back, and closes both sides. Active connections are the workload
+//! that exposes the paper's active-connection locality problem: the
+//! backend's reply packets land wherever the NIC hashes them unless
+//! Receive Flow Deliver steers them home.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+use sim_os::epoll::EpollEvent;
+use sim_os::fdtable::{Fd, FdTable};
+use tcp_stack::SockId;
+
+use crate::sys::{Sys, Worker, LISTEN_TOKEN};
+
+/// Proxy tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProxyConfig {
+    /// Client-facing service port.
+    pub port: u16,
+    /// Backend addresses, used round-robin.
+    pub backends: Vec<Ipv4Addr>,
+    /// Backend service port.
+    pub backend_port: u16,
+    /// Request length forwarded to the backend.
+    pub request_len: u16,
+    /// Response length relayed to the client.
+    pub response_len: u16,
+    /// User-level cycles per relay direction.
+    pub app_work: Cycles,
+    /// Maximum accepts per listen-readable event.
+    pub accept_batch: u32,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            port: 80,
+            backends: vec![Ipv4Addr::new(10, 0, 0, 100), Ipv4Addr::new(10, 0, 0, 101)],
+            backend_port: 80,
+            request_len: 600,
+            response_len: 1_200,
+            app_work: 4_200,
+            accept_batch: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Conn {
+    /// A client-facing connection.
+    Client {
+        sock: SockId,
+        fd: Fd,
+        /// Token of the backend side once the request was relayed.
+        backend: Option<u64>,
+    },
+    /// A backend-facing (active) connection.
+    Backend {
+        sock: SockId,
+        fd: Fd,
+        client: u64,
+        request_sent: bool,
+    },
+}
+
+/// One HAProxy-like worker process.
+#[derive(Debug)]
+pub struct Proxy {
+    config: ProxyConfig,
+    fds: FdTable<SockId>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rr: usize,
+    served: u64,
+    /// Backend connects that failed (port exhaustion).
+    pub connect_failures: u64,
+}
+
+impl Proxy {
+    /// Creates a worker.
+    pub fn new(config: ProxyConfig) -> Self {
+        Proxy {
+            config,
+            fds: FdTable::new(1 << 20),
+            conns: HashMap::new(),
+            next_token: 0,
+            rr: 0,
+            served: 0,
+            connect_failures: 0,
+        }
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn accept_loop(&mut self, sys: &mut Sys<'_>) {
+        for _ in 0..self.config.accept_batch {
+            let Some(sock) = sys.accept(self.config.port) else {
+                break;
+            };
+            let fd = self.fds.alloc(sock).expect("fd limit");
+            let token = self.token();
+            sys.register(sock, token);
+            self.conns.insert(
+                token,
+                Conn::Client {
+                    sock,
+                    fd,
+                    backend: None,
+                },
+            );
+            if sys.rx_pending(sock) > 0 {
+                self.on_client_readable(sys, token);
+            }
+        }
+        if sys.accept_ready(self.config.port) {
+            sys.repoll_listen();
+        }
+    }
+
+    fn on_client_readable(&mut self, sys: &mut Sys<'_>, token: u64) {
+        let (sock, has_backend) = match self.conns.get(&token) {
+            Some(Conn::Client { sock, backend, .. }) => (*sock, backend.is_some()),
+            _ => return,
+        };
+        if !sys.alive(sock) {
+            self.drop_conn(sys, token, false);
+            return;
+        }
+        let bytes = sys.recv(sock);
+        if bytes == 0 {
+            if sys.peer_fin(sock) && !has_backend {
+                // Client gave up before sending a request.
+                self.drop_conn(sys, token, true);
+            }
+            return;
+        }
+        if has_backend {
+            return; // pipelined bytes after the request: ignore
+        }
+        sys.work(self.config.app_work);
+        // Open the active connection to a backend.
+        let dst = self.config.backends[self.rr % self.config.backends.len()];
+        self.rr += 1;
+        let Some(bsock) = sys.connect(dst, self.config.backend_port) else {
+            self.connect_failures += 1;
+            self.drop_conn(sys, token, true);
+            return;
+        };
+        let bfd = self.fds.alloc(bsock).expect("fd limit");
+        let btoken = self.token();
+        sys.register(bsock, btoken);
+        self.conns.insert(
+            btoken,
+            Conn::Backend {
+                sock: bsock,
+                fd: bfd,
+                client: token,
+                request_sent: false,
+            },
+        );
+        if let Some(Conn::Client { backend, .. }) = self.conns.get_mut(&token) {
+            *backend = Some(btoken);
+        }
+    }
+
+    fn on_backend_event(&mut self, sys: &mut Sys<'_>, token: u64, ev: &EpollEvent) {
+        let (sock, client, request_sent) = match self.conns.get(&token) {
+            Some(Conn::Backend {
+                sock,
+                client,
+                request_sent,
+                ..
+            }) => (*sock, *client, *request_sent),
+            _ => return,
+        };
+        if !sys.alive(sock) {
+            self.drop_conn(sys, token, false);
+            return;
+        }
+        if ev.writable && !request_sent {
+            // Connection to the backend established: forward the request.
+            sys.send(sock, self.config.request_len);
+            if let Some(Conn::Backend { request_sent, .. }) = self.conns.get_mut(&token) {
+                *request_sent = true;
+            }
+        }
+        if ev.readable {
+            let bytes = sys.recv(sock);
+            if bytes > 0 {
+                // Relay the response to the client and close that side.
+                sys.work(self.config.app_work);
+                let client_sock = match self.conns.get(&client) {
+                    Some(Conn::Client { sock, .. }) => Some(*sock),
+                    _ => None,
+                };
+                if let Some(cs) = client_sock {
+                    sys.send(cs, self.config.response_len);
+                    self.drop_conn(sys, client, true);
+                    self.served += 1;
+                }
+            }
+            if sys.peer_fin(sock) {
+                // Backend closed after responding; close our side too.
+                self.drop_conn(sys, token, true);
+            }
+        }
+    }
+
+    /// Removes a connection; `close` additionally issues the `close()`
+    /// syscall (skipped when the socket was already reset).
+    fn drop_conn(&mut self, sys: &mut Sys<'_>, token: u64, close: bool) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let (sock, fd) = match conn {
+                Conn::Client { sock, fd, .. } => (sock, fd),
+                Conn::Backend { sock, fd, .. } => (sock, fd),
+            };
+            if close && sys.alive(sock) {
+                sys.close(sock);
+            }
+            let _ = self.fds.close(fd);
+        }
+    }
+}
+
+impl Worker for Proxy {
+    fn on_events(&mut self, sys: &mut Sys<'_>, events: &[EpollEvent]) {
+        for ev in events {
+            if ev.data == LISTEN_TOKEN {
+                self.accept_loop(sys);
+                continue;
+            }
+            match self.conns.get(&ev.data) {
+                Some(Conn::Client { .. }) if ev.readable => {
+                    self.on_client_readable(sys, ev.data);
+                }
+                Some(Conn::Backend { .. }) => self.on_backend_event(sys, ev.data, ev),
+                _ => {} // client write-readiness, or a stale token
+            }
+        }
+    }
+
+    fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn served(&self) -> u64 {
+        self.served
+    }
+}

@@ -1,0 +1,146 @@
+//! The syscall surface a simulated worker process sees.
+
+use sim_core::{CoreId, CycleClass, Cycles};
+use sim_net::Packet;
+use sim_os::epoll::{EpollEvent, EpollId};
+use sim_os::process::Pid;
+use sim_os::{KernelCtx, Op};
+use tcp_stack::stack::{OsServices, TcpStack};
+use tcp_stack::SockId;
+
+/// The `epoll_data` token workers register their listen socket with.
+pub const LISTEN_TOKEN: u64 = u64::MAX;
+
+/// Everything a worker needs to make "syscalls" during one scheduled
+/// run: the kernel context, the stack, and the costed operation being
+/// accumulated. Packets produced by syscalls are collected in `tx` for
+/// the driver to transmit when the operation commits.
+pub struct Sys<'a> {
+    /// Kernel context (CPU, locks, cache, RNG).
+    pub ctx: &'a mut KernelCtx,
+    /// VFS/epoll/timer services.
+    pub os: &'a mut OsServices,
+    /// The TCP stack.
+    pub stack: &'a mut TcpStack,
+    /// The operation accumulating this run's cost.
+    pub op: &'a mut Op,
+    /// The worker's core.
+    pub core: CoreId,
+    /// The worker's PID.
+    pub pid: Pid,
+    /// The worker's epoll instance.
+    pub ep: EpollId,
+    /// Server's local IP (source for active connections).
+    pub local_ip: std::net::Ipv4Addr,
+    /// Outgoing packets to transmit after this run.
+    pub tx: &'a mut Vec<Packet>,
+}
+
+impl Sys<'_> {
+    /// `accept()` one connection on `port`, or `None` (EAGAIN).
+    pub fn accept(&mut self, port: u16) -> Option<SockId> {
+        self.stack
+            .accept(self.ctx, self.os, self.op, port, self.core, self.pid)
+            .map(|(sock, _)| sock)
+    }
+
+    /// Registers `sock` in this worker's epoll with `token`.
+    pub fn register(&mut self, sock: SockId, token: u64) {
+        self.stack
+            .register_epoll(self.ctx, self.os, self.op, sock, self.ep, token);
+    }
+
+    /// `read()`: drains and returns buffered receive bytes.
+    pub fn recv(&mut self, sock: SockId) -> u32 {
+        self.stack.recv(self.ctx, self.op, sock)
+    }
+
+    /// Bytes buffered for reading (level-triggered readiness probe:
+    /// data may have arrived before the socket was registered).
+    pub fn rx_pending(&self, sock: SockId) -> u32 {
+        self.stack.socks.get(sock).rx_ready
+    }
+
+    /// Whether the peer has closed its direction.
+    pub fn peer_fin(&self, sock: SockId) -> bool {
+        self.stack.socks.get(sock).peer_fin_seen
+    }
+
+    /// Whether `sock` still exists (it may have been torn down by an
+    /// RST while an event for it was queued).
+    pub fn alive(&self, sock: SockId) -> bool {
+        self.stack.socks.exists(sock)
+    }
+
+    /// `write()`: sends `bytes` of payload.
+    pub fn send(&mut self, sock: SockId, bytes: u16) {
+        if let Some(pkt) = self.stack.send(self.ctx, self.os, self.op, sock, bytes) {
+            self.tx.push(pkt);
+        }
+    }
+
+    /// `close()`: releases the FD side and starts TCP teardown.
+    pub fn close(&mut self, sock: SockId) {
+        if let Some(fin) = self.stack.close(self.ctx, self.os, self.op, sock) {
+            self.tx.push(fin);
+        }
+    }
+
+    /// `connect()` to `(dst_ip, dst_port)`; the SYN is queued for
+    /// transmission. `None` when ephemeral ports are exhausted.
+    pub fn connect(&mut self, dst_ip: std::net::Ipv4Addr, dst_port: u16) -> Option<SockId> {
+        let (sock, syn) = self.stack.connect(
+            self.ctx,
+            self.os,
+            self.op,
+            self.core,
+            self.pid,
+            self.local_ip,
+            dst_ip,
+            dst_port,
+        )?;
+        self.tx.push(syn);
+        Some(sock)
+    }
+
+    /// Pure user-level work (request parsing, response building).
+    pub fn work(&mut self, cycles: Cycles) {
+        self.op.work(CycleClass::AppWork, cycles);
+    }
+
+    /// Whether more connections are ready to accept on `port`
+    /// (level-triggered readiness probe).
+    pub fn accept_ready(&self, port: u16) -> bool {
+        self.stack.accept_ready(port, self.core)
+    }
+
+    /// Re-arms the listen-readiness event on this worker's own epoll
+    /// (level-triggered `epoll_wait` re-reports a still-backlogged
+    /// accept queue; the event-posted model needs an explicit re-arm
+    /// after a budgeted accept batch).
+    pub fn repoll_listen(&mut self) {
+        let ep = self.ep;
+        self.os.epolls.post(
+            self.ctx,
+            self.op,
+            ep,
+            EpollEvent {
+                data: LISTEN_TOKEN,
+                readable: true,
+                writable: false,
+            },
+        );
+    }
+}
+
+/// A worker process's application logic, driven by epoll events.
+pub trait Worker {
+    /// Handles one batch of epoll events.
+    fn on_events(&mut self, sys: &mut Sys<'_>, events: &[EpollEvent]);
+
+    /// Connections currently tracked by the worker (diagnostics).
+    fn open_conns(&self) -> usize;
+
+    /// Completed request/response exchanges served by this worker.
+    fn served(&self) -> u64;
+}

@@ -1,0 +1,216 @@
+//! Unit tests of the application workers, driven through a minimal rig
+//! (stack + OS services + hand-delivered packets).
+
+use sim_apps::proxy::{Proxy, ProxyConfig};
+use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
+use sim_apps::web::{WebConfig, WebServer};
+use sim_core::{CoreId, SimRng};
+use sim_mem::{CacheCosts, CacheModel};
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use sim_os::epoll::{EpollEvent, EpollId};
+use sim_os::process::Pid;
+use sim_os::KernelCtx;
+use sim_sync::{LockCosts, LockTable};
+use std::net::Ipv4Addr;
+use tcp_stack::stack::{OsServices, StackConfig, TcpStack};
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+struct Rig {
+    ctx: KernelCtx,
+    os: OsServices,
+    stack: TcpStack,
+    ep: EpollId,
+}
+
+impl Rig {
+    fn new() -> Rig {
+        let config = StackConfig::fastsocket(1);
+        let mut ctx = KernelCtx::new(
+            1,
+            LockTable::new(LockCosts::default()),
+            CacheModel::new(CacheCosts::default()),
+            SimRng::seed(5),
+        );
+        let mut os = OsServices::new(&mut ctx, &config);
+        let mut stack = TcpStack::new(&mut ctx, config);
+        let ep = os.epolls.create(&mut ctx, CoreId(0));
+        let mut op = ctx.begin(CoreId(0), 0);
+        let ls = stack.listen(&mut ctx, &mut op, 80, 128, CoreId(0));
+        let local = stack.local_listen(&mut ctx, &mut op, 80, 128, Pid(0), CoreId(0));
+        stack.watch_listen(&mut ctx, &mut os, &mut op, ls, ep, Pid(0), LISTEN_TOKEN);
+        stack.watch_listen(&mut ctx, &mut os, &mut op, local, ep, Pid(0), LISTEN_TOKEN);
+        op.commit(&mut ctx.cpu);
+        Rig { ctx, os, stack, ep }
+    }
+
+    /// Delivers a packet to the stack; returns outgoing segments.
+    fn rx(&mut self, pkt: Packet) -> Vec<Packet> {
+        let mut op = self.ctx.begin(CoreId(0), 0);
+        let out = self
+            .stack
+            .net_rx(&mut self.ctx, &mut self.os, &mut op, &pkt, false);
+        op.commit(&mut self.ctx.cpu);
+        out.replies
+    }
+
+    /// Runs the worker over its pending epoll events; returns what the
+    /// worker transmitted.
+    fn run_worker(&mut self, worker: &mut dyn Worker) -> Vec<Packet> {
+        let mut op = self.ctx.begin(CoreId(0), 0);
+        let mut events: Vec<EpollEvent> = Vec::new();
+        self.os
+            .epolls
+            .wait(&mut self.ctx, &mut op, self.ep, 64, &mut events);
+        let mut tx = Vec::new();
+        {
+            let mut sys = Sys {
+                ctx: &mut self.ctx,
+                os: &mut self.os,
+                stack: &mut self.stack,
+                op: &mut op,
+                core: CoreId(0),
+                pid: Pid(0),
+                ep: self.ep,
+                local_ip: SERVER,
+                tx: &mut tx,
+            };
+            worker.on_events(&mut sys, &events);
+        }
+        op.commit(&mut self.ctx.cpu);
+        tx
+    }
+}
+
+fn handshake_and_request(rig: &mut Rig, port: u16, len: u16) {
+    let flow = FlowTuple::new(CLIENT, port, SERVER, 80);
+    let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(100));
+    let synack = reply[0];
+    rig.rx(
+        Packet::new(flow, TcpFlags::ACK)
+            .with_seq(101)
+            .with_ack(synack.seq.wrapping_add(1)),
+    );
+    rig.rx(
+        Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(101)
+            .with_ack(synack.seq.wrapping_add(1))
+            .with_payload(len),
+    );
+}
+
+#[test]
+fn web_worker_serves_and_closes() {
+    let mut rig = Rig::new();
+    let mut web = WebServer::new(WebConfig::default());
+    handshake_and_request(&mut rig, 40_000, 600);
+    let tx = rig.run_worker(&mut web);
+    assert_eq!(web.served(), 1);
+    assert_eq!(web.open_conns(), 0, "HTTP/1.0: closed after the response");
+    // Response data followed by a FIN.
+    assert!(tx.iter().any(|p| p.payload_len == 1_200));
+    assert!(tx.iter().any(|p| p.flags.fin()));
+}
+
+#[test]
+fn web_worker_keepalive_keeps_the_connection() {
+    let mut rig = Rig::new();
+    let mut web = WebServer::new(WebConfig {
+        keep_alive: true,
+        ..WebConfig::default()
+    });
+    handshake_and_request(&mut rig, 40_001, 600);
+    let tx = rig.run_worker(&mut web);
+    assert_eq!(web.served(), 1);
+    assert_eq!(web.open_conns(), 1, "keep-alive holds the connection");
+    assert!(!tx.iter().any(|p| p.flags.fin()), "no FIN under keep-alive");
+}
+
+#[test]
+fn web_worker_ignores_empty_readable_without_fin() {
+    let mut rig = Rig::new();
+    let mut web = WebServer::new(WebConfig::default());
+    // Handshake only (no request yet): the accept happens, nothing to
+    // serve, and the connection stays open awaiting data.
+    let flow = FlowTuple::new(CLIENT, 40_002, SERVER, 80);
+    let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(7));
+    rig.rx(
+        Packet::new(flow, TcpFlags::ACK)
+            .with_seq(8)
+            .with_ack(reply[0].seq.wrapping_add(1)),
+    );
+    rig.run_worker(&mut web);
+    assert_eq!(web.served(), 0);
+    assert_eq!(web.open_conns(), 1);
+}
+
+#[test]
+fn proxy_worker_relays_via_active_connection() {
+    let mut rig = Rig::new();
+    let mut proxy = Proxy::new(ProxyConfig::default());
+    handshake_and_request(&mut rig, 40_003, 600);
+
+    // Wake 1: accept + read request + connect() to a backend.
+    let tx = rig.run_worker(&mut proxy);
+    let syn = tx
+        .iter()
+        .find(|p| p.flags.syn() && !p.flags.ack())
+        .copied()
+        .expect("proxy must open an active connection");
+    assert_eq!(proxy.open_conns(), 2, "client side + backend side");
+
+    // Backend answers the handshake; the epoll writable event triggers
+    // the request relay.
+    rig.rx(
+        Packet::new(syn.flow.reversed(), TcpFlags::SYN | TcpFlags::ACK)
+            .with_seq(900)
+            .with_ack(syn.seq.wrapping_add(1)),
+    );
+    let tx = rig.run_worker(&mut proxy);
+    let relayed = tx.iter().find(|p| p.payload_len == 600).expect("request relayed");
+    assert_eq!(relayed.flow.dst_ip, syn.flow.dst_ip);
+
+    // Backend responds and closes; the proxy relays to the client and
+    // tears both sides down.
+    rig.rx(
+        Packet::new(syn.flow.reversed(), TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(901)
+            .with_ack(relayed.seq.wrapping_add(600))
+            .with_payload(1_200),
+    );
+    rig.rx(
+        Packet::new(syn.flow.reversed(), TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(2_101)
+            .with_ack(relayed.seq.wrapping_add(600)),
+    );
+    let tx = rig.run_worker(&mut proxy);
+    assert_eq!(proxy.served(), 1);
+    assert!(tx.iter().any(|p| p.payload_len == 1_200), "response to client");
+    assert!(tx.iter().any(|p| p.flags.fin()), "both sides closed");
+    assert_eq!(proxy.open_conns(), 0);
+}
+
+#[test]
+fn proxy_worker_drops_client_that_never_sends() {
+    let mut rig = Rig::new();
+    let mut proxy = Proxy::new(ProxyConfig::default());
+    let flow = FlowTuple::new(CLIENT, 40_004, SERVER, 80);
+    let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(1));
+    rig.rx(
+        Packet::new(flow, TcpFlags::ACK)
+            .with_seq(2)
+            .with_ack(reply[0].seq.wrapping_add(1)),
+    );
+    rig.run_worker(&mut proxy); // accepts; no request yet
+    assert_eq!(proxy.open_conns(), 1);
+    // The client gives up without sending anything.
+    rig.rx(
+        Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(2)
+            .with_ack(reply[0].seq.wrapping_add(1)),
+    );
+    rig.run_worker(&mut proxy);
+    assert_eq!(proxy.open_conns(), 0, "aborted client is cleaned up");
+    assert_eq!(proxy.served(), 0);
+}

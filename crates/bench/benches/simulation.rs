@@ -1,0 +1,44 @@
+//! Criterion end-to-end benchmarks: one short simulated burst per
+//! kernel/application pair. These are the building blocks of every
+//! figure; their host-time cost bounds full regeneration runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+
+fn short_run(kernel: KernelSpec, app: AppSpec, cores: u16) -> f64 {
+    let cfg = SimConfig::new(kernel, app, cores)
+        .warmup_secs(0.005)
+        .measure_secs(0.02)
+        .concurrency(u32::from(cores) * 40);
+    Simulation::new(cfg).run().throughput_cps
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_20ms_web_8core");
+    group.sample_size(10);
+    for (label, kernel) in [
+        ("base", KernelSpec::BaseLinux),
+        ("linux313", KernelSpec::Linux313),
+        ("fastsocket", KernelSpec::Fastsocket),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernel, |b, k| {
+            b.iter(|| short_run(k.clone(), AppSpec::web(), 8))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sim_20ms_proxy_8core");
+    group.sample_size(10);
+    for (label, kernel) in [
+        ("base", KernelSpec::BaseLinux),
+        ("fastsocket", KernelSpec::Fastsocket),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kernel, |b, k| {
+            b.iter(|| short_run(k.clone(), AppSpec::proxy(), 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: why does the base kernel's curve *fall* past its peak
+//! (Figure 4a) instead of flattening?
+//!
+//! The model attributes it to the ticket-spinlock handoff storm: on a
+//! contended release, every polling core re-reads the lock line, so
+//! service time grows with the number of cores hammering the lock.
+//! Setting the per-poller handoff cost to zero turns the collapse into
+//! a plateau — the signature of a work-conserving lock.
+
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+use fastsocket_bench::{kcps, HarnessArgs};
+use sim_sync::LockCosts;
+
+fn main() {
+    let args = HarnessArgs::parse(0.15, "ablate_lock_model");
+    let cores_list = args.cores.clone().unwrap_or_else(|| vec![8, 16, 24]);
+    println!("base-kernel nginx throughput vs ticket-handoff cost");
+    println!(
+        "{:>18} {}",
+        "handoff/poller",
+        cores_list
+            .iter()
+            .map(|c| format!("{:>10}", format!("{c} cores")))
+            .collect::<String>()
+    );
+    let mut results = Vec::new();
+    for handoff in [0u64, 100, 210, 420] {
+        print!("{handoff:>18}");
+        for &cores in &cores_list {
+            let mut cfg = SimConfig::new(KernelSpec::BaseLinux, AppSpec::web(), cores)
+                .warmup_secs(0.1)
+                .measure_secs(args.measure_secs);
+            cfg.lock_costs = LockCosts {
+                handoff_per_waiter: handoff,
+                ..LockCosts::default()
+            };
+            let r = Simulation::new(cfg).run();
+            print!("{:>10}", kcps(r.throughput_cps));
+            results.push((handoff, cores, r.throughput_cps));
+        }
+        println!();
+    }
+    println!(
+        "\nWith handoff = 0 the saturated listen/dcache locks serve at a \
+         fixed rate and the\ncurve plateaus; with realistic handoff costs the \
+         per-acquisition service time\ngrows with core count and throughput \
+         declines past the peak — the paper's base\nkernel behaviour."
+    );
+    args.write_json(&results);
+}

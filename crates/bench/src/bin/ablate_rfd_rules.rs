@@ -1,0 +1,46 @@
+//! Ablation: Receive Flow Deliver's packet-classification rules.
+//!
+//! When the proxy serves a well-known port (80), rules 1 and 2 classify
+//! every packet without touching the listen table. Serving a
+//! non-well-known port (8080) forces rule 3 (the listen-table probe) —
+//! still a correct classification, at a small extra probe cost.
+
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+use fastsocket_bench::HarnessArgs;
+use sim_apps::proxy::ProxyConfig;
+
+fn main() {
+    let args = HarnessArgs::parse(0.15, "ablate_rfd_rules");
+    println!("RFD classification-rule usage (Fastsocket proxy, 8 cores)\n");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "service port", "rule1", "rule2", "rule3", "cps", "resets"
+    );
+    let mut rows = Vec::new();
+    for port in [80u16, 8_080] {
+        // Backends also move off the well-known range in the second
+        // scenario, so even backend traffic needs rule 3.
+        let pc = ProxyConfig {
+            port,
+            backend_port: if port == 80 { 80 } else { 8_080 },
+            ..ProxyConfig::default()
+        };
+        let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::Proxy(pc), 8)
+            .warmup_secs(0.05)
+            .measure_secs(args.measure_secs);
+        let r = Simulation::new(cfg).run();
+        println!(
+            "{:>14} {:>12} {:>12} {:>12} {:>10.0} {:>8}",
+            port, r.stack.rfd_rule1, r.stack.rfd_rule2, r.stack.rfd_rule3, r.throughput_cps, r.resets
+        );
+        assert_eq!(r.resets, 0, "classification must stay correct");
+        rows.push((port, r.stack.rfd_rule1, r.stack.rfd_rule2, r.stack.rfd_rule3));
+    }
+    println!(
+        "\nOn port 80 the cheap rules classify everything; on 8080 the \
+         listen-table probe\n(rule 3) takes over for passive traffic — and \
+         no connection misclassifies\n(zero resets), confirming the rules' \
+         correctness argument in §3.3."
+    );
+    args.write_json(&rows);
+}

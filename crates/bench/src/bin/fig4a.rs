@@ -1,0 +1,53 @@
+//! Regenerates Figure 4(a): nginx connections/sec vs CPU cores.
+
+use fastsocket::experiments::fig4::{self, CORE_COUNTS, PAPER_AT_24};
+use fastsocket::AppSpec;
+use fastsocket_bench::{kcps, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse(0.2, "fig4a");
+    let cores = args.cores.clone().unwrap_or_else(|| CORE_COUNTS.to_vec());
+    eprintln!(
+        "Figure 4(a): nginx throughput sweep (cores {cores:?}, {}s windows)...",
+        args.measure_secs
+    );
+    let fig = fig4::run(AppSpec::web(), &cores, args.measure_secs);
+
+    println!("Figure 4(a) — nginx connections/sec vs cores");
+    print!("{:<14}", "kernel");
+    for c in &cores {
+        print!("{:>10}", format!("{c} cores"));
+    }
+    println!();
+    for kernel in ["base-2.6.32", "linux-3.13", "fastsocket"] {
+        print!("{kernel:<14}");
+        for &c in &cores {
+            let v = fig.at(kernel, c).map_or(0.0, |p| p.cps);
+            print!("{:>10}", kcps(v));
+        }
+        println!();
+    }
+
+    println!("\npaper vs measured at 24 cores:");
+    for (kernel, nginx_paper, _) in PAPER_AT_24 {
+        if let Some(p) = fig.at(kernel, 24) {
+            println!(
+                "  {kernel:<14} paper {:>8}   measured {:>8}",
+                kcps(nginx_paper),
+                kcps(p.cps)
+            );
+        }
+    }
+    if let (Some(s), Some(fs), Some(base)) = (
+        fig.speedup("fastsocket", 24),
+        fig.at("fastsocket", 24),
+        fig.at("base-2.6.32", 24),
+    ) {
+        println!(
+            "  fastsocket speedup at 24 cores: {s:.1}x (paper: 20.0x); \
+             vs base: {:.2}x (paper: 2.67x)",
+            fs.cps / base.cps
+        );
+    }
+    args.write_json(&fig);
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper, prints a
+//! paper-vs-measured report to stdout, and (when `--json <path>` or the
+//! `FS_RESULTS_DIR` environment variable is given) writes the raw
+//! result as JSON for EXPERIMENTS.md bookkeeping.
+
+use std::path::PathBuf;
+
+/// Parsed common CLI options for harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Simulated measurement seconds per run.
+    pub measure_secs: f64,
+    /// Where to write the JSON result, if anywhere.
+    pub json_path: Option<PathBuf>,
+    /// Override core counts (comma-separated), when the experiment
+    /// sweeps cores.
+    pub cores: Option<Vec<u16>>,
+}
+
+impl HarnessArgs {
+    /// Parses `[measure_secs] [--cores a,b,c] [--json path]` from the
+    /// process arguments, with the given default measurement length.
+    pub fn parse(default_measure: f64, experiment: &str) -> HarnessArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut measure_secs = default_measure;
+        let mut json_path = None;
+        let mut cores = None;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => {
+                    json_path = it.next().map(PathBuf::from);
+                }
+                "--cores" => {
+                    cores = it.next().map(|s| {
+                        s.split(',')
+                            .map(|x| x.parse().expect("core count"))
+                            .collect()
+                    });
+                }
+                other => {
+                    if let Ok(v) = other.parse::<f64>() {
+                        measure_secs = v;
+                    }
+                }
+            }
+        }
+        if json_path.is_none() {
+            if let Ok(dir) = std::env::var("FS_RESULTS_DIR") {
+                json_path = Some(PathBuf::from(dir).join(format!("{experiment}.json")));
+            }
+        }
+        HarnessArgs {
+            measure_secs,
+            json_path,
+            cores,
+        }
+    }
+
+    /// Writes `value` as pretty JSON to the configured path, if any.
+    pub fn write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json_path {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("warning: cannot write {}: {e}", path.display());
+                    } else {
+                        eprintln!("(raw results written to {})", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+            }
+        }
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats connections/sec in the paper's "475K" style.
+pub fn kcps(x: f64) -> String {
+    format!("{:.0}K", x / 1_000.0)
+}

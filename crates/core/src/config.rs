@@ -1,0 +1,252 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use sim_apps::proxy::ProxyConfig;
+use sim_apps::web::WebConfig;
+use sim_apps::HttpWorkload;
+use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles};
+use sim_mem::CacheCosts;
+use sim_nic::{AtrConfig, SteeringMode};
+use sim_sync::LockCosts;
+use tcp_stack::stack::StackConfig;
+
+/// Which kernel is being simulated.
+#[derive(Debug, Clone)]
+pub enum KernelSpec {
+    /// Stock Linux 2.6.32 ("base" in Figure 4).
+    BaseLinux,
+    /// Linux 3.13 with `SO_REUSEPORT`.
+    Linux313,
+    /// Fastsocket (on 2.6.32, as deployed).
+    Fastsocket,
+    /// An explicit configuration — used for Table 1's incremental
+    /// feature columns and the ablation benches.
+    Custom(Box<StackConfig>),
+}
+
+impl KernelSpec {
+    /// Resolves to a full stack configuration for `cores` cores.
+    pub fn resolve(&self, cores: u16) -> StackConfig {
+        match self {
+            KernelSpec::BaseLinux => StackConfig::base_linux(cores),
+            KernelSpec::Linux313 => StackConfig::linux_313(cores),
+            KernelSpec::Fastsocket => StackConfig::fastsocket(cores),
+            KernelSpec::Custom(c) => {
+                let mut c = (**c).clone();
+                c.cores = cores;
+                c
+            }
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelSpec::BaseLinux => "base-2.6.32",
+            KernelSpec::Linux313 => "linux-3.13",
+            KernelSpec::Fastsocket => "fastsocket",
+            KernelSpec::Custom(_) => "custom",
+        }
+    }
+}
+
+/// Which server application runs on the simulated machine.
+#[derive(Debug, Clone)]
+pub enum AppSpec {
+    /// nginx-like web server.
+    Web(WebConfig),
+    /// HAProxy-like proxy (client side passive, backend side active).
+    Proxy(ProxyConfig),
+}
+
+impl AppSpec {
+    /// A web server with default tuning.
+    pub fn web() -> Self {
+        AppSpec::Web(WebConfig::default())
+    }
+
+    /// A proxy with default tuning.
+    pub fn proxy() -> Self {
+        AppSpec::Proxy(ProxyConfig::default())
+    }
+
+    /// The service port.
+    pub fn port(&self) -> u16 {
+        match self {
+            AppSpec::Web(w) => w.port,
+            AppSpec::Proxy(p) => p.port,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppSpec::Web(_) => "nginx",
+            AppSpec::Proxy(_) => "haproxy",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The kernel under test.
+    pub kernel: KernelSpec,
+    /// The server application.
+    pub app: AppSpec,
+    /// Number of server cores (= NIC queue pairs).
+    pub cores: u16,
+    /// NIC receive steering.
+    pub steering: SteeringMode,
+    /// Client workload profile.
+    pub workload: HttpWorkload,
+    /// Per-slot pause between connections, in cycles (0 = saturating
+    /// closed loop; nonzero paces the load for utilization studies).
+    pub think_time: Cycles,
+    /// Client↔server round-trip time in cycles.
+    pub rtt: Cycles,
+    /// Warmup duration (statistics discarded).
+    pub warmup: Cycles,
+    /// Measured duration.
+    pub measure: Cycles,
+    /// RNG seed.
+    pub seed: u64,
+    /// Listen backlog per listen socket.
+    pub backlog: usize,
+    /// Per-client connection-attempt timeout in cycles.
+    pub client_timeout: Cycles,
+    /// Lock-model cost parameters (ablation knob).
+    pub lock_costs: LockCosts,
+    /// Cache-model cost parameters (ablation knob).
+    pub cache_costs: CacheCosts,
+    /// Flow Director ATR parameters (ablation knob).
+    pub atr: AtrConfig,
+    /// Packet-loss probability on the client↔server wire (the WAN
+    /// side; the backend LAN is lossless). Lost segments are recovered
+    /// by the stack's RTO retransmission.
+    pub loss: f64,
+    /// IsoStack-style architecture (related work, §5): all NIC
+    /// interrupts target core 0, which runs *only* the network stack;
+    /// worker processes occupy the remaining cores. The paper argues
+    /// this dedicated core saturates under short-lived connections.
+    pub dedicated_stack_core: bool,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's defaults: 100 µs LAN RTT, RSS
+    /// steering, `http_load` concurrency of 500 × cores, 0.2 s warmup,
+    /// 1 s measurement.
+    pub fn new(kernel: KernelSpec, app: AppSpec, cores: u16) -> Self {
+        SimConfig {
+            kernel,
+            app,
+            cores,
+            steering: SteeringMode::Rss,
+            workload: HttpWorkload::default(),
+            think_time: 0,
+            rtt: usecs_to_cycles(100.0),
+            warmup: secs_to_cycles(0.2),
+            measure: secs_to_cycles(1.0),
+            seed: 0xfa57_50c7,
+            backlog: 8_192,
+            client_timeout: secs_to_cycles(2.0),
+            lock_costs: LockCosts::default(),
+            cache_costs: CacheCosts::default(),
+            atr: AtrConfig::default(),
+            loss: 0.0,
+            dedicated_stack_core: false,
+        }
+    }
+
+    /// Sets the client-wire packet-loss probability (builder style).
+    pub fn loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability in [0,1)");
+        self.loss = p;
+        self
+    }
+
+    /// Sets the warmup duration in seconds (builder style).
+    pub fn warmup_secs(mut self, secs: f64) -> Self {
+        self.warmup = secs_to_cycles(secs);
+        self
+    }
+
+    /// Sets the measurement duration in seconds (builder style).
+    pub fn measure_secs(mut self, secs: f64) -> Self {
+        self.measure = secs_to_cycles(secs);
+        self
+    }
+
+    /// Sets the NIC steering mode (builder style).
+    pub fn steering(mut self, mode: SteeringMode) -> Self {
+        self.steering = mode;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets total client concurrency directly (builder style).
+    pub fn concurrency(mut self, total: u32) -> Self {
+        self.workload.concurrency_per_core =
+            (total / u32::from(self.cores.max(1))).max(1);
+        self
+    }
+
+    /// Sets per-slot think time in seconds, pacing the offered load
+    /// (builder style).
+    pub fn think_secs(mut self, secs: f64) -> Self {
+        self.think_time = secs_to_cycles(secs);
+        self
+    }
+}
+
+/// Summary row identifying a run (used by experiment outputs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunLabel {
+    /// Kernel label.
+    pub kernel: String,
+    /// Application label.
+    pub app: String,
+    /// Core count.
+    pub cores: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_specs_resolve() {
+        let base = KernelSpec::BaseLinux.resolve(8);
+        assert_eq!(base.cores, 8);
+        assert!(!base.rfd);
+        let fs = KernelSpec::Fastsocket.resolve(24);
+        assert!(fs.rfd);
+        assert_eq!(fs.cores, 24);
+        let custom = KernelSpec::Custom(Box::new(StackConfig::fastsocket(4))).resolve(16);
+        assert_eq!(custom.cores, 16, "custom spec re-targets core count");
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = SimConfig::new(KernelSpec::BaseLinux, AppSpec::web(), 4)
+            .warmup_secs(0.1)
+            .measure_secs(0.5)
+            .seed(7)
+            .concurrency(2_000);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.workload.concurrency_per_core, 500);
+        assert_eq!(c.warmup, sim_core::secs_to_cycles(0.1));
+    }
+
+    #[test]
+    fn app_specs_have_ports_and_labels() {
+        assert_eq!(AppSpec::web().port(), 80);
+        assert_eq!(AppSpec::proxy().label(), "haproxy");
+        assert_eq!(KernelSpec::Fastsocket.label(), "fastsocket");
+    }
+}

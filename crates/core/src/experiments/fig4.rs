@@ -1,0 +1,88 @@
+//! Figure 4: connections/sec vs CPU cores for nginx (a) and HAProxy
+//! (b), comparing base Linux 2.6.32, Linux 3.13 (`SO_REUSEPORT`) and
+//! Fastsocket.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AppSpec, KernelSpec, SimConfig};
+use crate::sim::Simulation;
+
+/// One measured point of Figure 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Point {
+    /// Kernel label.
+    pub kernel: String,
+    /// Core count.
+    pub cores: u16,
+    /// Measured connections/sec.
+    pub cps: f64,
+    /// Spin share of busy cycles.
+    pub spin_share: f64,
+}
+
+/// The full figure: one point per kernel per core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// `nginx` or `haproxy`.
+    pub app: String,
+    /// Measured points.
+    pub points: Vec<Fig4Point>,
+}
+
+/// The paper's core-count sweep.
+pub const CORE_COUNTS: [u16; 7] = [1, 4, 8, 12, 16, 20, 24];
+
+/// Paper reference values at 24 cores (connections/sec), for the
+/// paper-vs-measured table: `(kernel, nginx, haproxy)`.
+pub const PAPER_AT_24: [(&str, f64, f64); 3] = [
+    ("base-2.6.32", 178_000.0, 52_000.0),
+    ("linux-3.13", 283_000.0, 283_000.0),
+    ("fastsocket", 475_000.0, 422_000.0),
+];
+
+/// Runs the sweep for one application. `measure_secs` trades accuracy
+/// for run time (the paper measures steady state; 0.2 s of simulated
+/// time is ≥40k connections at the rates of interest).
+pub fn run(app: AppSpec, core_counts: &[u16], measure_secs: f64) -> Fig4 {
+    let mut points = Vec::new();
+    for kernel in [
+        KernelSpec::BaseLinux,
+        KernelSpec::Linux313,
+        KernelSpec::Fastsocket,
+    ] {
+        for &cores in core_counts {
+            let cfg = SimConfig::new(kernel.clone(), app.clone(), cores)
+                .warmup_secs(0.1)
+                .measure_secs(measure_secs);
+            let r = Simulation::new(cfg).run();
+            points.push(Fig4Point {
+                kernel: r.kernel.clone(),
+                cores,
+                cps: r.throughput_cps,
+                spin_share: r.lock_spin_share(),
+            });
+        }
+    }
+    Fig4 {
+        app: app.label().to_string(),
+        points,
+    }
+}
+
+impl Fig4 {
+    /// The measured point for `(kernel, cores)`.
+    pub fn at(&self, kernel: &str, cores: u16) -> Option<&Fig4Point> {
+        self.points
+            .iter()
+            .find(|p| p.kernel == kernel && p.cores == cores)
+    }
+
+    /// Speedup of a kernel at `cores` relative to its own single-core
+    /// throughput (the paper's "20.0x" metric). `None` when either
+    /// point was not measured.
+    pub fn speedup(&self, kernel: &str, cores: u16) -> Option<f64> {
+        let one = self.at(kernel, 1)?.cps;
+        let n = self.at(kernel, cores)?.cps;
+        (one > 0.0).then(|| n / one)
+    }
+}

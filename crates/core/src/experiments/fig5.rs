@@ -1,0 +1,166 @@
+//! Figure 5: throughput, L3 cache miss rate and local packet proportion
+//! under different NIC delivery features (HAProxy on 16 cores).
+//!
+//! Configurations, as in the paper: RSS alone, RFD+RSS, FDir in ATR
+//! mode, RFD+FDir_ATR, and RFD+FDir Perfect-Filtering. Fastsocket-aware
+//! VFS and the Local Listen Table are always enabled. The Local
+//! Established Table requires RFD's delivery guarantee, so the RFD-off
+//! rows run with the global established table (exactly why the paper
+//! never tests FDir Perfect without RFD — naive partition breaks TCP).
+
+use serde::{Deserialize, Serialize};
+use sim_nic::SteeringMode;
+use tcp_stack::established::EstVariant;
+use tcp_stack::ports::PortAllocVariant;
+use tcp_stack::stack::StackConfig;
+
+use crate::config::{AppSpec, KernelSpec, SimConfig};
+use crate::sim::Simulation;
+
+/// One NIC-configuration row of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NicSetup {
+    /// RSS spreading only.
+    Rss,
+    /// RSS with Receive Flow Deliver software steering.
+    RfdRss,
+    /// Flow Director in ATR mode.
+    FdirAtr,
+    /// ATR plus RFD fixing the ATR misses.
+    RfdFdirAtr,
+    /// Perfect-Filtering programmed with the RFD mask (plus RFD).
+    RfdFdirPerfect,
+}
+
+impl NicSetup {
+    /// All rows in figure order.
+    pub const ALL: [NicSetup; 5] = [
+        NicSetup::Rss,
+        NicSetup::RfdRss,
+        NicSetup::FdirAtr,
+        NicSetup::RfdFdirAtr,
+        NicSetup::RfdFdirPerfect,
+    ];
+
+    /// Label as the figure's x-axis prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            NicSetup::Rss => "RSS",
+            NicSetup::RfdRss => "RFD+RSS",
+            NicSetup::FdirAtr => "FDir_ATR",
+            NicSetup::RfdFdirAtr => "RFD+FDir_ATR",
+            NicSetup::RfdFdirPerfect => "RFD+FDir_perfect",
+        }
+    }
+
+    /// Whether RFD software steering is on.
+    pub fn rfd(self) -> bool {
+        !matches!(self, NicSetup::Rss | NicSetup::FdirAtr)
+    }
+
+    /// The NIC steering mode.
+    pub fn steering(self) -> SteeringMode {
+        match self {
+            NicSetup::Rss | NicSetup::RfdRss => SteeringMode::Rss,
+            NicSetup::FdirAtr | NicSetup::RfdFdirAtr => SteeringMode::FdirAtr,
+            NicSetup::RfdFdirPerfect => SteeringMode::FdirPerfect,
+        }
+    }
+
+    /// The kernel configuration: Fastsocket VFS + Local Listen Table
+    /// always; Local Established Table and per-core ports only under
+    /// RFD's delivery guarantee.
+    pub fn kernel(self, cores: u16) -> StackConfig {
+        let mut c = StackConfig::fastsocket(cores);
+        if !self.rfd() {
+            c.rfd = false;
+            c.established = EstVariant::Global;
+            c.port_alloc = PortAllocVariant::Global;
+        }
+        c
+    }
+}
+
+/// One measured row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Configuration label.
+    pub setup: String,
+    /// Connections/sec (Figure 5a bars).
+    pub cps: f64,
+    /// L3 miss rate (Figure 5a line).
+    pub l3_miss_rate: f64,
+    /// Local packet proportion (Figure 5b).
+    pub local_proportion: f64,
+}
+
+/// The measured figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// One row per NIC setup.
+    pub rows: Vec<Fig5Row>,
+    /// Cores used (the paper uses a 16-core SandyBridge).
+    pub cores: u16,
+}
+
+/// Paper reference values: `(label, cps, miss rate, local proportion)`.
+pub const PAPER: [(&str, f64, f64, f64); 5] = [
+    ("RSS", 261_000.0, 0.13, 0.062),
+    ("RFD+RSS", 277_000.0, 0.07, 0.062),
+    ("FDir_ATR", 290_700.0, 0.075, 0.765),
+    ("RFD+FDir_ATR", 293_000.0, 0.072, 0.765),
+    ("RFD+FDir_perfect", 300_000.0, 0.057, 1.0),
+];
+
+/// Runs all five configurations.
+pub fn run(cores: u16, measure_secs: f64) -> Fig5 {
+    let rows = NicSetup::ALL
+        .iter()
+        .map(|&setup| {
+            let cfg = SimConfig::new(
+                KernelSpec::Custom(Box::new(setup.kernel(cores))),
+                AppSpec::proxy(),
+                cores,
+            )
+            .steering(setup.steering())
+            .warmup_secs(0.1)
+            .measure_secs(measure_secs);
+            let r = Simulation::new(cfg).run();
+            Fig5Row {
+                setup: setup.label().to_string(),
+                cps: r.throughput_cps,
+                l3_miss_rate: r.l3_miss_rate,
+                local_proportion: r.local_packet_proportion,
+            }
+        })
+        .collect();
+    Fig5 { rows, cores }
+}
+
+impl Fig5 {
+    /// The row for a setup label.
+    pub fn row(&self, label: &str) -> Option<&Fig5Row> {
+        self.rows.iter().find(|r| r.setup == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfd_off_rows_use_global_tables() {
+        let c = NicSetup::Rss.kernel(16);
+        assert!(!c.rfd);
+        assert_eq!(c.established, EstVariant::Global);
+        let c = NicSetup::RfdFdirPerfect.kernel(16);
+        assert!(c.rfd);
+        assert_eq!(c.established, EstVariant::Local);
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(NicSetup::FdirAtr.label(), "FDir_ATR");
+        assert_eq!(NicSetup::ALL.len(), 5);
+    }
+}

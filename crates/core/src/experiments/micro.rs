@@ -1,0 +1,83 @@
+//! In-text microbenchmarks:
+//!
+//! * §2.1: `inet_lookup_listener` consumes 0.26% of CPU cycles on one
+//!   core but 24.2% per core at 24 cores under `SO_REUSEPORT` (the
+//!   O(n) bucket walk);
+//! * §1/§4.2.4: spin locks consume 9% (TCB) + 11% (VFS) of cycles on
+//!   the 8-core production HAProxy, and no more than 6% total after
+//!   Fastsocket.
+
+use serde::{Deserialize, Serialize};
+use sim_core::CycleClass;
+
+use crate::config::{AppSpec, KernelSpec, SimConfig};
+use crate::sim::Simulation;
+
+/// One point of the listener-lookup cost curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LookupSharePoint {
+    /// Core count (= number of `SO_REUSEPORT` listen socket copies).
+    pub cores: u16,
+    /// Share of busy cycles spent in listener lookup.
+    pub share: f64,
+    /// Average bucket entries walked per lookup.
+    pub avg_walk: f64,
+}
+
+/// Paper reference: 0.26% at 1 core, 24.2% at 24 cores.
+pub const PAPER_LOOKUP_SHARE: [(u16, f64); 2] = [(1, 0.0026), (24, 0.242)];
+
+/// Measures the `inet_lookup_listener` cycle share across core counts
+/// under SO_REUSEPORT.
+pub fn reuseport_lookup_share(core_counts: &[u16], measure_secs: f64) -> Vec<LookupSharePoint> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let cfg = SimConfig::new(KernelSpec::Linux313, AppSpec::web(), cores)
+                .warmup_secs(0.1)
+                .measure_secs(measure_secs);
+            let r = Simulation::new(cfg).run();
+            LookupSharePoint {
+                cores,
+                share: r.cycle_share(CycleClass::ListenLookup),
+                avg_walk: r.avg_listen_walk,
+            }
+        })
+        .collect()
+}
+
+/// Cycle shares relevant to the production profiling claims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LockCycleShares {
+    /// Kernel label.
+    pub kernel: String,
+    /// Core count.
+    pub cores: u16,
+    /// Spin-wait share of busy cycles.
+    pub spin: f64,
+    /// VFS share (the "11% in VFS" half of the claim).
+    pub vfs: f64,
+    /// Throughput context.
+    pub cps: f64,
+}
+
+/// Measures spin/VFS cycle shares for the production-profile claim
+/// (8-core base HAProxy) and the post-deployment claim (≤6% spin).
+pub fn lock_cycle_shares(cores: u16, measure_secs: f64) -> Vec<LockCycleShares> {
+    [KernelSpec::BaseLinux, KernelSpec::Fastsocket]
+        .into_iter()
+        .map(|kernel| {
+            let cfg = SimConfig::new(kernel, AppSpec::proxy(), cores)
+                .warmup_secs(0.1)
+                .measure_secs(measure_secs);
+            let r = Simulation::new(cfg).run();
+            LockCycleShares {
+                kernel: r.kernel.clone(),
+                cores,
+                spin: r.lock_spin_share(),
+                vfs: r.cycle_share(CycleClass::Vfs),
+                cps: r.throughput_cps,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,20 @@
+//! Experiment drivers regenerating the paper's tables and figures.
+//!
+//! Each submodule corresponds to one evaluation artefact; the
+//! `fastsocket-bench` binaries call these and print paper-vs-measured
+//! rows. See `EXPERIMENTS.md` at the repository root for recorded
+//! results.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig3`] | Figure 3 — production diurnal CPU utilization |
+//! | [`fig4`] | Figure 4 — nginx/HAProxy throughput vs cores |
+//! | [`fig5`] | Figure 5 — NIC steering: throughput, L3 misses, locality |
+//! | [`table1`] | Table 1 — lockstat contention counts per feature |
+//! | [`micro`] | §2.1 / §4.2.4 in-text profiling claims |
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod micro;
+pub mod table1;

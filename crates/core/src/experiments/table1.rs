@@ -1,0 +1,203 @@
+//! Table 1: lockstat contention counts under the HAProxy benchmark on
+//! 24 cores, as Fastsocket's features are enabled one at a time.
+//!
+//! Columns follow the paper:
+//!
+//! * **Baseline** — stock 2.6.32;
+//! * **+V** — Fastsocket-aware VFS;
+//! * **+VL** — plus Local Listen Table;
+//! * **+VLR** — plus Receive Flow Deliver (with its per-core port
+//!   allocator);
+//! * **+VLRE** — plus Local Established Table (full Fastsocket).
+//!
+//! The paper runs 60 seconds; the simulation runs a shorter window and
+//! scales the counts linearly (contentions are rate-proportional in
+//! steady state), recording the scale factor in the result.
+
+use serde::{Deserialize, Serialize};
+use sim_os::vfs::VfsMode;
+use tcp_stack::established::EstVariant;
+use tcp_stack::ports::PortAllocVariant;
+use tcp_stack::stack::StackConfig;
+use tcp_stack::ListenVariant;
+
+use crate::config::{AppSpec, KernelSpec, SimConfig};
+use crate::sim::Simulation;
+
+/// The feature-accumulation steps of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureStep {
+    /// Stock 2.6.32.
+    Baseline,
+    /// + Fastsocket-aware VFS.
+    V,
+    /// + Local Listen Table.
+    Vl,
+    /// + Receive Flow Deliver.
+    Vlr,
+    /// + Local Established Table (full Fastsocket).
+    Vlre,
+}
+
+impl FeatureStep {
+    /// All steps in table order.
+    pub const ALL: [FeatureStep; 5] = [
+        FeatureStep::Baseline,
+        FeatureStep::V,
+        FeatureStep::Vl,
+        FeatureStep::Vlr,
+        FeatureStep::Vlre,
+    ];
+
+    /// Column header as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureStep::Baseline => "Baseline",
+            FeatureStep::V => "+V",
+            FeatureStep::Vl => "+VL",
+            FeatureStep::Vlr => "+VLR",
+            FeatureStep::Vlre => "+VLRE",
+        }
+    }
+
+    /// The stack configuration for this step.
+    pub fn config(self, cores: u16) -> StackConfig {
+        let mut c = StackConfig::base_linux(cores);
+        if self >= FeatureStep::V {
+            c.vfs_mode = VfsMode::Fastpath;
+        }
+        if self >= FeatureStep::Vl {
+            c.listen = ListenVariant::Local;
+        }
+        if self >= FeatureStep::Vlr {
+            c.rfd = true;
+            c.port_alloc = PortAllocVariant::PerCore;
+        }
+        if self >= FeatureStep::Vlre {
+            c.established = EstVariant::Local;
+        }
+        c
+    }
+}
+
+impl PartialOrd for FeatureStep {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some((*self as usize).cmp(&(*other as usize)))
+    }
+}
+
+/// Lock contention counts for one feature step, scaled to the paper's
+/// 60-second window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Column {
+    /// Which step.
+    pub step: String,
+    /// Throughput achieved (context for the counts).
+    pub cps: f64,
+    /// `(lock name, contentions scaled to 60 s)`.
+    pub contentions: Vec<(String, u64)>,
+}
+
+/// The measured table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One column per feature step.
+    pub columns: Vec<Table1Column>,
+    /// Simulated measurement seconds behind each column (counts are
+    /// scaled by `60 / measure_secs`).
+    pub measure_secs: f64,
+}
+
+/// The locks Table 1 reports, in row order.
+pub const TABLE1_LOCKS: [&str; 6] = [
+    "dcache_lock",
+    "inode_lock",
+    "slock",
+    "ep.lock",
+    "base.lock",
+    "ehash.lock",
+];
+
+/// Paper values (contentions over 60 s) for the Baseline column.
+pub const PAPER_BASELINE: [(&str, u64); 6] = [
+    ("dcache_lock", 26_400_000),
+    ("inode_lock", 4_300_000),
+    ("slock", 422_700),
+    ("ep.lock", 1_000_000),
+    ("base.lock", 451_300),
+    ("ehash.lock", 868),
+];
+
+/// Runs the table on `cores` cores (the paper uses 24).
+pub fn run(cores: u16, measure_secs: f64) -> Table1 {
+    let mut columns = Vec::new();
+    for step in FeatureStep::ALL {
+        let cfg = SimConfig::new(
+            KernelSpec::Custom(Box::new(step.config(cores))),
+            AppSpec::proxy(),
+            cores,
+        )
+        .warmup_secs(0.1)
+        .measure_secs(measure_secs);
+        let r = Simulation::new(cfg).run();
+        let scale = 60.0 / r.measure_secs;
+        let contentions = TABLE1_LOCKS
+            .iter()
+            .map(|&name| {
+                let c = r.lock_contentions(name);
+                (name.to_string(), (c as f64 * scale).round() as u64)
+            })
+            .collect();
+        columns.push(Table1Column {
+            step: step.label().to_string(),
+            cps: r.throughput_cps,
+            contentions,
+        });
+    }
+    Table1 {
+        columns,
+        measure_secs,
+    }
+}
+
+impl Table1 {
+    /// Scaled contentions for `(step, lock)`.
+    pub fn get(&self, step: &str, lock: &str) -> Option<u64> {
+        self.columns
+            .iter()
+            .find(|c| c.step == step)?
+            .contentions
+            .iter()
+            .find(|(n, _)| n == lock)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_steps_accumulate() {
+        let base = FeatureStep::Baseline.config(24);
+        assert_eq!(base.vfs_mode, VfsMode::Legacy);
+        let v = FeatureStep::V.config(24);
+        assert_eq!(v.vfs_mode, VfsMode::Fastpath);
+        assert_eq!(v.listen, ListenVariant::Global);
+        let vl = FeatureStep::Vl.config(24);
+        assert_eq!(vl.listen, ListenVariant::Local);
+        assert!(!vl.rfd);
+        let vlr = FeatureStep::Vlr.config(24);
+        assert!(vlr.rfd);
+        assert_eq!(vlr.established, EstVariant::Global);
+        let vlre = FeatureStep::Vlre.config(24);
+        assert_eq!(vlre.established, EstVariant::Local);
+    }
+
+    #[test]
+    fn step_order_is_total() {
+        for w in FeatureStep::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

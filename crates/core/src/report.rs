@@ -1,0 +1,200 @@
+//! Run reports: everything the paper's evaluation section measures.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{CycleClass, Cycles};
+use sim_mem::CacheStats;
+use sim_sync::{ClassStats, LockClass};
+use tcp_stack::StackStats;
+
+/// Lockstat-style row for one lock class (Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LockReport {
+    /// The lock name as Table 1 prints it.
+    pub name: String,
+    /// Acquisitions during the measured window.
+    pub acquisitions: u64,
+    /// Contended acquisitions (lockstat `contentions`).
+    pub contentions: u64,
+    /// Cycles spent spinning.
+    pub wait_cycles: Cycles,
+    /// Total cycles the lock was reserved (held + handoff storms).
+    pub reserved_cycles: Cycles,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Kernel label (`base-2.6.32`, `linux-3.13`, `fastsocket`, ...).
+    pub kernel: String,
+    /// Application label (`nginx`, `haproxy`).
+    pub app: String,
+    /// Server core count.
+    pub cores: u16,
+    /// NIC steering label (`rss`, `fdir_atr`, `fdir_perfect`).
+    pub steering: String,
+    /// Measured window length in (simulated) seconds.
+    pub measure_secs: f64,
+    /// Connections per second completed by the clients — the paper's
+    /// throughput metric.
+    pub throughput_cps: f64,
+    /// Requests (responses) per second — differs from connections/sec
+    /// only for keep-alive (long-lived) workloads.
+    pub requests_per_sec: f64,
+    /// Connections completed in the window.
+    pub completed: u64,
+    /// Responses received in the window.
+    pub responses: u64,
+    /// Client-observed resets in the window.
+    pub resets: u64,
+    /// Client-side connect timeouts in the window.
+    pub timeouts: u64,
+    /// Per-core utilization over the window, in `[0, 1]`.
+    pub core_utilization: Vec<f64>,
+    /// Lockstat rows, one per lock class.
+    pub locks: Vec<LockReport>,
+    /// L3 cache miss rate over tracked accesses.
+    pub l3_miss_rate: f64,
+    /// Fraction of active-connection packets NIC-delivered to the
+    /// owning core (Figure 5b).
+    pub local_packet_proportion: f64,
+    /// Share of busy cycles per [`CycleClass`], by class name.
+    pub cycle_shares: Vec<(String, f64)>,
+    /// Raw TCP-stack counters.
+    pub stack: StackStats,
+    /// Average listen-bucket entries walked per lookup.
+    pub avg_listen_walk: f64,
+    /// Simulation events processed (diagnostics).
+    pub events: u64,
+    /// Sockets still live when the run ended (listen sockets plus
+    /// in-flight connections; a per-connection leak would show here).
+    pub live_sockets: u32,
+}
+
+impl RunReport {
+    /// Mean core utilization.
+    pub fn avg_utilization(&self) -> f64 {
+        if self.core_utilization.is_empty() {
+            0.0
+        } else {
+            self.core_utilization.iter().sum::<f64>() / self.core_utilization.len() as f64
+        }
+    }
+
+    /// (min, max) core utilization — Figure 3's whiskers.
+    pub fn utilization_spread(&self) -> (f64, f64) {
+        let min = self
+            .core_utilization
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .core_utilization
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if self.core_utilization.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// Contention count for one lock class, by Table 1 name.
+    pub fn lock_contentions(&self, name: &str) -> u64 {
+        self.locks
+            .iter()
+            .find(|l| l.name == name)
+            .map_or(0, |l| l.contentions)
+    }
+
+    /// Share of all busy cycles spent in one class, by name.
+    pub fn cycle_share(&self, class: CycleClass) -> f64 {
+        self.cycle_shares
+            .iter()
+            .find(|(n, _)| n == class.name())
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Share of busy cycles wasted spinning on locks — the paper's
+    /// "spin lock consumes N% of total CPU cycles".
+    pub fn lock_spin_share(&self) -> f64 {
+        self.cycle_share(CycleClass::LockSpin)
+    }
+}
+
+/// Builds the lockstat rows from raw class stats.
+pub fn lock_reports(all: &[(LockClass, ClassStats)]) -> Vec<LockReport> {
+    all.iter()
+        .map(|(class, s)| LockReport {
+            name: class.name().to_string(),
+            acquisitions: s.acquisitions,
+            contentions: s.contentions,
+            wait_cycles: s.wait_cycles,
+            reserved_cycles: s.hold_cycles,
+        })
+        .collect()
+}
+
+/// Computes the miss rate from cache stats (helper for reports).
+pub fn miss_rate(stats: &CacheStats) -> f64 {
+    stats.miss_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            kernel: "fastsocket".into(),
+            app: "nginx".into(),
+            cores: 4,
+            steering: "rss".into(),
+            measure_secs: 1.0,
+            throughput_cps: 100_000.0,
+            requests_per_sec: 100_000.0,
+            completed: 100_000,
+            responses: 100_000,
+            resets: 0,
+            timeouts: 0,
+            core_utilization: vec![0.5, 0.6, 0.4, 0.7],
+            locks: vec![LockReport {
+                name: "dcache_lock".into(),
+                acquisitions: 10,
+                contentions: 3,
+                wait_cycles: 100,
+                reserved_cycles: 1_000,
+            }],
+            l3_miss_rate: 0.07,
+            local_packet_proportion: 1.0,
+            cycle_shares: vec![("lock_spin".into(), 0.05), ("app_work".into(), 0.2)],
+            stack: StackStats::default(),
+            avg_listen_walk: 1.0,
+            events: 42,
+            live_sockets: 5,
+        }
+    }
+
+    #[test]
+    fn utilization_helpers() {
+        let r = report();
+        assert!((r.avg_utilization() - 0.55).abs() < 1e-12);
+        assert_eq!(r.utilization_spread(), (0.4, 0.7));
+    }
+
+    #[test]
+    fn lock_and_share_lookups() {
+        let r = report();
+        assert_eq!(r.lock_contentions("dcache_lock"), 3);
+        assert_eq!(r.lock_contentions("missing"), 0);
+        assert!((r.lock_spin_share() - 0.05).abs() < 1e-12);
+        assert_eq!(r.cycle_share(CycleClass::Vfs), 0.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let json = serde_json::to_string(&report()).unwrap();
+        assert!(json.contains("fastsocket"));
+        assert!(json.contains("dcache_lock"));
+    }
+}

@@ -1,0 +1,657 @@
+//! The discrete-event simulation driver.
+//!
+//! Wires together the kernel context, the TCP stack, the NIC model, the
+//! worker processes and the scripted peers, and runs the event loop:
+//!
+//! ```text
+//! client slot ──SYN──▶ wire ──▶ NIC steering ──▶ per-core softirq
+//!      ▲                                             │ net_rx (RFD,
+//!      │                                             │  demux, TCP)
+//!      └── wire ◀── TX path ◀── worker syscalls ◀── epoll wakeups
+//! ```
+//!
+//! Every step is costed on the simulated CPU; locks, cache lines and
+//! steering decisions behave per their models, so throughput curves,
+//! contention counts and miss rates *emerge* rather than being
+//! scripted.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use sim_apps::peer::{Backend, ClientSlot};
+use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
+use sim_apps::{Proxy, WebServer};
+use sim_core::{cycles_to_secs, CoreId, CycleClass, Cycles, EventQueue, SimRng};
+use sim_mem::CacheModel;
+use sim_net::Packet;
+use sim_nic::{Nic, NicConfig, SteeringMode};
+use sim_os::epoll::EpollId;
+use sim_os::process::{Pid, ProcessTable};
+use sim_os::softirq::SoftirqQueues;
+use sim_os::KernelCtx;
+use sim_sync::LockTable;
+use tcp_stack::stack::{OsServices, TcpStack};
+use tcp_stack::{ListenVariant, SockId};
+
+use crate::config::{AppSpec, SimConfig};
+use crate::report::{lock_reports, RunReport};
+
+/// The server's IP address.
+pub const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+/// Softirq packet-processing budget per scheduled run (NAPI-style).
+const SOFTIRQ_BUDGET: usize = 16;
+
+/// `epoll_wait` maxevents per worker wakeup. Small batches keep each
+/// operation's virtual-time span short, which keeps the per-core
+/// clocks tightly coupled (necessary for faithful lock contention).
+const EPOLL_BATCH: usize = 8;
+
+#[derive(Debug)]
+enum Ev {
+    /// A packet arrives at the server NIC.
+    ToServer(Packet),
+    /// A packet arrives at a peer (client slot or backend).
+    ToPeer(Packet),
+    /// Run the NET_RX softirq on a core.
+    Softirq(u16),
+    /// Run a worker process.
+    ProcWake(u32),
+    /// A TIME_WAIT socket expires.
+    TwExpire(SockId, u64),
+    /// A retransmission timer expires.
+    Rto(SockId, u64),
+    /// A client slot starts its next connection.
+    ClientStart(u32),
+    /// A client connection attempt timed out.
+    ClientTimeout(u32, u64),
+    /// Client-side retransmission check (loss recovery).
+    ClientNudge(u32, u64),
+}
+
+/// One configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    cfg: SimConfig,
+    ctx: KernelCtx,
+    os: OsServices,
+    stack: TcpStack,
+    nic: Nic,
+    softirq: SoftirqQueues<(Packet, bool)>,
+    procs: ProcessTable,
+    workers: Vec<Box<dyn Worker>>,
+    eps: Vec<EpollId>,
+    clients: Vec<ClientSlot>,
+    client_attempt: Vec<u64>,
+    client_by_ip: HashMap<Ipv4Addr, u32>,
+    backends: Vec<Backend>,
+    backend_by_ip: HashMap<Ipv4Addr, usize>,
+    events: EventQueue<Ev>,
+    peer_rng: SimRng,
+    now: Cycles,
+    timeouts: u64,
+    pending_crashes: Vec<CoreId>,
+}
+
+fn client_ip(slot: u32) -> Ipv4Addr {
+    Ipv4Addr::new(10, (1 + slot / 250) as u8, (slot % 250) as u8, 2)
+}
+
+impl Simulation {
+    /// Builds the simulated machine, kernel, applications and peers.
+    pub fn new(cfg: SimConfig) -> Self {
+        let cores = cfg.cores;
+        let stack_config = cfg.kernel.resolve(cores);
+        let mut ctx = KernelCtx::new(
+            cores as usize,
+            LockTable::new(cfg.lock_costs),
+            CacheModel::new(cfg.cache_costs),
+            SimRng::seed(cfg.seed),
+        );
+        let os = OsServices::new(&mut ctx, &stack_config);
+        let stack = TcpStack::new(&mut ctx, stack_config);
+        let mut nic_config = NicConfig::new(cores, cfg.steering);
+        nic_config.atr = cfg.atr;
+        nic_config.rfd_shift = stack.config().rfd_shift;
+        if cfg.dedicated_stack_core {
+            // IsoStack: every RX queue interrupts the dedicated core.
+            nic_config.irq_affinity = vec![CoreId(0); cores as usize];
+        }
+        let nic = Nic::new(nic_config);
+        let softirq = SoftirqQueues::new(cores as usize);
+
+        // Peers.
+        let n_clients = cfg.workload.concurrency(cores);
+        let mut clients = Vec::with_capacity(n_clients as usize);
+        let mut client_by_ip = HashMap::new();
+        for s in 0..n_clients {
+            let ip = client_ip(s);
+            client_by_ip.insert(ip, s);
+            clients.push(ClientSlot::new(
+                ip,
+                SERVER_IP,
+                cfg.app.port(),
+                cfg.workload.request_len,
+                cfg.workload.requests_per_conn,
+            ));
+        }
+        assert!(
+            cfg.workload.requests_per_conn == 1 || matches!(cfg.app, AppSpec::Web(_)),
+            "keep-alive workloads are only modelled for the web server"
+        );
+        let mut backends = Vec::new();
+        let mut backend_by_ip = HashMap::new();
+        if let AppSpec::Proxy(p) = &cfg.app {
+            for (i, &ip) in p.backends.iter().enumerate() {
+                backend_by_ip.insert(ip, i);
+                backends.push(Backend::new(ip, p.backend_port, p.response_len));
+            }
+        }
+
+        let peer_rng = SimRng::seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        Simulation {
+            cfg,
+            ctx,
+            os,
+            stack,
+            nic,
+            softirq,
+            procs: ProcessTable::new(),
+            workers: Vec::new(),
+            eps: Vec::new(),
+            clients,
+            client_attempt: vec![0; n_clients as usize],
+            client_by_ip,
+            backends,
+            backend_by_ip,
+            events: EventQueue::with_capacity(1 << 16),
+            peer_rng,
+            now: 0,
+            timeouts: 0,
+            pending_crashes: Vec::new(),
+        }
+    }
+
+    /// Schedules the worker pinned to `core` to crash at startup (after
+    /// listen setup): its process dies and the kernel destroys its
+    /// per-process listen socket — the robustness scenario of §2.1 /
+    /// Figure 2's slow path.
+    pub fn crash_worker(&mut self, core: CoreId) {
+        self.pending_crashes.push(core);
+    }
+
+    /// Read-only access to the TCP stack (tests, fault injection).
+    pub fn stack_mut(&mut self) -> &mut TcpStack {
+        &mut self.stack
+    }
+
+    /// Read-only access to the kernel context.
+    pub fn ctx(&self) -> &KernelCtx {
+        &self.ctx
+    }
+
+    fn setup(&mut self) {
+        let cores = self.cfg.cores;
+        let port = self.cfg.app.port();
+        let backlog = self.cfg.backlog;
+        let variant = self.stack.config().listen;
+
+        // The master process creates the (global) listen socket.
+        let mut op = self.ctx.begin(CoreId(0), 0);
+        let global_ls = self.stack.listen(&mut self.ctx, &mut op, port, backlog, CoreId(0));
+        op.commit(&mut self.ctx.cpu);
+
+        // Fork one worker per core, pinned; register listen sockets and
+        // epoll interest per the kernel variant. Under the IsoStack
+        // architecture core 0 is reserved for the network stack.
+        let first_worker_core: u16 = if self.cfg.dedicated_stack_core && cores > 1 {
+            1
+        } else {
+            0
+        };
+        for c in first_worker_core..cores {
+            let core = CoreId(c);
+            let pid = self.procs.spawn(core);
+            let ep = self.os.epolls.create(&mut self.ctx, core);
+            self.eps.push(ep);
+            let mut op = self.ctx.begin(core, 0);
+            match variant {
+                ListenVariant::Global => {
+                    self.stack.watch_listen(
+                        &mut self.ctx,
+                        &mut self.os,
+                        &mut op,
+                        global_ls,
+                        ep,
+                        pid,
+                        LISTEN_TOKEN,
+                    );
+                }
+                ListenVariant::ReusePort => {
+                    let copy = self.stack.reuseport_listen(
+                        &mut self.ctx,
+                        &mut op,
+                        port,
+                        backlog,
+                        pid,
+                        core,
+                    );
+                    self.stack
+                        .watch_listen(&mut self.ctx, &mut self.os, &mut op, copy, ep, pid, LISTEN_TOKEN);
+                }
+                ListenVariant::Local => {
+                    let local = self.stack.local_listen(
+                        &mut self.ctx,
+                        &mut op,
+                        port,
+                        backlog,
+                        pid,
+                        core,
+                    );
+                    self.stack
+                        .watch_listen(&mut self.ctx, &mut self.os, &mut op, local, ep, pid, LISTEN_TOKEN);
+                    self.stack.watch_listen(
+                        &mut self.ctx,
+                        &mut self.os,
+                        &mut op,
+                        global_ls,
+                        ep,
+                        pid,
+                        LISTEN_TOKEN,
+                    );
+                }
+            }
+            op.commit(&mut self.ctx.cpu);
+
+            let worker: Box<dyn Worker> = match &self.cfg.app {
+                AppSpec::Web(w) => {
+                    let mut w = *w;
+                    // Keep the server's lifecycle consistent with the
+                    // workload: multi-request connections require the
+                    // client to close.
+                    w.keep_alive = self.cfg.workload.requests_per_conn > 1;
+                    Box::new(WebServer::new(w))
+                }
+                AppSpec::Proxy(p) => Box::new(Proxy::new(p.clone())),
+            };
+            self.workers.push(worker);
+        }
+
+        // Stagger the client starts over ~2 RTTs to avoid a synthetic
+        // SYN burst at t=0.
+        let n = self.clients.len() as u64;
+        for s in 0..self.clients.len() as u32 {
+            let jitter = (u64::from(s) * 2 * self.cfg.rtt) / n.max(1);
+            self.events.push(jitter, Ev::ClientStart(s));
+        }
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub fn run(mut self) -> RunReport {
+        self.setup();
+        let port = self.cfg.app.port();
+        for core in std::mem::take(&mut self.pending_crashes) {
+            if let Some(pid) = self.procs.on_core(core) {
+                self.procs.kill(pid);
+            }
+            let orphans = self
+                .stack
+                .listen_table_mut()
+                .destroy_process_socket(port, core);
+            debug_assert!(orphans.is_empty(), "no connections exist yet");
+        }
+        let warmup = self.cfg.warmup;
+        let end = warmup + self.cfg.measure;
+        let mut snap: Option<Snapshot> = None;
+
+        while let Some((t, ev)) = self.events.pop() {
+            if t >= end {
+                break;
+            }
+            self.now = t;
+            self.ctx.locks.set_epoch(t);
+            if snap.is_none() && t >= warmup {
+                snap = Some(self.snapshot());
+            }
+            self.dispatch(ev);
+        }
+        let snap = snap.unwrap_or_else(|| self.snapshot());
+        self.report(snap, end)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::ToServer(pkt) => self.on_to_server(pkt),
+            Ev::ToPeer(pkt) => self.on_to_peer(pkt),
+            Ev::Softirq(core) => self.on_softirq(core),
+            Ev::ProcWake(pid) => self.on_proc_wake(pid),
+            Ev::TwExpire(sock, gen) => {
+                self.stack.tw_expire(&mut self.ctx, &mut self.os, sock, gen)
+            }
+            Ev::Rto(sock, gen) => self.on_rto(sock, gen),
+            Ev::ClientStart(slot) => self.on_client_start(slot),
+            Ev::ClientTimeout(slot, attempt) => self.on_client_timeout(slot, attempt),
+            Ev::ClientNudge(slot, attempt) => self.on_client_nudge(slot, attempt),
+        }
+    }
+
+    fn on_rto(&mut self, sock: SockId, gen: u64) {
+        if let Some(seg) = self.stack.on_rto(&mut self.ctx, &mut self.os, sock, gen) {
+            let core = self.stack.socks.get(sock).app_core;
+            let q = self.nic.tx_queue_for_core(core);
+            self.nic.tx(&seg, q);
+            self.events
+                .push(self.now + self.cfg.rtt / 2, Ev::ToPeer(seg));
+        }
+        self.arm_rtos();
+    }
+
+    fn arm_rtos(&mut self) {
+        let rto = self.stack.config().rto;
+        for (sock, gen) in self.stack.take_rto_arms() {
+            self.events.push(self.now + rto, Ev::Rto(sock, gen));
+        }
+    }
+
+    /// Whether a packet crosses the lossy client wire (backends live on
+    /// a lossless LAN).
+    fn on_client_wire(&self, pkt: &Packet) -> bool {
+        self.client_by_ip.contains_key(&pkt.flow.dst_ip)
+            || self.client_by_ip.contains_key(&pkt.flow.src_ip)
+    }
+
+    fn on_to_server(&mut self, pkt: Packet) {
+        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss)
+        {
+            return; // lost on the wire
+        }
+        let core = self.nic.rx_core(&pkt);
+        if self.softirq.push(core.index(), (pkt, false)) {
+            self.events.push(self.now, Ev::Softirq(core.0));
+        }
+    }
+
+    fn on_softirq(&mut self, core: u16) {
+        let batch = self.softirq.drain(core as usize, SOFTIRQ_BUDGET);
+        if batch.is_empty() {
+            return;
+        }
+        let mut op = self.ctx.begin(CoreId(core), self.now);
+        let mut tx: Vec<Packet> = Vec::new();
+        let mut wakes: Vec<Pid> = Vec::new();
+        let tw = self.stack.config().time_wait;
+        for (pkt, steered) in batch {
+            let out = self
+                .stack
+                .net_rx(&mut self.ctx, &mut self.os, &mut op, &pkt, steered);
+            if let Some(target) = out.steer {
+                if self.softirq.push(target.index(), (pkt, true)) {
+                    self.events.push(op.now(), Ev::Softirq(target.0));
+                }
+                continue;
+            }
+            tx.extend(out.replies);
+            wakes.extend(out.wakeups);
+            for s in out.time_wait {
+                let gen = self.stack.sock_gen(s);
+                self.events.push(op.now() + tw, Ev::TwExpire(s, gen));
+            }
+        }
+        let span = op.commit(&mut self.ctx.cpu);
+        self.transmit(CoreId(core), tx, span.end);
+        self.arm_rtos();
+        for pid in wakes {
+            self.wake(pid, span.end);
+        }
+        if self.softirq.pending(core as usize) > 0 && self.softirq.re_raise(core as usize) {
+            self.events.push(span.end, Ev::Softirq(core));
+        }
+    }
+
+    fn on_proc_wake(&mut self, pid_idx: u32) {
+        let pid = Pid(pid_idx);
+        self.procs.get_mut(pid).wake_pending = false;
+        if !self.procs.get(pid).alive {
+            return;
+        }
+        let core = self.procs.get(pid).core;
+        let ep = self.eps[pid_idx as usize];
+        let mut op = self.ctx.begin(core, self.now);
+        let mut events = Vec::new();
+        self.os.epolls.wait(&mut self.ctx, &mut op, ep, EPOLL_BATCH, &mut events);
+        let mut tx: Vec<Packet> = Vec::new();
+        if !events.is_empty() {
+            let mut sys = Sys {
+                ctx: &mut self.ctx,
+                os: &mut self.os,
+                stack: &mut self.stack,
+                op: &mut op,
+                core,
+                pid,
+                ep,
+                local_ip: SERVER_IP,
+                tx: &mut tx,
+            };
+            self.workers[pid_idx as usize].on_events(&mut sys, &events);
+        }
+        let span = op.commit(&mut self.ctx.cpu);
+        self.transmit(core, tx, span.end);
+        self.arm_rtos();
+        if self.os.epolls.pending(ep) > 0 {
+            self.wake(pid, span.end);
+        }
+    }
+
+    fn transmit(&mut self, core: CoreId, tx: Vec<Packet>, at: Cycles) {
+        let half_rtt = self.cfg.rtt / 2;
+        for pkt in tx {
+            let q = self.nic.tx_queue_for_core(core);
+            self.nic.tx(&pkt, q);
+            self.events.push(at + half_rtt, Ev::ToPeer(pkt));
+        }
+    }
+
+    fn wake(&mut self, pid: Pid, at: Cycles) {
+        let p = self.procs.get_mut(pid);
+        if p.alive && !p.wake_pending {
+            p.wake_pending = true;
+            self.events.push(at, Ev::ProcWake(pid.0));
+        }
+    }
+
+    fn on_to_peer(&mut self, pkt: Packet) {
+        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss)
+        {
+            return; // lost on the wire
+        }
+        let dst = pkt.flow.dst_ip;
+        let half_rtt = self.cfg.rtt / 2;
+        let mut out = Vec::new();
+        if let Some(&b) = self.backend_by_ip.get(&dst) {
+            let isn = self.peer_rng.next_u64() as u32;
+            self.backends[b].on_packet(&pkt, isn, &mut out);
+            for r in out {
+                self.events.push(self.now + half_rtt, Ev::ToServer(r));
+            }
+            return;
+        }
+        let Some(&slot) = self.client_by_ip.get(&dst) else {
+            return; // stray packet to a non-existent peer
+        };
+        let client = &mut self.clients[slot as usize];
+        // Ignore packets for a previous (timed-out) attempt.
+        if client.idle() || client.flow().src_port != pkt.flow.dst_port {
+            return;
+        }
+        let done = client.on_packet(&pkt, &mut out);
+        for r in out {
+            self.events.push(self.now + half_rtt, Ev::ToServer(r));
+        }
+        if done {
+            self.events
+                .push(self.now + self.cfg.think_time, Ev::ClientStart(slot));
+        }
+    }
+
+    fn on_client_start(&mut self, slot: u32) {
+        if !self.clients[slot as usize].idle() {
+            return;
+        }
+        let isn = self.peer_rng.next_u64() as u32;
+        let syn = self.clients[slot as usize].start(isn);
+        self.client_attempt[slot as usize] += 1;
+        let attempt = self.client_attempt[slot as usize];
+        self.events
+            .push(self.now + self.cfg.rtt / 2, Ev::ToServer(syn));
+        self.events.push(
+            self.now + self.cfg.client_timeout,
+            Ev::ClientTimeout(slot, attempt),
+        );
+        if self.cfg.loss > 0.0 {
+            self.events.push(
+                self.now + self.nudge_interval(),
+                Ev::ClientNudge(slot, attempt),
+            );
+        }
+    }
+
+    fn nudge_interval(&self) -> Cycles {
+        // A bit above the server's RTO: let the server recover first.
+        self.stack.config().rto * 4
+    }
+
+    fn on_client_nudge(&mut self, slot: u32, attempt: u64) {
+        if self.client_attempt[slot as usize] != attempt
+            || self.clients[slot as usize].idle()
+        {
+            return;
+        }
+        let mut out = Vec::new();
+        self.clients[slot as usize].nudge(&mut out);
+        for pkt in out {
+            self.events
+                .push(self.now + self.cfg.rtt / 2, Ev::ToServer(pkt));
+        }
+        self.events.push(
+            self.now + self.nudge_interval(),
+            Ev::ClientNudge(slot, attempt),
+        );
+    }
+
+    fn on_client_timeout(&mut self, slot: u32, attempt: u64) {
+        if self.client_attempt[slot as usize] != attempt {
+            return;
+        }
+        if let Some(rst) = self.clients[slot as usize].abort() {
+            self.timeouts += 1;
+            self.events
+                .push(self.now + self.cfg.rtt / 2, Ev::ToServer(rst));
+            self.events.push(self.now, Ev::ClientStart(slot));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    fn snapshot(&mut self) -> Snapshot {
+        self.ctx.locks.reset_stats();
+        self.ctx.cache.reset_stats();
+        self.stack.reset_stats();
+        let cores = self.cfg.cores as usize;
+        let mut class = vec![[0u64; CycleClass::COUNT]; cores];
+        let mut busy = vec![0u64; cores];
+        for c in 0..cores {
+            busy[c] = self.ctx.cpu.busy_cycles(CoreId(c as u16));
+            for (i, cl) in CycleClass::ALL.iter().enumerate() {
+                class[c][i] = self.ctx.cpu.class_cycles(CoreId(c as u16), *cl);
+            }
+        }
+        Snapshot {
+            at: self.now,
+            busy,
+            class,
+            completed: self.clients.iter().map(|c| c.completed).sum(),
+            responses: self.clients.iter().map(|c| c.responses).sum(),
+            resets: self.clients.iter().map(|c| c.resets).sum(),
+            timeouts: self.timeouts,
+        }
+    }
+
+    fn report(self, snap: Snapshot, end: Cycles) -> RunReport {
+        let window = end.saturating_sub(snap.at).max(1);
+        let secs = cycles_to_secs(window);
+        let cores = self.cfg.cores as usize;
+
+        let completed: u64 =
+            self.clients.iter().map(|c| c.completed).sum::<u64>() - snap.completed;
+        let responses: u64 =
+            self.clients.iter().map(|c| c.responses).sum::<u64>() - snap.responses;
+        let resets: u64 = self.clients.iter().map(|c| c.resets).sum::<u64>() - snap.resets;
+        let timeouts = self.timeouts - snap.timeouts;
+
+        let mut core_utilization = Vec::with_capacity(cores);
+        let mut class_delta = [0u64; CycleClass::COUNT];
+        let mut busy_total = 0u64;
+        for c in 0..cores {
+            let busy = self.ctx.cpu.busy_cycles(CoreId(c as u16)) - snap.busy[c];
+            busy_total += busy;
+            core_utilization.push((busy as f64 / window as f64).min(1.0));
+            for (i, cl) in CycleClass::ALL.iter().enumerate() {
+                class_delta[i] += self.ctx.cpu.class_cycles(CoreId(c as u16), *cl) - snap.class[c][i];
+            }
+        }
+        let cycle_shares: Vec<(String, f64)> = CycleClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, cl)| {
+                let share = if busy_total == 0 {
+                    0.0
+                } else {
+                    class_delta[i] as f64 / busy_total as f64
+                };
+                (cl.name().to_string(), share)
+            })
+            .collect();
+
+        let stack_stats = self.stack.stats();
+        let steering = match self.cfg.steering {
+            SteeringMode::Rss => "rss",
+            SteeringMode::FdirAtr => "fdir_atr",
+            SteeringMode::FdirPerfect => "fdir_perfect",
+        };
+
+        RunReport {
+            kernel: self.cfg.kernel.label().to_string(),
+            app: self.cfg.app.label().to_string(),
+            cores: self.cfg.cores,
+            steering: steering.to_string(),
+            measure_secs: secs,
+            throughput_cps: completed as f64 / secs,
+            requests_per_sec: responses as f64 / secs,
+            completed,
+            responses,
+            resets,
+            timeouts,
+            core_utilization,
+            locks: lock_reports(&self.ctx.locks.all_stats()),
+            l3_miss_rate: self.ctx.cache.stats().miss_rate(),
+            local_packet_proportion: stack_stats.local_packet_proportion(),
+            cycle_shares,
+            stack: stack_stats,
+            avg_listen_walk: stack_stats.avg_listen_walk(),
+            events: self.events.delivered(),
+            live_sockets: self.stack.socks.live_count(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Snapshot {
+    at: Cycles,
+    busy: Vec<Cycles>,
+    class: Vec<[Cycles; CycleClass::COUNT]>,
+    completed: u64,
+    responses: u64,
+    resets: u64,
+    timeouts: u64,
+}

@@ -1,0 +1,73 @@
+//! Simulated time, measured in CPU cycles.
+//!
+//! All latencies and costs in the simulation are expressed in cycles of
+//! the evaluation machine's cores. The paper's testbed uses two 12-core
+//! Intel Xeon E5-2697 v2 processors, whose nominal frequency is 2.7 GHz;
+//! [`CYCLES_PER_SEC`] encodes that.
+
+/// A point in simulated time or a duration, in CPU cycles.
+pub type Cycles = u64;
+
+/// Nominal core frequency of the simulated machine (2.7 GHz).
+pub const CYCLES_PER_SEC: Cycles = 2_700_000_000;
+
+/// One simulated microsecond, in cycles.
+pub const CYCLES_PER_USEC: Cycles = CYCLES_PER_SEC / 1_000_000;
+
+/// One simulated millisecond, in cycles.
+pub const CYCLES_PER_MSEC: Cycles = CYCLES_PER_SEC / 1_000;
+
+/// Converts a duration in (possibly fractional) seconds to cycles.
+///
+/// # Example
+///
+/// ```
+/// # use sim_core::time::{secs_to_cycles, CYCLES_PER_SEC};
+/// assert_eq!(secs_to_cycles(2.0), 2 * CYCLES_PER_SEC);
+/// ```
+pub fn secs_to_cycles(secs: f64) -> Cycles {
+    (secs * CYCLES_PER_SEC as f64).round() as Cycles
+}
+
+/// Converts a duration in cycles to seconds.
+///
+/// # Example
+///
+/// ```
+/// # use sim_core::time::{cycles_to_secs, CYCLES_PER_SEC};
+/// assert!((cycles_to_secs(CYCLES_PER_SEC / 2) - 0.5).abs() < 1e-12);
+/// ```
+pub fn cycles_to_secs(cycles: Cycles) -> f64 {
+    cycles as f64 / CYCLES_PER_SEC as f64
+}
+
+/// Converts microseconds to cycles.
+pub fn usecs_to_cycles(usecs: f64) -> Cycles {
+    (usecs * CYCLES_PER_USEC as f64).round() as Cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_round_trip() {
+        for secs in [0.0, 0.001, 0.5, 1.0, 60.0] {
+            let c = secs_to_cycles(secs);
+            assert!((cycles_to_secs(c) - secs).abs() < 1e-9, "secs={secs}");
+        }
+    }
+
+    #[test]
+    fn usec_is_consistent_with_sec() {
+        assert_eq!(usecs_to_cycles(1_000_000.0), secs_to_cycles(1.0));
+    }
+
+    #[test]
+    fn frequency_matches_testbed() {
+        // Guard against accidental recalibration: the rest of the cost
+        // model is expressed against a 2.7 GHz core.
+        assert_eq!(CYCLES_PER_SEC, 2_700_000_000);
+        assert_eq!(CYCLES_PER_USEC, 2_700);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the simulation engine: the event queue delivers
+//! in time order with FIFO ties, and the CPU never runs two operations
+//! concurrently on one core.
+
+use proptest::prelude::*;
+use sim_core::cpu::{CostSheet, CycleClass};
+use sim_core::{CoreId, Cpu, EventQueue};
+
+proptest! {
+    /// Events pop in nondecreasing time order; equal times preserve
+    /// insertion order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "({lt},{li}) then ({t},{i})");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// A core's operations never overlap: each starts at or after the
+    /// previous one ended, regardless of requested start times.
+    #[test]
+    fn core_operations_serialize(
+        ops in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        let mut cpu = Cpu::new(1);
+        let mut busy_total = 0u64;
+        let mut prev_end = 0u64;
+        for (earliest, dur) in ops {
+            let mut sheet = CostSheet::new();
+            sheet.add(CycleClass::AppWork, dur);
+            let span = cpu.execute(CoreId(0), earliest, &sheet);
+            prop_assert!(span.start >= prev_end, "overlap: {span:?} after {prev_end}");
+            prop_assert!(span.start >= earliest);
+            prop_assert_eq!(span.end - span.start, dur);
+            prev_end = span.end;
+            busy_total += dur;
+        }
+        prop_assert_eq!(cpu.busy_cycles(CoreId(0)), busy_total);
+        // Busy time can never exceed elapsed time on a core.
+        prop_assert!(busy_total <= prev_end);
+    }
+
+    /// Per-class accounting always sums to total busy time.
+    #[test]
+    fn class_accounting_conserves(
+        parts in proptest::collection::vec((0usize..14, 1u64..1_000), 1..50)
+    ) {
+        let mut cpu = Cpu::new(1);
+        for (class_idx, dur) in &parts {
+            let mut sheet = CostSheet::new();
+            sheet.add(CycleClass::ALL[*class_idx], *dur);
+            cpu.execute(CoreId(0), 0, &sheet);
+        }
+        let by_class: u64 = CycleClass::ALL
+            .iter()
+            .map(|c| cpu.class_cycles(CoreId(0), *c))
+            .sum();
+        prop_assert_eq!(by_class, cpu.busy_cycles(CoreId(0)));
+    }
+}

@@ -1,0 +1,85 @@
+//! The Internet checksum (RFC 1071).
+
+/// Computes the 16-bit ones'-complement Internet checksum over `data`,
+/// starting from an `initial` partial sum (useful for pseudo-headers).
+///
+/// # Example
+///
+/// ```
+/// # use sim_net::checksum::internet_checksum;
+/// // RFC 1071 worked example.
+/// let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(internet_checksum(&data, 0), !0xddf2u16);
+/// ```
+pub fn internet_checksum(data: &[u8], initial: u32) -> u16 {
+    !finish(sum_words(data, initial))
+}
+
+/// Accumulates 16-bit words of `data` into a 32-bit partial sum.
+pub fn sum_words(data: &[u8], initial: u32) -> u32 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit partial sum down to 16 bits (without complementing).
+pub fn finish(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verifies that `data` (which embeds its checksum field) sums to the
+/// all-ones pattern, i.e. the checksum is valid.
+pub fn verify(data: &[u8], initial: u32) -> bool {
+    finish(sum_words(data, initial)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_data_checksums_to_all_ones() {
+        assert_eq!(internet_checksum(&[], 0), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // [0xab] is treated as the word 0xab00.
+        assert_eq!(internet_checksum(&[0xab], 0), !0xab00);
+    }
+
+    #[test]
+    fn carry_folding() {
+        // 0xffff + 0x0001 wraps with end-around carry to 0x0001.
+        let data = [0xff, 0xff, 0x00, 0x01];
+        assert_eq!(internet_checksum(&data, 0), !0x0001);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06];
+        let ck = internet_checksum(&data, 0);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data, 0));
+        data[0] ^= 0x01;
+        assert!(!verify(&data, 0));
+    }
+
+    #[test]
+    fn initial_partial_sum_is_included() {
+        let data = [0x00u8, 0x01];
+        let with = internet_checksum(&data, 0x0002);
+        let without = internet_checksum(&data, 0);
+        assert_ne!(with, without);
+        assert_eq!(with, !0x0003u16);
+    }
+}

@@ -1,0 +1,119 @@
+//! Connection 4-tuples.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Largest "well-known" port number; the paper's Receive Flow Deliver
+/// classification rules treat ports `< 1024` as server-side ports.
+pub const WELL_KNOWN_MAX: u16 = 1023;
+
+/// The 4-tuple identifying a TCP connection, from the perspective of the
+/// packet or endpoint that carries it (`src` = sender).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Destination TCP port.
+    pub dst_port: u16,
+}
+
+impl FlowTuple {
+    /// Creates a tuple.
+    pub fn new(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowTuple {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+        }
+    }
+
+    /// The same connection seen from the other direction.
+    pub fn reversed(self) -> FlowTuple {
+        FlowTuple {
+            src_ip: self.dst_ip,
+            src_port: self.dst_port,
+            dst_ip: self.src_ip,
+            dst_port: self.src_port,
+        }
+    }
+
+    /// A direction-independent key: both directions of one connection
+    /// map to the same value. Used by connection tables.
+    pub fn canonical(self) -> FlowTuple {
+        let a = (self.src_ip, self.src_port);
+        let b = (self.dst_ip, self.dst_port);
+        if a <= b {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// Whether the source port is in the well-known range.
+    pub fn src_is_well_known(self) -> bool {
+        self.src_port <= WELL_KNOWN_MAX
+    }
+
+    /// Whether the destination port is in the well-known range.
+    pub fn dst_is_well_known(self) -> bool {
+        self.dst_port <= WELL_KNOWN_MAX
+    }
+}
+
+impl std::fmt::Display for FlowTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> FlowTuple {
+        FlowTuple::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            40_000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+        )
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let t = tuple();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_ne!(t.reversed(), t);
+    }
+
+    #[test]
+    fn canonical_is_direction_independent() {
+        let t = tuple();
+        assert_eq!(t.canonical(), t.reversed().canonical());
+    }
+
+    #[test]
+    fn well_known_boundaries() {
+        let t = tuple();
+        assert!(t.dst_is_well_known()); // port 80
+        assert!(!t.src_is_well_known()); // port 40000
+        let edge = FlowTuple::new(t.src_ip, 1023, t.dst_ip, 1024);
+        assert!(edge.src_is_well_known());
+        assert!(!edge.dst_is_well_known());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(tuple().to_string(), "10.0.0.2:40000 -> 10.0.0.1:80");
+    }
+}

@@ -1,0 +1,36 @@
+//! Wire formats for the simulated network.
+//!
+//! The NIC model hashes real header bytes (Toeplitz RSS, Flow Director
+//! filters), so packets carry genuine IPv4/TCP headers. This crate
+//! provides:
+//!
+//! * [`flow::FlowTuple`] — the 4-tuple that identifies a connection,
+//! * [`packet::Packet`] and [`packet::TcpFlags`] — the simulator's
+//!   segment representation,
+//! * [`headers`] — byte-level IPv4/TCP encode/decode with checksums,
+//!   round-trip-tested under proptest,
+//! * [`checksum`] — the Internet checksum.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_net::{FlowTuple, Packet, TcpFlags};
+//! use std::net::Ipv4Addr;
+//!
+//! let flow = FlowTuple::new(
+//!     Ipv4Addr::new(10, 0, 0, 2), 40000,
+//!     Ipv4Addr::new(10, 0, 0, 1), 80,
+//! );
+//! let syn = Packet::new(flow, TcpFlags::SYN).with_seq(1000);
+//! let bytes = syn.to_wire();
+//! let parsed = Packet::parse(&bytes).unwrap();
+//! assert_eq!(parsed, syn);
+//! ```
+
+pub mod checksum;
+pub mod flow;
+pub mod headers;
+pub mod packet;
+
+pub use flow::FlowTuple;
+pub use packet::{Packet, ParsePacketError, TcpFlags};

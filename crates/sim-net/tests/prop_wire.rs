@@ -1,0 +1,68 @@
+//! Property tests for the wire formats: arbitrary packets round-trip
+//! through real header bytes, and corruption never parses.
+
+use proptest::prelude::*;
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use std::net::Ipv4Addr;
+
+fn arb_flow() -> impl Strategy<Value = FlowTuple> {
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(s, sp, d, dp)| {
+        FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_flow(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..0x40,
+        0u16..4_000,
+    )
+        .prop_map(|(flow, seq, ack, flags, len)| Packet {
+            flow,
+            seq,
+            ack,
+            flags: TcpFlags(flags),
+            payload_len: len,
+        })
+}
+
+proptest! {
+    #[test]
+    fn wire_round_trip(pkt in arb_packet()) {
+        let wire = pkt.to_wire();
+        let parsed = Packet::parse(&wire).unwrap();
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn corrupted_wire_never_parses_silently(pkt in arb_packet(), byte in 0usize..40, bit in 0u8..8) {
+        let mut wire = pkt.to_wire().to_vec();
+        let idx = byte % wire.len();
+        wire[idx] ^= 1 << bit;
+        // Either the parse fails (checksum) or — if the flip hit a
+        // pure-payload byte, which the checksum still covers — it must
+        // still fail. Headers and payload are both checksummed, so any
+        // single-bit flip is detected.
+        prop_assert!(Packet::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn reversed_is_involution(flow in arb_flow()) {
+        prop_assert_eq!(flow.reversed().reversed(), flow);
+    }
+
+    #[test]
+    fn canonical_is_direction_independent(flow in arb_flow()) {
+        prop_assert_eq!(flow.canonical(), flow.reversed().canonical());
+    }
+
+    #[test]
+    fn seq_len_is_payload_plus_ctrl_flags(pkt in arb_packet()) {
+        let expect = u32::from(pkt.payload_len)
+            + u32::from(pkt.flags.syn())
+            + u32::from(pkt.flags.fin());
+        prop_assert_eq!(pkt.seq_len(), expect);
+    }
+}

@@ -1,0 +1,244 @@
+//! The composed NIC: steering mode dispatch, queue→core affinity, XPS.
+
+use serde::{Deserialize, Serialize};
+use sim_core::CoreId;
+use sim_net::Packet;
+
+use crate::fdir::{AtrConfig, FdirStats, FlowDirector, PerfectFilterConfig};
+use crate::rss::RssEngine;
+
+/// An RX or TX hardware queue index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueueId(pub u16);
+
+/// Which receive-steering mechanism the NIC uses, mirroring the
+/// configurations compared in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SteeringMode {
+    /// Pure RSS spreading.
+    Rss,
+    /// Flow Director in Application Target Routing mode; ATR misses
+    /// fall back to RSS.
+    FdirAtr,
+    /// Flow Director Perfect-Filtering programmed with the RFD port
+    /// mask; unmatched packets fall back to RSS.
+    FdirPerfect,
+}
+
+/// NIC configuration.
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// Number of RX/TX queue pairs (one per core, as the paper
+    /// configures).
+    pub queues: u16,
+    /// Receive steering mode.
+    pub steering: SteeringMode,
+    /// ATR parameters (used in [`SteeringMode::FdirAtr`]).
+    pub atr: AtrConfig,
+    /// Bit offset of the RFD core field programmed into the perfect
+    /// filters.
+    pub rfd_shift: u8,
+    /// Interrupt affinity: `irq_affinity[q]` is the core that services
+    /// queue `q`'s interrupts. Defaults to the identity mapping.
+    pub irq_affinity: Vec<CoreId>,
+}
+
+impl NicConfig {
+    /// A NIC with `queues` queue pairs, identity interrupt affinity and
+    /// the given steering mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues == 0`.
+    pub fn new(queues: u16, steering: SteeringMode) -> Self {
+        assert!(queues > 0, "need at least one queue");
+        NicConfig {
+            queues,
+            steering,
+            atr: AtrConfig::default(),
+            rfd_shift: 0,
+            irq_affinity: (0..queues).map(CoreId).collect(),
+        }
+    }
+}
+
+/// Per-queue receive counters (used to diagnose load imbalance).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Packets received per queue.
+    pub rx_per_queue: Vec<u64>,
+    /// Packets transmitted per queue.
+    pub tx_per_queue: Vec<u64>,
+}
+
+/// The NIC model.
+#[derive(Debug)]
+pub struct Nic {
+    config: NicConfig,
+    rss: RssEngine,
+    fdir: FlowDirector,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates a NIC from `config`. In [`SteeringMode::FdirPerfect`] the
+    /// perfect filters are programmed immediately with the RFD mask for
+    /// the configured queue count.
+    pub fn new(config: NicConfig) -> Self {
+        let rss = RssEngine::new(config.queues);
+        let mut fdir = FlowDirector::new(config.atr, config.queues);
+        if config.steering == SteeringMode::FdirPerfect {
+            fdir.program_perfect(Some(PerfectFilterConfig::for_queues_shifted(
+                config.queues,
+                config.rfd_shift,
+            )));
+        }
+        let stats = NicStats {
+            rx_per_queue: vec![0; config.queues as usize],
+            tx_per_queue: vec![0; config.queues as usize],
+        };
+        Nic {
+            config,
+            rss,
+            fdir,
+            stats,
+        }
+    }
+
+    /// Selects the RX queue for an incoming packet, per the steering
+    /// mode, and counts it.
+    pub fn rx_queue(&mut self, pkt: &Packet) -> QueueId {
+        let q = match self.config.steering {
+            SteeringMode::Rss => self.rss.queue_for(&pkt.flow),
+            SteeringMode::FdirAtr => self
+                .fdir
+                .atr_lookup(pkt)
+                .filter(|&q| q < self.config.queues)
+                .unwrap_or_else(|| self.rss.queue_for(&pkt.flow)),
+            SteeringMode::FdirPerfect => self
+                .fdir
+                .perfect_lookup(pkt, self.config.queues)
+                .unwrap_or_else(|| self.rss.queue_for(&pkt.flow)),
+        };
+        self.stats.rx_per_queue[q as usize] += 1;
+        QueueId(q)
+    }
+
+    /// The core that services interrupts for `queue`.
+    pub fn irq_core(&self, queue: QueueId) -> CoreId {
+        self.config.irq_affinity[queue.0 as usize]
+    }
+
+    /// Convenience: RX queue selection followed by interrupt affinity.
+    pub fn rx_core(&mut self, pkt: &Packet) -> CoreId {
+        let q = self.rx_queue(pkt);
+        self.irq_core(q)
+    }
+
+    /// XPS (Transmit Packet Steering): the TX queue for a packet sent
+    /// from `core` — the paper assigns each TX queue to one core.
+    pub fn tx_queue_for_core(&self, core: CoreId) -> QueueId {
+        QueueId(core.0 % self.config.queues)
+    }
+
+    /// Transmits a packet on `queue`: counts it and lets ATR observe it.
+    pub fn tx(&mut self, pkt: &Packet, queue: QueueId) {
+        self.stats.tx_per_queue[queue.0 as usize] += 1;
+        if self.config.steering == SteeringMode::FdirAtr {
+            self.fdir.observe_tx(pkt, queue.0);
+        }
+    }
+
+    /// Receive/transmit counters.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Flow Director counters.
+    pub fn fdir_stats(&self) -> FdirStats {
+        self.fdir.stats()
+    }
+
+    /// The configured steering mode.
+    pub fn steering(&self) -> SteeringMode {
+        self.config.steering
+    }
+
+    /// Number of queue pairs.
+    pub fn queues(&self) -> u16 {
+        self.config.queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_net::{FlowTuple, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn flow(src_port: u16, dst_port: u16) -> FlowTuple {
+        FlowTuple::new(
+            Ipv4Addr::new(10, 0, 0, 9),
+            src_port,
+            Ipv4Addr::new(10, 0, 0, 1),
+            dst_port,
+        )
+    }
+
+    #[test]
+    fn rss_mode_is_flow_consistent() {
+        let mut nic = Nic::new(NicConfig::new(8, SteeringMode::Rss));
+        let p = Packet::new(flow(40_000, 80), TcpFlags::SYN);
+        let q1 = nic.rx_queue(&p);
+        let q2 = nic.rx_queue(&p);
+        assert_eq!(q1, q2);
+        assert_eq!(nic.stats().rx_per_queue.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn atr_mode_learns_from_tx_and_falls_back_to_rss() {
+        let mut nic = Nic::new(NicConfig::new(8, SteeringMode::FdirAtr));
+        let f = flow(40_000, 80);
+        let reply = Packet::new(f.reversed(), TcpFlags::SYN | TcpFlags::ACK);
+        // Before any TX the lookup falls back to RSS.
+        let rss_q = nic.rx_queue(&reply);
+        // Teach ATR by transmitting a SYN on a different queue.
+        let taught = QueueId((rss_q.0 + 1) % 8);
+        nic.tx(&Packet::new(f, TcpFlags::SYN), taught);
+        assert_eq!(nic.rx_queue(&reply), taught);
+    }
+
+    #[test]
+    fn perfect_mode_uses_port_mask_for_ephemeral_dst() {
+        let mut nic = Nic::new(NicConfig::new(16, SteeringMode::FdirPerfect));
+        let active_in = Packet::new(flow(80, 32_768 + 11), TcpFlags::ACK);
+        assert_eq!(nic.rx_queue(&active_in), QueueId(11));
+        // Passive incoming (dst 80) falls back to RSS but stays in range.
+        let passive_in = Packet::new(flow(40_000, 80), TcpFlags::SYN);
+        assert!(nic.rx_queue(&passive_in).0 < 16);
+    }
+
+    #[test]
+    fn irq_affinity_is_identity_by_default() {
+        let nic = Nic::new(NicConfig::new(4, SteeringMode::Rss));
+        for q in 0..4 {
+            assert_eq!(nic.irq_core(QueueId(q)), CoreId(q));
+        }
+    }
+
+    #[test]
+    fn xps_maps_core_to_queue() {
+        let nic = Nic::new(NicConfig::new(8, SteeringMode::Rss));
+        assert_eq!(nic.tx_queue_for_core(CoreId(3)), QueueId(3));
+        // More cores than queues wraps.
+        assert_eq!(nic.tx_queue_for_core(CoreId(11)), QueueId(3));
+    }
+
+    #[test]
+    fn tx_does_not_teach_atr_in_rss_mode() {
+        let mut nic = Nic::new(NicConfig::new(8, SteeringMode::Rss));
+        let f = flow(40_000, 80);
+        nic.tx(&Packet::new(f, TcpFlags::SYN), QueueId(2));
+        assert_eq!(nic.fdir_stats().installs, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the NIC steering models.
+
+use proptest::prelude::*;
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use sim_nic::rss::RssEngine;
+use sim_nic::{Nic, NicConfig, QueueId, SteeringMode};
+use std::net::Ipv4Addr;
+
+fn arb_flow() -> impl Strategy<Value = FlowTuple> {
+    (any::<u32>(), 1u16.., any::<u32>(), 1u16..).prop_map(|(s, sp, d, dp)| {
+        FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
+    })
+}
+
+proptest! {
+    /// RSS is per-flow consistent and always in range, for any queue
+    /// count.
+    #[test]
+    fn rss_consistent_and_in_range(flow in arb_flow(), queues in 1u16..=64) {
+        let rss = RssEngine::new(queues);
+        let q1 = rss.queue_for(&flow);
+        let q2 = rss.queue_for(&flow);
+        prop_assert_eq!(q1, q2);
+        prop_assert!(q1 < queues);
+    }
+
+    /// In every steering mode the selected RX queue is valid.
+    #[test]
+    fn rx_queue_always_valid(flow in arb_flow(), queues in 1u16..=32, mode in 0u8..3) {
+        let mode = match mode {
+            0 => SteeringMode::Rss,
+            1 => SteeringMode::FdirAtr,
+            _ => SteeringMode::FdirPerfect,
+        };
+        let mut nic = Nic::new(NicConfig::new(queues, mode));
+        let q = nic.rx_queue(&Packet::new(flow, TcpFlags::SYN));
+        prop_assert!(q.0 < queues);
+    }
+
+    /// ATR: after the server transmits a SYN for a flow on queue `q`,
+    /// the reply direction is steered to `q` (until a collision evicts
+    /// it — a fresh table has none).
+    #[test]
+    fn atr_learns_reply_direction(flow in arb_flow(), queues in 2u16..=32, q in any::<u16>()) {
+        let q = QueueId(q % queues);
+        let mut nic = Nic::new(NicConfig::new(queues, SteeringMode::FdirAtr));
+        nic.tx(&Packet::new(flow, TcpFlags::SYN), q);
+        let reply = Packet::new(flow.reversed(), TcpFlags::SYN | TcpFlags::ACK);
+        prop_assert_eq!(nic.rx_queue(&reply), q);
+    }
+
+    /// Perfect-Filtering: any packet to an ephemeral destination port
+    /// whose masked value is a valid queue goes exactly there; others
+    /// fall back to a valid RSS queue.
+    #[test]
+    fn perfect_filter_is_exact(flow in arb_flow(), queues in 1u16..=32) {
+        let mut nic = Nic::new(NicConfig::new(queues, SteeringMode::FdirPerfect));
+        let q = nic.rx_queue(&Packet::new(flow, TcpFlags::ACK));
+        prop_assert!(q.0 < queues);
+        let mask = queues.next_power_of_two() - 1;
+        if flow.dst_port >= 32_768 && (flow.dst_port & mask) < queues {
+            prop_assert_eq!(q.0, flow.dst_port & mask);
+        }
+    }
+
+    /// XPS maps every core to a valid TX queue.
+    #[test]
+    fn xps_in_range(core in any::<u16>(), queues in 1u16..=64) {
+        let nic = Nic::new(NicConfig::new(queues, SteeringMode::Rss));
+        prop_assert!(nic.tx_queue_for_core(sim_core::CoreId(core)).0 < queues);
+    }
+}

@@ -1,0 +1,228 @@
+//! The kernel execution fabric: shared context and costed operations.
+
+use sim_core::{CoreId, CostSheet, Cpu, CycleClass, Cycles, SimRng};
+use sim_mem::{CacheModel, ObjId};
+use sim_sync::{LockId, LockTable};
+
+/// Shared mutable state of the simulated kernel: the CPU, every lock,
+/// every tracked cache object, and the RNG.
+#[derive(Debug)]
+pub struct KernelCtx {
+    /// The multicore CPU.
+    pub cpu: Cpu,
+    /// All simulated locks.
+    pub locks: LockTable,
+    /// The cache-coherence model.
+    pub cache: CacheModel,
+    /// Deterministic randomness.
+    pub rng: SimRng,
+}
+
+impl KernelCtx {
+    /// Creates a context for `cores` cores with the given lock/cache
+    /// models and seed.
+    pub fn new(
+        cores: usize,
+        locks: LockTable,
+        cache: CacheModel,
+        rng: SimRng,
+    ) -> Self {
+        KernelCtx {
+            cpu: Cpu::new(cores),
+            locks,
+            cache,
+            rng,
+        }
+    }
+
+    /// Begins a costed operation on `core`, not earlier than `earliest`.
+    pub fn begin(&self, core: CoreId, earliest: Cycles) -> Op {
+        let start = earliest.max(self.cpu.free_at(core));
+        Op {
+            core,
+            start,
+            sheet: CostSheet::new(),
+            syscalls: 0,
+        }
+    }
+}
+
+/// One kernel path being executed on a core: accumulates work, lock
+/// acquisitions and cache accesses, then commits to the CPU.
+///
+/// Lock acquisition and cache-access timestamps use the operation's
+/// *current* virtual time (`start` + cost so far), so two overlapping
+/// operations on different cores contend realistically.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{CoreId, CycleClass, SimRng};
+/// use sim_mem::{CacheCosts, CacheModel, ObjKind};
+/// use sim_os::KernelCtx;
+/// use sim_sync::{LockClass, LockCosts, LockTable};
+///
+/// let mut ctx = KernelCtx::new(
+///     2,
+///     LockTable::new(LockCosts::default()),
+///     CacheModel::new(CacheCosts::default()),
+///     SimRng::seed(1),
+/// );
+/// let lock = ctx.locks.register(LockClass::Slock);
+/// let tcb = ctx.cache.alloc(ObjKind::Tcb, CoreId(0));
+///
+/// let mut op = ctx.begin(CoreId(0), 0);
+/// op.work(CycleClass::Syscall, 200);
+/// op.touch(&mut ctx, tcb);
+/// op.lock_do(&mut ctx.locks, lock, CycleClass::Handshake, 500);
+/// let span = op.commit(&mut ctx.cpu);
+/// assert!(span.end >= 700);
+/// ```
+#[derive(Debug)]
+pub struct Op {
+    core: CoreId,
+    start: Cycles,
+    sheet: CostSheet,
+    syscalls: u32,
+}
+
+impl Op {
+    /// The core this operation runs on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The operation's current virtual time.
+    pub fn now(&self) -> Cycles {
+        self.start + self.sheet.total()
+    }
+
+    /// When the operation began executing.
+    pub fn start(&self) -> Cycles {
+        self.start
+    }
+
+    /// Cost accumulated so far.
+    pub fn cost(&self) -> Cycles {
+        self.sheet.total()
+    }
+
+    /// Adds `cycles` of straight-line work attributed to `class`.
+    pub fn work(&mut self, class: CycleClass, cycles: Cycles) {
+        self.sheet.add(class, cycles);
+    }
+
+    /// Number of syscalls performed within this operation (used by the
+    /// syscall-batching model to amortize entry/exit costs).
+    pub fn syscall_count(&self) -> u32 {
+        self.syscalls
+    }
+
+    /// Records one syscall within this operation.
+    pub fn count_syscall(&mut self) {
+        self.syscalls += 1;
+    }
+
+    /// Performs a tracked cache access to `obj`, charging the stall to
+    /// `CycleClass::CacheMiss`.
+    pub fn touch(&mut self, ctx: &mut KernelCtx, obj: ObjId) {
+        self.touch_class(ctx, obj, CycleClass::CacheMiss);
+    }
+
+    /// Performs a tracked cache access, attributing the stall cycles to
+    /// `class` (e.g. the listener-walk stalls count as
+    /// `CycleClass::ListenLookup` so the paper's `inet_lookup_listener`
+    /// cycle share can be measured).
+    pub fn touch_class(&mut self, ctx: &mut KernelCtx, obj: ObjId, class: CycleClass) {
+        let access = ctx.cache.access(obj, self.core, &mut ctx.rng);
+        self.sheet.add(class, access.cost);
+    }
+
+    /// Acquires `lock`, performs `hold` cycles of protected work
+    /// attributed to `class`, and releases. Spin time is charged to
+    /// `CycleClass::LockSpin`; the fixed acquisition cost to `class`.
+    pub fn lock_do(
+        &mut self,
+        locks: &mut LockTable,
+        lock: LockId,
+        class: CycleClass,
+        hold: Cycles,
+    ) {
+        let acq = locks.acquire(lock, self.core, self.now(), hold);
+        self.sheet.add(CycleClass::LockSpin, acq.spin);
+        self.sheet.add(class, acq.acquire_cost + hold);
+    }
+
+    /// Commits the accumulated cost to the CPU; the core is busy for
+    /// the operation's span.
+    pub fn commit(self, cpu: &mut Cpu) -> sim_core::cpu::Span {
+        cpu.execute(self.core, self.start, &self.sheet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::CycleClass;
+    use sim_mem::{CacheCosts, CacheModel, ObjKind};
+    use sim_sync::{LockClass, LockCosts, LockTable};
+
+    fn ctx(cores: usize) -> KernelCtx {
+        KernelCtx::new(
+            cores,
+            LockTable::new(LockCosts::default()),
+            CacheModel::new(CacheCosts::default()),
+            SimRng::seed(7),
+        )
+    }
+
+    #[test]
+    fn op_accumulates_and_commits() {
+        let mut c = ctx(1);
+        let mut op = c.begin(CoreId(0), 100);
+        op.work(CycleClass::AppWork, 50);
+        op.work(CycleClass::Syscall, 25);
+        assert_eq!(op.now(), 175);
+        let span = op.commit(&mut c.cpu);
+        assert_eq!(span.start, 100);
+        assert_eq!(span.end, 175);
+        assert_eq!(c.cpu.class_cycles(CoreId(0), CycleClass::AppWork), 50);
+    }
+
+    #[test]
+    fn op_starts_after_core_becomes_free() {
+        let mut c = ctx(1);
+        let mut op1 = c.begin(CoreId(0), 0);
+        op1.work(CycleClass::AppWork, 1_000);
+        op1.commit(&mut c.cpu);
+        let op2 = c.begin(CoreId(0), 500);
+        assert_eq!(op2.start(), 1_000);
+    }
+
+    #[test]
+    fn overlapping_ops_on_different_cores_contend_on_locks() {
+        let mut c = ctx(2);
+        let lock = c.locks.register(LockClass::Slock);
+        let mut a = c.begin(CoreId(0), 0);
+        a.lock_do(&mut c.locks, lock, CycleClass::Handshake, 2_000);
+        a.commit(&mut c.cpu);
+        // Core 1's op overlaps core 0's hold window.
+        let mut b = c.begin(CoreId(1), 100);
+        b.lock_do(&mut c.locks, lock, CycleClass::Handshake, 100);
+        assert!(c.cpu.class_cycles(CoreId(0), CycleClass::LockSpin) == 0);
+        b.commit(&mut c.cpu);
+        assert!(c.cpu.class_cycles(CoreId(1), CycleClass::LockSpin) > 0);
+        assert_eq!(c.locks.stats(LockClass::Slock).contentions, 1);
+    }
+
+    #[test]
+    fn touch_charges_cache_stalls() {
+        let mut c = ctx(2);
+        let obj = c.cache.alloc(ObjKind::Tcb, CoreId(0));
+        let mut op = c.begin(CoreId(1), 0);
+        op.touch(&mut c, obj);
+        assert!(op.cost() >= CacheCosts::default().remote_transfer);
+        op.commit(&mut c.cpu);
+        assert!(c.cpu.class_cycles(CoreId(1), CycleClass::CacheMiss) > 0);
+    }
+}

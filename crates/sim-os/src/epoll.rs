@@ -1,0 +1,252 @@
+//! Epoll instances with the `ep.lock`-guarded ready list.
+//!
+//! The NET_RX softirq posts readiness events onto an epoll instance's
+//! ready list under `ep.lock`; the owning process drains the list in
+//! `epoll_wait` under the same lock. When softirq processing and the
+//! application run on different cores (no connection locality), the two
+//! sides contend — the `ep.lock` row of Table 1. Under Fastsocket's
+//! per-core process zones, both sides run on one core and the contention
+//! count drops to zero.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{CoreId, CycleClass, Cycles};
+use sim_mem::ObjKind;
+use sim_sync::LockClass;
+
+use crate::ctx::{KernelCtx, Op};
+
+/// Identifies an epoll instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EpollId(u32);
+
+/// A readiness event delivered through epoll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpollEvent {
+    /// User token supplied at registration time (`epoll_data`); apps
+    /// typically store the file descriptor or a connection id here.
+    pub data: u64,
+    /// Whether the descriptor is readable.
+    pub readable: bool,
+    /// Whether the descriptor is writable.
+    pub writable: bool,
+}
+
+/// Cycle costs of epoll operations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpollCosts {
+    /// `epoll_ctl` fixed cost.
+    pub ctl: Cycles,
+    /// Protected work per event post (softirq side).
+    pub post_hold: Cycles,
+    /// `epoll_wait` fixed cost plus protected drain work.
+    pub wait_hold: Cycles,
+}
+
+impl Default for EpollCosts {
+    fn default() -> Self {
+        EpollCosts {
+            ctl: 700,
+            post_hold: 260,
+            wait_hold: 420,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Instance {
+    lock: sim_sync::LockId,
+    obj: sim_mem::ObjId,
+    owner_core: CoreId,
+    ready: Vec<EpollEvent>,
+    interest: u32,
+}
+
+/// All epoll instances in the system.
+#[derive(Debug)]
+pub struct EpollSystem {
+    instances: Vec<Instance>,
+    costs: EpollCosts,
+}
+
+impl EpollSystem {
+    /// Creates an empty system with the given costs.
+    pub fn new(costs: EpollCosts) -> Self {
+        EpollSystem {
+            instances: Vec::new(),
+            costs,
+        }
+    }
+
+    /// Creates an epoll instance owned by a process pinned to `core`.
+    pub fn create(&mut self, ctx: &mut KernelCtx, core: CoreId) -> EpollId {
+        let id = EpollId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            lock: ctx.locks.register(LockClass::EpLock),
+            obj: ctx.cache.alloc(ObjKind::Epoll, core),
+            owner_core: core,
+            ready: Vec::new(),
+            interest: 0,
+        });
+        id
+    }
+
+    /// `epoll_ctl(EPOLL_CTL_ADD)`: registers interest in a descriptor.
+    pub fn ctl_add(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId) {
+        let inst = &mut self.instances[ep.0 as usize];
+        inst.interest += 1;
+        op.work(CycleClass::Epoll, self.costs.ctl);
+        op.touch(ctx, inst.obj);
+        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+    }
+
+    /// `epoll_ctl(EPOLL_CTL_DEL)`: removes interest.
+    pub fn ctl_del(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId) {
+        let inst = &mut self.instances[ep.0 as usize];
+        debug_assert!(inst.interest > 0, "ctl_del without interest");
+        inst.interest -= 1;
+        op.work(CycleClass::Epoll, self.costs.ctl);
+        op.touch(ctx, inst.obj);
+        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+    }
+
+    /// Posts a readiness event from softirq context (as part of `op`,
+    /// which may run on any core). Level-triggered semantics: an event
+    /// for a `data` token already on the ready list is coalesced into
+    /// it rather than queued twice. Returns `true` when the list was
+    /// previously empty — i.e. the owner process needs a wakeup.
+    pub fn post(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId, ev: EpollEvent) -> bool {
+        let inst = &mut self.instances[ep.0 as usize];
+        op.touch(ctx, inst.obj);
+        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+        let was_empty = inst.ready.is_empty();
+        if let Some(existing) = inst.ready.iter_mut().find(|e| e.data == ev.data) {
+            existing.readable |= ev.readable;
+            existing.writable |= ev.writable;
+        } else {
+            inst.ready.push(ev);
+        }
+        was_empty
+    }
+
+    /// `epoll_wait`: drains up to `max_events` pending events into
+    /// `out` (as part of `op`, running on the owner's core).
+    pub fn wait(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        ep: EpollId,
+        max_events: usize,
+        out: &mut Vec<EpollEvent>,
+    ) {
+        let inst = &mut self.instances[ep.0 as usize];
+        op.touch(ctx, inst.obj);
+        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.wait_hold);
+        let n = max_events.min(inst.ready.len());
+        out.extend(inst.ready.drain(..n));
+    }
+
+    /// Number of pending (undelivered) events on an instance.
+    pub fn pending(&self, ep: EpollId) -> usize {
+        self.instances[ep.0 as usize].ready.len()
+    }
+
+    /// The core of the process owning this instance.
+    pub fn owner_core(&self, ep: EpollId) -> CoreId {
+        self.instances[ep.0 as usize].owner_core
+    }
+
+    /// Number of registered interests on an instance.
+    pub fn interest_count(&self, ep: EpollId) -> u32 {
+        self.instances[ep.0 as usize].interest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimRng;
+    use sim_mem::{CacheCosts, CacheModel};
+    use sim_sync::{LockCosts, LockTable};
+
+    fn ctx(cores: usize) -> KernelCtx {
+        KernelCtx::new(
+            cores,
+            LockTable::new(LockCosts::default()),
+            CacheModel::new(CacheCosts::default()),
+            SimRng::seed(21),
+        )
+    }
+
+    fn ev(data: u64) -> EpollEvent {
+        EpollEvent {
+            data,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    #[test]
+    fn post_then_wait_delivers_events_in_order() {
+        let mut c = ctx(2);
+        let mut eps = EpollSystem::new(EpollCosts::default());
+        let ep = eps.create(&mut c, CoreId(0));
+
+        let mut op = c.begin(CoreId(1), 0);
+        assert!(eps.post(&mut c, &mut op, ep, ev(3)), "first post wakes");
+        assert!(!eps.post(&mut c, &mut op, ep, ev(4)), "second post does not");
+        op.commit(&mut c.cpu);
+
+        let mut out = Vec::new();
+        let mut op = c.begin(CoreId(0), 0);
+        eps.wait(&mut c, &mut op, ep, 64, &mut out);
+        op.commit(&mut c.cpu);
+        assert_eq!(out, vec![ev(3), ev(4)]);
+        assert_eq!(eps.pending(ep), 0);
+    }
+
+    #[test]
+    fn cross_core_post_and_wait_contend_on_ep_lock() {
+        let mut c = ctx(2);
+        let mut eps = EpollSystem::new(EpollCosts::default());
+        let ep = eps.create(&mut c, CoreId(0));
+        // Softirq on core 1 posts while the app on core 0 waits, at
+        // overlapping times.
+        let mut post_op = c.begin(CoreId(1), 0);
+        eps.post(&mut c, &mut post_op, ep, ev(1));
+        post_op.commit(&mut c.cpu);
+        let mut out = Vec::new();
+        let mut wait_op = c.begin(CoreId(0), 0);
+        eps.wait(&mut c, &mut wait_op, ep, 64, &mut out);
+        wait_op.commit(&mut c.cpu);
+        assert!(c.locks.stats(LockClass::EpLock).contentions > 0);
+    }
+
+    #[test]
+    fn same_core_usage_never_contends() {
+        let mut c = ctx(1);
+        let mut eps = EpollSystem::new(EpollCosts::default());
+        let ep = eps.create(&mut c, CoreId(0));
+        for i in 0..50 {
+            let mut op = c.begin(CoreId(0), 0);
+            eps.post(&mut c, &mut op, ep, ev(i));
+            let mut out = Vec::new();
+            eps.wait(&mut c, &mut op, ep, 64, &mut out);
+            op.commit(&mut c.cpu);
+        }
+        assert_eq!(c.locks.stats(LockClass::EpLock).contentions, 0);
+    }
+
+    #[test]
+    fn interest_tracking() {
+        let mut c = ctx(1);
+        let mut eps = EpollSystem::new(EpollCosts::default());
+        let ep = eps.create(&mut c, CoreId(0));
+        let mut op = c.begin(CoreId(0), 0);
+        eps.ctl_add(&mut c, &mut op, ep);
+        eps.ctl_add(&mut c, &mut op, ep);
+        eps.ctl_del(&mut c, &mut op, ep);
+        op.commit(&mut c.cpu);
+        assert_eq!(eps.interest_count(ep), 1);
+        assert_eq!(eps.owner_core(ep), CoreId(0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-process file-descriptor tables.
+//!
+//! POSIX requires `open`-like calls to return the *lowest* available
+//! descriptor. The paper (§5, "Relaxing System Call Restrictions on
+//! Semantics") notes that HAProxy relies on this rule — it indexes a
+//! connection array by FD — so Fastsocket deliberately keeps it. This
+//! table implements the rule exactly and is tested for it.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fd(pub u32);
+
+/// Errors from FD allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdError {
+    /// The per-process descriptor limit (RLIMIT_NOFILE) was reached.
+    LimitReached,
+    /// Operation on a descriptor that is not open.
+    BadFd,
+}
+
+impl std::fmt::Display for FdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdError::LimitReached => f.write_str("file descriptor limit reached"),
+            FdError::BadFd => f.write_str("bad file descriptor"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+/// A per-process FD table mapping descriptors to entries of type `T`.
+///
+/// # Example
+///
+/// ```
+/// # use sim_os::fdtable::{Fd, FdTable};
+/// let mut t: FdTable<&'static str> = FdTable::new(1024);
+/// let a = t.alloc("sock-a").unwrap();
+/// let b = t.alloc("sock-b").unwrap();
+/// assert_eq!((a, b), (Fd(0), Fd(1)));
+/// t.close(a).unwrap();
+/// // Lowest-available rule: fd 0 is reused before fd 2.
+/// assert_eq!(t.alloc("sock-c").unwrap(), Fd(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FdTable<T> {
+    entries: Vec<Option<T>>,
+    freed: BTreeSet<u32>,
+    limit: u32,
+    open: u32,
+}
+
+impl<T> FdTable<T> {
+    /// Creates a table with the given descriptor limit.
+    pub fn new(limit: u32) -> Self {
+        FdTable {
+            entries: Vec::new(),
+            freed: BTreeSet::new(),
+            limit,
+            open: 0,
+        }
+    }
+
+    /// Allocates the lowest available descriptor for `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::LimitReached`] when the table is full.
+    pub fn alloc(&mut self, value: T) -> Result<Fd, FdError> {
+        if self.open >= self.limit {
+            return Err(FdError::LimitReached);
+        }
+        self.open += 1;
+        if let Some(&lowest) = self.freed.iter().next() {
+            self.freed.remove(&lowest);
+            self.entries[lowest as usize] = Some(value);
+            Ok(Fd(lowest))
+        } else {
+            let fd = self.entries.len() as u32;
+            self.entries.push(Some(value));
+            Ok(Fd(fd))
+        }
+    }
+
+    /// Returns a reference to the entry behind `fd`.
+    pub fn get(&self, fd: Fd) -> Option<&T> {
+        self.entries.get(fd.0 as usize)?.as_ref()
+    }
+
+    /// Returns a mutable reference to the entry behind `fd`.
+    pub fn get_mut(&mut self, fd: Fd) -> Option<&mut T> {
+        self.entries.get_mut(fd.0 as usize)?.as_mut()
+    }
+
+    /// Closes `fd`, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::BadFd`] if `fd` is not open.
+    pub fn close(&mut self, fd: Fd) -> Result<T, FdError> {
+        let slot = self
+            .entries
+            .get_mut(fd.0 as usize)
+            .ok_or(FdError::BadFd)?;
+        let value = slot.take().ok_or(FdError::BadFd)?;
+        self.freed.insert(fd.0);
+        self.open -= 1;
+        Ok(value)
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> u32 {
+        self.open
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// Iterates over `(fd, entry)` pairs of open descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|v| (Fd(i as u32), v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_are_sequential_from_zero() {
+        let mut t: FdTable<u32> = FdTable::new(16);
+        for i in 0..5 {
+            assert_eq!(t.alloc(i).unwrap(), Fd(i));
+        }
+        assert_eq!(t.open_count(), 5);
+    }
+
+    #[test]
+    fn lowest_available_rule() {
+        let mut t: FdTable<u32> = FdTable::new(16);
+        for i in 0..6 {
+            t.alloc(i).unwrap();
+        }
+        t.close(Fd(4)).unwrap();
+        t.close(Fd(1)).unwrap();
+        t.close(Fd(2)).unwrap();
+        // Reuse in ascending order: 1, 2, 4, then fresh 6.
+        assert_eq!(t.alloc(100).unwrap(), Fd(1));
+        assert_eq!(t.alloc(101).unwrap(), Fd(2));
+        assert_eq!(t.alloc(102).unwrap(), Fd(4));
+        assert_eq!(t.alloc(103).unwrap(), Fd(6));
+    }
+
+    #[test]
+    fn haproxy_invariant_fd_below_open_count_plus_closed() {
+        // HAProxy assumes fds never exceed the maximum concurrent
+        // connection count; with the lowest-fd rule, after any sequence
+        // of alloc/close the next fd is at most the number of open fds.
+        let mut t: FdTable<()> = FdTable::new(1024);
+        let mut open = Vec::new();
+        for round in 0..200u32 {
+            if round % 3 == 2 {
+                if let Some(fd) = open.pop() {
+                    t.close(fd).unwrap();
+                }
+            } else {
+                let fd = t.alloc(()).unwrap();
+                assert!(
+                    fd.0 <= t.open_count(),
+                    "fd {} exceeds open count {}",
+                    fd.0,
+                    t.open_count()
+                );
+                open.push(fd);
+            }
+        }
+    }
+
+    #[test]
+    fn limit_enforced() {
+        let mut t: FdTable<()> = FdTable::new(2);
+        t.alloc(()).unwrap();
+        t.alloc(()).unwrap();
+        assert_eq!(t.alloc(()).unwrap_err(), FdError::LimitReached);
+        t.close(Fd(0)).unwrap();
+        assert!(t.alloc(()).is_ok());
+    }
+
+    #[test]
+    fn close_errors() {
+        let mut t: FdTable<()> = FdTable::new(4);
+        assert_eq!(t.close(Fd(0)).unwrap_err(), FdError::BadFd);
+        let fd = t.alloc(()).unwrap();
+        t.close(fd).unwrap();
+        assert_eq!(t.close(fd).unwrap_err(), FdError::BadFd);
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let mut t: FdTable<&str> = FdTable::new(8);
+        let a = t.alloc("a").unwrap();
+        let b = t.alloc("b").unwrap();
+        assert_eq!(t.get(a), Some(&"a"));
+        *t.get_mut(b).unwrap() = "B";
+        let pairs: Vec<(Fd, &&str)> = t.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(*pairs[1].1, "B");
+        assert_eq!(t.get(Fd(99)), None);
+    }
+}

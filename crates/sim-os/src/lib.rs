@@ -1,0 +1,35 @@
+//! Kernel substrate for the Fastsocket simulation.
+//!
+//! Models the non-TCP pieces of the kernel that the paper's design
+//! touches:
+//!
+//! * [`ctx::KernelCtx`] and [`ctx::Op`] — the execution fabric: an `Op`
+//!   accumulates the cycle cost of one kernel path (work, lock
+//!   acquisitions, cache accesses) and commits it to a core,
+//! * [`fdtable`] — per-process file-descriptor tables honouring the
+//!   POSIX lowest-available-FD rule (which HAProxy depends on, §5),
+//! * [`vfs`] — socket inode/dentry management in three flavours:
+//!   `Legacy` (global `dcache_lock`/`inode_lock`, Linux 2.6.32),
+//!   `Sharded` (finer-grained locking, Linux 3.13-era) and `Fastpath`
+//!   (Fastsocket-aware VFS: skip the heavyweight initialization, keep
+//!   just enough state for `/proc`),
+//! * [`epoll`] — epoll instances with the `ep.lock`-guarded ready list,
+//! * [`timer`] — per-core timer bases with `base.lock`,
+//! * [`softirq`] — per-core NET_RX backlogs,
+//! * [`process`] — processes pinned to cores.
+
+pub mod ctx;
+pub mod epoll;
+pub mod fdtable;
+pub mod process;
+pub mod softirq;
+pub mod timer;
+pub mod vfs;
+
+pub use ctx::{KernelCtx, Op};
+pub use epoll::{EpollId, EpollSystem};
+pub use fdtable::{Fd, FdTable};
+pub use process::{Pid, Process, ProcessTable};
+pub use softirq::SoftirqQueues;
+pub use timer::TimerSystem;
+pub use vfs::{Vfs, VfsMode, VfsNode};

@@ -1,0 +1,125 @@
+//! Processes pinned to cores.
+//!
+//! Server applications in the paper's benchmarks fork one worker per
+//! core and pin it (`sched_setaffinity`). A process can be killed to
+//! exercise Fastsocket's robustness slow path (the copied local listen
+//! socket disappears with its process; connections must still be
+//! accepted through the global listen socket).
+
+use serde::{Deserialize, Serialize};
+use sim_core::CoreId;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+/// One application worker process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Its PID.
+    pub pid: Pid,
+    /// The core it is pinned to.
+    pub core: CoreId,
+    /// Whether it is alive.
+    pub alive: bool,
+    /// Whether it currently has a wakeup pending/scheduled.
+    pub wake_pending: bool,
+}
+
+/// The process table.
+#[derive(Debug, Default)]
+pub struct ProcessTable {
+    procs: Vec<Process>,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a process pinned to `core`.
+    pub fn spawn(&mut self, core: CoreId) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(Process {
+            pid,
+            core,
+            alive: true,
+            wake_pending: false,
+        });
+        pid
+    }
+
+    /// Kills a process (used by robustness tests).
+    pub fn kill(&mut self, pid: Pid) {
+        self.procs[pid.0 as usize].alive = false;
+    }
+
+    /// Returns the process record.
+    pub fn get(&self, pid: Pid) -> &Process {
+        &self.procs[pid.0 as usize]
+    }
+
+    /// Returns the process record mutably.
+    pub fn get_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.procs[pid.0 as usize]
+    }
+
+    /// The live process pinned to `core`, if any.
+    pub fn on_core(&self, core: CoreId) -> Option<Pid> {
+        self.procs
+            .iter()
+            .find(|p| p.alive && p.core == core)
+            .map(|p| p.pid)
+    }
+
+    /// All live processes.
+    pub fn live(&self) -> impl Iterator<Item = &Process> {
+        self.procs.iter().filter(|p| p.alive)
+    }
+
+    /// Number of processes ever spawned.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether no process was ever spawned.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_lookup_by_core() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(CoreId(0));
+        let b = t.spawn(CoreId(1));
+        assert_eq!(t.on_core(CoreId(0)), Some(a));
+        assert_eq!(t.on_core(CoreId(1)), Some(b));
+        assert_eq!(t.on_core(CoreId(2)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn killed_process_disappears_from_core() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(CoreId(0));
+        t.kill(a);
+        assert!(!t.get(a).alive);
+        assert_eq!(t.on_core(CoreId(0)), None);
+        assert_eq!(t.live().count(), 0);
+    }
+
+    #[test]
+    fn wake_pending_flag() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn(CoreId(0));
+        assert!(!t.get(a).wake_pending);
+        t.get_mut(a).wake_pending = true;
+        assert!(t.get(a).wake_pending);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-core timer bases with `base.lock`.
+//!
+//! TCP arms and disarms timers (retransmission, delayed-ACK, TIME_WAIT)
+//! on nearly every segment. A timer lives on the wheel of the core that
+//! armed it; modifying it from another core takes that base's
+//! `base.lock` remotely — the `base.lock` row of Table 1. With complete
+//! connection locality every timer operation is core-local and the
+//! contention disappears.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{CoreId, CycleClass, Cycles};
+use sim_mem::ObjKind;
+use sim_sync::LockClass;
+
+use crate::ctx::{KernelCtx, Op};
+
+/// A handle to one armed kernel timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerHandle {
+    /// The core whose wheel holds the timer.
+    pub base_core: CoreId,
+}
+
+/// Cycle costs of timer operations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimerCosts {
+    /// Protected work to insert/remove a timer from a wheel.
+    pub wheel_hold: Cycles,
+    /// Unprotected setup cost per operation.
+    pub setup: Cycles,
+}
+
+impl Default for TimerCosts {
+    fn default() -> Self {
+        TimerCosts {
+            wheel_hold: 190,
+            setup: 160,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Base {
+    lock: sim_sync::LockId,
+    obj: sim_mem::ObjId,
+    armed: u64,
+}
+
+/// All per-core timer bases.
+#[derive(Debug)]
+pub struct TimerSystem {
+    bases: Vec<Base>,
+    costs: TimerCosts,
+}
+
+impl TimerSystem {
+    /// Creates one timer base per core.
+    pub fn new(ctx: &mut KernelCtx, cores: usize, costs: TimerCosts) -> Self {
+        let bases = (0..cores)
+            .map(|i| Base {
+                lock: ctx.locks.register(LockClass::BaseLock),
+                obj: ctx.cache.alloc(ObjKind::TimerBase, CoreId(i as u16)),
+                armed: 0,
+            })
+            .collect();
+        TimerSystem { bases, costs }
+    }
+
+    /// Arms a timer on the wheel of the core `op` runs on.
+    pub fn arm(&mut self, ctx: &mut KernelCtx, op: &mut Op) -> TimerHandle {
+        let core = op.core();
+        let base = &mut self.bases[core.index()];
+        base.armed += 1;
+        op.work(CycleClass::Timer, self.costs.setup);
+        op.touch(ctx, base.obj);
+        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+        TimerHandle { base_core: core }
+    }
+
+    /// Modifies (re-arms) an existing timer from whatever core `op`
+    /// runs on; remote modification contends with the owning core.
+    pub fn modify(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
+        let base = &mut self.bases[timer.base_core.index()];
+        op.work(CycleClass::Timer, self.costs.setup);
+        op.touch(ctx, base.obj);
+        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+    }
+
+    /// Disarms (deletes) a timer.
+    pub fn disarm(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
+        let base = &mut self.bases[timer.base_core.index()];
+        debug_assert!(base.armed > 0, "disarm on empty base");
+        base.armed -= 1;
+        op.work(CycleClass::Timer, self.costs.setup);
+        op.touch(ctx, base.obj);
+        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+    }
+
+    /// Number of timers armed on `core`'s wheel.
+    pub fn armed_on(&self, core: CoreId) -> u64 {
+        self.bases[core.index()].armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::SimRng;
+    use sim_mem::{CacheCosts, CacheModel};
+    use sim_sync::{LockCosts, LockTable};
+
+    fn ctx(cores: usize) -> KernelCtx {
+        KernelCtx::new(
+            cores,
+            LockTable::new(LockCosts::default()),
+            CacheModel::new(CacheCosts::default()),
+            SimRng::seed(5),
+        )
+    }
+
+    #[test]
+    fn arm_disarm_bookkeeping() {
+        let mut c = ctx(2);
+        let mut timers = TimerSystem::new(&mut c, 2, TimerCosts::default());
+        let mut op = c.begin(CoreId(1), 0);
+        let t = timers.arm(&mut c, &mut op);
+        assert_eq!(t.base_core, CoreId(1));
+        assert_eq!(timers.armed_on(CoreId(1)), 1);
+        assert_eq!(timers.armed_on(CoreId(0)), 0);
+        timers.disarm(&mut c, &mut op, t);
+        op.commit(&mut c.cpu);
+        assert_eq!(timers.armed_on(CoreId(1)), 0);
+    }
+
+    #[test]
+    fn remote_modify_contends_with_owner() {
+        let mut c = ctx(2);
+        let mut timers = TimerSystem::new(&mut c, 2, TimerCosts::default());
+        // Core 0 arms many timers at t=0 (long op holding base 0's lock
+        // repeatedly).
+        let mut op0 = c.begin(CoreId(0), 0);
+        let handles: Vec<TimerHandle> = (0..20).map(|_| timers.arm(&mut c, &mut op0)).collect();
+        op0.commit(&mut c.cpu);
+        // Core 1 modifies those timers at overlapping times.
+        let mut op1 = c.begin(CoreId(1), 10);
+        for t in &handles[..5] {
+            timers.modify(&mut c, &mut op1, *t);
+        }
+        op1.commit(&mut c.cpu);
+        assert!(c.locks.stats(LockClass::BaseLock).contentions > 0);
+    }
+
+    #[test]
+    fn local_usage_does_not_contend() {
+        let mut c = ctx(2);
+        let mut timers = TimerSystem::new(&mut c, 2, TimerCosts::default());
+        for core in [CoreId(0), CoreId(1)] {
+            for _ in 0..30 {
+                let mut op = c.begin(core, 0);
+                let t = timers.arm(&mut c, &mut op);
+                timers.modify(&mut c, &mut op, t);
+                timers.disarm(&mut c, &mut op, t);
+                op.commit(&mut c.cpu);
+            }
+        }
+        assert_eq!(c.locks.stats(LockClass::BaseLock).contentions, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Lock classes and lockstat-style statistics.
+
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// Classes of kernel locks tracked by the simulation, matching the rows
+/// of Table 1 in the paper plus a few auxiliary classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum LockClass {
+    /// The global VFS dentry cache lock (`dcache_lock`, Linux 2.6.32).
+    DcacheLock,
+    /// The global VFS inode lock (`inode_lock`, Linux 2.6.32).
+    InodeLock,
+    /// Per-socket spinlock (`slock`), shared between process context and
+    /// NET_RX softirq; the listen socket's `slock` guards its accept and
+    /// SYN queues.
+    Slock,
+    /// Per-epoll-instance lock (`ep.lock`) guarding the ready list.
+    EpLock,
+    /// Per-CPU timer base lock (`base.lock`) guarding TCP timers.
+    BaseLock,
+    /// Per-bucket lock of the global established table (`ehash.lock`).
+    EhashLock,
+    /// Listen-table bucket chain lock (`listening_hash`).
+    ListenHash,
+    /// Ephemeral port allocator lock.
+    PortAlloc,
+    /// Everything else.
+    Other,
+}
+
+impl LockClass {
+    /// Number of classes; sizes the statistics arrays.
+    pub const COUNT: usize = 9;
+
+    /// All classes in declaration order.
+    pub const ALL: [LockClass; Self::COUNT] = [
+        LockClass::DcacheLock,
+        LockClass::InodeLock,
+        LockClass::Slock,
+        LockClass::EpLock,
+        LockClass::BaseLock,
+        LockClass::EhashLock,
+        LockClass::ListenHash,
+        LockClass::PortAlloc,
+        LockClass::Other,
+    ];
+
+    /// The lock name as Table 1 prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::DcacheLock => "dcache_lock",
+            LockClass::InodeLock => "inode_lock",
+            LockClass::Slock => "slock",
+            LockClass::EpLock => "ep.lock",
+            LockClass::BaseLock => "base.lock",
+            LockClass::EhashLock => "ehash.lock",
+            LockClass::ListenHash => "listen_hash",
+            LockClass::PortAlloc => "port_alloc",
+            LockClass::Other => "other",
+        }
+    }
+}
+
+/// Lockstat-style counters for one lock class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held (lockstat `contentions`).
+    pub contentions: u64,
+    /// Total cycles spent spinning while waiting.
+    pub wait_cycles: Cycles,
+    /// Total cycles the lock was held.
+    pub hold_cycles: Cycles,
+    /// Acquisitions whose previous holder was a different core
+    /// (cache-line transfer of the lock word).
+    pub line_transfers: u64,
+}
+
+impl ClassStats {
+    /// Fraction of acquisitions that contended, in `[0, 1]`.
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contentions as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.acquisitions += other.acquisitions;
+        self.contentions += other.contentions;
+        self.wait_cycles += other.wait_cycles;
+        self.hold_cycles += other.hold_cycles;
+        self.line_transfers += other.line_transfers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table1() {
+        assert_eq!(LockClass::DcacheLock.name(), "dcache_lock");
+        assert_eq!(LockClass::EpLock.name(), "ep.lock");
+        assert_eq!(LockClass::EhashLock.name(), "ehash.lock");
+    }
+
+    #[test]
+    fn contention_rate_handles_zero() {
+        let s = ClassStats::default();
+        assert_eq!(s.contention_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ClassStats {
+            acquisitions: 10,
+            contentions: 2,
+            wait_cycles: 100,
+            hold_cycles: 500,
+            line_transfers: 3,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.acquisitions, 20);
+        assert_eq!(a.contentions, 4);
+        assert_eq!(a.line_transfers, 6);
+        assert!((a.contention_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_covers_every_class() {
+        assert_eq!(LockClass::ALL.len(), LockClass::COUNT);
+        let mut names: Vec<&str> = LockClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LockClass::COUNT);
+    }
+}

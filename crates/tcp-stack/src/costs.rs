@@ -1,0 +1,131 @@
+//! Cycle costs of TCP-stack operations.
+//!
+//! One struct holds every tunable cost so calibration lives in a single
+//! place. Defaults are set so that one short-lived HTTP connection costs
+//! ~115k cycles of kernel+app work on an uncontended core — matching the
+//! paper's single-core throughput of roughly 23k connections/sec at
+//! 2.7 GHz (Figure 4).
+
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// Tunable cycle costs of the TCP stack paths.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StackCosts {
+    /// NET_RX per-packet base processing (driver, IP layer).
+    pub softirq_per_packet: Cycles,
+    /// Established-table lookup base cost.
+    pub est_lookup: Cycles,
+    /// Listen lookup base cost (`inet_lookup_listener`).
+    pub listen_lookup: Cycles,
+    /// Listen lookup extra cost per bucket entry walked (the
+    /// SO_REUSEPORT O(n) term; cache touches are charged separately).
+    pub listen_walk_entry: Cycles,
+    /// SYN processing: create request sock, build/queue SYN-ACK.
+    pub syn_processing: Cycles,
+    /// Third-ACK processing: promote to established, queue to accept.
+    pub ack_promotion: Cycles,
+    /// In-order data segment processing (excluding copy).
+    pub data_segment: Cycles,
+    /// Per-byte cost of copying payload to/from socket buffers.
+    pub copy_per_byte_milli: Cycles,
+    /// FIN/teardown segment processing.
+    pub fin_processing: Cycles,
+    /// Building and sending an RST.
+    pub rst: Cycles,
+    /// TX path per outgoing packet (qdisc + driver).
+    pub tx_per_packet: Cycles,
+    /// Receive Flow Deliver software steering of one packet.
+    pub steer: Cycles,
+    /// `accept()` fixed cost (syscall + dequeue bookkeeping).
+    pub accept: Cycles,
+    /// `connect()` fixed cost (route, TCB setup, SYN build).
+    pub connect: Cycles,
+    /// `read()`/`recv()` fixed cost.
+    pub recv: Cycles,
+    /// `write()`/`send()` fixed cost.
+    pub send: Cycles,
+    /// `close()` fixed cost.
+    pub close: Cycles,
+    /// Protected time under a connection's `slock` in softirq context.
+    pub slock_hold_softirq: Cycles,
+    /// Protected time under a connection's `slock` in process context.
+    pub slock_hold_app: Cycles,
+    /// Protected time under the listen socket's `slock` for SYN-queue
+    /// and accept-queue manipulation in softirq.
+    pub listen_hold_softirq: Cycles,
+    /// Protected time under the listen socket's `slock` in `accept()`.
+    pub listen_hold_accept: Cycles,
+    /// Protected time under an `ehash` bucket lock (insert/remove).
+    pub ehash_hold: Cycles,
+    /// Protected time under the global port-allocator lock.
+    pub port_alloc_hold: Cycles,
+    /// FD allocation in the process's table.
+    pub fd_alloc: Cycles,
+    /// User↔kernel transition cost, charged per syscall (amortized to
+    /// one per wakeup when FlexSC-style syscall batching is enabled —
+    /// the paper's §5 future work).
+    pub syscall_entry: Cycles,
+}
+
+impl Default for StackCosts {
+    fn default() -> Self {
+        StackCosts {
+            softirq_per_packet: 3_900,
+            est_lookup: 700,
+            listen_lookup: 250,
+            listen_walk_entry: 380,
+            syn_processing: 5_400,
+            ack_promotion: 6_400,
+            data_segment: 3_000,
+            copy_per_byte_milli: 900, // 0.9 cycles per byte
+            fin_processing: 3_200,
+            rst: 1_400,
+            tx_per_packet: 2_500,
+            steer: 700,
+            accept: 3_900,
+            connect: 4_500,
+            recv: 2_500,
+            send: 3_100,
+            close: 3_300,
+            slock_hold_softirq: 300,
+            slock_hold_app: 250,
+            listen_hold_softirq: 300,
+            listen_hold_accept: 300,
+            ehash_hold: 260,
+            port_alloc_hold: 380,
+            fd_alloc: 450,
+            syscall_entry: 1_100,
+        }
+    }
+}
+
+impl StackCosts {
+    /// Cost of copying `bytes` of payload.
+    pub fn copy_cost(&self, bytes: u32) -> Cycles {
+        (u64::from(bytes) * self.copy_per_byte_milli) / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales_with_bytes() {
+        let c = StackCosts::default();
+        assert_eq!(c.copy_cost(0), 0);
+        let one_k = c.copy_cost(1_000);
+        let two_k = c.copy_cost(2_000);
+        assert_eq!(two_k, one_k * 2);
+        assert_eq!(one_k, c.copy_per_byte_milli);
+    }
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = StackCosts::default();
+        assert!(c.softirq_per_packet > 0);
+        assert!(c.accept > 0);
+        assert!(c.listen_walk_entry > 0);
+    }
+}

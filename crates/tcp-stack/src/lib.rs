@@ -1,0 +1,46 @@
+//! The simulated kernel TCP stack — the paper's core contribution.
+//!
+//! This crate implements TCB management and the Fastsocket designs on
+//! top of the `sim-os` kernel substrate:
+//!
+//! * [`tcb`] — sockets (TCP control blocks) with the full state machine
+//!   ([`state`]), per-socket `slock`, timers and sequence tracking;
+//! * [`listen`] — the **listen table** in three variants:
+//!   [`ListenVariant::Global`] (one listen socket, Linux 2.6.32),
+//!   [`ListenVariant::ReusePort`] (per-process socket copies sharing a
+//!   bucket, Linux 3.13's `SO_REUSEPORT`, with its O(n)
+//!   `inet_lookup_listener` walk), and [`ListenVariant::Local`]
+//!   (Fastsocket's per-core Local Listen Table with the global-socket
+//!   fallback slow path, Figure 2);
+//! * [`established`] — the **established table**: the global per-bucket
+//!   locked `ehash` versus Fastsocket's per-core Local Established
+//!   Table;
+//! * [`rfd`] — **Receive Flow Deliver**: source-port encoding of the
+//!   connecting core, packet classification rules, and software
+//!   steering;
+//! * [`ports`] — ephemeral port allocation (global locked allocator vs
+//!   RFD's per-core partition);
+//! * [`stack`] — [`stack::TcpStack`]: the composed NET_RX receive path
+//!   and the socket syscalls (`listen`/`accept`/`connect`/`send`/
+//!   `recv`/`close`).
+//!
+//! All variants run the same workload code; a [`stack::StackConfig`]
+//! selects which kernel is being simulated.
+
+pub mod costs;
+pub mod established;
+pub mod listen;
+pub mod ports;
+pub mod rfd;
+pub mod stack;
+pub mod state;
+pub mod stats;
+pub mod tcb;
+
+pub use established::EstVariant;
+pub use listen::ListenVariant;
+pub use rfd::{PacketClass, Rfd};
+pub use stack::{AcceptSource, OsServices, RxOutcome, StackConfig, TcpStack};
+pub use state::TcpState;
+pub use stats::StackStats;
+pub use tcb::SockId;

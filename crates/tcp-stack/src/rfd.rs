@@ -1,0 +1,218 @@
+//! Receive Flow Deliver (§3.3).
+//!
+//! RFD makes *active* connections local: when an application on core
+//! `c` connects out, the kernel picks a source port `p` with
+//! `hash(p) = c`; when a packet later arrives for destination port `p`,
+//! any core can compute `hash(p)` and steer the packet to `c`. The hash
+//! is the paper's `hash(p) = p & (ROUND_UP_POWER_OF_2(n) - 1)`, chosen
+//! to be programmable into Flow Director Perfect-Filtering (bit-wise
+//! operations only).
+//!
+//! Before decoding, RFD must decide whether an incoming packet belongs
+//! to a passive or an active connection — applying the hash to passive
+//! packets would break the passive locality that the Local Listen Table
+//! provides. The paper's three classification rules are implemented in
+//! [`Rfd::classify`].
+
+use serde::{Deserialize, Serialize};
+use sim_core::CoreId;
+use sim_net::{FlowTuple, Packet};
+
+/// Classification of an incoming packet (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// Belongs to a connection this host initiated.
+    ActiveIncoming,
+    /// Belongs to a connection a peer initiated.
+    PassiveIncoming,
+}
+
+/// Which rule classified a packet (for statistics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassifiedBy {
+    /// Rule 1: source port is well-known.
+    Rule1,
+    /// Rule 2: destination port is well-known.
+    Rule2,
+    /// Rule 3: listen-table probe.
+    Rule3,
+}
+
+/// The Receive Flow Deliver engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rfd {
+    mask: u16,
+    cores: u16,
+    shift: u8,
+}
+
+impl Rfd {
+    /// Creates the engine for a machine with `cores` CPU cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: u16) -> Self {
+        Self::with_shift(cores, 0)
+    }
+
+    /// Creates the engine reading the core id from the bits starting at
+    /// `shift` — the paper's security hardening ("introduce some
+    /// randomness ... by randomly selecting the bits used in the
+    /// operation"), which stops an attacker who knows the plain mapping
+    /// from aiming every connection at one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`, or if the shifted field does not fit a
+    /// 16-bit port.
+    pub fn with_shift(cores: u16, shift: u8) -> Self {
+        assert!(cores > 0, "need at least one core");
+        let mask = cores.next_power_of_two() - 1;
+        let width = 16 - mask.leading_zeros() as u8;
+        assert!(shift + width <= 16, "shifted core field exceeds the port");
+        Rfd { mask, cores, shift }
+    }
+
+    /// The port mask (`ROUND_UP_POWER_OF_2(n) - 1`).
+    pub fn mask(self) -> u16 {
+        self.mask
+    }
+
+    /// The bit offset of the core field within the port.
+    pub fn shift(self) -> u8 {
+        self.shift
+    }
+
+    /// `hash(p)`: the core id encoded in port `p`. May be `>= cores`
+    /// when `cores` is not a power of two and `p` was not RFD-chosen.
+    pub fn hash(self, port: u16) -> u16 {
+        (port >> self.shift) & self.mask
+    }
+
+    /// Whether `port` encodes the given core.
+    pub fn port_matches_core(self, port: u16, core: CoreId) -> bool {
+        self.hash(port) == core.0
+    }
+
+    /// Classifies an incoming packet using the paper's rules, in order:
+    ///
+    /// 1. well-known source port ⇒ active incoming;
+    /// 2. well-known destination port ⇒ passive incoming;
+    /// 3. otherwise probe the listen table (`has_listener`): a match
+    ///    means passive (one cannot actively connect from a listened
+    ///    port), else active.
+    pub fn classify<F>(self, flow: &FlowTuple, has_listener: F) -> (PacketClass, ClassifiedBy)
+    where
+        F: FnOnce(u16) -> bool,
+    {
+        if flow.src_is_well_known() {
+            (PacketClass::ActiveIncoming, ClassifiedBy::Rule1)
+        } else if flow.dst_is_well_known() {
+            (PacketClass::PassiveIncoming, ClassifiedBy::Rule2)
+        } else if has_listener(flow.dst_port) {
+            (PacketClass::PassiveIncoming, ClassifiedBy::Rule3)
+        } else {
+            (PacketClass::ActiveIncoming, ClassifiedBy::Rule3)
+        }
+    }
+
+    /// For an active incoming packet, the core that must process it —
+    /// `None` if the decoded id is out of range (the port was not
+    /// chosen by RFD; process wherever it landed).
+    pub fn steer_target(self, pkt: &Packet) -> Option<CoreId> {
+        let id = self.hash(pkt.flow.dst_port);
+        (id < self.cores).then_some(CoreId(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_net::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn flow(src_port: u16, dst_port: u16) -> FlowTuple {
+        FlowTuple::new(
+            Ipv4Addr::new(10, 0, 0, 7),
+            src_port,
+            Ipv4Addr::new(10, 0, 0, 1),
+            dst_port,
+        )
+    }
+
+    #[test]
+    fn mask_is_next_power_of_two_minus_one() {
+        assert_eq!(Rfd::new(1).mask(), 0);
+        assert_eq!(Rfd::new(8).mask(), 7);
+        assert_eq!(Rfd::new(16).mask(), 15);
+        assert_eq!(Rfd::new(24).mask(), 31);
+    }
+
+    #[test]
+    fn hash_round_trips_for_rfd_chosen_ports() {
+        for cores in [1u16, 2, 4, 8, 12, 16, 24] {
+            let rfd = Rfd::new(cores);
+            for core in 0..cores {
+                // Any port congruent to `core` under the mask decodes
+                // back to that core.
+                let port = 40_000u16 & !rfd.mask() | core;
+                assert!(rfd.port_matches_core(port, CoreId(core)));
+                let pkt = Packet::new(flow(80, port), TcpFlags::ACK);
+                assert_eq!(rfd.steer_target(&pkt), Some(CoreId(core)));
+            }
+        }
+    }
+
+    #[test]
+    fn steer_target_rejects_out_of_range_ids() {
+        let rfd = Rfd::new(24); // mask 31
+        let port = 40_000u16 & !31 | 28; // decodes to 28 >= 24
+        let pkt = Packet::new(flow(80, port), TcpFlags::ACK);
+        assert_eq!(rfd.steer_target(&pkt), None);
+    }
+
+    #[test]
+    fn rule1_well_known_source_is_active() {
+        let rfd = Rfd::new(8);
+        let (class, by) = rfd.classify(&flow(80, 40_001), |_| true);
+        assert_eq!(class, PacketClass::ActiveIncoming);
+        assert_eq!(by, ClassifiedBy::Rule1);
+    }
+
+    #[test]
+    fn rule2_well_known_destination_is_passive() {
+        let rfd = Rfd::new(8);
+        // Rule 1 does not fire (src ephemeral), rule 2 does.
+        let (class, by) = rfd.classify(&flow(40_000, 80), |_| false);
+        assert_eq!(class, PacketClass::PassiveIncoming);
+        assert_eq!(by, ClassifiedBy::Rule2);
+    }
+
+    #[test]
+    fn rule3_probes_listen_table() {
+        let rfd = Rfd::new(8);
+        // Both ports ephemeral: the listen probe decides.
+        let (class, by) = rfd.classify(&flow(45_000, 48_000), |p| p == 48_000);
+        assert_eq!(class, PacketClass::PassiveIncoming);
+        assert_eq!(by, ClassifiedBy::Rule3);
+        let (class, by) = rfd.classify(&flow(45_000, 48_000), |_| false);
+        assert_eq!(class, PacketClass::ActiveIncoming);
+        assert_eq!(by, ClassifiedBy::Rule3);
+    }
+
+    #[test]
+    fn rules_apply_in_order() {
+        let rfd = Rfd::new(8);
+        // src and dst both well-known: rule 1 wins.
+        let (class, by) = rfd.classify(&flow(443, 80), |_| true);
+        assert_eq!(class, PacketClass::ActiveIncoming);
+        assert_eq!(by, ClassifiedBy::Rule1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = Rfd::new(0);
+    }
+}

@@ -1,0 +1,1367 @@
+//! The composed TCP stack: NET_RX receive path and socket syscalls.
+//!
+//! [`TcpStack`] glues the listen table, established table, Receive Flow
+//! Deliver, and port allocator into the two halves the paper analyses:
+//!
+//! * **softirq half** — [`TcpStack::net_rx`]: RFD classification and
+//!   steering, demultiplexing, handshake processing, data delivery,
+//!   teardown; runs on whatever core the NIC (or RFD) delivered the
+//!   packet to;
+//! * **process half** — [`TcpStack::accept`], [`TcpStack::connect`],
+//!   [`TcpStack::send`], [`TcpStack::recv`], [`TcpStack::close`]: runs
+//!   on the core the application is pinned to.
+//!
+//! Under the full Fastsocket configuration both halves of any connection
+//! execute on one core (the Per-Core Process Zone), which is precisely
+//! why every shared-lock contention count in Table 1 drops to zero.
+
+use sim_core::{CoreId, CycleClass, Cycles};
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use sim_os::epoll::{EpollEvent, EpollId, EpollSystem};
+use sim_os::process::Pid;
+use sim_os::timer::{TimerCosts, TimerSystem};
+use sim_os::vfs::{Vfs, VfsCosts, VfsMode};
+use sim_os::{KernelCtx, Op};
+
+use crate::costs::StackCosts;
+use crate::established::{EstTable, EstVariant};
+use crate::listen::{ListenTable, ListenVariant, LsId};
+use crate::ports::{PortAlloc, PortAllocVariant};
+use crate::rfd::{ClassifiedBy, PacketClass, Rfd};
+use crate::state::{self, TcpState};
+use crate::stats::StackStats;
+use crate::tcb::{SockId, SockTable};
+
+/// Full configuration of the simulated kernel's TCP stack.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Number of CPU cores.
+    pub cores: u16,
+    /// Listen-table design.
+    pub listen: ListenVariant,
+    /// Established-table design.
+    pub established: EstVariant,
+    /// Whether Receive Flow Deliver software steering is active.
+    pub rfd: bool,
+    /// Bit offset of RFD's core field within the source port (§3.3's
+    /// security hardening; 0 = the plain low-bits mapping).
+    pub rfd_shift: u8,
+    /// VFS flavour (used when building [`OsServices`]).
+    pub vfs_mode: VfsMode,
+    /// Ephemeral-port allocator design.
+    pub port_alloc: PortAllocVariant,
+    /// Cycle costs.
+    pub costs: StackCosts,
+    /// TIME_WAIT duration before recycling (the production systems the
+    /// paper targets run with TIME_WAIT recycling enabled).
+    pub time_wait: Cycles,
+    /// ABLATION ONLY: check the local listen table before the global
+    /// socket in `accept()`. The paper argues this starves slow-path
+    /// connections on a busy server (§3.2.1); keep `false`.
+    pub accept_local_first: bool,
+    /// Answer SYNs with stateless SYN cookies when the backlog is full
+    /// (the security requirement of §1: SYN floods must not break
+    /// service). Linux enables this by default.
+    pub syn_cookies: bool,
+    /// §5 future work: FlexSC-style syscall batching — user↔kernel
+    /// transition cost is paid once per worker wakeup instead of per
+    /// syscall.
+    pub syscall_batching: bool,
+    /// §5 future work: zero-copy send/receive — payload copy costs
+    /// vanish (page remapping / copy-on-write).
+    pub zero_copy: bool,
+    /// Retransmission timeout, in cycles (compressed relative to
+    /// Linux's 200 ms minimum to keep simulated runs short; the
+    /// *mechanism* — timer-driven recovery of lost segments — is what
+    /// matters).
+    pub rto: Cycles,
+}
+
+impl StackConfig {
+    /// The stock Linux 2.6.32 kernel: global listen socket, global
+    /// established table, legacy VFS, global port allocator, no RFD.
+    pub fn base_linux(cores: u16) -> Self {
+        StackConfig {
+            cores,
+            listen: ListenVariant::Global,
+            established: EstVariant::Global,
+            rfd: false,
+            rfd_shift: 0,
+            vfs_mode: VfsMode::Legacy,
+            port_alloc: PortAllocVariant::Global,
+            costs: StackCosts::default(),
+            time_wait: 2_700_000, // 1 ms at 2.7 GHz (recycled)
+            accept_local_first: false,
+            syn_cookies: true,
+            syscall_batching: false,
+            zero_copy: false,
+            rto: 13_500_000, // 5 ms at 2.7 GHz
+        }
+    }
+
+    /// Linux 3.13: `SO_REUSEPORT` listen copies and finer-grained VFS
+    /// locking; everything else as the base kernel.
+    pub fn linux_313(cores: u16) -> Self {
+        StackConfig {
+            listen: ListenVariant::ReusePort,
+            vfs_mode: VfsMode::Sharded,
+            ..Self::base_linux(cores)
+        }
+    }
+
+    /// Full Fastsocket: Local Listen Table, Local Established Table,
+    /// Receive Flow Deliver, Fastsocket-aware VFS, per-core ports.
+    pub fn fastsocket(cores: u16) -> Self {
+        StackConfig {
+            listen: ListenVariant::Local,
+            established: EstVariant::Local,
+            rfd: true,
+            vfs_mode: VfsMode::Fastpath,
+            port_alloc: PortAllocVariant::PerCore,
+            ..Self::base_linux(cores)
+        }
+    }
+}
+
+/// The OS services the TCP stack drives (VFS, epoll, timers), built to
+/// match a [`StackConfig`].
+#[derive(Debug)]
+pub struct OsServices {
+    /// The VFS model.
+    pub vfs: Vfs,
+    /// All epoll instances.
+    pub epolls: EpollSystem,
+    /// Per-core timer bases.
+    pub timers: TimerSystem,
+}
+
+impl OsServices {
+    /// Builds the services for `config` in `ctx`.
+    pub fn new(ctx: &mut KernelCtx, config: &StackConfig) -> Self {
+        OsServices {
+            vfs: Vfs::new(ctx, config.vfs_mode, VfsCosts::default()),
+            epolls: EpollSystem::new(sim_os::epoll::EpollCosts::default()),
+            timers: TimerSystem::new(ctx, config.cores as usize, TimerCosts::default()),
+        }
+    }
+}
+
+/// Where an accepted connection came from (Figure 2's fast vs slow
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptSource {
+    /// The core's local listen table (fast path) — or the only listen
+    /// socket in non-Fastsocket kernels.
+    Local,
+    /// The global listen socket (Fastsocket slow path).
+    Global,
+}
+
+/// Result of processing one received packet.
+#[derive(Debug, Default)]
+pub struct RxOutcome {
+    /// RFD decided the packet belongs to another core: the driver must
+    /// re-enqueue it there. Nothing else was done.
+    pub steer: Option<CoreId>,
+    /// Segments to transmit in response.
+    pub replies: Vec<Packet>,
+    /// Processes whose epoll gained its first ready event.
+    pub wakeups: Vec<Pid>,
+    /// Sockets that just entered TIME_WAIT (driver schedules expiry).
+    pub time_wait: Vec<SockId>,
+    /// Sockets that reached CLOSED and were freed.
+    pub closed: Vec<SockId>,
+}
+
+/// RTO firings tolerated per segment before the connection is aborted
+/// (Linux's `tcp_retries2`-style bound).
+const MAX_RTX_ATTEMPTS: u8 = 8;
+
+/// The simulated kernel TCP stack.
+#[derive(Debug)]
+pub struct TcpStack {
+    config: StackConfig,
+    rfd_engine: Rfd,
+    /// All sockets.
+    pub socks: SockTable,
+    listen_table: ListenTable,
+    est: EstTable,
+    ports: PortAlloc,
+    stats: StackStats,
+    cookie_secret: u64,
+    pending_rto: Vec<(SockId, u64)>,
+}
+
+impl TcpStack {
+    /// Builds the stack for `config`, registering tables in `ctx`.
+    pub fn new(ctx: &mut KernelCtx, config: StackConfig) -> Self {
+        let rfd_engine = Rfd::with_shift(config.cores, config.rfd_shift);
+        let listen_table = ListenTable::new(config.listen, config.cores as usize);
+        let est = EstTable::new(ctx, config.established, config.cores as usize);
+        let ports = PortAlloc::with_rfd(ctx, config.port_alloc, config.cores, rfd_engine);
+        TcpStack {
+            config,
+            rfd_engine,
+            socks: SockTable::new(),
+            listen_table,
+            est,
+            ports,
+            stats: StackStats::default(),
+            cookie_secret: ctx.rng.next_u64(),
+            pending_rto: Vec::new(),
+        }
+    }
+
+    /// Drains the `(socket, generation)` pairs whose retransmission
+    /// timer must be (re)armed `config.rto` cycles from now. The driver
+    /// schedules the expirations and calls [`TcpStack::on_rto`].
+    pub fn take_rto_arms(&mut self) -> Vec<(SockId, u64)> {
+        std::mem::take(&mut self.pending_rto)
+    }
+
+    /// Retransmission timeout for `sock` (if still live and matching
+    /// `gen`): returns the oldest unacknowledged segment to resend, or
+    /// `None` when everything has been acknowledged. The caller should
+    /// re-arm the timer when a segment is returned.
+    pub fn on_rto(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        sock: SockId,
+        gen: u64,
+    ) -> Option<Packet> {
+        if !self.socks.exists(sock) || self.socks.get(sock).gen != gen {
+            return None;
+        }
+        let core = self.socks.get(sock).app_core;
+        let seg = self.socks.get(sock).unacked.front().copied()?;
+        let attempts = {
+            let t = self.socks.get_mut(sock);
+            t.rtx_attempts += 1;
+            t.rtx_attempts
+        };
+        let mut op = ctx.begin(core, 0);
+        if attempts > MAX_RTX_ATTEMPTS {
+            // Give up (as `tcp_retries2` does): the peer is gone.
+            self.stats.rtx_abandoned += 1;
+            self.teardown(ctx, os, &mut op, sock);
+            op.commit(&mut ctx.cpu);
+            return None;
+        }
+        op.work(CycleClass::Timer, self.config.costs.tx_per_packet);
+        if let Some(t) = self.socks.get(sock).rtx_timer {
+            os.timers.modify(ctx, &mut op, t);
+        }
+        op.commit(&mut ctx.cpu);
+        self.stats.retransmits += 1;
+        self.pending_rto.push((sock, gen));
+        Some(seg)
+    }
+
+    /// Records `seg` as awaiting acknowledgment and requests an RTO arm
+    /// for the socket.
+    fn track_unacked(&mut self, sock: SockId, seg: Packet) {
+        let gen = self.socks.get(sock).gen;
+        let t = self.socks.get_mut(sock);
+        t.unacked.push_back(seg);
+        self.pending_rto.push((sock, gen));
+    }
+
+    /// Drops tracked segments fully acknowledged by `ack`; forward
+    /// progress resets the retry counter.
+    fn clear_acked(&mut self, sock: SockId, ack: u32) {
+        let t = self.socks.get_mut(sock);
+        while let Some(front) = t.unacked.front() {
+            let end = front.seq.wrapping_add(front.seq_len());
+            // Wrap-safe "end <= ack" via signed distance.
+            if (ack.wrapping_sub(end) as i32) >= 0 {
+                t.unacked.pop_front();
+                t.rtx_attempts = 0;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Charges one user↔kernel transition (amortized under batching).
+    fn syscall_entry(&self, op: &mut Op) {
+        let full = self.config.costs.syscall_entry;
+        let c = if self.config.syscall_batching && op.syscall_count() > 0 {
+            full / 8
+        } else {
+            full
+        };
+        op.work(CycleClass::Syscall, c);
+        op.count_syscall();
+    }
+
+    /// Payload copy cost (zero under the zero-copy option).
+    fn copy_cost(&self, bytes: u32) -> Cycles {
+        if self.config.zero_copy {
+            0
+        } else {
+            self.config.costs.copy_cost(bytes)
+        }
+    }
+
+    fn cookie_for(&self, lflow: &FlowTuple) -> u32 {
+        (crate::established::flow_hash(lflow) ^ self.cookie_secret) as u32
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    /// Resets statistics (after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = StackStats::default();
+    }
+
+    /// The RFD engine (port-to-core hash).
+    pub fn rfd(&self) -> Rfd {
+        self.rfd_engine
+    }
+
+    /// The listen table (for tests and fault injection).
+    pub fn listen_table_mut(&mut self) -> &mut ListenTable {
+        &mut self.listen_table
+    }
+
+    // ------------------------------------------------------------------
+    // Setup syscalls
+    // ------------------------------------------------------------------
+
+    /// `socket()+bind()+listen()`: creates the global listen socket.
+    pub fn listen(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        port: u16,
+        backlog: usize,
+        core: CoreId,
+    ) -> LsId {
+        op.work(CycleClass::Syscall, self.config.costs.accept);
+        self.listen_table.listen(ctx, &mut self.socks, port, backlog, core)
+    }
+
+    /// `SO_REUSEPORT` copy for the worker `pid` pinned to `core`.
+    pub fn reuseport_listen(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        port: u16,
+        backlog: usize,
+        pid: Pid,
+        core: CoreId,
+    ) -> LsId {
+        op.work(CycleClass::Syscall, self.config.costs.accept);
+        self.listen_table
+            .add_reuseport_copy(ctx, &mut self.socks, port, backlog, pid, core)
+    }
+
+    /// Fastsocket `local_listen()` for the worker `pid` pinned to
+    /// `core` (Figure 2, steps 1–2).
+    pub fn local_listen(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        port: u16,
+        backlog: usize,
+        pid: Pid,
+        core: CoreId,
+    ) -> LsId {
+        op.work(CycleClass::Syscall, self.config.costs.accept);
+        self.listen_table
+            .local_listen(ctx, &mut self.socks, port, backlog, pid, core)
+    }
+
+    /// Registers `pid`'s epoll instance as a watcher of listen socket
+    /// `ls` with the given `epoll_data` token.
+    #[allow(clippy::too_many_arguments)]
+    pub fn watch_listen(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        ls: LsId,
+        ep: EpollId,
+        pid: Pid,
+        data: u64,
+    ) {
+        os.epolls.ctl_add(ctx, op, ep);
+        self.listen_table.ls_mut(ls).watchers.push((ep, pid, data));
+    }
+
+    /// Registers a connection socket in `ep` with token `data`.
+    pub fn register_epoll(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        ep: EpollId,
+        data: u64,
+    ) {
+        os.epolls.ctl_add(ctx, op, ep);
+        let tcb = self.socks.get_mut(sock);
+        tcb.epoll = Some(ep);
+        tcb.epoll_data = data;
+    }
+
+    // ------------------------------------------------------------------
+    // The NET_RX softirq half
+    // ------------------------------------------------------------------
+
+    /// Processes one received packet on `op.core()`. `already_steered`
+    /// marks packets re-delivered by RFD so they are not steered (or
+    /// counted) twice.
+    pub fn net_rx(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        pkt: &Packet,
+        already_steered: bool,
+    ) -> RxOutcome {
+        let costs = self.config.costs;
+        let core = op.core();
+        let mut out = RxOutcome::default();
+
+        // Receive Flow Deliver hooks in early (netif_receive_skb),
+        // before the expensive stack traversal: classify, count
+        // locality, steer. A steered packet costs this core only the
+        // classification + backlog enqueue.
+        if self.config.rfd && !already_steered {
+            let (class, by) = self
+                .rfd_engine
+                .classify(&pkt.flow, |p| self.listen_table.has_listener(p));
+            match by {
+                ClassifiedBy::Rule1 => self.stats.rfd_rule1 += 1,
+                ClassifiedBy::Rule2 => self.stats.rfd_rule2 += 1,
+                ClassifiedBy::Rule3 => self.stats.rfd_rule3 += 1,
+            }
+            if class == PacketClass::ActiveIncoming {
+                let target = self.rfd_engine.steer_target(pkt);
+                self.stats.active_in_packets += 1;
+                if target == Some(core) || target.is_none() {
+                    self.stats.active_in_local += 1;
+                } else {
+                    // Steer to the owning core (§3.3): cheap enqueue on
+                    // the remote backlog; the driver re-delivers.
+                    self.stats.steered_packets += 1;
+                    op.work(CycleClass::Steering, costs.steer);
+                    out.steer = target;
+                    return out;
+                }
+            }
+        }
+        op.work(CycleClass::SoftirqBase, costs.softirq_per_packet);
+
+        // Demultiplex: established table first.
+        let lflow = pkt.flow.reversed();
+        if let Some(sock) = self.est.lookup(ctx, op, core, &lflow, &costs) {
+            // tcp_tw_reuse: a fresh SYN may recycle a TIME_WAIT socket
+            // for the same tuple (clients cycling through their
+            // ephemeral range hit this on busy servers).
+            if pkt.flags.syn()
+                && !pkt.flags.ack()
+                && self.socks.get(sock).state == TcpState::TimeWait
+            {
+                self.stats.tw_reused += 1;
+                self.teardown(ctx, os, op, sock);
+                self.process_syn(ctx, op, &lflow, pkt, &mut out);
+                return out;
+            }
+            if !self.config.rfd {
+                // Locality accounting when RFD is off (Figure 5's
+                // RSS-only and ATR-only rows).
+                let tcb = self.socks.get(sock);
+                if tcb.active {
+                    self.stats.active_in_packets += 1;
+                    if tcb.app_core == core {
+                        self.stats.active_in_local += 1;
+                    }
+                }
+            }
+            self.process_established(ctx, os, op, sock, pkt, &mut out);
+            return out;
+        }
+
+        // Not established: handshake traffic for a listen socket.
+        if pkt.flags.syn() && !pkt.flags.ack() {
+            self.process_syn(ctx, op, &lflow, pkt, &mut out);
+        } else if pkt.flags.rst() {
+            // RST for a connection not in the established table: it may
+            // target an embryonic (SYN-queue) entry — clean that up so
+            // aborted handshakes do not clog the backlog.
+            self.abort_embryonic(ctx, op, &lflow);
+            self.stats.no_match_drops += 1;
+        } else {
+            self.process_handshake_ack(ctx, os, op, &lflow, pkt, &mut out);
+        }
+        out
+    }
+
+    /// Segment processing for a socket found in the established table.
+    fn process_established(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        pkt: &Packet,
+        out: &mut RxOutcome,
+    ) {
+        let costs = self.config.costs;
+        let (lock, obj, timer) = {
+            let t = self.socks.get(sock);
+            (t.lock, t.obj, t.rtx_timer)
+        };
+        op.touch(ctx, obj);
+        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_softirq);
+
+        if pkt.flags.ack() {
+            self.clear_acked(sock, pkt.ack);
+        }
+        // Duplicate of an already-received segment (the peer, or we,
+        // retransmitted under loss): re-ACK and drop.
+        {
+            let t = self.socks.get(sock);
+            let is_dup = pkt.seq_len() > 0
+                && t.state != TcpState::SynSent
+                && (t.rcv_nxt.wrapping_sub(pkt.seq.wrapping_add(pkt.seq_len())) as i32) >= 0;
+            if is_dup {
+                self.stats.duplicate_segments += 1;
+                let reply = Packet::new(t.flow, TcpFlags::ACK)
+                    .with_seq(t.snd_nxt)
+                    .with_ack(t.rcv_nxt);
+                self.transmit(op, reply, out);
+                return;
+            }
+        }
+        let trans = {
+            let t = self.socks.get_mut(sock);
+            t.rcv_nxt = t.rcv_nxt.max(pkt.seq.wrapping_add(pkt.seq_len()));
+            state::on_segment(t.state, pkt.flags, pkt.payload_len)
+        };
+
+        if trans.reset {
+            let t = self.socks.get_mut(sock);
+            let reply = Packet::new(t.flow, TcpFlags::RST).with_seq(t.snd_nxt);
+            t.state = TcpState::Closed;
+            self.stats.rst_sent += 1;
+            op.work(CycleClass::Handshake, costs.rst);
+            self.transmit(op, reply, out);
+            self.teardown(ctx, os, op, sock);
+            out.closed.push(sock);
+            return;
+        }
+
+        // Per-packet timer maintenance (re-arm RTO).
+        if let Some(t) = timer {
+            os.timers.modify(ctx, op, t);
+        }
+
+        let mut notify_readable = false;
+        let mut notify_writable = false;
+
+        if trans.established {
+            let t = self.socks.get_mut(sock);
+            t.state = trans.next;
+            if t.active {
+                self.stats.active_established += 1;
+            } else {
+                self.stats.passive_established += 1;
+            }
+            op.work(CycleClass::Handshake, costs.ack_promotion / 2);
+            notify_writable = true;
+        } else {
+            self.socks.get_mut(sock).state = trans.next;
+        }
+
+        if pkt.payload_len > 0 {
+            let t = self.socks.get_mut(sock);
+            t.rx_ready += u32::from(pkt.payload_len);
+            let buf = t.buf_obj;
+            op.work(CycleClass::SoftirqBase, costs.data_segment);
+            op.work(CycleClass::SoftirqBase, costs.copy_cost(u32::from(pkt.payload_len)));
+            op.touch(ctx, buf);
+            notify_readable = true;
+        }
+
+        if trans.peer_fin {
+            let t = self.socks.get_mut(sock);
+            t.peer_fin_seen = true;
+            op.work(CycleClass::Handshake, costs.fin_processing);
+            notify_readable = true;
+        }
+
+        if trans.send_ack {
+            let t = self.socks.get(sock);
+            let reply = Packet::new(t.flow, TcpFlags::ACK)
+                .with_seq(t.snd_nxt)
+                .with_ack(t.rcv_nxt);
+            self.transmit(op, reply, out);
+        }
+
+        if notify_readable || notify_writable {
+            self.post_epoll(ctx, os, op, sock, notify_readable, notify_writable, out);
+        }
+
+        if trans.enter_time_wait {
+            self.disarm_timer(ctx, os, op, sock);
+            out.time_wait.push(sock);
+        } else if trans.next == TcpState::Closed {
+            self.teardown(ctx, os, op, sock);
+            self.stats.closed += 1;
+            out.closed.push(sock);
+        }
+    }
+
+    /// SYN processing: find a listen socket, create the embryonic
+    /// connection, reply SYN-ACK (Figure 2, steps 3–5).
+    fn process_syn(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        lflow: &FlowTuple,
+        pkt: &Packet,
+        out: &mut RxOutcome,
+    ) {
+        let costs = self.config.costs;
+        let core = op.core();
+        let Some(ls_id) = self.listen_table.lookup(
+            ctx,
+            op,
+            core,
+            lflow,
+            &self.socks,
+            &costs,
+            &mut self.stats,
+        ) else {
+            // No listener: refuse.
+            let reply = Packet::new(*lflow, TcpFlags::RST).with_ack(pkt.seq.wrapping_add(1));
+            self.stats.rst_sent += 1;
+            op.work(CycleClass::Handshake, costs.rst);
+            self.transmit(op, reply, out);
+            return;
+        };
+
+        let (ls_sock, has_room) = {
+            let ls = self.listen_table.ls(ls_id);
+            (ls.sock, ls.has_room())
+        };
+        if !has_room {
+            if self.config.syn_cookies {
+                // Stateless SYN cookie: answer without consuming backlog
+                // (the §1 security requirement — SYN floods must not
+                // deny service).
+                let isn = self.cookie_for(lflow);
+                let reply = Packet::new(*lflow, TcpFlags::SYN | TcpFlags::ACK)
+                    .with_seq(isn)
+                    .with_ack(pkt.seq.wrapping_add(1));
+                self.stats.syn_cookies_sent += 1;
+                op.work(CycleClass::Handshake, costs.syn_processing / 2);
+                self.transmit(op, reply, out);
+            } else {
+                self.stats.syn_drops += 1;
+            }
+            return;
+        }
+
+        op.work(CycleClass::Handshake, costs.syn_processing);
+        let isn = ctx.rng.next_u64() as u32;
+        let child = self
+            .socks
+            .alloc(ctx, *lflow, TcpState::SynRcvd, false, core);
+        {
+            let t = self.socks.get_mut(child);
+            t.snd_nxt = isn.wrapping_add(1);
+            t.rcv_nxt = pkt.seq.wrapping_add(1);
+        }
+
+        // Queue manipulation under the listen socket's slock: on the
+        // shared global socket this is the accept-path bottleneck.
+        let ls_lock = self.socks.get(ls_sock).lock;
+        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        self.listen_table
+            .ls_mut(ls_id)
+            .syn_queue
+            .insert(*lflow, child);
+
+        let (rcv_nxt, snd_isn) = {
+            let t = self.socks.get(child);
+            (t.rcv_nxt, isn)
+        };
+        let reply = Packet::new(*lflow, TcpFlags::SYN | TcpFlags::ACK)
+            .with_seq(snd_isn)
+            .with_ack(rcv_nxt);
+        self.track_unacked(child, reply);
+        self.transmit(op, reply, out);
+    }
+
+    /// Third-ACK processing: promote an embryonic connection to
+    /// established and queue it for `accept()` (Figure 2, steps 4–5).
+    fn process_handshake_ack(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        lflow: &FlowTuple,
+        pkt: &Packet,
+        out: &mut RxOutcome,
+    ) {
+        let costs = self.config.costs;
+        let core = op.core();
+        let found = self.listen_table.lookup(
+            ctx,
+            op,
+            core,
+            lflow,
+            &self.socks,
+            &costs,
+            &mut self.stats,
+        );
+        // SYN-queue removal and accept-queue insertion happen under one
+        // hold of the listen socket's slock (as `tcp_v4_syn_recv_sock`
+        // does); the lock is taken below, together with the queue push.
+        let child = found.and_then(|ls_id| {
+            self.listen_table
+                .ls_mut(ls_id)
+                .syn_queue
+                .remove(lflow)
+                .map(|c| (ls_id, c))
+        });
+        let Some((ls_id, child)) = child else {
+            // Not in any SYN queue: it may complete a SYN-cookie
+            // handshake (stateless — reconstruct the connection from
+            // the cookie embedded in the acknowledgment number).
+            if self.config.syn_cookies
+                && pkt.flags.ack()
+                && pkt.ack == self.cookie_for(lflow).wrapping_add(1)
+            {
+                if let Some(ls_id) = found {
+                    self.stats.syn_cookies_ok += 1;
+                    self.complete_cookie_handshake(ctx, os, op, ls_id, lflow, pkt, out);
+                    return;
+                }
+            }
+            // Unknown connection: reset (this is exactly what a naive
+            // table partition without the global fallback would hit —
+            // §2.1).
+            if !pkt.flags.rst() {
+                let t_reply = Packet::new(*lflow, TcpFlags::RST).with_seq(pkt.ack);
+                self.stats.rst_sent += 1;
+                op.work(CycleClass::Handshake, costs.rst);
+                self.transmit(op, t_reply, out);
+            }
+            self.stats.no_match_drops += 1;
+            return;
+        };
+
+        op.work(CycleClass::Handshake, costs.ack_promotion);
+        if pkt.flags.ack() {
+            // The handshake ACK acknowledges our SYN-ACK.
+            self.clear_acked(child, pkt.ack);
+        }
+        let trans = {
+            let t = self.socks.get_mut(child);
+            let trans = state::on_segment(t.state, pkt.flags, pkt.payload_len);
+            t.state = trans.next;
+            t.rcv_nxt = t.rcv_nxt.max(pkt.seq.wrapping_add(pkt.seq_len()));
+            trans
+        };
+        debug_assert!(trans.established, "3rd ACK must establish");
+        self.stats.passive_established += 1;
+
+        // Insert into the established table (home = current core under
+        // the Local variant — RFD/RSS guarantee later packets arrive
+        // here too).
+        let home = self.est.insert(ctx, op, core, *lflow, child, &costs);
+        {
+            let t = self.socks.get_mut(child);
+            t.in_est = true;
+            t.est_home = home;
+            if pkt.payload_len > 0 {
+                t.rx_ready += u32::from(pkt.payload_len);
+            }
+        }
+
+        // Queue on the accept queue under the listen slock and notify
+        // the watchers on the empty→non-empty edge (epoll reports
+        // readiness transitions; a queue that stays backlogged posts
+        // nothing new).
+        let ls_sock = self.listen_table.ls(ls_id).sock;
+        let ls_lock = self.socks.get(ls_sock).lock;
+        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
+        self.listen_table.ls_mut(ls_id).accept_queue.push_back(child);
+        self.socks.get_mut(child).queued_in = Some(ls_id);
+
+        if was_empty {
+            let watchers: Vec<(EpollId, Pid, u64)> =
+                self.listen_table.ls(ls_id).watchers.clone();
+            for (ep, pid, data) in watchers {
+                let woke = os.epolls.post(
+                    ctx,
+                    op,
+                    ep,
+                    EpollEvent {
+                        data,
+                        readable: true,
+                        writable: false,
+                    },
+                );
+                if woke {
+                    out.wakeups.push(pid);
+                }
+            }
+        }
+    }
+
+    /// Whether `accept()` on `port` from `core` would find a ready
+    /// connection (level-triggered readiness probe for applications).
+    pub fn accept_ready(&self, port: u16, core: CoreId) -> bool {
+        let global_ready = !self
+            .listen_table
+            .ls(self.listen_table.global_of(port))
+            .accept_queue
+            .is_empty();
+        match self.config.listen {
+            ListenVariant::Global => global_ready,
+            ListenVariant::ReusePort => self
+                .listen_table
+                .copy_of(port, core)
+                .is_some_and(|ls| !self.listen_table.ls(ls).accept_queue.is_empty()),
+            ListenVariant::Local => {
+                global_ready
+                    || self
+                        .listen_table
+                        .local_of(port, core)
+                        .is_some_and(|ls| !self.listen_table.ls(ls).accept_queue.is_empty())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The process half (syscalls)
+    // ------------------------------------------------------------------
+
+    /// `accept()`: takes one ready connection for the worker `pid`
+    /// pinned to `core`. Implements Figure 2's ordering: the global
+    /// listen socket's accept queue is checked first (a lock-free read;
+    /// checking local first would starve slow-path connections), then
+    /// the core-appropriate queue.
+    pub fn accept(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        port: u16,
+        core: CoreId,
+        pid: Pid,
+    ) -> Option<(SockId, AcceptSource)> {
+        let costs = self.config.costs;
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.accept);
+
+        let (child, source) = match self.config.listen {
+            ListenVariant::Global => {
+                let ls_id = self.listen_table.global_of(port);
+                let ls_sock = self.listen_table.ls(ls_id).sock;
+                let ls_lock = self.socks.get(ls_sock).lock;
+                let ls_obj = self.socks.get(ls_sock).obj;
+                op.touch(ctx, ls_obj);
+                op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Syscall, costs.listen_hold_accept);
+                (
+                    self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
+                    AcceptSource::Local,
+                )
+            }
+            ListenVariant::ReusePort => {
+                let ls_id = self.listen_table.copy_of(port, core)?;
+                let ls_sock = self.listen_table.ls(ls_id).sock;
+                let ls_lock = self.socks.get(ls_sock).lock;
+                op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Syscall, costs.listen_hold_accept);
+                (
+                    self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
+                    AcceptSource::Local,
+                )
+            }
+            ListenVariant::Local => {
+                // Check the global queue first — a single atomic read
+                // when it is empty (the common case). (The ablation
+                // flag reverses the order to demonstrate starvation.)
+                let global = self.listen_table.global_of(port);
+                op.work(CycleClass::Syscall, 25);
+                let local_first = self.config.accept_local_first
+                    && self
+                        .listen_table
+                        .local_of(port, core)
+                        .is_some_and(|l| !self.listen_table.ls(l).accept_queue.is_empty());
+                if !local_first && !self.listen_table.ls(global).accept_queue.is_empty() {
+                    let ls_sock = self.listen_table.ls(global).sock;
+                    let ls_lock = self.socks.get(ls_sock).lock;
+                    op.lock_do(
+                        &mut ctx.locks,
+                        ls_lock,
+                        CycleClass::Syscall,
+                        costs.listen_hold_accept,
+                    );
+                    (
+                        self.listen_table.ls_mut(global).accept_queue.pop_front(),
+                        AcceptSource::Global,
+                    )
+                } else if let Some(local) = self.listen_table.local_of(port, core) {
+                    let ls_sock = self.listen_table.ls(local).sock;
+                    let ls_lock = self.socks.get(ls_sock).lock;
+                    op.lock_do(
+                        &mut ctx.locks,
+                        ls_lock,
+                        CycleClass::Syscall,
+                        costs.listen_hold_accept,
+                    );
+                    (
+                        self.listen_table.ls_mut(local).accept_queue.pop_front(),
+                        AcceptSource::Local,
+                    )
+                } else {
+                    (None, AcceptSource::Local)
+                }
+            }
+        };
+
+        let child = child?;
+        match source {
+            AcceptSource::Local => self.stats.accepts_local += 1,
+            AcceptSource::Global => self.stats.accepts_global += 1,
+        }
+
+        // The accepting process owns the connection now.
+        let obj = {
+            let t = self.socks.get_mut(child);
+            t.queued_in = None;
+            t.owner = Some(pid);
+            t.app_core = core;
+            t.obj
+        };
+        op.touch(ctx, obj);
+        // VFS socket-FD materialization + descriptor allocation.
+        let node = os.vfs.alloc_socket(ctx, op, core);
+        self.socks.get_mut(child).vfs = Some(node);
+        op.work(CycleClass::Syscall, costs.fd_alloc);
+        Some((child, source))
+    }
+
+    /// `connect()`: opens an active connection from `core` to
+    /// `(dst_ip, dst_port)`. Returns the socket and the SYN to send.
+    /// `None` when the ephemeral range is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        core: CoreId,
+        pid: Pid,
+        src_ip: std::net::Ipv4Addr,
+        dst_ip: std::net::Ipv4Addr,
+        dst_port: u16,
+    ) -> Option<(SockId, Packet)> {
+        let costs = self.config.costs;
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.connect);
+        let port = self
+            .ports
+            .alloc(ctx, op, core, dst_ip, dst_port, &costs)?;
+        let flow = FlowTuple::new(src_ip, port, dst_ip, dst_port);
+        let isn = ctx.rng.next_u64() as u32;
+        let sock = self.socks.alloc(ctx, flow, TcpState::SynSent, true, core);
+        {
+            let t = self.socks.get_mut(sock);
+            t.owner = Some(pid);
+            t.snd_nxt = isn.wrapping_add(1);
+        }
+        let node = os.vfs.alloc_socket(ctx, op, core);
+        self.socks.get_mut(sock).vfs = Some(node);
+        op.work(CycleClass::Syscall, costs.fd_alloc);
+
+        let home = self.est.insert(ctx, op, core, flow, sock, &costs);
+        {
+            let t = self.socks.get_mut(sock);
+            t.in_est = true;
+            t.est_home = home;
+        }
+        let timer = os.timers.arm(ctx, op);
+        self.socks.get_mut(sock).rtx_timer = Some(timer);
+
+        let syn = Packet::new(flow, TcpFlags::SYN).with_seq(isn);
+        self.track_unacked(sock, syn);
+        let mut dummy = RxOutcome::default();
+        self.transmit(op, syn, &mut dummy);
+        Some((sock, dummy.replies.pop().unwrap()))
+    }
+
+    /// `write()`: sends `bytes` of payload on an established socket.
+    /// Returns the data segment, or `None` if the state forbids
+    /// sending.
+    pub fn send(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        bytes: u16,
+    ) -> Option<Packet> {
+        let costs = self.config.costs;
+        let (lock, buf, can, timer) = {
+            let t = self.socks.get(sock);
+            (t.lock, t.buf_obj, t.state.can_send(), t.rtx_timer)
+        };
+        if !can {
+            return None;
+        }
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.send);
+        op.work(CycleClass::Syscall, self.copy_cost(u32::from(bytes)));
+        op.touch(ctx, buf);
+        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+        match timer {
+            Some(t) => os.timers.modify(ctx, op, t),
+            None => {
+                let t = os.timers.arm(ctx, op);
+                self.socks.get_mut(sock).rtx_timer = Some(t);
+            }
+        }
+        let t = self.socks.get_mut(sock);
+        let seg = Packet::new(t.flow, TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(t.snd_nxt)
+            .with_ack(t.rcv_nxt)
+            .with_payload(bytes);
+        t.snd_nxt = t.snd_nxt.wrapping_add(u32::from(bytes));
+        self.track_unacked(sock, seg);
+        let mut dummy = RxOutcome::default();
+        self.transmit(op, seg, &mut dummy);
+        Some(dummy.replies.pop().unwrap())
+    }
+
+    /// `read()`: drains the receive queue, returning the bytes read.
+    pub fn recv(&mut self, ctx: &mut KernelCtx, op: &mut Op, sock: SockId) -> u32 {
+        let costs = self.config.costs;
+        let (lock, buf) = {
+            let t = self.socks.get(sock);
+            (t.lock, t.buf_obj)
+        };
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.recv);
+        op.touch(ctx, buf);
+        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+        let t = self.socks.get_mut(sock);
+        let bytes = std::mem::take(&mut t.rx_ready);
+        op.work(CycleClass::Syscall, self.copy_cost(bytes));
+        bytes
+    }
+
+    /// `close()`: releases the FD-side resources and initiates the TCP
+    /// teardown. Returns the FIN to send, if one is needed.
+    pub fn close(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+    ) -> Option<Packet> {
+        let costs = self.config.costs;
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.close);
+        let lock = self.socks.get(sock).lock;
+        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+
+        // FD-side teardown happens immediately (VFS + epoll).
+        if let Some(node) = self.socks.get_mut(sock).vfs.take() {
+            os.vfs.free_socket(ctx, op, node);
+        }
+        if let Some(ep) = self.socks.get_mut(sock).epoll.take() {
+            os.epolls.ctl_del(ctx, op, ep);
+        }
+
+        let state = self.socks.get(sock).state;
+        match state::on_close(state) {
+            Some((next, send_fin)) => {
+                self.socks.get_mut(sock).state = next;
+                if send_fin {
+                    let (timer,) = { (self.socks.get(sock).rtx_timer,) };
+                    match timer {
+                        Some(t) => os.timers.modify(ctx, op, t),
+                        None => {
+                            let t = os.timers.arm(ctx, op);
+                            self.socks.get_mut(sock).rtx_timer = Some(t);
+                        }
+                    }
+                    let t = self.socks.get_mut(sock);
+                    let fin = Packet::new(t.flow, TcpFlags::FIN | TcpFlags::ACK)
+                        .with_seq(t.snd_nxt)
+                        .with_ack(t.rcv_nxt);
+                    t.snd_nxt = t.snd_nxt.wrapping_add(1);
+                    self.track_unacked(sock, fin);
+                    let mut dummy = RxOutcome::default();
+                    self.transmit(op, fin, &mut dummy);
+                    Some(dummy.replies.pop().unwrap())
+                } else {
+                    // e.g. closing a SYN_SENT socket: vanish quietly.
+                    self.teardown(ctx, os, op, sock);
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Removes an aborted embryonic connection from its listen socket's
+    /// SYN queue, if present.
+    fn abort_embryonic(&mut self, ctx: &mut KernelCtx, op: &mut Op, lflow: &FlowTuple) {
+        let costs = self.config.costs;
+        let core = op.core();
+        let Some(ls_id) = self.listen_table.lookup(
+            ctx,
+            op,
+            core,
+            lflow,
+            &self.socks,
+            &costs,
+            &mut self.stats,
+        ) else {
+            return;
+        };
+        if let Some(child) = self.listen_table.ls_mut(ls_id).syn_queue.remove(lflow) {
+            self.socks.release(ctx, child);
+        }
+    }
+
+    /// The generation token of a socket (pass back to
+    /// [`TcpStack::tw_expire`] so a deferred expiry cannot recycle an
+    /// unrelated reuse of the slab slot).
+    pub fn sock_gen(&self, sock: SockId) -> u64 {
+        self.socks.get(sock).gen
+    }
+
+    /// TIME_WAIT expiry (driven by the simulation's timer events):
+    /// recycles the socket. `gen` must match the token captured when
+    /// the socket entered TIME_WAIT.
+    pub fn tw_expire(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, sock: SockId, gen: u64) {
+        if !self.socks.exists(sock) || self.socks.get(sock).gen != gen {
+            return;
+        }
+        if self.socks.get(sock).state != TcpState::TimeWait {
+            return;
+        }
+        let core = self.socks.get(sock).app_core;
+        let mut op = ctx.begin(core, 0);
+        op.work(CycleClass::Timer, 300);
+        self.teardown(ctx, os, &mut op, sock);
+        self.stats.closed += 1;
+        op.commit(&mut ctx.cpu);
+    }
+
+    /// Completes a stateless SYN-cookie handshake: creates the socket
+    /// directly in ESTABLISHED (there was never a SYN-queue entry) and
+    /// queues it for `accept()`.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_cookie_handshake(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        ls_id: LsId,
+        lflow: &FlowTuple,
+        pkt: &Packet,
+        out: &mut RxOutcome,
+    ) {
+        let costs = self.config.costs;
+        let core = op.core();
+        op.work(CycleClass::Handshake, costs.ack_promotion);
+        let child = self
+            .socks
+            .alloc(ctx, *lflow, TcpState::Established, false, core);
+        {
+            let t = self.socks.get_mut(child);
+            t.snd_nxt = pkt.ack;
+            t.rcv_nxt = pkt.seq.wrapping_add(pkt.seq_len());
+            if pkt.payload_len > 0 {
+                t.rx_ready += u32::from(pkt.payload_len);
+            }
+        }
+        self.stats.passive_established += 1;
+        let home = self.est.insert(ctx, op, core, *lflow, child, &costs);
+        {
+            let t = self.socks.get_mut(child);
+            t.in_est = true;
+            t.est_home = home;
+        }
+        let ls_sock = self.listen_table.ls(ls_id).sock;
+        let ls_lock = self.socks.get(ls_sock).lock;
+        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
+        self.listen_table.ls_mut(ls_id).accept_queue.push_back(child);
+        self.socks.get_mut(child).queued_in = Some(ls_id);
+        if was_empty {
+            let watchers: Vec<(EpollId, Pid, u64)> =
+                self.listen_table.ls(ls_id).watchers.clone();
+            for (ep, pid, data) in watchers {
+                let woke = os.epolls.post(
+                    ctx,
+                    op,
+                    ep,
+                    EpollEvent {
+                        data,
+                        readable: true,
+                        writable: false,
+                    },
+                );
+                if woke {
+                    out.wakeups.push(pid);
+                }
+            }
+        }
+    }
+
+    /// Full resource teardown of a socket: established-table removal,
+    /// port release, timers, VFS leftovers, TCB free.
+    fn teardown(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, sock: SockId) {
+        let costs = self.config.costs;
+        let (in_est, est_home, flow, active, queued_in) = {
+            let t = self.socks.get(sock);
+            (t.in_est, t.est_home, t.flow, t.active, t.queued_in)
+        };
+        if let Some(ls_id) = queued_in {
+            // The connection dies while waiting in an accept queue
+            // (e.g. the client reset it): unlink it.
+            self.listen_table
+                .ls_mut(ls_id)
+                .accept_queue
+                .retain(|&s| s != sock);
+        }
+        if in_est {
+            self.est.remove(ctx, op, est_home, &flow, &costs);
+        }
+        if active {
+            self.ports.release(flow.dst_ip, flow.dst_port, flow.src_port);
+        }
+        self.disarm_timer(ctx, os, op, sock);
+        if let Some(node) = self.socks.get_mut(sock).vfs.take() {
+            os.vfs.free_socket(ctx, op, node);
+        }
+        if let Some(ep) = self.socks.get_mut(sock).epoll.take() {
+            os.epolls.ctl_del(ctx, op, ep);
+        }
+        self.socks.release(ctx, sock);
+    }
+
+    fn disarm_timer(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, sock: SockId) {
+        if let Some(t) = self.socks.get_mut(sock).rtx_timer.take() {
+            os.timers.disarm(ctx, op, t);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn post_epoll(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        readable: bool,
+        writable: bool,
+        out: &mut RxOutcome,
+    ) {
+        let (ep, data, owner) = {
+            let t = self.socks.get(sock);
+            (t.epoll, t.epoll_data, t.owner)
+        };
+        if let (Some(ep), Some(pid)) = (ep, owner) {
+            let woke = os.epolls.post(
+                ctx,
+                op,
+                ep,
+                EpollEvent {
+                    data,
+                    readable,
+                    writable,
+                },
+            );
+            if woke {
+                out.wakeups.push(pid);
+            }
+        }
+    }
+
+    fn transmit(&mut self, op: &mut Op, pkt: Packet, out: &mut RxOutcome) {
+        op.work(CycleClass::TxPath, self.config.costs.tx_per_packet);
+        out.replies.push(pkt);
+    }
+
+    /// Renders the socket table in `/proc/net/tcp` format — the
+    /// compatibility surface §3.4 deliberately preserves so `netstat`
+    /// and `lsof` keep working under the Fastsocket-aware VFS.
+    ///
+    /// ```text
+    ///   sl  local_address rem_address   st
+    ///    0: 0100000A:0050 00000000:0000 0A
+    /// ```
+    pub fn proc_net_tcp(&self) -> String {
+        fn hex_addr(ip: std::net::Ipv4Addr, port: u16) -> String {
+            // Linux prints the address as little-endian hex.
+            let o = ip.octets();
+            format!(
+                "{:02X}{:02X}{:02X}{:02X}:{:04X}",
+                o[3], o[2], o[1], o[0], port
+            )
+        }
+        fn state_code(state: TcpState) -> u8 {
+            match state {
+                TcpState::Established => 0x01,
+                TcpState::SynSent => 0x02,
+                TcpState::SynRcvd => 0x03,
+                TcpState::FinWait1 => 0x04,
+                TcpState::FinWait2 => 0x05,
+                TcpState::TimeWait => 0x06,
+                TcpState::Closed => 0x07,
+                TcpState::CloseWait => 0x08,
+                TcpState::LastAck => 0x09,
+                TcpState::Listen => 0x0A,
+                TcpState::Closing => 0x0B,
+            }
+        }
+        let mut out = String::from("  sl  local_address rem_address   st
+");
+        for (i, tcb) in self.socks.iter().enumerate() {
+            out.push_str(&format!(
+                "{:4}: {} {} {:02X}
+",
+                i,
+                hex_addr(tcb.flow.src_ip, tcb.flow.src_port),
+                hex_addr(tcb.flow.dst_ip, tcb.flow.dst_port),
+                state_code(tcb.state),
+            ));
+        }
+        out
+    }
+
+    /// Socket counts by state (a `ss -s`-style summary).
+    pub fn socket_summary(&self) -> Vec<(TcpState, usize)> {
+        let mut counts: Vec<(TcpState, usize)> = Vec::new();
+        for tcb in self.socks.iter() {
+            match counts.iter_mut().find(|(s, _)| *s == tcb.state) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((tcb.state, 1)),
+            }
+        }
+        counts
+    }
+}

@@ -1,0 +1,429 @@
+//! The TCP connection state machine (RFC 793 subset).
+//!
+//! Pure transition logic, independent of tables and costs, so it can be
+//! tested exhaustively. The simulation runs a lossless in-order network,
+//! so simultaneous-open and retransmission paths are modelled but never
+//! hot.
+
+use serde::{Deserialize, Serialize};
+use sim_net::TcpFlags;
+
+/// TCP connection states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Waiting for connection requests (listen sockets only).
+    Listen,
+    /// Active open: SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// Passive open: SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Our FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Our FIN ACKed, awaiting the peer's FIN.
+    FinWait2,
+    /// Peer's FIN received while established; awaiting local close.
+    CloseWait,
+    /// Both sides closed simultaneously; awaiting FIN ACK.
+    Closing,
+    /// Local close after CloseWait; FIN sent, awaiting its ACK.
+    LastAck,
+    /// Connection done; lingering to absorb stray segments.
+    TimeWait,
+}
+
+impl TcpState {
+    /// Whether data transfer is possible in this state.
+    pub fn can_send(self) -> bool {
+        matches!(self, TcpState::Established | TcpState::CloseWait)
+    }
+
+    /// Whether the connection is fully terminated (resources may be
+    /// reclaimed after TIME_WAIT).
+    pub fn is_closed(self) -> bool {
+        matches!(self, TcpState::Closed)
+    }
+}
+
+impl std::fmt::Display for TcpState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TcpState::Closed => "CLOSED",
+            TcpState::Listen => "LISTEN",
+            TcpState::SynSent => "SYN_SENT",
+            TcpState::SynRcvd => "SYN_RECV",
+            TcpState::Established => "ESTABLISHED",
+            TcpState::FinWait1 => "FIN_WAIT1",
+            TcpState::FinWait2 => "FIN_WAIT2",
+            TcpState::CloseWait => "CLOSE_WAIT",
+            TcpState::Closing => "CLOSING",
+            TcpState::LastAck => "LAST_ACK",
+            TcpState::TimeWait => "TIME_WAIT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the stack must do after processing a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The state after the segment.
+    pub next: TcpState,
+    /// Send an ACK.
+    pub send_ack: bool,
+    /// The connection just became established.
+    pub established: bool,
+    /// The peer signalled end of stream (FIN consumed).
+    pub peer_fin: bool,
+    /// The segment is invalid for this state: send RST and drop.
+    pub reset: bool,
+    /// Enter TIME_WAIT (schedule its expiry).
+    pub enter_time_wait: bool,
+}
+
+impl Transition {
+    fn stay(state: TcpState) -> Transition {
+        Transition {
+            next: state,
+            send_ack: false,
+            established: false,
+            peer_fin: false,
+            reset: false,
+            enter_time_wait: false,
+        }
+    }
+
+    fn to(next: TcpState) -> Transition {
+        Transition::stay(next)
+    }
+
+    fn reset_from(state: TcpState) -> Transition {
+        Transition {
+            reset: true,
+            ..Transition::stay(state)
+        }
+    }
+}
+
+/// Computes the transition for a segment with `flags` and `payload_len`
+/// bytes arriving in `state`.
+///
+/// RST segments always move the connection to [`TcpState::Closed`]
+/// (without replying). SYN segments in synchronized states are invalid
+/// and elicit a reset. Pure ACKs advance the opening/closing
+/// handshakes; FINs are acknowledged and progress the teardown.
+pub fn on_segment(state: TcpState, flags: TcpFlags, payload_len: u16) -> Transition {
+    if flags.rst() {
+        return Transition::to(TcpState::Closed);
+    }
+    match state {
+        TcpState::Closed | TcpState::Listen => {
+            // Handled by listen-socket logic before reaching here.
+            Transition::reset_from(state)
+        }
+        TcpState::SynSent => {
+            if flags.syn() && flags.ack() {
+                Transition {
+                    next: TcpState::Established,
+                    send_ack: true,
+                    established: true,
+                    ..Transition::stay(state)
+                }
+            } else if flags.syn() {
+                // Simultaneous open.
+                Transition {
+                    next: TcpState::SynRcvd,
+                    send_ack: true,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition::reset_from(state)
+            }
+        }
+        TcpState::SynRcvd => {
+            if flags.syn() {
+                // Retransmitted SYN: re-ACK, stay.
+                Transition {
+                    next: TcpState::SynRcvd,
+                    send_ack: true,
+                    ..Transition::stay(state)
+                }
+            } else if flags.fin() {
+                Transition {
+                    next: TcpState::CloseWait,
+                    send_ack: true,
+                    established: true,
+                    peer_fin: true,
+                    ..Transition::stay(state)
+                }
+            } else if flags.ack() {
+                Transition {
+                    next: TcpState::Established,
+                    established: true,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition::reset_from(state)
+            }
+        }
+        TcpState::Established => {
+            if flags.syn() {
+                Transition::reset_from(state)
+            } else if flags.fin() {
+                Transition {
+                    next: TcpState::CloseWait,
+                    send_ack: true,
+                    peer_fin: true,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition {
+                    next: TcpState::Established,
+                    send_ack: payload_len > 0,
+                    ..Transition::stay(state)
+                }
+            }
+        }
+        TcpState::FinWait1 => {
+            if flags.fin() && flags.ack() {
+                Transition {
+                    next: TcpState::TimeWait,
+                    send_ack: true,
+                    peer_fin: true,
+                    enter_time_wait: true,
+                    ..Transition::stay(state)
+                }
+            } else if flags.fin() {
+                Transition {
+                    next: TcpState::Closing,
+                    send_ack: true,
+                    peer_fin: true,
+                    ..Transition::stay(state)
+                }
+            } else if flags.ack() {
+                Transition {
+                    next: TcpState::FinWait2,
+                    send_ack: payload_len > 0,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition::stay(state)
+            }
+        }
+        TcpState::FinWait2 => {
+            if flags.fin() {
+                Transition {
+                    next: TcpState::TimeWait,
+                    send_ack: true,
+                    peer_fin: true,
+                    enter_time_wait: true,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition {
+                    next: TcpState::FinWait2,
+                    send_ack: payload_len > 0,
+                    ..Transition::stay(state)
+                }
+            }
+        }
+        TcpState::CloseWait => {
+            // Peer already FINed; only ACKs of our data arrive.
+            Transition::stay(TcpState::CloseWait)
+        }
+        TcpState::Closing => {
+            if flags.ack() {
+                Transition {
+                    next: TcpState::TimeWait,
+                    enter_time_wait: true,
+                    ..Transition::stay(state)
+                }
+            } else {
+                Transition::stay(state)
+            }
+        }
+        TcpState::LastAck => {
+            if flags.ack() {
+                Transition::to(TcpState::Closed)
+            } else {
+                Transition::stay(state)
+            }
+        }
+        TcpState::TimeWait => {
+            // Re-ACK retransmitted FINs; otherwise ignore.
+            Transition {
+                next: TcpState::TimeWait,
+                send_ack: flags.fin(),
+                ..Transition::stay(state)
+            }
+        }
+    }
+}
+
+/// The state entered by a local `close()` call, and whether a FIN must
+/// be sent. Returns `None` when close is a no-op for the state.
+pub fn on_close(state: TcpState) -> Option<(TcpState, bool)> {
+    match state {
+        TcpState::Established | TcpState::SynRcvd => Some((TcpState::FinWait1, true)),
+        TcpState::CloseWait => Some((TcpState::LastAck, true)),
+        TcpState::SynSent | TcpState::Listen => Some((TcpState::Closed, false)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYN: TcpFlags = TcpFlags::SYN;
+    const ACK: TcpFlags = TcpFlags::ACK;
+
+    fn synack() -> TcpFlags {
+        TcpFlags::SYN | TcpFlags::ACK
+    }
+    fn finack() -> TcpFlags {
+        TcpFlags::FIN | TcpFlags::ACK
+    }
+
+    #[test]
+    fn active_open_handshake() {
+        let t = on_segment(TcpState::SynSent, synack(), 0);
+        assert_eq!(t.next, TcpState::Established);
+        assert!(t.send_ack && t.established && !t.reset);
+    }
+
+    #[test]
+    fn passive_open_completion() {
+        let t = on_segment(TcpState::SynRcvd, ACK, 0);
+        assert_eq!(t.next, TcpState::Established);
+        assert!(t.established && !t.send_ack);
+    }
+
+    #[test]
+    fn retransmitted_syn_is_reacked() {
+        let t = on_segment(TcpState::SynRcvd, SYN, 0);
+        assert_eq!(t.next, TcpState::SynRcvd);
+        assert!(t.send_ack && !t.established);
+    }
+
+    #[test]
+    fn data_in_established_is_acked() {
+        let t = on_segment(TcpState::Established, TcpFlags::PSH | ACK, 600);
+        assert_eq!(t.next, TcpState::Established);
+        assert!(t.send_ack);
+        let t2 = on_segment(TcpState::Established, ACK, 0);
+        assert!(!t2.send_ack, "pure ACK not re-ACKed");
+    }
+
+    #[test]
+    fn remote_close_while_established() {
+        let t = on_segment(TcpState::Established, finack(), 0);
+        assert_eq!(t.next, TcpState::CloseWait);
+        assert!(t.peer_fin && t.send_ack);
+    }
+
+    #[test]
+    fn local_close_full_sequence() {
+        // close() in ESTABLISHED: FIN_WAIT1.
+        let (s, fin) = on_close(TcpState::Established).unwrap();
+        assert_eq!((s, fin), (TcpState::FinWait1, true));
+        // Peer ACKs our FIN: FIN_WAIT2.
+        let t = on_segment(s, ACK, 0);
+        assert_eq!(t.next, TcpState::FinWait2);
+        // Peer FINs: TIME_WAIT with ACK.
+        let t = on_segment(t.next, finack(), 0);
+        assert_eq!(t.next, TcpState::TimeWait);
+        assert!(t.send_ack && t.enter_time_wait && t.peer_fin);
+    }
+
+    #[test]
+    fn fin_and_ack_together_skips_fin_wait2() {
+        let t = on_segment(TcpState::FinWait1, finack(), 0);
+        assert_eq!(t.next, TcpState::TimeWait);
+        assert!(t.enter_time_wait);
+    }
+
+    #[test]
+    fn simultaneous_close() {
+        let t = on_segment(TcpState::FinWait1, TcpFlags::FIN, 0);
+        assert_eq!(t.next, TcpState::Closing);
+        let t = on_segment(t.next, ACK, 0);
+        assert_eq!(t.next, TcpState::TimeWait);
+        assert!(t.enter_time_wait);
+    }
+
+    #[test]
+    fn passive_close_completes_in_last_ack() {
+        let (s, fin) = on_close(TcpState::CloseWait).unwrap();
+        assert_eq!((s, fin), (TcpState::LastAck, true));
+        let t = on_segment(s, ACK, 0);
+        assert_eq!(t.next, TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_always_closes() {
+        for state in [
+            TcpState::SynSent,
+            TcpState::SynRcvd,
+            TcpState::Established,
+            TcpState::FinWait1,
+            TcpState::CloseWait,
+            TcpState::LastAck,
+            TcpState::TimeWait,
+        ] {
+            let t = on_segment(state, TcpFlags::RST, 0);
+            assert_eq!(t.next, TcpState::Closed, "from {state}");
+            assert!(!t.send_ack, "no reply to RST from {state}");
+        }
+    }
+
+    #[test]
+    fn syn_in_established_resets() {
+        let t = on_segment(TcpState::Established, SYN, 0);
+        assert!(t.reset);
+    }
+
+    #[test]
+    fn time_wait_reacks_fin_only() {
+        let t = on_segment(TcpState::TimeWait, finack(), 0);
+        assert!(t.send_ack);
+        let t = on_segment(TcpState::TimeWait, ACK, 0);
+        assert!(!t.send_ack);
+        assert_eq!(t.next, TcpState::TimeWait);
+    }
+
+    #[test]
+    fn close_is_noop_in_terminal_states() {
+        assert!(on_close(TcpState::TimeWait).is_none());
+        assert!(on_close(TcpState::Closed).is_none());
+        assert!(on_close(TcpState::LastAck).is_none());
+    }
+
+    #[test]
+    fn fin_in_syn_rcvd_establishes_then_closes() {
+        // Client sent request+FIN before we saw the handshake ACK
+        // separately (piggybacked teardown).
+        let t = on_segment(TcpState::SynRcvd, finack(), 0);
+        assert_eq!(t.next, TcpState::CloseWait);
+        assert!(t.established && t.peer_fin);
+    }
+
+    #[test]
+    fn can_send_and_is_closed_helpers() {
+        assert!(TcpState::Established.can_send());
+        assert!(TcpState::CloseWait.can_send());
+        assert!(!TcpState::FinWait1.can_send());
+        assert!(TcpState::Closed.is_closed());
+        assert!(!TcpState::TimeWait.is_closed());
+    }
+
+    #[test]
+    fn display_names_match_proc_net_tcp() {
+        assert_eq!(TcpState::Established.to_string(), "ESTABLISHED");
+        assert_eq!(TcpState::SynRcvd.to_string(), "SYN_RECV");
+        assert_eq!(TcpState::TimeWait.to_string(), "TIME_WAIT");
+    }
+}

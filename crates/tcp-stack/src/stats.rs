@@ -1,0 +1,110 @@
+//! Stack-level counters used by the experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the TCP stack accumulates during a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StackStats {
+    /// Passive connections fully established (3-way handshake done).
+    pub passive_established: u64,
+    /// Active connections fully established.
+    pub active_established: u64,
+    /// Connections that reached CLOSED (both directions finished).
+    pub closed: u64,
+    /// RST segments sent.
+    pub rst_sent: u64,
+    /// SYNs dropped because the listen backlog was full.
+    pub syn_drops: u64,
+    /// Segments dropped because no matching socket existed.
+    pub no_match_drops: u64,
+    /// `accept()`s served from a Fastsocket *local* listen table.
+    pub accepts_local: u64,
+    /// `accept()`s served from the global listen socket (slow path, or
+    /// the only path for non-Fastsocket kernels).
+    pub accepts_global: u64,
+    /// Listen-bucket entries walked by `inet_lookup_listener` (for the
+    /// SO_REUSEPORT O(n) analysis).
+    pub listen_entries_walked: u64,
+    /// Listen lookups performed.
+    pub listen_lookups: u64,
+    /// Incoming packets belonging to *active* connections.
+    pub active_in_packets: u64,
+    /// Of those, packets the NIC delivered to the owning app's core
+    /// (measured before any RFD software steering) — Figure 5b's "local
+    /// packet proportion".
+    pub active_in_local: u64,
+    /// Packets RFD re-steered to another core in software.
+    pub steered_packets: u64,
+    /// Packets classified by RFD rule 1 (well-known source port).
+    pub rfd_rule1: u64,
+    /// Packets classified by RFD rule 2 (well-known destination port).
+    pub rfd_rule2: u64,
+    /// Packets classified by RFD rule 3 (listen-table probe).
+    pub rfd_rule3: u64,
+    /// Segments retransmitted after an RTO.
+    pub retransmits: u64,
+    /// Duplicate segments re-ACKed and dropped.
+    pub duplicate_segments: u64,
+    /// SYN cookies sent (backlog full).
+    pub syn_cookies_sent: u64,
+    /// Connections established by validating a SYN cookie.
+    pub syn_cookies_ok: u64,
+    /// Connections aborted after exhausting retransmission attempts.
+    pub rtx_abandoned: u64,
+    /// TIME_WAIT sockets recycled early by a fresh SYN (tcp_tw_reuse).
+    pub tw_reused: u64,
+}
+
+impl StackStats {
+    /// Figure 5b's metric: fraction of active-connection incoming
+    /// packets that were NIC-delivered to the right core.
+    pub fn local_packet_proportion(&self) -> f64 {
+        if self.active_in_packets == 0 {
+            0.0
+        } else {
+            self.active_in_local as f64 / self.active_in_packets as f64
+        }
+    }
+
+    /// Average listen-bucket entries walked per lookup.
+    pub fn avg_listen_walk(&self) -> f64 {
+        if self.listen_lookups == 0 {
+            0.0
+        } else {
+            self.listen_entries_walked as f64 / self.listen_lookups as f64
+        }
+    }
+
+    /// Total connections established.
+    pub fn established(&self) -> u64 {
+        self.passive_established + self.active_established
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_handle_zero() {
+        let s = StackStats::default();
+        assert_eq!(s.local_packet_proportion(), 0.0);
+        assert_eq!(s.avg_listen_walk(), 0.0);
+    }
+
+    #[test]
+    fn proportions_compute() {
+        let s = StackStats {
+            active_in_packets: 200,
+            active_in_local: 50,
+            listen_lookups: 10,
+            listen_entries_walked: 240,
+            passive_established: 3,
+            active_established: 4,
+            ..StackStats::default()
+        };
+        assert!((s.local_packet_proportion() - 0.25).abs() < 1e-12);
+        assert!((s.avg_listen_walk() - 24.0).abs() < 1e-12);
+        assert_eq!(s.established(), 7);
+    }
+}

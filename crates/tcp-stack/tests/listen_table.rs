@@ -1,0 +1,192 @@
+//! Direct tests of the listen-table variants (the paper's §3.2.1 data
+//! structure, without the full stack around it).
+
+use sim_core::{CoreId, SimRng};
+use sim_mem::{CacheCosts, CacheModel};
+use sim_net::FlowTuple;
+use sim_os::process::Pid;
+use sim_os::KernelCtx;
+use sim_sync::{LockCosts, LockTable};
+use std::net::Ipv4Addr;
+use tcp_stack::costs::StackCosts;
+use tcp_stack::listen::{ListenTable, ListenVariant};
+use tcp_stack::stats::StackStats;
+use tcp_stack::tcb::SockTable;
+
+fn ctx(cores: usize) -> KernelCtx {
+    KernelCtx::new(
+        cores,
+        LockTable::new(LockCosts::default()),
+        CacheModel::new(CacheCosts::default()),
+        SimRng::seed(77),
+    )
+}
+
+fn lflow(client_port: u16) -> FlowTuple {
+    // Local perspective: src = service endpoint.
+    FlowTuple::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        80,
+        Ipv4Addr::new(10, 0, 0, 2),
+        client_port,
+    )
+}
+
+#[test]
+fn global_variant_always_finds_the_single_socket() {
+    let mut c = ctx(4);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Global, 4);
+    let global = t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    for core in 0..4u16 {
+        let mut op = c.begin(CoreId(core), 0);
+        let hit = t.lookup(
+            &mut c,
+            &mut op,
+            CoreId(core),
+            &lflow(40_000 + core),
+            &socks,
+            &costs,
+            &mut stats,
+        );
+        op.commit(&mut c.cpu);
+        assert_eq!(hit, Some(global));
+    }
+    assert_eq!(stats.listen_lookups, 4);
+    assert_eq!(stats.listen_entries_walked, 4, "O(1) walk");
+}
+
+#[test]
+fn lookup_on_unlistened_port_returns_none() {
+    let mut c = ctx(2);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Global, 2);
+    t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    let mut op = c.begin(CoreId(0), 0);
+    let other = FlowTuple::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        8_080,
+        Ipv4Addr::new(10, 0, 0, 2),
+        40_000,
+    );
+    assert_eq!(
+        t.lookup(&mut c, &mut op, CoreId(0), &other, &socks, &costs, &mut stats),
+        None
+    );
+    op.commit(&mut c.cpu);
+    assert!(t.has_listener(80));
+    assert!(!t.has_listener(8_080));
+}
+
+#[test]
+fn reuseport_walk_is_linear_in_copies() {
+    let mut c = ctx(8);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::ReusePort, 8);
+    t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    for core in 0..8u16 {
+        t.add_reuseport_copy(&mut c, &mut socks, 80, 128, Pid(core.into()), CoreId(core));
+    }
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    let mut op = c.begin(CoreId(0), 0);
+    for i in 0..10u16 {
+        t.lookup(&mut c, &mut op, CoreId(0), &lflow(40_000 + i), &socks, &costs, &mut stats);
+    }
+    op.commit(&mut c.cpu);
+    assert_eq!(stats.listen_entries_walked, 80, "8 copies walked per lookup");
+}
+
+#[test]
+fn reuseport_selection_is_flow_stable() {
+    let mut c = ctx(4);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::ReusePort, 4);
+    t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    for core in 0..4u16 {
+        t.add_reuseport_copy(&mut c, &mut socks, 80, 128, Pid(core.into()), CoreId(core));
+    }
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    let flow = lflow(45_123);
+    let mut op = c.begin(CoreId(0), 0);
+    let a = t.lookup(&mut c, &mut op, CoreId(0), &flow, &socks, &costs, &mut stats);
+    // Same flow from a different core selects the same copy (the
+    // selection hashes the flow, not the receiving core).
+    let b = t.lookup(&mut c, &mut op, CoreId(3), &flow, &socks, &costs, &mut stats);
+    op.commit(&mut c.cpu);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn local_variant_prefers_the_cores_own_socket() {
+    let mut c = ctx(4);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Local, 4);
+    let global = t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    let mut locals = Vec::new();
+    for core in 0..4u16 {
+        locals.push(t.local_listen(&mut c, &mut socks, 80, 128, Pid(core.into()), CoreId(core)));
+    }
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    for core in 0..4u16 {
+        let mut op = c.begin(CoreId(core), 0);
+        let hit = t.lookup(&mut c, &mut op, CoreId(core), &lflow(41_000), &socks, &costs, &mut stats);
+        op.commit(&mut c.cpu);
+        assert_eq!(hit, Some(locals[core as usize]));
+        assert_ne!(hit, Some(global));
+    }
+    assert_eq!(t.local_of(80, CoreId(2)), Some(locals[2]));
+    assert_eq!(t.global_of(80), global);
+}
+
+#[test]
+fn local_variant_falls_back_to_global_after_crash() {
+    let mut c = ctx(2);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Local, 2);
+    let global = t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    t.local_listen(&mut c, &mut socks, 80, 128, Pid(0), CoreId(0));
+    t.local_listen(&mut c, &mut socks, 80, 128, Pid(1), CoreId(1));
+    let orphans = t.destroy_process_socket(80, CoreId(1));
+    assert!(orphans.is_empty(), "no embryonic connections existed");
+    assert_eq!(t.local_of(80, CoreId(1)), None);
+
+    let costs = StackCosts::default();
+    let mut stats = StackStats::default();
+    let mut op = c.begin(CoreId(1), 0);
+    let hit = t.lookup(&mut c, &mut op, CoreId(1), &lflow(42_000), &socks, &costs, &mut stats);
+    op.commit(&mut c.cpu);
+    assert_eq!(hit, Some(global), "Figure 2 slow path: global fallback");
+}
+
+#[test]
+fn destroy_on_global_variant_is_a_noop() {
+    let mut c = ctx(2);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Global, 2);
+    let global = t.listen(&mut c, &mut socks, 80, 128, CoreId(0));
+    let orphans = t.destroy_process_socket(80, CoreId(0));
+    assert!(orphans.is_empty());
+    assert_eq!(t.global_of(80), global, "the shared socket survives");
+}
+
+#[test]
+fn backlog_room_accounts_both_queues() {
+    let mut c = ctx(1);
+    let mut socks = SockTable::new();
+    let mut t = ListenTable::new(ListenVariant::Global, 1);
+    let ls = t.listen(&mut c, &mut socks, 80, 2, CoreId(0));
+    assert!(t.ls(ls).has_room());
+    let s1 = socks.alloc(&mut c, lflow(1_100), tcp_stack::TcpState::SynRcvd, false, CoreId(0));
+    t.ls_mut(ls).syn_queue.insert(lflow(1_100), s1);
+    assert!(t.ls(ls).has_room());
+    let s2 = socks.alloc(&mut c, lflow(1_101), tcp_stack::TcpState::Established, false, CoreId(0));
+    t.ls_mut(ls).accept_queue.push_back(s2);
+    assert!(!t.ls(ls).has_room(), "syn + accept occupancy sums");
+}

@@ -1,0 +1,170 @@
+//! Property tests on the paper's core mechanisms: the Receive Flow
+//! Deliver hash, the port allocators, and the TCP state machine.
+
+use proptest::prelude::*;
+use sim_core::{CoreId, SimRng};
+use sim_mem::{CacheCosts, CacheModel};
+use sim_net::TcpFlags;
+use sim_os::KernelCtx;
+use sim_sync::{LockCosts, LockTable};
+use std::net::Ipv4Addr;
+use tcp_stack::costs::StackCosts;
+use tcp_stack::ports::{PortAlloc, PortAllocVariant, EPHEMERAL_MAX, EPHEMERAL_MIN};
+use tcp_stack::rfd::Rfd;
+use tcp_stack::state::{on_close, on_segment};
+use tcp_stack::TcpState;
+
+fn ctx(cores: usize) -> KernelCtx {
+    KernelCtx::new(
+        cores,
+        LockTable::new(LockCosts::default()),
+        CacheModel::new(CacheCosts::default()),
+        SimRng::seed(41),
+    )
+}
+
+proptest! {
+    /// The RFD invariant that makes active-connection locality work:
+    /// any port the per-core allocator hands to core `c` decodes back
+    /// to `c` under the RFD hash, for every machine size.
+    #[test]
+    fn rfd_port_choice_round_trips(cores in 1u16..=32, core_sel in any::<u16>(), n in 1usize..60) {
+        let core = CoreId(core_sel % cores);
+        let mut c = ctx(cores as usize);
+        let mut alloc = PortAlloc::new(&mut c, PortAllocVariant::PerCore, cores);
+        let rfd = Rfd::new(cores);
+        let costs = StackCosts::default();
+        let mut op = c.begin(core, 0);
+        for _ in 0..n {
+            let p = alloc
+                .alloc(&mut c, &mut op, core, Ipv4Addr::new(10, 0, 0, 9), 80, &costs)
+                .unwrap();
+            prop_assert!(rfd.port_matches_core(p, core), "port {} core {}", p, core.0);
+            prop_assert!((EPHEMERAL_MIN..EPHEMERAL_MAX).contains(&p));
+        }
+        op.commit(&mut c.cpu);
+    }
+
+    /// Ports are never handed out twice towards the same destination
+    /// while in use, under interleaved alloc/release.
+    #[test]
+    fn port_allocator_uniqueness(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut c = ctx(2);
+        let mut alloc = PortAlloc::new(&mut c, PortAllocVariant::Global, 2);
+        let costs = StackCosts::default();
+        let dst = Ipv4Addr::new(10, 0, 0, 9);
+        let mut live: Vec<u16> = Vec::new();
+        let mut op = c.begin(CoreId(0), 0);
+        for take in ops {
+            if take || live.is_empty() {
+                let p = alloc.alloc(&mut c, &mut op, CoreId(0), dst, 80, &costs).unwrap();
+                prop_assert!(!live.contains(&p), "port {} reissued", p);
+                live.push(p);
+            } else {
+                let p = live.swap_remove(live.len() / 2);
+                alloc.release(dst, 80, p);
+            }
+        }
+        op.commit(&mut c.cpu);
+        prop_assert_eq!(alloc.in_use(), live.len());
+    }
+
+    /// The state machine never resurrects a closed connection, and RST
+    /// always closes from any state.
+    #[test]
+    fn state_machine_terminal_and_rst(flags in 0u8..0x40, state_idx in 0usize..11) {
+        let states = [
+            TcpState::Closed, TcpState::Listen, TcpState::SynSent, TcpState::SynRcvd,
+            TcpState::Established, TcpState::FinWait1, TcpState::FinWait2,
+            TcpState::CloseWait, TcpState::Closing, TcpState::LastAck, TcpState::TimeWait,
+        ];
+        let state = states[state_idx];
+        let t = on_segment(state, TcpFlags(flags), 0);
+        if TcpFlags(flags).rst() {
+            prop_assert_eq!(t.next, TcpState::Closed);
+            prop_assert!(!t.send_ack);
+        }
+        if state == TcpState::Closed {
+            // Nothing transitions OUT of closed via segments.
+            prop_assert!(t.next == TcpState::Closed || t.reset);
+        }
+        // `established` is only signalled from opening states.
+        if t.established {
+            prop_assert!(matches!(state, TcpState::SynSent | TcpState::SynRcvd));
+        }
+    }
+
+    /// close() is idempotent in effect: applying it twice never yields
+    /// a second FIN.
+    #[test]
+    fn close_never_double_fins(state_idx in 0usize..11) {
+        let states = [
+            TcpState::Closed, TcpState::Listen, TcpState::SynSent, TcpState::SynRcvd,
+            TcpState::Established, TcpState::FinWait1, TcpState::FinWait2,
+            TcpState::CloseWait, TcpState::Closing, TcpState::LastAck, TcpState::TimeWait,
+        ];
+        let state = states[state_idx];
+        if let Some((next, fin1)) = on_close(state) {
+            if fin1 {
+                // A second close in the post-FIN state must not FIN again.
+                prop_assert!(on_close(next).is_none(), "double FIN from {}", state);
+            }
+        }
+    }
+
+    /// RFD classification is total and deterministic: every packet is
+    /// classified, and classification agrees with itself.
+    #[test]
+    fn rfd_classification_total(src in any::<u16>(), dst in any::<u16>(), listened in any::<bool>()) {
+        let rfd = Rfd::new(16);
+        let flow = sim_net::FlowTuple::new(
+            Ipv4Addr::new(1, 2, 3, 4), src, Ipv4Addr::new(5, 6, 7, 8), dst,
+        );
+        let (a, _) = rfd.classify(&flow, |_| listened);
+        let (b, _) = rfd.classify(&flow, |_| listened);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    /// The security bit-shift preserves the RFD round-trip invariant:
+    /// ports chosen for core `c` decode back to `c` under any valid
+    /// shift.
+    #[test]
+    fn rfd_shifted_port_choice_round_trips(
+        cores in 1u16..=16,
+        shift in 0u8..=6,
+        core_sel in any::<u16>(),
+    ) {
+        let core = CoreId(core_sel % cores);
+        let rfd = Rfd::with_shift(cores, shift);
+        let mut c = ctx(cores as usize);
+        let mut alloc = PortAlloc::with_rfd(&mut c, PortAllocVariant::PerCore, cores, rfd);
+        let costs = StackCosts::default();
+        let mut op = c.begin(core, 0);
+        for _ in 0..20 {
+            let p = alloc
+                .alloc(&mut c, &mut op, core, Ipv4Addr::new(10, 0, 0, 9), 80, &costs)
+                .unwrap();
+            prop_assert!(rfd.port_matches_core(p, core), "port {} core {} shift {}", p, core.0, shift);
+        }
+        op.commit(&mut c.cpu);
+    }
+
+    /// Two engines with different shifts distribute an attacker's
+    /// chosen ports differently (the hardening's point: a fixed port
+    /// no longer pins a known core across deployments).
+    #[test]
+    fn rfd_shift_changes_the_mapping(port in 32_768u16..61_000) {
+        let plain = Rfd::with_shift(16, 0);
+        let shifted = Rfd::with_shift(16, 4);
+        // Not a strict inequality for every port, but decoding uses
+        // disjoint bit ranges; sweep a few neighbours to observe a
+        // difference somewhere.
+        let differs = (0..32u16).any(|d| {
+            let p = port.wrapping_add(d);
+            plain.hash(p) != shifted.hash(p)
+        });
+        prop_assert!(differs);
+    }
+}

@@ -1,0 +1,60 @@
+//! Compare the three kernels on the same web workload — a miniature
+//! Figure 4(a).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example kernel_comparison [cores...]
+//! ```
+
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+
+fn main() {
+    let cores_list: Vec<u16> = {
+        let args: Vec<u16> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1, 8, 16, 24]
+        } else {
+            args
+        }
+    };
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>10} {:>10} {:>12}",
+        "kernel", "cores", "conn/sec", "speedup", "spin%", "listen walk"
+    );
+    for kernel in [
+        KernelSpec::BaseLinux,
+        KernelSpec::Linux313,
+        KernelSpec::Fastsocket,
+    ] {
+        let mut single = None;
+        for &cores in &cores_list {
+            let cfg = SimConfig::new(kernel.clone(), AppSpec::web(), cores)
+                .warmup_secs(0.1)
+                .measure_secs(0.2);
+            let r = Simulation::new(cfg).run();
+            if cores == cores_list[0] {
+                single = Some(r.throughput_cps / f64::from(cores));
+            }
+            let speedup = single.map_or(0.0, |s| r.throughput_cps / s);
+            println!(
+                "{:<14} {:>6} {:>12.0} {:>9.1}x {:>9.1}% {:>12.1}",
+                r.kernel,
+                cores,
+                r.throughput_cps,
+                speedup,
+                100.0 * r.lock_spin_share(),
+                r.avg_listen_walk,
+            );
+        }
+    }
+    println!(
+        "\nNote how the base kernel flattens once its global listen socket and \
+         dcache_lock\nsaturate, Linux 3.13 pays an O(cores) listener walk \
+         (`listen walk` column), and\nFastsocket scales near-linearly."
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: simulate an 8-core Fastsocket web server for one second
+//! and print the headline metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+
+fn main() {
+    // An 8-core server running the Fastsocket kernel and an nginx-like
+    // web application, loaded by http_load-style clients (500
+    // connections per core, short-lived HTTP exchanges).
+    let config = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 8)
+        .warmup_secs(0.1)
+        .measure_secs(0.5);
+
+    println!("simulating 0.6s of an 8-core Fastsocket web server...");
+    let report = Simulation::new(config).run();
+
+    println!("\n== results ==");
+    println!("throughput        : {:.0} connections/sec", report.throughput_cps);
+    println!("connections served: {}", report.completed);
+    println!(
+        "core utilization  : avg {:.1}%  (min {:.1}%, max {:.1}%)",
+        100.0 * report.avg_utilization(),
+        100.0 * report.utilization_spread().0,
+        100.0 * report.utilization_spread().1
+    );
+    println!("L3 miss rate      : {:.1}%", 100.0 * report.l3_miss_rate);
+    println!(
+        "lock spin share   : {:.2}% of cycles",
+        100.0 * report.lock_spin_share()
+    );
+
+    println!("\nlockstat (contentions in the measured window):");
+    for lock in &report.locks {
+        if lock.acquisitions > 0 {
+            println!(
+                "  {:<12} {:>10} acquisitions, {:>8} contended",
+                lock.name, lock.acquisitions, lock.contentions
+            );
+        }
+    }
+    println!(
+        "\nWith the full Fastsocket design (Local Listen Table, Local \
+         Established Table,\nReceive Flow Deliver, Fastsocket-aware VFS) \
+         every connection is handled on a\nsingle core, so the shared-lock \
+         contention counts above are zero."
+    );
+}

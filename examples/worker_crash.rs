@@ -1,0 +1,99 @@
+//! Robustness: why the Local Listen Table keeps the global listen
+//! socket around (Figure 2's slow path).
+//!
+//! A naive per-core partition of the listen table breaks TCP: when a
+//! worker dies, SYNs delivered to its core match nothing and get RST —
+//! even though other workers could serve them (§2.1). Fastsocket falls
+//! back to the global listen socket, and `accept()` checks the global
+//! queue first so slow-path connections cannot starve.
+//!
+//! This example drives the TCP stack directly (no full simulation) to
+//! show both paths.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example worker_crash
+//! ```
+
+use sim_core::{CoreId, SimRng};
+use sim_mem::{CacheCosts, CacheModel};
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use sim_os::process::Pid;
+use sim_os::KernelCtx;
+use sim_sync::{LockCosts, LockTable};
+use std::net::Ipv4Addr;
+use tcp_stack::stack::{OsServices, StackConfig, TcpStack};
+use tcp_stack::AcceptSource;
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn main() {
+    let config = StackConfig::fastsocket(4);
+    let mut ctx = KernelCtx::new(
+        4,
+        LockTable::new(LockCosts::default()),
+        CacheModel::new(CacheCosts::default()),
+        SimRng::seed(1),
+    );
+    let mut os = OsServices::new(&mut ctx, &config);
+    let mut stack = TcpStack::new(&mut ctx, config);
+
+    // Server setup: global listen socket + one local_listen() per core.
+    let mut op = ctx.begin(CoreId(0), 0);
+    stack.listen(&mut ctx, &mut op, 80, 1024, CoreId(0));
+    for c in 0..4u16 {
+        stack.local_listen(&mut ctx, &mut op, 80, 1024, Pid(c.into()), CoreId(c));
+    }
+    op.commit(&mut ctx.cpu);
+    println!("server listening on :80 with 4 workers (local listen tables)");
+
+    // The worker on core 1 crashes: the kernel destroys its copied
+    // listen socket.
+    stack
+        .listen_table_mut()
+        .destroy_process_socket(80, CoreId(1));
+    println!("worker on core 1 crashed; its local listen socket is gone\n");
+
+    // A SYN is RSS-delivered to core 1 anyway.
+    let flow = FlowTuple::new(CLIENT, 45_000, SERVER, 80);
+    let syn = Packet::new(flow, TcpFlags::SYN).with_seq(1_000);
+    let mut op = ctx.begin(CoreId(1), 0);
+    let out = stack.net_rx(&mut ctx, &mut os, &mut op, &syn, false);
+    op.commit(&mut ctx.cpu);
+
+    let reply = out.replies.first().expect("a reply");
+    println!(
+        "SYN on core 1 -> {} (a naive local-only partition would send RST here)",
+        if reply.flags.rst() { "RST" } else { "SYN-ACK" }
+    );
+    assert!(reply.flags.syn() && reply.flags.ack(), "robustness slow path");
+
+    // Complete the handshake; the connection lands in the GLOBAL
+    // accept queue.
+    let ack = Packet::new(flow, TcpFlags::ACK)
+        .with_seq(1_001)
+        .with_ack(reply.seq.wrapping_add(1));
+    let mut op = ctx.begin(CoreId(1), 0);
+    stack.net_rx(&mut ctx, &mut os, &mut op, &ack, false);
+    op.commit(&mut ctx.cpu);
+
+    // Any surviving worker can accept it; the global queue is checked
+    // before the local one (Figure 2, step 7), so it cannot starve.
+    let mut op = ctx.begin(CoreId(2), 0);
+    let (sock, source) = stack
+        .accept(&mut ctx, &mut os, &mut op, 80, CoreId(2), Pid(2))
+        .expect("connection must be acceptable after the crash");
+    op.commit(&mut ctx.cpu);
+    println!(
+        "worker on core 2 accepted the connection via the {} queue (socket {:?})",
+        match source {
+            AcceptSource::Global => "GLOBAL (slow path)",
+            AcceptSource::Local => "local",
+        },
+        sock
+    );
+    assert_eq!(source, AcceptSource::Global);
+    println!("\nrobustness preserved: no RST, the connection survived the crash");
+}

@@ -1,0 +1,2 @@
+//! Workspace root: re-exports the fastsocket public API for examples and tests.
+pub use fastsocket::*;

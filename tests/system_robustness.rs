@@ -1,0 +1,114 @@
+//! Whole-system robustness and reproducibility tests.
+
+use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
+use sim_core::CoreId;
+
+#[test]
+fn determinism_across_identical_runs() {
+    let mk = || {
+        let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 4)
+            .warmup_secs(0.02)
+            .measure_secs(0.08)
+            .concurrency(160)
+            .seed(12345);
+        Simulation::new(cfg).run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.stack.passive_established, b.stack.passive_established);
+    for (la, lb) in a.locks.iter().zip(&b.locks) {
+        assert_eq!(la.contentions, lb.contentions, "{}", la.name);
+    }
+}
+
+#[test]
+fn different_seeds_change_microstate_not_shape() {
+    let mk = |seed| {
+        let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+            .warmup_secs(0.02)
+            .measure_secs(0.1)
+            .concurrency(160)
+            .seed(seed);
+        Simulation::new(cfg).run()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let ratio = a.throughput_cps / b.throughput_cps;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "seeds should only perturb noise: {ratio}"
+    );
+}
+
+#[test]
+fn worker_crash_mid_run_does_not_reset_clients() {
+    // Kill one worker's local listen socket mid-simulation; the global
+    // fallback must keep accepting its core's connections (Figure 2's
+    // slow path at system scale).
+    let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+        .warmup_secs(0.02)
+        .measure_secs(0.1)
+        .concurrency(120);
+    let mut sim = Simulation::new(cfg);
+    sim.crash_worker(CoreId(2));
+    let r = sim.run();
+    assert_eq!(r.resets, 0, "no client may be refused: {r:?}");
+    assert!(r.completed > 500);
+    assert!(
+        r.stack.accepts_global > 0,
+        "core 2's connections must flow through the global queue"
+    );
+    assert!(r.stack.accepts_local > 0, "other cores use the fast path");
+}
+
+#[test]
+fn utilization_is_balanced_under_fastsocket_but_not_base() {
+    let mk = |kernel| {
+        let cfg = SimConfig::new(kernel, AppSpec::proxy(), 8)
+            .warmup_secs(0.05)
+            .measure_secs(0.15)
+            .concurrency(400)
+            .think_secs(0.004) // partial load, where imbalance shows
+            .seed(3);
+        Simulation::new(cfg).run()
+    };
+    let base = mk(KernelSpec::BaseLinux);
+    let fs = mk(KernelSpec::Fastsocket);
+    let (bmin, bmax) = base.utilization_spread();
+    let (fmin, fmax) = fs.utilization_spread();
+    let base_spread = bmax - bmin;
+    let fs_spread = fmax - fmin;
+    assert!(
+        fs_spread < base_spread,
+        "fastsocket must balance better: base {base_spread:.3} vs fs {fs_spread:.3}"
+    );
+    assert!(fs_spread < 0.05, "fastsocket cores stay within 5pp: {fs_spread:.3}");
+}
+
+#[test]
+fn kernel_resources_are_reclaimed() {
+    // After thousands of completed connections, live sockets must be
+    // bounded by listen sockets + in-flight connections — a
+    // per-connection leak would scale with completions.
+    for kernel in [KernelSpec::BaseLinux, KernelSpec::Fastsocket] {
+        let concurrency = 60;
+        let cfg = SimConfig::new(kernel, AppSpec::web(), 2)
+            .warmup_secs(0.02)
+            .measure_secs(0.1)
+            .concurrency(concurrency);
+        let r = Simulation::new(cfg).run();
+        assert!(r.completed > 1_000, "{}", r.kernel);
+        // Listen sockets (≤ 1 global + 2 local) + at most one socket
+        // per concurrent client + TIME_WAIT stragglers.
+        let bound = 3 + 2 * concurrency + 64;
+        assert!(
+            r.live_sockets <= bound,
+            "{}: {} live sockets after {} connections (bound {bound})",
+            r.kernel,
+            r.live_sockets,
+            r.completed
+        );
+    }
+}
