@@ -61,7 +61,10 @@ impl ClientSlot {
         request_len: u16,
         requests_per_conn: u32,
     ) -> Self {
-        assert!(requests_per_conn >= 1, "a connection carries at least one request");
+        assert!(
+            requests_per_conn >= 1,
+            "a connection carries at least one request"
+        );
         ClientSlot {
             ip,
             server_ip,
@@ -151,8 +154,7 @@ impl ClientSlot {
             ClientState::SynSent => {
                 // Our SYN may have been lost.
                 out.push(
-                    Packet::new(self.flow, TcpFlags::SYN)
-                        .with_seq(self.snd_nxt.wrapping_sub(1)),
+                    Packet::new(self.flow, TcpFlags::SYN).with_seq(self.snd_nxt.wrapping_sub(1)),
                 );
             }
             ClientState::AwaitResponse => {
@@ -472,7 +474,11 @@ mod tests {
         let flow = FlowTuple::new(SERVER, 40_000, BACKEND, 80);
         let mut out = Vec::new();
 
-        be.on_packet(&Packet::new(flow, TcpFlags::SYN).with_seq(10), 900, &mut out);
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::SYN).with_seq(10),
+            900,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert!(out[0].flags.syn() && out[0].flags.ack());
 

@@ -5,6 +5,7 @@ use sim_net::Packet;
 use sim_os::epoll::{EpollEvent, EpollId};
 use sim_os::process::Pid;
 use sim_os::{KernelCtx, Op};
+use sim_trace::TraceLabel;
 use tcp_stack::stack::{OsServices, TcpStack};
 use tcp_stack::SockId;
 
@@ -39,20 +40,29 @@ pub struct Sys<'a> {
 impl Sys<'_> {
     /// `accept()` one connection on `port`, or `None` (EAGAIN).
     pub fn accept(&mut self, port: u16) -> Option<SockId> {
-        self.stack
+        self.op.trace_enter(TraceLabel::SysAccept);
+        let sock = self
+            .stack
             .accept(self.ctx, self.os, self.op, port, self.core, self.pid)
-            .map(|(sock, _)| sock)
+            .map(|(sock, _)| sock);
+        self.op.trace_exit(TraceLabel::SysAccept);
+        sock
     }
 
     /// Registers `sock` in this worker's epoll with `token`.
     pub fn register(&mut self, sock: SockId, token: u64) {
+        self.op.trace_enter(TraceLabel::SysEpollCtl);
         self.stack
             .register_epoll(self.ctx, self.os, self.op, sock, self.ep, token);
+        self.op.trace_exit(TraceLabel::SysEpollCtl);
     }
 
     /// `read()`: drains and returns buffered receive bytes.
     pub fn recv(&mut self, sock: SockId) -> u32 {
-        self.stack.recv(self.ctx, self.op, sock)
+        self.op.trace_enter(TraceLabel::SysRecv);
+        let n = self.stack.recv(self.ctx, self.op, sock);
+        self.op.trace_exit(TraceLabel::SysRecv);
+        n
     }
 
     /// Bytes buffered for reading (level-triggered readiness probe:
@@ -74,22 +84,27 @@ impl Sys<'_> {
 
     /// `write()`: sends `bytes` of payload.
     pub fn send(&mut self, sock: SockId, bytes: u16) {
+        self.op.trace_enter(TraceLabel::SysSend);
         if let Some(pkt) = self.stack.send(self.ctx, self.os, self.op, sock, bytes) {
             self.tx.push(pkt);
         }
+        self.op.trace_exit(TraceLabel::SysSend);
     }
 
     /// `close()`: releases the FD side and starts TCP teardown.
     pub fn close(&mut self, sock: SockId) {
+        self.op.trace_enter(TraceLabel::SysClose);
         if let Some(fin) = self.stack.close(self.ctx, self.os, self.op, sock) {
             self.tx.push(fin);
         }
+        self.op.trace_exit(TraceLabel::SysClose);
     }
 
     /// `connect()` to `(dst_ip, dst_port)`; the SYN is queued for
     /// transmission. `None` when ephemeral ports are exhausted.
     pub fn connect(&mut self, dst_ip: std::net::Ipv4Addr, dst_port: u16) -> Option<SockId> {
-        let (sock, syn) = self.stack.connect(
+        self.op.trace_enter(TraceLabel::SysConnect);
+        let conn = self.stack.connect(
             self.ctx,
             self.os,
             self.op,
@@ -98,14 +113,18 @@ impl Sys<'_> {
             self.local_ip,
             dst_ip,
             dst_port,
-        )?;
+        );
+        self.op.trace_exit(TraceLabel::SysConnect);
+        let (sock, syn) = conn?;
         self.tx.push(syn);
         Some(sock)
     }
 
     /// Pure user-level work (request parsing, response building).
     pub fn work(&mut self, cycles: Cycles) {
+        self.op.trace_enter(TraceLabel::AppWork);
         self.op.work(CycleClass::AppWork, cycles);
+        self.op.trace_exit(TraceLabel::AppWork);
     }
 
     /// Whether more connections are ready to accept on `port`

@@ -87,17 +87,13 @@ fn handshake_and_request(rig: &mut Rig, port: u16, len: u16) {
     let flow = FlowTuple::new(CLIENT, port, SERVER, 80);
     let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(100));
     let synack = reply[0];
-    rig.rx(
-        Packet::new(flow, TcpFlags::ACK)
-            .with_seq(101)
-            .with_ack(synack.seq.wrapping_add(1)),
-    );
-    rig.rx(
-        Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
-            .with_seq(101)
-            .with_ack(synack.seq.wrapping_add(1))
-            .with_payload(len),
-    );
+    rig.rx(Packet::new(flow, TcpFlags::ACK)
+        .with_seq(101)
+        .with_ack(synack.seq.wrapping_add(1)));
+    rig.rx(Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+        .with_seq(101)
+        .with_ack(synack.seq.wrapping_add(1))
+        .with_payload(len));
 }
 
 #[test]
@@ -135,11 +131,9 @@ fn web_worker_ignores_empty_readable_without_fin() {
     // serve, and the connection stays open awaiting data.
     let flow = FlowTuple::new(CLIENT, 40_002, SERVER, 80);
     let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(7));
-    rig.rx(
-        Packet::new(flow, TcpFlags::ACK)
-            .with_seq(8)
-            .with_ack(reply[0].seq.wrapping_add(1)),
-    );
+    rig.rx(Packet::new(flow, TcpFlags::ACK)
+        .with_seq(8)
+        .with_ack(reply[0].seq.wrapping_add(1)));
     rig.run_worker(&mut web);
     assert_eq!(web.served(), 0);
     assert_eq!(web.open_conns(), 1);
@@ -168,7 +162,10 @@ fn proxy_worker_relays_via_active_connection() {
             .with_ack(syn.seq.wrapping_add(1)),
     );
     let tx = rig.run_worker(&mut proxy);
-    let relayed = tx.iter().find(|p| p.payload_len == 600).expect("request relayed");
+    let relayed = tx
+        .iter()
+        .find(|p| p.payload_len == 600)
+        .expect("request relayed");
     assert_eq!(relayed.flow.dst_ip, syn.flow.dst_ip);
 
     // Backend responds and closes; the proxy relays to the client and
@@ -186,7 +183,10 @@ fn proxy_worker_relays_via_active_connection() {
     );
     let tx = rig.run_worker(&mut proxy);
     assert_eq!(proxy.served(), 1);
-    assert!(tx.iter().any(|p| p.payload_len == 1_200), "response to client");
+    assert!(
+        tx.iter().any(|p| p.payload_len == 1_200),
+        "response to client"
+    );
     assert!(tx.iter().any(|p| p.flags.fin()), "both sides closed");
     assert_eq!(proxy.open_conns(), 0);
 }
@@ -197,19 +197,15 @@ fn proxy_worker_drops_client_that_never_sends() {
     let mut proxy = Proxy::new(ProxyConfig::default());
     let flow = FlowTuple::new(CLIENT, 40_004, SERVER, 80);
     let reply = rig.rx(Packet::new(flow, TcpFlags::SYN).with_seq(1));
-    rig.rx(
-        Packet::new(flow, TcpFlags::ACK)
-            .with_seq(2)
-            .with_ack(reply[0].seq.wrapping_add(1)),
-    );
+    rig.rx(Packet::new(flow, TcpFlags::ACK)
+        .with_seq(2)
+        .with_ack(reply[0].seq.wrapping_add(1)));
     rig.run_worker(&mut proxy); // accepts; no request yet
     assert_eq!(proxy.open_conns(), 1);
     // The client gives up without sending anything.
-    rig.rx(
-        Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
-            .with_seq(2)
-            .with_ack(reply[0].seq.wrapping_add(1)),
-    );
+    rig.rx(Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
+        .with_seq(2)
+        .with_ack(reply[0].seq.wrapping_add(1)));
     rig.run_worker(&mut proxy);
     assert_eq!(proxy.open_conns(), 0, "aborted client is cleaned up");
     assert_eq!(proxy.served(), 0);

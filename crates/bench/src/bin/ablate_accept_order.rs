@@ -15,14 +15,10 @@ use tcp_stack::stack::StackConfig;
 fn run(local_first: bool, measure: f64) -> (u64, u64, u64) {
     let mut stack = StackConfig::fastsocket(4);
     stack.accept_local_first = local_first;
-    let cfg = SimConfig::new(
-        KernelSpec::Custom(Box::new(stack)),
-        AppSpec::web(),
-        4,
-    )
-    .warmup_secs(0.05)
-    .measure_secs(measure)
-    .concurrency(800);
+    let cfg = SimConfig::new(KernelSpec::Custom(Box::new(stack)), AppSpec::web(), 4)
+        .warmup_secs(0.05)
+        .measure_secs(measure)
+        .concurrency(800);
     let mut sim = Simulation::new(cfg);
     sim.crash_worker(CoreId(1));
     let r = sim.run();
@@ -37,7 +33,10 @@ fn main() {
         "accept() ordering", "global accepts", "timeouts", "completed"
     );
     let mut rows = Vec::new();
-    for (label, local_first) in [("global-first (paper)", false), ("local-first (naive)", true)] {
+    for (label, local_first) in [
+        ("global-first (paper)", false),
+        ("local-first (naive)", true),
+    ] {
         let (global, timeouts, completed) = run(local_first, args.measure_secs);
         println!("{label:<22} {global:>16} {timeouts:>10} {completed:>12}");
         rows.push((label, global, timeouts, completed));

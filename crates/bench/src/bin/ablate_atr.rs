@@ -15,7 +15,10 @@ fn main() {
     let args = HarnessArgs::parse(0.15, "ablate_atr");
     let cores = 16;
     println!("ATR locality vs signature-table size (HAProxy, {cores} cores)\n");
-    println!("{:>12} {:>12} {:>12} {:>12}", "table slots", "sample rate", "local", "cps");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "table slots", "sample rate", "local", "cps"
+    );
     let mut rows = Vec::new();
     for slots in [512usize, 2_048, 8_192, 32_768] {
         for sample in [20u32, 200] {

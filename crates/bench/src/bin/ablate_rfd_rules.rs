@@ -31,10 +31,20 @@ fn main() {
         let r = Simulation::new(cfg).run();
         println!(
             "{:>14} {:>12} {:>12} {:>12} {:>10.0} {:>8}",
-            port, r.stack.rfd_rule1, r.stack.rfd_rule2, r.stack.rfd_rule3, r.throughput_cps, r.resets
+            port,
+            r.stack.rfd_rule1,
+            r.stack.rfd_rule2,
+            r.stack.rfd_rule3,
+            r.throughput_cps,
+            r.resets
         );
         assert_eq!(r.resets, 0, "classification must stay correct");
-        rows.push((port, r.stack.rfd_rule1, r.stack.rfd_rule2, r.stack.rfd_rule3));
+        rows.push((
+            port,
+            r.stack.rfd_rule1,
+            r.stack.rfd_rule2,
+            r.stack.rfd_rule3,
+        ));
     }
     println!(
         "\nOn port 80 the cheap rules classify everything; on 8080 the \

@@ -9,10 +9,7 @@ use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let app_name = args.get(1).map(String::as_str).unwrap_or("web");
-    let measure: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.5);
+    let measure: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let cores_list: Vec<u16> = args
         .get(3)
         .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
@@ -20,7 +17,17 @@ fn main() {
 
     println!(
         "{:<12} {:>5} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7}",
-        "kernel", "cores", "cps", "spin%", "vfs%", "llkup%", "miss%", "local%", "util", "rst", "tmo"
+        "kernel",
+        "cores",
+        "cps",
+        "spin%",
+        "vfs%",
+        "llkup%",
+        "miss%",
+        "local%",
+        "util",
+        "rst",
+        "tmo"
     );
     for kernel in [
         KernelSpec::BaseLinux,

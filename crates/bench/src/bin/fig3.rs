@@ -7,7 +7,11 @@ use fastsocket_bench::{pct, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(0.2, "fig3");
-    let cores = args.cores.as_ref().and_then(|c| c.first().copied()).unwrap_or(8);
+    let cores = args
+        .cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(8);
     // Peak offered load: the production boxes run below saturation so
     // the hottest core stays under the 75% SLA threshold.
     let peak_cps: f64 = std::env::var("FIG3_PEAK_CPS")

@@ -6,7 +6,11 @@ use fastsocket_bench::{kcps, pct, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(0.25, "fig5");
-    let cores = args.cores.as_ref().and_then(|c| c.first().copied()).unwrap_or(16);
+    let cores = args
+        .cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(16);
     eprintln!(
         "Figure 5: NIC steering configurations (HAProxy, {cores} cores, {}s windows)...",
         args.measure_secs

@@ -21,7 +21,11 @@ fn run(batching: bool, zero_copy: bool, cores: u16, measure: f64) -> f64 {
 
 fn main() {
     let args = HarnessArgs::parse(0.2, "future_work");
-    let cores = args.cores.as_ref().and_then(|c| c.first().copied()).unwrap_or(24);
+    let cores = args
+        .cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(24);
     println!("Fastsocket web server on {cores} cores, §5 extensions\n");
     let mut rows = Vec::new();
     let base = run(false, false, cores, args.measure_secs);

@@ -40,7 +40,12 @@ fn main() {
             pct(iso.core_utilization[0]),
             kcps(fs.throughput_cps),
         );
-        rows.push((cores, iso.throughput_cps, iso.core_utilization[0], fs.throughput_cps));
+        rows.push((
+            cores,
+            iso.throughput_cps,
+            iso.core_utilization[0],
+            fs.throughput_cps,
+        ));
     }
     println!(
         "\nThe dedicated stack core saturates (util → 100%) and throughput \

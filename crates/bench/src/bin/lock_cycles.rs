@@ -7,7 +7,11 @@ use fastsocket_bench::{pct, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(0.25, "lock_cycles");
-    let cores = args.cores.as_ref().and_then(|c| c.first().copied()).unwrap_or(8);
+    let cores = args
+        .cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(8);
     eprintln!("lock-cycle shares (HAProxy, {cores} cores)...");
     let shares = micro::lock_cycle_shares(cores, args.measure_secs);
 

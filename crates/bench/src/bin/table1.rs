@@ -7,7 +7,11 @@ use fastsocket_bench::{kcps, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse(0.25, "table1");
-    let cores = args.cores.as_ref().and_then(|c| c.first().copied()).unwrap_or(24);
+    let cores = args
+        .cores
+        .as_ref()
+        .and_then(|c| c.first().copied())
+        .unwrap_or(24);
     eprintln!(
         "Table 1: lockstat across feature steps ({cores} cores, {}s windows, scaled to 60s)...",
         args.measure_secs
@@ -40,9 +44,15 @@ fn main() {
 
     // The paper's qualitative deltas.
     let final_step = FeatureStep::Vlre.label();
-    let zeroed = ["dcache_lock", "inode_lock", "slock", "ep.lock", "ehash.lock"]
-        .iter()
-        .all(|l| table.get(final_step, l) == Some(0));
+    let zeroed = [
+        "dcache_lock",
+        "inode_lock",
+        "slock",
+        "ep.lock",
+        "ehash.lock",
+    ]
+    .iter()
+    .all(|l| table.get(final_step, l) == Some(0));
     println!(
         "\nfull Fastsocket zeroes dcache/inode/slock/ep/ehash contention: {} (paper: yes)",
         if zeroed { "yes" } else { "NO" }

@@ -130,6 +130,14 @@ pub struct SimConfig {
     /// worker processes occupy the remaining cores. The paper argues
     /// this dedicated core saturates under short-lived connections.
     pub dedicated_stack_core: bool,
+    /// Whether the tracer records events (spans, lifecycle marks,
+    /// dispatch counts). Off by default: a disabled tracer costs one
+    /// branch per would-be event.
+    pub trace: bool,
+    /// Per-core trace ring capacity (events retained for inspection and
+    /// chrome export; attribution and histograms are unaffected by
+    /// overwrites).
+    pub trace_ring_capacity: usize,
 }
 
 impl SimConfig {
@@ -155,6 +163,8 @@ impl SimConfig {
             atr: AtrConfig::default(),
             loss: 0.0,
             dedicated_stack_core: false,
+            trace: false,
+            trace_ring_capacity: sim_trace::DEFAULT_RING_CAPACITY,
         }
     }
 
@@ -191,8 +201,7 @@ impl SimConfig {
 
     /// Sets total client concurrency directly (builder style).
     pub fn concurrency(mut self, total: u32) -> Self {
-        self.workload.concurrency_per_core =
-            (total / u32::from(self.cores.max(1))).max(1);
+        self.workload.concurrency_per_core = (total / u32::from(self.cores.max(1))).max(1);
         self
     }
 
@@ -201,6 +210,24 @@ impl SimConfig {
     pub fn think_secs(mut self, secs: f64) -> Self {
         self.think_time = secs_to_cycles(secs);
         self
+    }
+
+    /// Enables or disables event tracing (builder style).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// FNV-1a hash of the full configuration (via its `Debug` form),
+    /// surfaced in reports so results can be tied back to the exact
+    /// parameter set that produced them.
+    pub fn config_digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
     }
 }
 
@@ -241,6 +268,16 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.workload.concurrency_per_core, 500);
         assert_eq!(c.warmup, sim_core::secs_to_cycles(0.1));
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_seed_sensitive() {
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), b.config_digest());
+        let c = b.seed(1);
+        assert_ne!(a.config_digest(), c.config_digest());
+        assert!(a.trace(true).trace);
     }
 
     #[test]

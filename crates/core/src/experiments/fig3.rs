@@ -19,8 +19,8 @@ use crate::sim::Simulation;
 /// shaped like consumer-service traffic: trough before dawn, evening
 /// peak.
 pub const DIURNAL: [f64; 24] = [
-    0.55, 0.45, 0.35, 0.28, 0.25, 0.27, 0.35, 0.50, 0.65, 0.75, 0.80, 0.82, 0.85, 0.82, 0.80,
-    0.82, 0.85, 0.88, 0.95, 1.00, 0.98, 0.90, 0.80, 0.65,
+    0.55, 0.45, 0.35, 0.28, 0.25, 0.27, 0.35, 0.50, 0.65, 0.75, 0.80, 0.82, 0.85, 0.82, 0.80, 0.82,
+    0.85, 0.88, 0.95, 1.00, 0.98, 0.90, 0.80, 0.65,
 ];
 
 /// One hourly utilization sample.

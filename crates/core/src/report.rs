@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::{CycleClass, Cycles};
 use sim_mem::CacheStats;
 use sim_sync::{ClassStats, LockClass};
+use sim_trace::LatencyReport;
 use tcp_stack::StackStats;
 
 /// Lockstat-style row for one lock class (Table 1).
@@ -32,6 +33,14 @@ pub struct RunReport {
     pub cores: u16,
     /// NIC steering label (`rss`, `fdir_atr`, `fdir_perfect`).
     pub steering: String,
+    /// RNG seed the run used (reproduce with `SimConfig::seed`).
+    pub seed: u64,
+    /// FNV-1a digest of the full configuration
+    /// ([`SimConfig::config_digest`](crate::SimConfig::config_digest)).
+    pub config_hash: String,
+    /// Connection latency percentiles over the measured window —
+    /// `None` unless the run had tracing enabled (`SimConfig::trace`).
+    pub latency: Option<LatencyReport>,
     /// Measured window length in (simulated) seconds.
     pub measure_secs: f64,
     /// Connections per second completed by the clients — the paper's
@@ -150,6 +159,9 @@ mod tests {
             app: "nginx".into(),
             cores: 4,
             steering: "rss".into(),
+            seed: 0xfa57_50c7,
+            config_hash: "0123456789abcdef".into(),
+            latency: None,
             measure_secs: 1.0,
             throughput_cps: 100_000.0,
             requests_per_sec: 100_000.0,

@@ -21,7 +21,7 @@ use std::net::Ipv4Addr;
 use sim_apps::peer::{Backend, ClientSlot};
 use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
 use sim_apps::{Proxy, WebServer};
-use sim_core::{cycles_to_secs, CoreId, CycleClass, Cycles, EventQueue, SimRng};
+use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
 use sim_mem::CacheModel;
 use sim_net::Packet;
 use sim_nic::{Nic, NicConfig, SteeringMode};
@@ -30,6 +30,7 @@ use sim_os::process::{Pid, ProcessTable};
 use sim_os::softirq::SoftirqQueues;
 use sim_os::KernelCtx;
 use sim_sync::LockTable;
+use sim_trace::{TraceLabel, Tracer};
 use tcp_stack::stack::{OsServices, TcpStack};
 use tcp_stack::{ListenVariant, SockId};
 
@@ -69,6 +70,23 @@ enum Ev {
     ClientNudge(u32, u64),
 }
 
+impl Ev {
+    /// Dispatch-mix label for the tracer.
+    fn label(&self) -> &'static str {
+        match self {
+            Ev::ToServer(_) => "to_server",
+            Ev::ToPeer(_) => "to_peer",
+            Ev::Softirq(_) => "softirq",
+            Ev::ProcWake(_) => "proc_wake",
+            Ev::TwExpire(..) => "tw_expire",
+            Ev::Rto(..) => "rto",
+            Ev::ClientStart(_) => "client_start",
+            Ev::ClientTimeout(..) => "client_timeout",
+            Ev::ClientNudge(..) => "client_nudge",
+        }
+    }
+}
+
 /// One configured simulation, ready to [`run`](Simulation::run).
 pub struct Simulation {
     cfg: SimConfig,
@@ -90,6 +108,7 @@ pub struct Simulation {
     now: Cycles,
     timeouts: u64,
     pending_crashes: Vec<CoreId>,
+    tracer: Tracer,
 }
 
 fn client_ip(slot: u32) -> Ipv4Addr {
@@ -101,12 +120,18 @@ impl Simulation {
     pub fn new(cfg: SimConfig) -> Self {
         let cores = cfg.cores;
         let stack_config = cfg.kernel.resolve(cores);
+        let tracer = if cfg.trace {
+            Tracer::enabled(cores, cfg.trace_ring_capacity)
+        } else {
+            Tracer::disabled()
+        };
         let mut ctx = KernelCtx::new(
             cores as usize,
             LockTable::new(cfg.lock_costs),
             CacheModel::new(cfg.cache_costs),
             SimRng::seed(cfg.seed),
         );
+        ctx.set_tracer(tracer.clone());
         let os = OsServices::new(&mut ctx, &stack_config);
         let stack = TcpStack::new(&mut ctx, stack_config);
         let mut nic_config = NicConfig::new(cores, cfg.steering);
@@ -148,6 +173,8 @@ impl Simulation {
         }
 
         let peer_rng = SimRng::seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut events = EventQueue::with_capacity(1 << 16);
+        events.set_tracer(tracer.clone(), Ev::label);
         Simulation {
             cfg,
             ctx,
@@ -163,12 +190,20 @@ impl Simulation {
             client_by_ip,
             backends,
             backend_by_ip,
-            events: EventQueue::with_capacity(1 << 16),
+            events,
             peer_rng,
             now: 0,
             timeouts: 0,
             pending_crashes: Vec::new(),
+            tracer,
         }
+    }
+
+    /// A handle to this run's tracer. Clones share state, so the handle
+    /// stays valid after [`Simulation::run`] consumes the simulation —
+    /// grab it before running, read traces after.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Schedules the worker pinned to `core` to crash at startup (after
@@ -197,7 +232,9 @@ impl Simulation {
 
         // The master process creates the (global) listen socket.
         let mut op = self.ctx.begin(CoreId(0), 0);
-        let global_ls = self.stack.listen(&mut self.ctx, &mut op, port, backlog, CoreId(0));
+        let global_ls = self
+            .stack
+            .listen(&mut self.ctx, &mut op, port, backlog, CoreId(0));
         op.commit(&mut self.ctx.cpu);
 
         // Fork one worker per core, pinned; register listen sockets and
@@ -235,20 +272,29 @@ impl Simulation {
                         pid,
                         core,
                     );
-                    self.stack
-                        .watch_listen(&mut self.ctx, &mut self.os, &mut op, copy, ep, pid, LISTEN_TOKEN);
+                    self.stack.watch_listen(
+                        &mut self.ctx,
+                        &mut self.os,
+                        &mut op,
+                        copy,
+                        ep,
+                        pid,
+                        LISTEN_TOKEN,
+                    );
                 }
                 ListenVariant::Local => {
-                    let local = self.stack.local_listen(
+                    let local =
+                        self.stack
+                            .local_listen(&mut self.ctx, &mut op, port, backlog, pid, core);
+                    self.stack.watch_listen(
                         &mut self.ctx,
+                        &mut self.os,
                         &mut op,
-                        port,
-                        backlog,
+                        local,
+                        ep,
                         pid,
-                        core,
+                        LISTEN_TOKEN,
                     );
-                    self.stack
-                        .watch_listen(&mut self.ctx, &mut self.os, &mut op, local, ep, pid, LISTEN_TOKEN);
                     self.stack.watch_listen(
                         &mut self.ctx,
                         &mut self.os,
@@ -311,10 +357,15 @@ impl Simulation {
             self.ctx.locks.set_epoch(t);
             if snap.is_none() && t >= warmup {
                 snap = Some(self.snapshot());
+                // Latency histograms and cycle attribution cover only
+                // the measurement window; open spans and in-flight
+                // handshakes carry over.
+                self.tracer.reset_window();
             }
             self.dispatch(ev);
         }
         let snap = snap.unwrap_or_else(|| self.snapshot());
+        self.tracer.finish(end);
         self.report(snap, end)
     }
 
@@ -324,9 +375,7 @@ impl Simulation {
             Ev::ToPeer(pkt) => self.on_to_peer(pkt),
             Ev::Softirq(core) => self.on_softirq(core),
             Ev::ProcWake(pid) => self.on_proc_wake(pid),
-            Ev::TwExpire(sock, gen) => {
-                self.stack.tw_expire(&mut self.ctx, &mut self.os, sock, gen)
-            }
+            Ev::TwExpire(sock, gen) => self.stack.tw_expire(&mut self.ctx, &mut self.os, sock, gen),
             Ev::Rto(sock, gen) => self.on_rto(sock, gen),
             Ev::ClientStart(slot) => self.on_client_start(slot),
             Ev::ClientTimeout(slot, attempt) => self.on_client_timeout(slot, attempt),
@@ -360,8 +409,7 @@ impl Simulation {
     }
 
     fn on_to_server(&mut self, pkt: Packet) {
-        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss)
-        {
+        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss) {
             return; // lost on the wire
         }
         let core = self.nic.rx_core(&pkt);
@@ -376,13 +424,16 @@ impl Simulation {
             return;
         }
         let mut op = self.ctx.begin(CoreId(core), self.now);
+        op.trace_enter(TraceLabel::Softirq);
         let mut tx: Vec<Packet> = Vec::new();
         let mut wakes: Vec<Pid> = Vec::new();
         let tw = self.stack.config().time_wait;
         for (pkt, steered) in batch {
+            op.trace_enter(TraceLabel::NetRx);
             let out = self
                 .stack
                 .net_rx(&mut self.ctx, &mut self.os, &mut op, &pkt, steered);
+            op.trace_exit(TraceLabel::NetRx);
             if let Some(target) = out.steer {
                 if self.softirq.push(target.index(), (pkt, true)) {
                     self.events.push(op.now(), Ev::Softirq(target.0));
@@ -396,6 +447,7 @@ impl Simulation {
                 self.events.push(op.now() + tw, Ev::TwExpire(s, gen));
             }
         }
+        op.trace_exit(TraceLabel::Softirq);
         let span = op.commit(&mut self.ctx.cpu);
         self.transmit(CoreId(core), tx, span.end);
         self.arm_rtos();
@@ -416,8 +468,13 @@ impl Simulation {
         let core = self.procs.get(pid).core;
         let ep = self.eps[pid_idx as usize];
         let mut op = self.ctx.begin(core, self.now);
+        op.trace_enter(TraceLabel::ProcWake);
         let mut events = Vec::new();
-        self.os.epolls.wait(&mut self.ctx, &mut op, ep, EPOLL_BATCH, &mut events);
+        op.trace_enter(TraceLabel::SysEpollWait);
+        self.os
+            .epolls
+            .wait(&mut self.ctx, &mut op, ep, EPOLL_BATCH, &mut events);
+        op.trace_exit(TraceLabel::SysEpollWait);
         let mut tx: Vec<Packet> = Vec::new();
         if !events.is_empty() {
             let mut sys = Sys {
@@ -433,6 +490,7 @@ impl Simulation {
             };
             self.workers[pid_idx as usize].on_events(&mut sys, &events);
         }
+        op.trace_exit(TraceLabel::ProcWake);
         let span = op.commit(&mut self.ctx.cpu);
         self.transmit(core, tx, span.end);
         self.arm_rtos();
@@ -459,8 +517,7 @@ impl Simulation {
     }
 
     fn on_to_peer(&mut self, pkt: Packet) {
-        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss)
-        {
+        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss) {
             return; // lost on the wire
         }
         let dst = pkt.flow.dst_ip;
@@ -520,9 +577,7 @@ impl Simulation {
     }
 
     fn on_client_nudge(&mut self, slot: u32, attempt: u64) {
-        if self.client_attempt[slot as usize] != attempt
-            || self.clients[slot as usize].idle()
-        {
+        if self.client_attempt[slot as usize] != attempt || self.clients[slot as usize].idle() {
             return;
         }
         let mut out = Vec::new();
@@ -582,10 +637,8 @@ impl Simulation {
         let secs = cycles_to_secs(window);
         let cores = self.cfg.cores as usize;
 
-        let completed: u64 =
-            self.clients.iter().map(|c| c.completed).sum::<u64>() - snap.completed;
-        let responses: u64 =
-            self.clients.iter().map(|c| c.responses).sum::<u64>() - snap.responses;
+        let completed: u64 = self.clients.iter().map(|c| c.completed).sum::<u64>() - snap.completed;
+        let responses: u64 = self.clients.iter().map(|c| c.responses).sum::<u64>() - snap.responses;
         let resets: u64 = self.clients.iter().map(|c| c.resets).sum::<u64>() - snap.resets;
         let timeouts = self.timeouts - snap.timeouts;
 
@@ -597,7 +650,8 @@ impl Simulation {
             busy_total += busy;
             core_utilization.push((busy as f64 / window as f64).min(1.0));
             for (i, cl) in CycleClass::ALL.iter().enumerate() {
-                class_delta[i] += self.ctx.cpu.class_cycles(CoreId(c as u16), *cl) - snap.class[c][i];
+                class_delta[i] +=
+                    self.ctx.cpu.class_cycles(CoreId(c as u16), *cl) - snap.class[c][i];
             }
         }
         let cycle_shares: Vec<(String, f64)> = CycleClass::ALL
@@ -625,6 +679,9 @@ impl Simulation {
             app: self.cfg.app.label().to_string(),
             cores: self.cfg.cores,
             steering: steering.to_string(),
+            seed: self.cfg.seed,
+            config_hash: self.cfg.config_digest(),
+            latency: self.tracer.latency(usecs_to_cycles(1.0) as f64),
             measure_secs: secs,
             throughput_cps: completed as f64 / secs,
             requests_per_sec: responses as f64 / secs,

@@ -28,11 +28,7 @@ fn web_base_linux_completes_connections() {
     assert!(r.throughput_cps > 1_000.0, "cps={}", r.throughput_cps);
     assert_eq!(r.resets, 0);
     // The legacy VFS path is exercised.
-    let dcache = r
-        .locks
-        .iter()
-        .find(|l| l.name == "dcache_lock")
-        .unwrap();
+    let dcache = r.locks.iter().find(|l| l.name == "dcache_lock").unwrap();
     assert!(dcache.acquisitions > 0);
 }
 
@@ -136,7 +132,10 @@ fn keepalive_workload_reuses_connections() {
         .concurrency(80);
     cfg.workload.requests_per_conn = 32;
     let r = Simulation::new(cfg).run();
-    assert!(r.responses > 20 * r.completed.max(1), "keep-alive must batch requests");
+    assert!(
+        r.responses > 20 * r.completed.max(1),
+        "keep-alive must batch requests"
+    );
     assert_eq!(r.resets, 0);
     // Long-lived regime: connection churn (and with it, VFS lock
     // traffic) is a small fraction of request throughput.

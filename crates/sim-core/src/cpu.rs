@@ -241,10 +241,7 @@ impl Cpu {
 
     /// Cycles attributed to `class`, summed over all cores.
     pub fn class_cycles_total(&self, class: CycleClass) -> Cycles {
-        self.cores
-            .iter()
-            .map(|c| c.by_class[class as usize])
-            .sum()
+        self.cores.iter().map(|c| c.by_class[class as usize]).sum()
     }
 
     /// Total busy cycles summed over all cores.
@@ -285,10 +282,22 @@ mod tests {
         assert_eq!(a, Span { start: 0, end: 100 });
         // Scheduled at t=50 but core 0 busy until 100.
         let b = cpu.execute(CoreId(0), 50, &sheet(100));
-        assert_eq!(b, Span { start: 100, end: 200 });
+        assert_eq!(
+            b,
+            Span {
+                start: 100,
+                end: 200
+            }
+        );
         // Other core is unaffected.
         let c = cpu.execute(CoreId(1), 50, &sheet(100));
-        assert_eq!(c, Span { start: 50, end: 150 });
+        assert_eq!(
+            c,
+            Span {
+                start: 50,
+                end: 150
+            }
+        );
     }
 
     #[test]

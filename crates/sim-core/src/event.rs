@@ -9,6 +9,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use sim_trace::Tracer;
+
 use crate::time::Cycles;
 
 /// An event queue ordered by `(time, insertion order)`.
@@ -26,11 +28,15 @@ use crate::time::Cycles;
 /// assert_eq!(q.pop(), Some((20, 'c')));
 /// assert_eq!(q.pop(), None);
 /// ```
+/// A dispatch-count hook: the tracer plus the event-labeling function.
+type DispatchTrace<E> = (Tracer, fn(&E) -> &'static str);
+
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     popped: u64,
+    trace: Option<DispatchTrace<E>>,
 }
 
 #[derive(Debug)]
@@ -69,6 +75,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             popped: 0,
+            trace: None,
         }
     }
 
@@ -78,7 +85,14 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
             popped: 0,
+            trace: None,
         }
+    }
+
+    /// Counts every delivered event under the label `label(&event)`
+    /// returns, feeding the tracer's dispatch-mix table.
+    pub fn set_tracer(&mut self, tracer: Tracer, label: fn(&E) -> &'static str) {
+        self.trace = Some((tracer, label));
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -92,6 +106,9 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let e = self.heap.pop()?;
         self.popped += 1;
+        if let Some((tracer, label)) = &self.trace {
+            tracer.count_dispatch(label(&e.event));
+        }
         Some((e.time, e.event))
     }
 
@@ -155,6 +172,22 @@ mod tests {
         q.push(20, "b");
         assert_eq!(q.pop(), Some((20, "b")));
         assert_eq!(q.pop(), Some((30, "c")));
+    }
+
+    #[test]
+    fn dispatch_labels_reach_the_tracer() {
+        let mut q = EventQueue::new();
+        let t = Tracer::enabled(1, 16);
+        q.set_tracer(
+            t.clone(),
+            |e: &u32| if *e % 2 == 0 { "even" } else { "odd" },
+        );
+        for i in 0..5u32 {
+            q.push(i as Cycles, i);
+        }
+        while q.pop().is_some() {}
+        let counts = t.dispatch_counts();
+        assert_eq!(counts, vec![("even", 3), ("odd", 2)]);
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl Packet {
 
     /// Sequence space consumed by this segment (payload plus SYN/FIN).
     pub fn seq_len(&self) -> u32 {
-        u32::from(self.payload_len)
-            + u32::from(self.flags.syn())
-            + u32::from(self.flags.fin())
+        u32::from(self.payload_len) + u32::from(self.flags.syn()) + u32::from(self.flags.fin())
     }
 
     /// Encodes the segment to wire bytes (IPv4 + TCP + zeroed payload).
@@ -233,10 +231,7 @@ mod tests {
         assert_eq!(Packet::new(f, TcpFlags::SYN).seq_len(), 1);
         assert_eq!(Packet::new(f, TcpFlags::ACK).seq_len(), 0);
         assert_eq!(Packet::new(f, TcpFlags::FIN).with_payload(10).seq_len(), 11);
-        assert_eq!(
-            Packet::new(f, TcpFlags::SYN | TcpFlags::FIN).seq_len(),
-            2
-        );
+        assert_eq!(Packet::new(f, TcpFlags::SYN | TcpFlags::FIN).seq_len(), 2);
     }
 
     #[test]

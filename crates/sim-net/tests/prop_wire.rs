@@ -6,9 +6,8 @@ use sim_net::{FlowTuple, Packet, TcpFlags};
 use std::net::Ipv4Addr;
 
 fn arb_flow() -> impl Strategy<Value = FlowTuple> {
-    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(s, sp, d, dp)| {
-        FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
-    })
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
+        .prop_map(|(s, sp, d, dp)| FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp))
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {

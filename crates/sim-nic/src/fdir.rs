@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn fin_always_installs() {
         let mut fd = FlowDirector::new(AtrConfig::default(), 2);
-        fd.observe_tx(&Packet::new(flow(40_000, 80), TcpFlags::FIN | TcpFlags::ACK), 1);
+        fd.observe_tx(
+            &Packet::new(flow(40_000, 80), TcpFlags::FIN | TcpFlags::ACK),
+            1,
+        );
         assert_eq!(fd.stats().installs, 1);
     }
 

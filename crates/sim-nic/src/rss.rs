@@ -74,7 +74,10 @@ impl RssEngine {
     ///
     /// Panics if `entry >= 128` or `queue >= self.queues()`.
     pub fn set_indirection(&mut self, entry: usize, queue: u16) {
-        assert!(entry < INDIRECTION_ENTRIES, "indirection entry out of range");
+        assert!(
+            entry < INDIRECTION_ENTRIES,
+            "indirection entry out of range"
+        );
         assert!(queue < self.queues, "queue out of range");
         self.table[entry] = queue;
     }

@@ -10,9 +10,9 @@ use sim_net::FlowTuple;
 /// The de-facto standard 40-byte RSS secret key (Microsoft's
 /// verification-suite key, shipped as the default by many drivers).
 pub const RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Computes the Toeplitz hash of `input` under `key`.
@@ -62,11 +62,31 @@ mod tests {
     /// The Microsoft RSS verification-suite vectors for IPv4-with-TCP.
     /// Each entry is (dst ip:port, src ip:port, expected hash).
     const VECTORS: [((u8, u8, u8, u8, u16), (u8, u8, u8, u8, u16), u32); 5] = [
-        ((161, 142, 100, 80, 1766), (66, 9, 149, 187, 2794), 0x51cc_c178),
-        ((65, 69, 140, 83, 4739), (199, 92, 111, 2, 14230), 0xc626_b0ea),
-        ((12, 22, 207, 184, 38024), (24, 19, 198, 95, 12898), 0x5c2b_394a),
-        ((209, 142, 163, 6, 2217), (38, 27, 205, 30, 48228), 0xafc7_327f),
-        ((202, 188, 127, 2, 1303), (153, 39, 163, 191, 44251), 0x10e8_28a2),
+        (
+            (161, 142, 100, 80, 1766),
+            (66, 9, 149, 187, 2794),
+            0x51cc_c178,
+        ),
+        (
+            (65, 69, 140, 83, 4739),
+            (199, 92, 111, 2, 14230),
+            0xc626_b0ea,
+        ),
+        (
+            (12, 22, 207, 184, 38024),
+            (24, 19, 198, 95, 12898),
+            0x5c2b_394a,
+        ),
+        (
+            (209, 142, 163, 6, 2217),
+            (38, 27, 205, 30, 48228),
+            0xafc7_327f,
+        ),
+        (
+            (202, 188, 127, 2, 1303),
+            (153, 39, 163, 191, 44251),
+            0x10e8_28a2,
+        ),
     ];
 
     #[test]
@@ -78,11 +98,7 @@ mod tests {
                 Ipv4Addr::new(dst.0, dst.1, dst.2, dst.3),
                 dst.4,
             );
-            assert_eq!(
-                hash_flow(&RSS_KEY, &flow),
-                expect,
-                "vector for flow {flow}"
-            );
+            assert_eq!(hash_flow(&RSS_KEY, &flow), expect, "vector for flow {flow}");
         }
     }
 
@@ -94,8 +110,12 @@ mod tests {
     #[test]
     fn hash_is_linear_in_xor() {
         // Toeplitz is GF(2)-linear: H(a ^ b) == H(a) ^ H(b).
-        let a = [0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33, 0x44];
-        let b = [0xffu8, 0x00, 0xff, 0x00, 0x0f, 0xf0, 0x55, 0xaa, 0x77, 0x88, 0x99, 0xaa];
+        let a = [
+            0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33, 0x44,
+        ];
+        let b = [
+            0xffu8, 0x00, 0xff, 0x00, 0x0f, 0xf0, 0x55, 0xaa, 0x77, 0x88, 0x99, 0xaa,
+        ];
         let xored: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
         assert_eq!(
             toeplitz_hash(&RSS_KEY, &xored),

@@ -7,9 +7,8 @@ use sim_nic::{Nic, NicConfig, QueueId, SteeringMode};
 use std::net::Ipv4Addr;
 
 fn arb_flow() -> impl Strategy<Value = FlowTuple> {
-    (any::<u32>(), 1u16.., any::<u32>(), 1u16..).prop_map(|(s, sp, d, dp)| {
-        FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
-    })
+    (any::<u32>(), 1u16.., any::<u32>(), 1u16..)
+        .prop_map(|(s, sp, d, dp)| FlowTuple::new(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp))
 }
 
 proptest! {

@@ -3,6 +3,7 @@
 use sim_core::{CoreId, CostSheet, Cpu, CycleClass, Cycles, SimRng};
 use sim_mem::{CacheModel, ObjId};
 use sim_sync::{LockId, LockTable};
+use sim_trace::{TraceEvent, TraceLabel, Tracer};
 
 /// Shared mutable state of the simulated kernel: the CPU, every lock,
 /// every tracked cache object, and the RNG.
@@ -16,33 +17,39 @@ pub struct KernelCtx {
     pub cache: CacheModel,
     /// Deterministic randomness.
     pub rng: SimRng,
+    /// Observability sink; disabled by default (one branch per event).
+    pub tracer: Tracer,
 }
 
 impl KernelCtx {
     /// Creates a context for `cores` cores with the given lock/cache
     /// models and seed.
-    pub fn new(
-        cores: usize,
-        locks: LockTable,
-        cache: CacheModel,
-        rng: SimRng,
-    ) -> Self {
+    pub fn new(cores: usize, locks: LockTable, cache: CacheModel, rng: SimRng) -> Self {
         KernelCtx {
             cpu: Cpu::new(cores),
             locks,
             cache,
             rng,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the tracer every subsequent [`Op`] will report into.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Begins a costed operation on `core`, not earlier than `earliest`.
     pub fn begin(&self, core: CoreId, earliest: Cycles) -> Op {
         let start = earliest.max(self.cpu.free_at(core));
+        let tracer = self.tracer.clone();
+        tracer.record(TraceEvent::enter(start, core.0, TraceLabel::CoreOp));
         Op {
             core,
             start,
             sheet: CostSheet::new(),
             syscalls: 0,
+            tracer,
         }
     }
 }
@@ -84,6 +91,7 @@ pub struct Op {
     start: Cycles,
     sheet: CostSheet,
     syscalls: u32,
+    tracer: Tracer,
 }
 
 impl Op {
@@ -123,6 +131,27 @@ impl Op {
         self.syscalls += 1;
     }
 
+    /// Opens a trace span labelled `label` at the op's current virtual
+    /// time. No-op when tracing is disabled.
+    pub fn trace_enter(&self, label: TraceLabel) {
+        self.tracer
+            .record(TraceEvent::enter(self.now(), self.core.0, label));
+    }
+
+    /// Closes the innermost trace span labelled `label`.
+    pub fn trace_exit(&self, label: TraceLabel) {
+        self.tracer
+            .record(TraceEvent::exit(self.now(), self.core.0, label));
+    }
+
+    /// Emits an instantaneous event tied to connection `conn` (a
+    /// [`flow_hash`](sim_trace) style identifier); lifecycle labels
+    /// feed the latency histograms.
+    pub fn trace_mark(&self, conn: u64, label: TraceLabel) {
+        self.tracer
+            .record(TraceEvent::instant(self.now(), self.core.0, conn, label));
+    }
+
     /// Performs a tracked cache access to `obj`, charging the stall to
     /// `CycleClass::CacheMiss`.
     pub fn touch(&mut self, ctx: &mut KernelCtx, obj: ObjId) {
@@ -148,7 +177,22 @@ impl Op {
         class: CycleClass,
         hold: Cycles,
     ) {
-        let acq = locks.acquire(lock, self.core, self.now(), hold);
+        let wait_from = self.now();
+        let acq = locks.acquire(lock, self.core, wait_from, hold);
+        if acq.spin > 0 {
+            // Surface contention as a span so spin time shows up in
+            // the flamegraph under whichever path took the lock.
+            self.tracer.record(TraceEvent::enter(
+                wait_from,
+                self.core.0,
+                TraceLabel::LockWait,
+            ));
+            self.tracer.record(TraceEvent::exit(
+                wait_from + acq.spin,
+                self.core.0,
+                TraceLabel::LockWait,
+            ));
+        }
         self.sheet.add(CycleClass::LockSpin, acq.spin);
         self.sheet.add(class, acq.acquire_cost + hold);
     }
@@ -156,7 +200,10 @@ impl Op {
     /// Commits the accumulated cost to the CPU; the core is busy for
     /// the operation's span.
     pub fn commit(self, cpu: &mut Cpu) -> sim_core::cpu::Span {
-        cpu.execute(self.core, self.start, &self.sheet)
+        let span = cpu.execute(self.core, self.start, &self.sheet);
+        self.tracer
+            .record(TraceEvent::exit(span.end, self.core.0, TraceLabel::CoreOp));
+        span
     }
 }
 
@@ -213,6 +260,26 @@ mod tests {
         b.commit(&mut c.cpu);
         assert!(c.cpu.class_cycles(CoreId(1), CycleClass::LockSpin) > 0);
         assert_eq!(c.locks.stats(LockClass::Slock).contentions, 1);
+    }
+
+    #[test]
+    fn ops_emit_core_spans_and_lock_wait_spans() {
+        let mut c = ctx(2);
+        c.set_tracer(Tracer::enabled(2, 1024));
+        let lock = c.locks.register(LockClass::Slock);
+        let mut a = c.begin(CoreId(0), 0);
+        a.lock_do(&mut c.locks, lock, CycleClass::Handshake, 2_000);
+        a.commit(&mut c.cpu);
+        let mut b = c.begin(CoreId(1), 100);
+        b.lock_do(&mut c.locks, lock, CycleClass::Handshake, 100);
+        b.commit(&mut c.cpu);
+        let t = c.tracer.clone();
+        assert!(t.self_cycles(TraceLabel::CoreOp) > 0);
+        assert!(
+            t.self_cycles(TraceLabel::LockWait) > 0,
+            "core 1 spun on the slock"
+        );
+        assert_eq!(t.unbalanced_exits(), 0);
     }
 
     #[test]

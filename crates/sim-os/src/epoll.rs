@@ -92,21 +92,35 @@ impl EpollSystem {
 
     /// `epoll_ctl(EPOLL_CTL_ADD)`: registers interest in a descriptor.
     pub fn ctl_add(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId) {
+        op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
         inst.interest += 1;
         op.work(CycleClass::Epoll, self.costs.ctl);
         op.touch(ctx, inst.obj);
-        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            inst.lock,
+            CycleClass::Epoll,
+            self.costs.post_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Epoll);
     }
 
     /// `epoll_ctl(EPOLL_CTL_DEL)`: removes interest.
     pub fn ctl_del(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId) {
+        op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
         debug_assert!(inst.interest > 0, "ctl_del without interest");
         inst.interest -= 1;
         op.work(CycleClass::Epoll, self.costs.ctl);
         op.touch(ctx, inst.obj);
-        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            inst.lock,
+            CycleClass::Epoll,
+            self.costs.post_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Epoll);
     }
 
     /// Posts a readiness event from softirq context (as part of `op`,
@@ -115,9 +129,16 @@ impl EpollSystem {
     /// it rather than queued twice. Returns `true` when the list was
     /// previously empty — i.e. the owner process needs a wakeup.
     pub fn post(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId, ev: EpollEvent) -> bool {
+        op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
         op.touch(ctx, inst.obj);
-        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.post_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            inst.lock,
+            CycleClass::Epoll,
+            self.costs.post_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Epoll);
         let was_empty = inst.ready.is_empty();
         if let Some(existing) = inst.ready.iter_mut().find(|e| e.data == ev.data) {
             existing.readable |= ev.readable;
@@ -138,11 +159,18 @@ impl EpollSystem {
         max_events: usize,
         out: &mut Vec<EpollEvent>,
     ) {
+        op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
         op.touch(ctx, inst.obj);
-        op.lock_do(&mut ctx.locks, inst.lock, CycleClass::Epoll, self.costs.wait_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            inst.lock,
+            CycleClass::Epoll,
+            self.costs.wait_hold,
+        );
         let n = max_events.min(inst.ready.len());
         out.extend(inst.ready.drain(..n));
+        op.trace_exit(sim_trace::TraceLabel::Epoll);
     }
 
     /// Number of pending (undelivered) events on an instance.
@@ -193,7 +221,10 @@ mod tests {
 
         let mut op = c.begin(CoreId(1), 0);
         assert!(eps.post(&mut c, &mut op, ep, ev(3)), "first post wakes");
-        assert!(!eps.post(&mut c, &mut op, ep, ev(4)), "second post does not");
+        assert!(
+            !eps.post(&mut c, &mut op, ep, ev(4)),
+            "second post does not"
+        );
         op.commit(&mut c.cpu);
 
         let mut out = Vec::new();

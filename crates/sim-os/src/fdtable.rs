@@ -104,10 +104,7 @@ impl<T> FdTable<T> {
     ///
     /// Returns [`FdError::BadFd`] if `fd` is not open.
     pub fn close(&mut self, fd: Fd) -> Result<T, FdError> {
-        let slot = self
-            .entries
-            .get_mut(fd.0 as usize)
-            .ok_or(FdError::BadFd)?;
+        let slot = self.entries.get_mut(fd.0 as usize).ok_or(FdError::BadFd)?;
         let value = slot.take().ok_or(FdError::BadFd)?;
         self.freed.insert(fd.0);
         self.open -= 1;

@@ -68,32 +68,53 @@ impl TimerSystem {
 
     /// Arms a timer on the wheel of the core `op` runs on.
     pub fn arm(&mut self, ctx: &mut KernelCtx, op: &mut Op) -> TimerHandle {
+        op.trace_enter(sim_trace::TraceLabel::Timer);
         let core = op.core();
         let base = &mut self.bases[core.index()];
         base.armed += 1;
         op.work(CycleClass::Timer, self.costs.setup);
         op.touch(ctx, base.obj);
-        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            base.lock,
+            CycleClass::Timer,
+            self.costs.wheel_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Timer);
         TimerHandle { base_core: core }
     }
 
     /// Modifies (re-arms) an existing timer from whatever core `op`
     /// runs on; remote modification contends with the owning core.
     pub fn modify(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
+        op.trace_enter(sim_trace::TraceLabel::Timer);
         let base = &mut self.bases[timer.base_core.index()];
         op.work(CycleClass::Timer, self.costs.setup);
         op.touch(ctx, base.obj);
-        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            base.lock,
+            CycleClass::Timer,
+            self.costs.wheel_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Timer);
     }
 
     /// Disarms (deletes) a timer.
     pub fn disarm(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
+        op.trace_enter(sim_trace::TraceLabel::Timer);
         let base = &mut self.bases[timer.base_core.index()];
         debug_assert!(base.armed > 0, "disarm on empty base");
         base.armed -= 1;
         op.work(CycleClass::Timer, self.costs.setup);
         op.touch(ctx, base.obj);
-        op.lock_do(&mut ctx.locks, base.lock, CycleClass::Timer, self.costs.wheel_hold);
+        op.lock_do(
+            &mut ctx.locks,
+            base.lock,
+            CycleClass::Timer,
+            self.costs.wheel_hold,
+        );
+        op.trace_exit(sim_trace::TraceLabel::Timer);
     }
 
     /// Number of timers armed on `core`'s wheel.

@@ -134,6 +134,7 @@ impl Vfs {
     /// Allocates and initializes the VFS state for one new socket, as
     /// part of `op` running on `core`.
     pub fn alloc_socket(&mut self, ctx: &mut KernelCtx, op: &mut Op, core: CoreId) -> VfsNode {
+        op.trace_enter(sim_trace::TraceLabel::Vfs);
         let dentry = ctx.cache.alloc(ObjKind::Dentry, core);
         let inode = ctx.cache.alloc(ObjKind::Inode, core);
         self.visible_sockets += 1;
@@ -173,11 +174,13 @@ impl Vfs {
                 op.work(CycleClass::Vfs, self.costs.fastpath_work);
             }
         }
+        op.trace_exit(sim_trace::TraceLabel::Vfs);
         VfsNode { dentry, inode }
     }
 
     /// Tears down the VFS state of a socket, as part of `op`.
     pub fn free_socket(&mut self, ctx: &mut KernelCtx, op: &mut Op, node: VfsNode) {
+        op.trace_enter(sim_trace::TraceLabel::Vfs);
         self.visible_sockets -= 1;
         match self.mode {
             VfsMode::Legacy | VfsMode::Sharded => {
@@ -205,6 +208,7 @@ impl Vfs {
         }
         ctx.cache.free(node.dentry);
         ctx.cache.free(node.inode);
+        op.trace_exit(sim_trace::TraceLabel::Vfs);
     }
 
     /// Number of sockets currently visible through `/proc` — nonzero in

@@ -236,7 +236,11 @@ impl LockTable {
                 insert_at = i + 1;
                 continue;
             }
-            let need = if waiters > 0 { need_contended } else { need_free };
+            let need = if waiters > 0 {
+                need_contended
+            } else {
+                need_free
+            };
             if cursor + need <= start {
                 break;
             }
@@ -248,8 +252,7 @@ impl LockTable {
         let spin = acquired_at - now;
         let contended = spin > 0;
 
-        let release_at =
-            acquired_at + if contended { need_contended } else { need_free };
+        let release_at = acquired_at + if contended { need_contended } else { need_free };
         lock.reservations
             .insert(insert_at, (acquired_at, release_at));
         #[cfg(debug_assertions)]
@@ -375,7 +378,10 @@ mod tests {
         let release = a.acquired_at + a.acquire_cost + 1_000;
         let b = t.acquire(l, CoreId(1), 400, 100);
         assert!(b.contended);
-        assert_eq!(b.acquired_at, release, "no other waiters: no handoff penalty");
+        assert_eq!(
+            b.acquired_at, release,
+            "no other waiters: no handoff penalty"
+        );
         assert_eq!(b.spin, release - 400);
         assert_eq!(t.stats(LockClass::Slock).contentions, 1);
         assert_eq!(t.stats(LockClass::Slock).wait_cycles, b.spin);

@@ -1,0 +1,190 @@
+//! chrome://tracing (Trace Event Format) export.
+//!
+//! The export uses "X" complete events for spans and "i" instant events
+//! for lifecycle marks, with one thread lane per simulated core, so a
+//! traced run can be dropped into chrome://tracing or Perfetto as-is.
+
+use crate::event::{EventKind, TraceEvent, TraceLabel};
+use serde::{Deserialize, Serialize};
+
+/// One entry of the `traceEvents` array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Frame name.
+    pub name: String,
+    /// Event category (the connection id when present, else "sim").
+    pub cat: String,
+    /// Phase: "X" (complete span) or "i" (instant).
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds ("X" events only).
+    pub dur: Option<f64>,
+    /// Process id (always 1: the simulated machine).
+    pub pid: u32,
+    /// Thread id (the simulated core).
+    pub tid: u32,
+}
+
+/// A complete chrome://tracing document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(non_snake_case)]
+pub struct ChromeTrace {
+    /// The event array (chrome's required field name).
+    pub traceEvents: Vec<ChromeEvent>,
+    /// Display unit hint ("ms" renders µs timestamps nicely).
+    pub displayTimeUnit: String,
+}
+
+impl ChromeTrace {
+    /// Builds a document from per-core event streams (each stream must
+    /// be in timestamp order, as the rings guarantee). `cycles_per_usec`
+    /// converts cycle timestamps to the format's microsecond unit.
+    pub fn from_events<'a>(
+        events: impl Iterator<Item = &'a TraceEvent>,
+        cycles_per_usec: f64,
+        end_ts: u64,
+    ) -> ChromeTrace {
+        let us = |cycles: u64| cycles as f64 / cycles_per_usec;
+        let mut out = Vec::new();
+        // Per-core stacks of (label, enter_ts, conn) awaiting their exit.
+        let mut open: std::collections::HashMap<u16, Vec<(TraceLabel, u64, u64)>> =
+            std::collections::HashMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Enter => {
+                    open.entry(ev.core)
+                        .or_default()
+                        .push((ev.label, ev.ts, ev.conn));
+                }
+                EventKind::Exit => {
+                    let stack = open.entry(ev.core).or_default();
+                    if !stack.iter().any(|(l, _, _)| *l == ev.label) {
+                        continue; // unmatched exit: ring overwrote the enter
+                    }
+                    // Close deeper spans first (early returns).
+                    while let Some((label, t0, conn)) = stack.pop() {
+                        out.push(complete(label, t0, ev.ts, ev.core, conn, cycles_per_usec));
+                        if label == ev.label {
+                            break;
+                        }
+                    }
+                }
+                EventKind::Instant => out.push(ChromeEvent {
+                    name: ev.label.name().to_string(),
+                    cat: category(ev.conn),
+                    ph: "i".to_string(),
+                    ts: us(ev.ts),
+                    dur: None,
+                    pid: 1,
+                    tid: u32::from(ev.core),
+                }),
+            }
+        }
+        // Close anything still open at the end of the capture.
+        for (core, stack) in open {
+            for (label, t0, conn) in stack.into_iter().rev() {
+                out.push(complete(
+                    label,
+                    t0,
+                    end_ts.max(t0),
+                    core,
+                    conn,
+                    cycles_per_usec,
+                ));
+            }
+        }
+        out.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap_or(std::cmp::Ordering::Equal));
+        ChromeTrace {
+            traceEvents: out,
+            displayTimeUnit: "ms".to_string(),
+        }
+    }
+
+    /// Serializes the document to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("chrome trace serializes infallibly")
+    }
+}
+
+fn category(conn: u64) -> String {
+    if conn == 0 {
+        "sim".to_string()
+    } else {
+        format!("conn-{conn:x}")
+    }
+}
+
+fn complete(
+    label: TraceLabel,
+    t0: u64,
+    t1: u64,
+    core: u16,
+    conn: u64,
+    cycles_per_usec: f64,
+) -> ChromeEvent {
+    ChromeEvent {
+        name: label.name().to_string(),
+        cat: category(conn),
+        ph: "X".to_string(),
+        ts: t0 as f64 / cycles_per_usec,
+        dur: Some(t1.saturating_sub(t0) as f64 / cycles_per_usec),
+        pid: 1,
+        tid: u32::from(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use TraceLabel::*;
+
+    #[test]
+    fn spans_become_complete_events() {
+        let events = vec![
+            TraceEvent::enter(2_700, 0, Softirq),
+            TraceEvent::enter(5_400, 0, NetRx),
+            TraceEvent::exit(8_100, 0, NetRx),
+            TraceEvent::exit(13_500, 0, Softirq),
+            TraceEvent::instant(6_000, 0, 0xabc, Established),
+        ];
+        let trace = ChromeTrace::from_events(events.iter(), 2_700.0, 13_500);
+        assert_eq!(trace.traceEvents.len(), 3);
+        let net_rx = trace
+            .traceEvents
+            .iter()
+            .find(|e| e.name == "net_rx")
+            .unwrap();
+        assert_eq!(net_rx.ph, "X");
+        assert!((net_rx.ts - 2.0).abs() < 1e-9);
+        assert_eq!(net_rx.dur, Some(1.0));
+        let inst = trace.traceEvents.iter().find(|e| e.ph == "i").unwrap();
+        assert_eq!(inst.cat, "conn-abc");
+        assert_eq!(inst.dur, None);
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_capture_end() {
+        let events = vec![TraceEvent::enter(100, 3, ProcWake)];
+        let trace = ChromeTrace::from_events(events.iter(), 1.0, 400);
+        assert_eq!(trace.traceEvents.len(), 1);
+        assert_eq!(trace.traceEvents[0].dur, Some(300.0));
+        assert_eq!(trace.traceEvents[0].tid, 3);
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let events = vec![
+            TraceEvent::enter(10, 1, SysAccept),
+            TraceEvent::exit(30, 1, SysAccept),
+            TraceEvent::instant(20, 1, 5, SynArrival),
+        ];
+        let trace = ChromeTrace::from_events(events.iter(), 2.5, 30);
+        let json = trace.to_json();
+        let back: ChromeTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Streaming span attribution: enter/exit edges fold into perf-style
+//! collapsed stacks as they arrive, so cycle attribution survives ring
+//! overwrites and costs O(stack depth) memory per core.
+
+use crate::event::TraceLabel;
+use std::collections::HashMap;
+
+/// One open span on a core's stack.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    label: TraceLabel,
+    entered_at: u64,
+    /// Cycles already attributed to completed children.
+    child_cycles: u64,
+}
+
+/// Per-core span stacks folding into a `stack-path -> self-cycles` map.
+#[derive(Debug, Default)]
+pub struct SpanFolder {
+    /// Open-span stack per core (indexed by core id).
+    stacks: Vec<Vec<OpenSpan>>,
+    /// Collapsed stack (labels root-to-leaf) to self-cycles.
+    folded: HashMap<Vec<TraceLabel>, u64>,
+    /// Exit edges that had no matching enter (instrumentation bugs
+    /// surface here instead of corrupting attribution).
+    unbalanced_exits: u64,
+}
+
+impl SpanFolder {
+    /// A folder for `cores` per-core timelines.
+    pub fn new(cores: u16) -> SpanFolder {
+        SpanFolder {
+            stacks: (0..cores).map(|_| Vec::new()).collect(),
+            folded: HashMap::new(),
+            unbalanced_exits: 0,
+        }
+    }
+
+    fn stack(&mut self, core: u16) -> &mut Vec<OpenSpan> {
+        let idx = usize::from(core);
+        if idx >= self.stacks.len() {
+            self.stacks.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.stacks[idx]
+    }
+
+    /// Opens a span.
+    pub fn enter(&mut self, core: u16, label: TraceLabel, ts: u64) {
+        self.stack(core).push(OpenSpan {
+            label,
+            entered_at: ts,
+            child_cycles: 0,
+        });
+    }
+
+    /// Closes the innermost open span with `label` (closing any deeper
+    /// spans first, as an early-return would).
+    pub fn exit(&mut self, core: u16, label: TraceLabel, ts: u64) {
+        let stack = self.stack(core);
+        if !stack.iter().any(|s| s.label == label) {
+            self.unbalanced_exits += 1;
+            return;
+        }
+        loop {
+            let closed = self.pop_top(core, ts);
+            if closed == Some(label) {
+                break;
+            }
+        }
+    }
+
+    /// Closes the top span, attributing its self time.
+    fn pop_top(&mut self, core: u16, ts: u64) -> Option<TraceLabel> {
+        let stack = self.stack(core);
+        let top = stack.pop()?;
+        let total = ts.saturating_sub(top.entered_at);
+        let self_cycles = total.saturating_sub(top.child_cycles);
+        let mut path: Vec<TraceLabel> = self.stacks[usize::from(core)]
+            .iter()
+            .map(|s| s.label)
+            .collect();
+        path.push(top.label);
+        *self.folded.entry(path).or_insert(0) += self_cycles;
+        if let Some(parent) = self.stacks[usize::from(core)].last_mut() {
+            parent.child_cycles += total;
+        }
+        Some(top.label)
+    }
+
+    /// Closes every still-open span at `ts` (end of run).
+    pub fn finish(&mut self, ts: u64) {
+        for core in 0..self.stacks.len() as u16 {
+            while self.pop_top(core, ts).is_some() {}
+        }
+    }
+
+    /// Current stack depth on a core (open spans).
+    pub fn depth(&self, core: u16) -> usize {
+        self.stacks.get(usize::from(core)).map_or(0, Vec::len)
+    }
+
+    /// Exit edges that never matched an enter.
+    pub fn unbalanced_exits(&self) -> u64 {
+        self.unbalanced_exits
+    }
+
+    /// The folded stacks as `(root;child;leaf, self_cycles)` rows,
+    /// sorted by descending cycles — the flamegraph `.folded` format
+    /// (one `stack-path space count` line per row).
+    pub fn collapsed(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .folded
+            .iter()
+            .filter(|(_, &cycles)| cycles > 0)
+            .map(|(path, &cycles)| {
+                let joined = path.iter().map(|l| l.name()).collect::<Vec<_>>().join(";");
+                (joined, cycles)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Renders the collapsed stacks as flamegraph.pl-compatible
+    /// `.folded` text.
+    pub fn to_folded_text(&self) -> String {
+        let mut out = String::new();
+        for (path, cycles) in self.collapsed() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total self-cycles attributed to stacks whose leaf is `label`.
+    pub fn self_cycles(&self, label: TraceLabel) -> u64 {
+        self.folded
+            .iter()
+            .filter(|(path, _)| path.last() == Some(&label))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Drops all attribution (open stacks survive a window reset so
+    /// spans crossing the boundary still close cleanly).
+    pub fn clear(&mut self) {
+        self.folded.clear();
+        self.unbalanced_exits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TraceLabel::*;
+
+    #[test]
+    fn self_time_excludes_children() {
+        let mut f = SpanFolder::new(1);
+        f.enter(0, Softirq, 0);
+        f.enter(0, NetRx, 10);
+        f.enter(0, EstLookup, 20);
+        f.exit(0, EstLookup, 30);
+        f.exit(0, NetRx, 50);
+        f.exit(0, Softirq, 100);
+        assert_eq!(f.self_cycles(EstLookup), 10);
+        assert_eq!(f.self_cycles(NetRx), 30); // 40 total − 10 child
+        assert_eq!(f.self_cycles(Softirq), 60); // 100 total − 40 child
+        let folded = f.to_folded_text();
+        assert!(
+            folded.contains("softirq;net_rx;est_lookup 10\n"),
+            "{folded}"
+        );
+        assert!(folded.contains("softirq;net_rx 30\n"), "{folded}");
+        assert!(folded.contains("softirq 60\n"), "{folded}");
+    }
+
+    #[test]
+    fn early_return_closes_inner_spans() {
+        let mut f = SpanFolder::new(1);
+        f.enter(0, SysAccept, 0);
+        f.enter(0, Vfs, 5);
+        // No Vfs exit: the syscall wrapper closes SysAccept directly.
+        f.exit(0, SysAccept, 25);
+        assert_eq!(f.depth(0), 0);
+        assert_eq!(f.self_cycles(Vfs), 20);
+        assert_eq!(f.self_cycles(SysAccept), 5);
+        assert_eq!(f.unbalanced_exits(), 0);
+    }
+
+    #[test]
+    fn unmatched_exit_is_counted_not_misattributed() {
+        let mut f = SpanFolder::new(1);
+        f.enter(0, Softirq, 0);
+        f.exit(0, Epoll, 10);
+        assert_eq!(f.unbalanced_exits(), 1);
+        assert_eq!(f.depth(0), 1);
+        f.exit(0, Softirq, 20);
+        assert_eq!(f.self_cycles(Softirq), 20);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut f = SpanFolder::new(2);
+        f.enter(0, Softirq, 0);
+        f.enter(1, ProcWake, 0);
+        f.exit(1, ProcWake, 7);
+        f.exit(0, Softirq, 11);
+        assert_eq!(f.self_cycles(ProcWake), 7);
+        assert_eq!(f.self_cycles(Softirq), 11);
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        let mut f = SpanFolder::new(1);
+        f.enter(0, ProcWake, 10);
+        f.enter(0, SysRecv, 15);
+        f.finish(40);
+        assert_eq!(f.depth(0), 0);
+        assert_eq!(f.self_cycles(SysRecv), 25);
+        assert_eq!(f.self_cycles(ProcWake), 5);
+    }
+
+    #[test]
+    fn identical_stacks_accumulate() {
+        let mut f = SpanFolder::new(1);
+        for round in 0..3u64 {
+            let t0 = round * 100;
+            f.enter(0, Softirq, t0);
+            f.exit(0, Softirq, t0 + 9);
+        }
+        assert_eq!(f.collapsed(), vec![("softirq".to_string(), 27)]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Log-bucketed latency histograms with tail percentiles.
+//!
+//! The bucket layout is HdrHistogram-like: values below 32 get exact
+//! buckets; above that, each power-of-two octave is split into 16
+//! linear sub-buckets, giving a worst-case quantization error of ~6%
+//! at any magnitude — tight enough for p999 tails over cycle counts
+//! spanning nine orders of magnitude, in a few KiB of counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power-of-two octave (4 significant bits).
+const SUBS: u64 = 16;
+/// Values below this are counted exactly.
+const LINEAR_LIMIT: u64 = 2 * SUBS;
+
+/// Number of buckets needed to cover the full `u64` domain.
+const BUCKETS: usize = (LINEAR_LIMIT + (64 - 5) * SUBS) as usize;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (cycle counts).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        // Octave = position of the leading bit; sub-bucket = next 4 bits.
+        let octave = 63 - v.leading_zeros() as u64;
+        let sub = (v >> (octave - 4)) & (SUBS - 1);
+        (LINEAR_LIMIT + (octave - 5) * SUBS + sub) as usize
+    }
+}
+
+/// Upper-bound representative value of bucket `i` (inverse of
+/// [`bucket_index`], rounded to the bucket's top).
+fn bucket_value(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_LIMIT {
+        i
+    } else {
+        let rel = i - LINEAR_LIMIT;
+        let octave = rel / SUBS + 5;
+        let sub = rel % SUBS;
+        let base = 1u64 << octave;
+        let step = 1u64 << (octave - 4);
+        // Written as (base - 1) + ... so the top bucket of the u64
+        // domain does not overflow.
+        (base - 1) + (sub + 1) * step
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at or below which `p` (in `[0, 1]`) of the samples fall,
+    /// reported as the containing bucket's upper bound. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket's representative can exceed the true
+                // maximum; clamp so p100 == max.
+                return bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// The non-empty buckets as `(upper_bound_value, count)` pairs —
+    /// the printable shape of the histogram.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_value(i), c))
+            .collect()
+    }
+
+    /// Condenses the histogram into a serializable summary, converting
+    /// cycle samples to microseconds at `cycles_per_usec`.
+    pub fn summarize(&self, cycles_per_usec: f64) -> LatencySummary {
+        let us = |v: u64| v as f64 / cycles_per_usec;
+        LatencySummary {
+            count: self.total,
+            min_us: us(self.min()),
+            mean_us: self.mean() / cycles_per_usec,
+            p50_us: us(self.percentile(0.50)),
+            p90_us: us(self.percentile(0.90)),
+            p99_us: us(self.percentile(0.99)),
+            p999_us: us(self.percentile(0.999)),
+            max_us: us(self.max),
+        }
+    }
+}
+
+/// Percentile summary of one latency distribution, in microseconds of
+/// simulated time. This is the form surfaced in `RunReport` and the
+/// experiment JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile.
+    pub p999_us: f64,
+    /// Largest sample.
+    pub max_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut prev = 0;
+        for v in (0..1_000).chain((10..40).map(|s| 1u64 << s)) {
+            let i = bucket_index(v);
+            assert!(i >= prev || v < LINEAR_LIMIT, "index regressed at {v}");
+            prev = i;
+            let rep = bucket_value(i);
+            assert!(rep >= v, "representative {rep} below sample {v}");
+            // ≤ ~6.25% relative error above the linear region.
+            if v >= LINEAR_LIMIT {
+                assert!((rep - v) as f64 <= v as f64 / 16.0 + 1.0, "{v} -> {rep}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_below_linear_limit() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), (LINEAR_LIMIT / 2) - 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), LINEAR_LIMIT - 1);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        assert!((4_800..=5_400).contains(&p50), "p50={p50}");
+        assert!((9_700..=10_000).contains(&p99), "p99={p99}");
+        assert!((9_900..=10_000).contains(&p999), "p999={p999}");
+        assert_eq!(h.percentile(1.0), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in [1u64, 50, 3_000, 70_000, 1 << 40] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [7u64, 900, 1 << 20] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for p in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(p), c.percentile(p));
+        }
+    }
+
+    #[test]
+    fn summary_converts_to_microseconds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(2_700); // 1 µs at 2.7 GHz
+        }
+        let s = h.summarize(2_700.0);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 1.0).abs() < 0.1);
+        assert!((s.mean_us - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

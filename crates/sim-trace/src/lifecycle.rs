@@ -1,0 +1,176 @@
+//! Per-connection lifecycle tracking: SYN arrival → ESTABLISHED →
+//! first byte → CLOSED, feeding the latency histograms.
+
+use crate::event::TraceLabel;
+use crate::hist::LatencyHistogram;
+use std::collections::HashMap;
+
+/// Timestamps seen so far for one in-flight connection.
+#[derive(Debug, Clone, Copy, Default)]
+struct ConnLife {
+    syn_at: Option<u64>,
+    established_at: Option<u64>,
+    first_byte_at: Option<u64>,
+}
+
+/// Turns lifecycle instants into connection-setup / time-to-first-byte
+/// / lifetime distributions.
+///
+/// Setup latency is recorded *when the connection establishes* (not at
+/// close), so connections still open at the end of a window contribute
+/// to the tail instead of silently dropping out of it.
+#[derive(Debug, Default)]
+pub struct LifecycleTracker {
+    inflight: HashMap<u64, ConnLife>,
+    /// SYN arrival → ESTABLISHED.
+    pub setup: LatencyHistogram,
+    /// SYN arrival → first payload byte.
+    pub ttfb: LatencyHistogram,
+    /// SYN arrival → teardown.
+    pub lifetime: LatencyHistogram,
+    /// Connections that reached ESTABLISHED (including later closed).
+    established: u64,
+    /// Connections fully closed.
+    closed: u64,
+}
+
+impl LifecycleTracker {
+    /// An empty tracker.
+    pub fn new() -> LifecycleTracker {
+        LifecycleTracker::default()
+    }
+
+    /// Feeds one lifecycle instant for connection `conn`.
+    ///
+    /// Duplicate marks (SYN retransmits, repeated payload deliveries)
+    /// keep the first timestamp. Marks for unknown connections (e.g. a
+    /// close whose SYN predates the tracer) are dropped.
+    pub fn mark(&mut self, conn: u64, label: TraceLabel, ts: u64) {
+        match label {
+            TraceLabel::SynArrival => {
+                self.inflight
+                    .entry(conn)
+                    .or_default()
+                    .syn_at
+                    .get_or_insert(ts);
+            }
+            TraceLabel::Established => {
+                if let Some(life) = self.inflight.get_mut(&conn) {
+                    if life.established_at.is_none() {
+                        life.established_at = Some(ts);
+                        self.established += 1;
+                        if let Some(syn) = life.syn_at {
+                            self.setup.record(ts.saturating_sub(syn));
+                        }
+                    }
+                }
+            }
+            TraceLabel::FirstByte => {
+                if let Some(life) = self.inflight.get_mut(&conn) {
+                    if life.first_byte_at.is_none() {
+                        life.first_byte_at = Some(ts);
+                        if let Some(syn) = life.syn_at {
+                            self.ttfb.record(ts.saturating_sub(syn));
+                        }
+                    }
+                }
+            }
+            TraceLabel::Closed => {
+                if let Some(life) = self.inflight.remove(&conn) {
+                    self.closed += 1;
+                    if let Some(syn) = life.syn_at {
+                        self.lifetime.record(ts.saturating_sub(syn));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Connections currently between SYN and close.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Connections that reached ESTABLISHED.
+    pub fn established_count(&self) -> u64 {
+        self.established
+    }
+
+    /// Connections fully closed.
+    pub fn closed_count(&self) -> u64 {
+        self.closed
+    }
+
+    /// Clears the distributions but keeps in-flight connections, so a
+    /// measurement window starting mid-connection still records its
+    /// remaining transitions.
+    pub fn clear_histograms(&mut self) {
+        self.setup.clear();
+        self.ttfb.clear();
+        self.lifetime.clear();
+        self.established = 0;
+        self.closed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TraceLabel::*;
+
+    #[test]
+    fn full_life_feeds_all_three_histograms() {
+        let mut t = LifecycleTracker::new();
+        t.mark(7, SynArrival, 100);
+        t.mark(7, Established, 160);
+        t.mark(7, FirstByte, 200);
+        t.mark(7, Closed, 500);
+        assert_eq!(t.setup.count(), 1);
+        assert_eq!(t.setup.percentile(1.0), 60);
+        assert_eq!(t.ttfb.percentile(1.0), 100);
+        assert_eq!(t.lifetime.percentile(1.0), 400);
+        assert_eq!(t.inflight(), 0);
+        assert_eq!(t.closed_count(), 1);
+    }
+
+    #[test]
+    fn setup_recorded_before_close() {
+        let mut t = LifecycleTracker::new();
+        t.mark(1, SynArrival, 0);
+        t.mark(1, Established, 50);
+        // Still open — setup latency must already be visible.
+        assert_eq!(t.setup.count(), 1);
+        assert_eq!(t.inflight(), 1);
+        assert_eq!(t.lifetime.count(), 0);
+    }
+
+    #[test]
+    fn syn_retransmit_keeps_first_timestamp() {
+        let mut t = LifecycleTracker::new();
+        t.mark(3, SynArrival, 10);
+        t.mark(3, SynArrival, 90); // retransmit
+        t.mark(3, Established, 110);
+        assert_eq!(t.setup.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn unknown_connection_marks_are_dropped() {
+        let mut t = LifecycleTracker::new();
+        t.mark(9, Closed, 100);
+        t.mark(9, Established, 50);
+        assert_eq!(t.closed_count(), 0);
+        assert_eq!(t.setup.count(), 0);
+        assert_eq!(t.inflight(), 0);
+    }
+
+    #[test]
+    fn window_reset_keeps_inflight() {
+        let mut t = LifecycleTracker::new();
+        t.mark(4, SynArrival, 10);
+        t.clear_histograms();
+        t.mark(4, Established, 40);
+        assert_eq!(t.setup.count(), 1);
+        assert_eq!(t.setup.percentile(1.0), 30);
+    }
+}

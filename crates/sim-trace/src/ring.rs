@@ -1,0 +1,131 @@
+//! Bounded per-core event rings.
+//!
+//! Each simulated core owns one ring; a full ring overwrites its oldest
+//! entry (ftrace semantics) and counts the loss, so tracing never grows
+//! without bound and never aborts a run.
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest entry.
+    head: usize,
+    len: usize,
+    capacity: usize,
+    /// Events overwritten because the ring was full.
+    overwritten: u64,
+    /// Highest timestamp pushed so far (rings are per-core, and per-core
+    /// simulated time is monotone; see [`EventRing::push`]).
+    last_ts: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            capacity,
+            overwritten: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if full.
+    ///
+    /// Per-core operations are serialized on a core's timeline, so
+    /// events arrive in non-decreasing timestamp order; a regressing
+    /// timestamp is clamped to the ring's high-water mark, making the
+    /// monotonicity of each core's record an invariant of the ring
+    /// rather than a property every instrumentation site must re-prove.
+    pub fn push(&mut self, mut ev: TraceEvent) {
+        if ev.ts < self.last_ts {
+            ev.ts = self.last_ts;
+        }
+        self.last_ts = ev.ts;
+        if self.len < self.capacity {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// The events in arrival order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Drops all events but keeps the capacity and timestamp high-water
+    /// mark (so monotonicity holds across a window reset).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceLabel;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent::enter(ts, 0, TraceLabel::NetRx)
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = EventRing::new(3);
+        for t in 1..=5 {
+            r.push(ev(t));
+        }
+        let ts: Vec<u64> = r.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![3, 4, 5]);
+        assert_eq!(r.overwritten(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn clamps_regressing_timestamps() {
+        let mut r = EventRing::new(8);
+        r.push(ev(10));
+        r.push(ev(7));
+        r.push(ev(12));
+        let ts: Vec<u64> = r.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10, 10, 12]);
+    }
+
+    #[test]
+    fn clear_preserves_watermark() {
+        let mut r = EventRing::new(4);
+        r.push(ev(100));
+        r.clear();
+        assert!(r.is_empty());
+        r.push(ev(5));
+        assert_eq!(r.iter().next().unwrap().ts, 100);
+    }
+}

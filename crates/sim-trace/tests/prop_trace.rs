@@ -1,0 +1,116 @@
+//! Property tests for the tracer's two core invariants:
+//!
+//! 1. Each core's event record is monotone in timestamp, no matter how
+//!    the instrumentation sites interleave (the ring clamps regressions
+//!    to its high-water mark).
+//! 2. Balanced enter/exit sequences nest cleanly: no unbalanced exits,
+//!    empty stacks afterwards, and attributed self-cycles summing
+//!    exactly to the time at least one span was open per core.
+
+use proptest::prelude::*;
+use sim_trace::{EventKind, TraceEvent, TraceLabel, Tracer};
+
+const LABELS: [TraceLabel; 8] = [
+    TraceLabel::Softirq,
+    TraceLabel::NetRx,
+    TraceLabel::Handshake,
+    TraceLabel::Vfs,
+    TraceLabel::Epoll,
+    TraceLabel::Timer,
+    TraceLabel::SysAccept,
+    TraceLabel::AppWork,
+];
+
+proptest! {
+    /// Arbitrary (timestamp, core, label) triples — including ones that
+    /// jump backwards in time — come back out of the tracer monotone
+    /// per core.
+    #[test]
+    fn per_core_timestamps_are_monotone(
+        raw in proptest::collection::vec((0u64..10_000, 0u16..4, 0usize..LABELS.len()), 1..300),
+    ) {
+        let t = Tracer::enabled(4, 64);
+        for &(ts, core, li) in &raw {
+            t.record(TraceEvent::enter(ts, core, LABELS[li]));
+        }
+        let events = t.events();
+        prop_assert!(!events.is_empty());
+        for core in 0..4u16 {
+            let mut last = 0u64;
+            for ev in events.iter().filter(|e| e.core == core) {
+                prop_assert!(
+                    ev.ts >= last,
+                    "core {} regressed: {} after {}", core, ev.ts, last
+                );
+                last = ev.ts;
+            }
+        }
+    }
+
+    /// Random balanced span sequences across three cores: every exit
+    /// matches an enter, every stack drains, and the folded attribution
+    /// conserves cycles — the sum of all self-cycles equals the total
+    /// time each core had at least one span open.
+    #[test]
+    fn balanced_spans_nest_and_conserve_cycles(
+        ops in proptest::collection::vec(0u8..=255, 1..400),
+    ) {
+        // Ring capacity exceeds 2 * ops, so no event is ever overwritten
+        // and the recorded stream is the full ground truth.
+        let t = Tracer::enabled(3, 1024);
+        let mut stacks: [Vec<TraceLabel>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut ts = 0u64;
+        for &b in &ops {
+            ts += 1 + u64::from(b & 0x7); // strictly increasing clock
+            let core = usize::from(b % 3);
+            let push = (b / 3) % 2 == 0 || stacks[core].is_empty();
+            if push {
+                let label = LABELS[usize::from(b / 6) % LABELS.len()];
+                stacks[core].push(label);
+                t.enter(ts, core as u16, label);
+            } else {
+                let label = stacks[core].pop().unwrap();
+                t.exit(ts, core as u16, label);
+            }
+        }
+        // Drain whatever is still open, innermost first.
+        for (core, stack) in stacks.iter_mut().enumerate() {
+            while let Some(label) = stack.pop() {
+                ts += 1;
+                t.exit(ts, core as u16, label);
+            }
+        }
+        prop_assert_eq!(t.unbalanced_exits(), 0);
+        for core in 0..3u16 {
+            prop_assert_eq!(t.depth(core), 0, "core {} stack not drained", core);
+        }
+        // Cycle conservation: replay the recorded stream to get the time
+        // each core spent with at least one open span; the folder must
+        // attribute exactly that many self-cycles, no more, no less.
+        let events = t.events();
+        let mut expected = 0u64;
+        for core in 0..3u16 {
+            let mut depth = 0usize;
+            let mut open_from = 0u64;
+            for ev in events.iter().filter(|e| e.core == core) {
+                match ev.kind {
+                    EventKind::Enter => {
+                        if depth == 0 {
+                            open_from = ev.ts;
+                        }
+                        depth += 1;
+                    }
+                    EventKind::Exit => {
+                        depth -= 1;
+                        if depth == 0 {
+                            expected += ev.ts - open_from;
+                        }
+                    }
+                    EventKind::Instant => {}
+                }
+            }
+        }
+        let attributed: u64 = t.collapsed().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(attributed, expected, "self-cycles must tile the busy time");
+    }
+}

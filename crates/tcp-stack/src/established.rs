@@ -78,7 +78,10 @@ impl EstTable {
                     .map(|_| ctx.locks.register(LockClass::EhashLock))
                     .collect();
                 let bucket_objs = (0..GLOBAL_BUCKETS)
-                    .map(|i| ctx.cache.alloc(ObjKind::TableBucket, CoreId((i % cores) as u16)))
+                    .map(|i| {
+                        ctx.cache
+                            .alloc(ObjKind::TableBucket, CoreId((i % cores) as u16))
+                    })
                     .collect();
                 EstTable {
                     variant,
@@ -126,8 +129,9 @@ impl EstTable {
         flow: &FlowTuple,
         costs: &StackCosts,
     ) -> Option<SockId> {
+        op.trace_enter(sim_trace::TraceLabel::EstLookup);
         op.work(CycleClass::EstLookup, costs.est_lookup);
-        match self.variant {
+        let found = match self.variant {
             EstVariant::Global => {
                 let b = self.bucket(flow);
                 op.touch(ctx, self.bucket_objs[b]);
@@ -137,7 +141,9 @@ impl EstTable {
                 op.touch(ctx, self.local_objs[core.index()]);
                 self.local_maps[core.index()].get(flow).copied()
             }
-        }
+        };
+        op.trace_exit(sim_trace::TraceLabel::EstLookup);
+        found
     }
 
     /// Inserts a connection, from `core`. Returns the home table core

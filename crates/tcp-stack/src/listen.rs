@@ -113,7 +113,12 @@ impl ListenTable {
         owner: Option<Pid>,
         core: CoreId,
     ) -> LsId {
-        let flow = FlowTuple::new(std::net::Ipv4Addr::UNSPECIFIED, port, std::net::Ipv4Addr::UNSPECIFIED, 0);
+        let flow = FlowTuple::new(
+            std::net::Ipv4Addr::UNSPECIFIED,
+            port,
+            std::net::Ipv4Addr::UNSPECIFIED,
+            0,
+        );
         let sock = socks.alloc(ctx, flow, TcpState::Listen, false, core);
         let id = LsId(self.sockets.len() as u32);
         self.sockets.push(ListenSocket {
@@ -253,6 +258,23 @@ impl ListenTable {
     /// listened (caller sends RST).
     #[allow(clippy::too_many_arguments)]
     pub fn lookup(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        core: CoreId,
+        flow: &FlowTuple,
+        socks: &SockTable,
+        costs: &StackCosts,
+        stats: &mut StackStats,
+    ) -> Option<LsId> {
+        op.trace_enter(sim_trace::TraceLabel::ListenLookup);
+        let found = self.lookup_inner(ctx, op, core, flow, socks, costs, stats);
+        op.trace_exit(sim_trace::TraceLabel::ListenLookup);
+        found
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_inner(
         &mut self,
         ctx: &mut KernelCtx,
         op: &mut Op,

@@ -96,7 +96,12 @@ impl PortAlloc {
         match self.variant {
             PortAllocVariant::Global => {
                 let lock = self.lock.expect("global variant has a lock");
-                op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.port_alloc_hold);
+                op.lock_do(
+                    &mut ctx.locks,
+                    lock,
+                    CycleClass::TcbManage,
+                    costs.port_alloc_hold,
+                );
                 let span = (EPHEMERAL_MAX - EPHEMERAL_MIN) as u32;
                 for _ in 0..span {
                     let p = self.cursor;
@@ -126,10 +131,7 @@ impl PortAlloc {
                         if next >= u32::from(EPHEMERAL_MAX) {
                             next = u32::from(EPHEMERAL_MIN);
                         }
-                        if self
-                            .rfd
-                            .port_matches_core(next as u16, core)
-                        {
+                        if self.rfd.port_matches_core(next as u16, core) {
                             break;
                         }
                         next += 1;
@@ -190,7 +192,10 @@ mod tests {
                 let p = alloc
                     .alloc(&mut c, &mut op, CoreId(core), ip, port, &costs)
                     .unwrap();
-                assert!(rfd.port_matches_core(p, CoreId(core)), "port {p} core {core}");
+                assert!(
+                    rfd.port_matches_core(p, CoreId(core)),
+                    "port {p} core {core}"
+                );
                 assert!((EPHEMERAL_MIN..EPHEMERAL_MAX).contains(&p));
             }
             op.commit(&mut c.cpu);
@@ -242,7 +247,14 @@ mod tests {
         let costs = StackCosts::default();
         let mut op = c.begin(CoreId(0), 0);
         let a = alloc
-            .alloc(&mut c, &mut op, CoreId(0), Ipv4Addr::new(10, 0, 0, 1), 80, &costs)
+            .alloc(
+                &mut c,
+                &mut op,
+                CoreId(0),
+                Ipv4Addr::new(10, 0, 0, 1),
+                80,
+                &costs,
+            )
             .unwrap();
         // Exhaust nothing: just check the tuple-keyed used set allows
         // the same port to a different destination.

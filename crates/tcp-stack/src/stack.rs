@@ -23,8 +23,10 @@ use sim_os::timer::{TimerCosts, TimerSystem};
 use sim_os::vfs::{Vfs, VfsCosts, VfsMode};
 use sim_os::{KernelCtx, Op};
 
+use sim_trace::TraceLabel;
+
 use crate::costs::StackCosts;
-use crate::established::{EstTable, EstVariant};
+use crate::established::{flow_hash, EstTable, EstVariant};
 use crate::listen::{ListenTable, ListenVariant, LsId};
 use crate::ports::{PortAlloc, PortAllocVariant};
 use crate::rfd::{ClassifiedBy, PacketClass, Rfd};
@@ -347,7 +349,8 @@ impl TcpStack {
         core: CoreId,
     ) -> LsId {
         op.work(CycleClass::Syscall, self.config.costs.accept);
-        self.listen_table.listen(ctx, &mut self.socks, port, backlog, core)
+        self.listen_table
+            .listen(ctx, &mut self.socks, port, backlog, core)
     }
 
     /// `SO_REUSEPORT` copy for the worker `pid` pinned to `core`.
@@ -438,6 +441,7 @@ impl TcpStack {
         // locality, steer. A steered packet costs this core only the
         // classification + backlog enqueue.
         if self.config.rfd && !already_steered {
+            op.trace_enter(TraceLabel::RfdSteer);
             let (class, by) = self
                 .rfd_engine
                 .classify(&pkt.flow, |p| self.listen_table.has_listener(p));
@@ -457,9 +461,11 @@ impl TcpStack {
                     self.stats.steered_packets += 1;
                     op.work(CycleClass::Steering, costs.steer);
                     out.steer = target;
+                    op.trace_exit(TraceLabel::RfdSteer);
                     return out;
                 }
             }
+            op.trace_exit(TraceLabel::RfdSteer);
         }
         op.work(CycleClass::SoftirqBase, costs.softirq_per_packet);
 
@@ -475,7 +481,9 @@ impl TcpStack {
             {
                 self.stats.tw_reused += 1;
                 self.teardown(ctx, os, op, sock);
+                op.trace_enter(TraceLabel::Handshake);
                 self.process_syn(ctx, op, &lflow, pkt, &mut out);
+                op.trace_exit(TraceLabel::Handshake);
                 return out;
             }
             if !self.config.rfd {
@@ -495,7 +503,9 @@ impl TcpStack {
 
         // Not established: handshake traffic for a listen socket.
         if pkt.flags.syn() && !pkt.flags.ack() {
+            op.trace_enter(TraceLabel::Handshake);
             self.process_syn(ctx, op, &lflow, pkt, &mut out);
+            op.trace_exit(TraceLabel::Handshake);
         } else if pkt.flags.rst() {
             // RST for a connection not in the established table: it may
             // target an embryonic (SYN-queue) entry — clean that up so
@@ -503,7 +513,9 @@ impl TcpStack {
             self.abort_embryonic(ctx, op, &lflow);
             self.stats.no_match_drops += 1;
         } else {
+            op.trace_enter(TraceLabel::Handshake);
             self.process_handshake_ack(ctx, os, op, &lflow, pkt, &mut out);
+            op.trace_exit(TraceLabel::Handshake);
         }
         out
     }
@@ -524,7 +536,12 @@ impl TcpStack {
             (t.lock, t.obj, t.rtx_timer)
         };
         op.touch(ctx, obj);
-        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_softirq);
+        op.lock_do(
+            &mut ctx.locks,
+            lock,
+            CycleClass::TcbManage,
+            costs.slock_hold_softirq,
+        );
 
         if pkt.flags.ack() {
             self.clear_acked(sock, pkt.ack);
@@ -574,11 +591,13 @@ impl TcpStack {
         if trans.established {
             let t = self.socks.get_mut(sock);
             t.state = trans.next;
+            let flow = t.flow;
             if t.active {
                 self.stats.active_established += 1;
             } else {
                 self.stats.passive_established += 1;
             }
+            op.trace_mark(flow_hash(&flow), TraceLabel::Established);
             op.work(CycleClass::Handshake, costs.ack_promotion / 2);
             notify_writable = true;
         } else {
@@ -589,9 +608,14 @@ impl TcpStack {
             let t = self.socks.get_mut(sock);
             t.rx_ready += u32::from(pkt.payload_len);
             let buf = t.buf_obj;
+            let flow = t.flow;
             op.work(CycleClass::SoftirqBase, costs.data_segment);
-            op.work(CycleClass::SoftirqBase, costs.copy_cost(u32::from(pkt.payload_len)));
+            op.work(
+                CycleClass::SoftirqBase,
+                costs.copy_cost(u32::from(pkt.payload_len)),
+            );
             op.touch(ctx, buf);
+            op.trace_mark(flow_hash(&flow), TraceLabel::FirstByte);
             notify_readable = true;
         }
 
@@ -636,15 +660,10 @@ impl TcpStack {
     ) {
         let costs = self.config.costs;
         let core = op.core();
-        let Some(ls_id) = self.listen_table.lookup(
-            ctx,
-            op,
-            core,
-            lflow,
-            &self.socks,
-            &costs,
-            &mut self.stats,
-        ) else {
+        let Some(ls_id) =
+            self.listen_table
+                .lookup(ctx, op, core, lflow, &self.socks, &costs, &mut self.stats)
+        else {
             // No listener: refuse.
             let reply = Packet::new(*lflow, TcpFlags::RST).with_ack(pkt.seq.wrapping_add(1));
             self.stats.rst_sent += 1;
@@ -667,6 +686,7 @@ impl TcpStack {
                     .with_seq(isn)
                     .with_ack(pkt.seq.wrapping_add(1));
                 self.stats.syn_cookies_sent += 1;
+                op.trace_mark(flow_hash(lflow), TraceLabel::SynArrival);
                 op.work(CycleClass::Handshake, costs.syn_processing / 2);
                 self.transmit(op, reply, out);
             } else {
@@ -675,6 +695,7 @@ impl TcpStack {
             return;
         }
 
+        op.trace_mark(flow_hash(lflow), TraceLabel::SynArrival);
         op.work(CycleClass::Handshake, costs.syn_processing);
         let isn = ctx.rng.next_u64() as u32;
         let child = self
@@ -689,7 +710,12 @@ impl TcpStack {
         // Queue manipulation under the listen socket's slock: on the
         // shared global socket this is the accept-path bottleneck.
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        op.lock_do(
+            &mut ctx.locks,
+            ls_lock,
+            CycleClass::Handshake,
+            costs.listen_hold_softirq,
+        );
         self.listen_table
             .ls_mut(ls_id)
             .syn_queue
@@ -719,15 +745,9 @@ impl TcpStack {
     ) {
         let costs = self.config.costs;
         let core = op.core();
-        let found = self.listen_table.lookup(
-            ctx,
-            op,
-            core,
-            lflow,
-            &self.socks,
-            &costs,
-            &mut self.stats,
-        );
+        let found =
+            self.listen_table
+                .lookup(ctx, op, core, lflow, &self.socks, &costs, &mut self.stats);
         // SYN-queue removal and accept-queue insertion happen under one
         // hold of the listen socket's slock (as `tcp_v4_syn_recv_sock`
         // does); the lock is taken below, together with the queue push.
@@ -779,6 +799,10 @@ impl TcpStack {
         };
         debug_assert!(trans.established, "3rd ACK must establish");
         self.stats.passive_established += 1;
+        op.trace_mark(flow_hash(lflow), TraceLabel::Established);
+        if pkt.payload_len > 0 {
+            op.trace_mark(flow_hash(lflow), TraceLabel::FirstByte);
+        }
 
         // Insert into the established table (home = current core under
         // the Local variant — RFD/RSS guarantee later packets arrive
@@ -799,14 +823,21 @@ impl TcpStack {
         // nothing new).
         let ls_sock = self.listen_table.ls(ls_id).sock;
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        op.lock_do(
+            &mut ctx.locks,
+            ls_lock,
+            CycleClass::Handshake,
+            costs.listen_hold_softirq,
+        );
         let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
-        self.listen_table.ls_mut(ls_id).accept_queue.push_back(child);
+        self.listen_table
+            .ls_mut(ls_id)
+            .accept_queue
+            .push_back(child);
         self.socks.get_mut(child).queued_in = Some(ls_id);
 
         if was_empty {
-            let watchers: Vec<(EpollId, Pid, u64)> =
-                self.listen_table.ls(ls_id).watchers.clone();
+            let watchers: Vec<(EpollId, Pid, u64)> = self.listen_table.ls(ls_id).watchers.clone();
             for (ep, pid, data) in watchers {
                 let woke = os.epolls.post(
                     ctx,
@@ -878,7 +909,12 @@ impl TcpStack {
                 let ls_lock = self.socks.get(ls_sock).lock;
                 let ls_obj = self.socks.get(ls_sock).obj;
                 op.touch(ctx, ls_obj);
-                op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Syscall, costs.listen_hold_accept);
+                op.lock_do(
+                    &mut ctx.locks,
+                    ls_lock,
+                    CycleClass::Syscall,
+                    costs.listen_hold_accept,
+                );
                 (
                     self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
                     AcceptSource::Local,
@@ -888,7 +924,12 @@ impl TcpStack {
                 let ls_id = self.listen_table.copy_of(port, core)?;
                 let ls_sock = self.listen_table.ls(ls_id).sock;
                 let ls_lock = self.socks.get(ls_sock).lock;
-                op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Syscall, costs.listen_hold_accept);
+                op.lock_do(
+                    &mut ctx.locks,
+                    ls_lock,
+                    CycleClass::Syscall,
+                    costs.listen_hold_accept,
+                );
                 (
                     self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
                     AcceptSource::Local,
@@ -977,9 +1018,7 @@ impl TcpStack {
         let costs = self.config.costs;
         self.syscall_entry(op);
         op.work(CycleClass::Syscall, costs.connect);
-        let port = self
-            .ports
-            .alloc(ctx, op, core, dst_ip, dst_port, &costs)?;
+        let port = self.ports.alloc(ctx, op, core, dst_ip, dst_port, &costs)?;
         let flow = FlowTuple::new(src_ip, port, dst_ip, dst_port);
         let isn = ctx.rng.next_u64() as u32;
         let sock = self.socks.alloc(ctx, flow, TcpState::SynSent, true, core);
@@ -1031,7 +1070,12 @@ impl TcpStack {
         op.work(CycleClass::Syscall, costs.send);
         op.work(CycleClass::Syscall, self.copy_cost(u32::from(bytes)));
         op.touch(ctx, buf);
-        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+        op.lock_do(
+            &mut ctx.locks,
+            lock,
+            CycleClass::TcbManage,
+            costs.slock_hold_app,
+        );
         match timer {
             Some(t) => os.timers.modify(ctx, op, t),
             None => {
@@ -1061,7 +1105,12 @@ impl TcpStack {
         self.syscall_entry(op);
         op.work(CycleClass::Syscall, costs.recv);
         op.touch(ctx, buf);
-        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+        op.lock_do(
+            &mut ctx.locks,
+            lock,
+            CycleClass::TcbManage,
+            costs.slock_hold_app,
+        );
         let t = self.socks.get_mut(sock);
         let bytes = std::mem::take(&mut t.rx_ready);
         op.work(CycleClass::Syscall, self.copy_cost(bytes));
@@ -1081,7 +1130,12 @@ impl TcpStack {
         self.syscall_entry(op);
         op.work(CycleClass::Syscall, costs.close);
         let lock = self.socks.get(sock).lock;
-        op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, costs.slock_hold_app);
+        op.lock_do(
+            &mut ctx.locks,
+            lock,
+            CycleClass::TcbManage,
+            costs.slock_hold_app,
+        );
 
         // FD-side teardown happens immediately (VFS + epoll).
         if let Some(node) = self.socks.get_mut(sock).vfs.take() {
@@ -1128,19 +1182,15 @@ impl TcpStack {
     fn abort_embryonic(&mut self, ctx: &mut KernelCtx, op: &mut Op, lflow: &FlowTuple) {
         let costs = self.config.costs;
         let core = op.core();
-        let Some(ls_id) = self.listen_table.lookup(
-            ctx,
-            op,
-            core,
-            lflow,
-            &self.socks,
-            &costs,
-            &mut self.stats,
-        ) else {
+        let Some(ls_id) =
+            self.listen_table
+                .lookup(ctx, op, core, lflow, &self.socks, &costs, &mut self.stats)
+        else {
             return;
         };
         if let Some(child) = self.listen_table.ls_mut(ls_id).syn_queue.remove(lflow) {
             self.socks.release(ctx, child);
+            op.trace_mark(flow_hash(lflow), TraceLabel::Closed);
         }
     }
 
@@ -1198,6 +1248,11 @@ impl TcpStack {
             }
         }
         self.stats.passive_established += 1;
+        op.trace_mark(flow_hash(lflow), TraceLabel::SynArrival);
+        op.trace_mark(flow_hash(lflow), TraceLabel::Established);
+        if pkt.payload_len > 0 {
+            op.trace_mark(flow_hash(lflow), TraceLabel::FirstByte);
+        }
         let home = self.est.insert(ctx, op, core, *lflow, child, &costs);
         {
             let t = self.socks.get_mut(child);
@@ -1206,13 +1261,20 @@ impl TcpStack {
         }
         let ls_sock = self.listen_table.ls(ls_id).sock;
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(&mut ctx.locks, ls_lock, CycleClass::Handshake, costs.listen_hold_softirq);
+        op.lock_do(
+            &mut ctx.locks,
+            ls_lock,
+            CycleClass::Handshake,
+            costs.listen_hold_softirq,
+        );
         let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
-        self.listen_table.ls_mut(ls_id).accept_queue.push_back(child);
+        self.listen_table
+            .ls_mut(ls_id)
+            .accept_queue
+            .push_back(child);
         self.socks.get_mut(child).queued_in = Some(ls_id);
         if was_empty {
-            let watchers: Vec<(EpollId, Pid, u64)> =
-                self.listen_table.ls(ls_id).watchers.clone();
+            let watchers: Vec<(EpollId, Pid, u64)> = self.listen_table.ls(ls_id).watchers.clone();
             for (ep, pid, data) in watchers {
                 let woke = os.epolls.post(
                     ctx,
@@ -1251,7 +1313,8 @@ impl TcpStack {
             self.est.remove(ctx, op, est_home, &flow, &costs);
         }
         if active {
-            self.ports.release(flow.dst_ip, flow.dst_port, flow.src_port);
+            self.ports
+                .release(flow.dst_ip, flow.dst_port, flow.src_port);
         }
         self.disarm_timer(ctx, os, op, sock);
         if let Some(node) = self.socks.get_mut(sock).vfs.take() {
@@ -1261,9 +1324,16 @@ impl TcpStack {
             os.epolls.ctl_del(ctx, op, ep);
         }
         self.socks.release(ctx, sock);
+        op.trace_mark(flow_hash(&flow), TraceLabel::Closed);
     }
 
-    fn disarm_timer(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, sock: SockId) {
+    fn disarm_timer(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+    ) {
         if let Some(t) = self.socks.get_mut(sock).rtx_timer.take() {
             os.timers.disarm(ctx, op, t);
         }
@@ -1338,8 +1408,10 @@ impl TcpStack {
                 TcpState::Closing => 0x0B,
             }
         }
-        let mut out = String::from("  sl  local_address rem_address   st
-");
+        let mut out = String::from(
+            "  sl  local_address rem_address   st
+",
+        );
         for (i, tcb) in self.socks.iter().enumerate() {
             out.push_str(&format!(
                 "{:4}: {} {} {:02X}

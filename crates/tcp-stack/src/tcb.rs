@@ -188,9 +188,7 @@ impl SockTable {
 
     /// Whether `id` refers to a live socket.
     pub fn exists(&self, id: SockId) -> bool {
-        self.socks
-            .get(id.0 as usize)
-            .is_some_and(|s| s.is_some())
+        self.socks.get(id.0 as usize).is_some_and(|s| s.is_some())
     }
 
     /// Number of live sockets.
@@ -271,15 +269,7 @@ mod tests {
         let mut c = ctx();
         let mut t = SockTable::new();
         let ids: Vec<SockId> = (0..10)
-            .map(|i| {
-                t.alloc(
-                    &mut c,
-                    flow(),
-                    TcpState::Established,
-                    false,
-                    CoreId(i % 4),
-                )
-            })
+            .map(|i| t.alloc(&mut c, flow(), TcpState::Established, false, CoreId(i % 4)))
             .collect();
         assert_eq!(c.locks.live_locks(), 10);
         for id in ids {

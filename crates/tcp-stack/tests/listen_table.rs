@@ -74,7 +74,15 @@ fn lookup_on_unlistened_port_returns_none() {
         40_000,
     );
     assert_eq!(
-        t.lookup(&mut c, &mut op, CoreId(0), &other, &socks, &costs, &mut stats),
+        t.lookup(
+            &mut c,
+            &mut op,
+            CoreId(0),
+            &other,
+            &socks,
+            &costs,
+            &mut stats
+        ),
         None
     );
     op.commit(&mut c.cpu);
@@ -95,10 +103,21 @@ fn reuseport_walk_is_linear_in_copies() {
     let mut stats = StackStats::default();
     let mut op = c.begin(CoreId(0), 0);
     for i in 0..10u16 {
-        t.lookup(&mut c, &mut op, CoreId(0), &lflow(40_000 + i), &socks, &costs, &mut stats);
+        t.lookup(
+            &mut c,
+            &mut op,
+            CoreId(0),
+            &lflow(40_000 + i),
+            &socks,
+            &costs,
+            &mut stats,
+        );
     }
     op.commit(&mut c.cpu);
-    assert_eq!(stats.listen_entries_walked, 80, "8 copies walked per lookup");
+    assert_eq!(
+        stats.listen_entries_walked, 80,
+        "8 copies walked per lookup"
+    );
 }
 
 #[test]
@@ -114,10 +133,26 @@ fn reuseport_selection_is_flow_stable() {
     let mut stats = StackStats::default();
     let flow = lflow(45_123);
     let mut op = c.begin(CoreId(0), 0);
-    let a = t.lookup(&mut c, &mut op, CoreId(0), &flow, &socks, &costs, &mut stats);
+    let a = t.lookup(
+        &mut c,
+        &mut op,
+        CoreId(0),
+        &flow,
+        &socks,
+        &costs,
+        &mut stats,
+    );
     // Same flow from a different core selects the same copy (the
     // selection hashes the flow, not the receiving core).
-    let b = t.lookup(&mut c, &mut op, CoreId(3), &flow, &socks, &costs, &mut stats);
+    let b = t.lookup(
+        &mut c,
+        &mut op,
+        CoreId(3),
+        &flow,
+        &socks,
+        &costs,
+        &mut stats,
+    );
     op.commit(&mut c.cpu);
     assert_eq!(a, b);
 }
@@ -136,7 +171,15 @@ fn local_variant_prefers_the_cores_own_socket() {
     let mut stats = StackStats::default();
     for core in 0..4u16 {
         let mut op = c.begin(CoreId(core), 0);
-        let hit = t.lookup(&mut c, &mut op, CoreId(core), &lflow(41_000), &socks, &costs, &mut stats);
+        let hit = t.lookup(
+            &mut c,
+            &mut op,
+            CoreId(core),
+            &lflow(41_000),
+            &socks,
+            &costs,
+            &mut stats,
+        );
         op.commit(&mut c.cpu);
         assert_eq!(hit, Some(locals[core as usize]));
         assert_ne!(hit, Some(global));
@@ -160,7 +203,15 @@ fn local_variant_falls_back_to_global_after_crash() {
     let costs = StackCosts::default();
     let mut stats = StackStats::default();
     let mut op = c.begin(CoreId(1), 0);
-    let hit = t.lookup(&mut c, &mut op, CoreId(1), &lflow(42_000), &socks, &costs, &mut stats);
+    let hit = t.lookup(
+        &mut c,
+        &mut op,
+        CoreId(1),
+        &lflow(42_000),
+        &socks,
+        &costs,
+        &mut stats,
+    );
     op.commit(&mut c.cpu);
     assert_eq!(hit, Some(global), "Figure 2 slow path: global fallback");
 }
@@ -183,10 +234,22 @@ fn backlog_room_accounts_both_queues() {
     let mut t = ListenTable::new(ListenVariant::Global, 1);
     let ls = t.listen(&mut c, &mut socks, 80, 2, CoreId(0));
     assert!(t.ls(ls).has_room());
-    let s1 = socks.alloc(&mut c, lflow(1_100), tcp_stack::TcpState::SynRcvd, false, CoreId(0));
+    let s1 = socks.alloc(
+        &mut c,
+        lflow(1_100),
+        tcp_stack::TcpState::SynRcvd,
+        false,
+        CoreId(0),
+    );
     t.ls_mut(ls).syn_queue.insert(lflow(1_100), s1);
     assert!(t.ls(ls).has_room());
-    let s2 = socks.alloc(&mut c, lflow(1_101), tcp_stack::TcpState::Established, false, CoreId(0));
+    let s2 = socks.alloc(
+        &mut c,
+        lflow(1_101),
+        tcp_stack::TcpState::Established,
+        false,
+        CoreId(0),
+    );
     t.ls_mut(ls).accept_queue.push_back(s2);
     assert!(!t.ls(ls).has_room(), "syn + accept occupancy sums");
 }

@@ -162,7 +162,8 @@ fn run_one_connection(rig: &mut Rig, core: CoreId, src_port: u16) -> SockId {
     // Accept.
     let (sock, _src) = rig
         .op(core, |rig, op| {
-            rig.stack.accept(&mut rig.ctx, &mut rig.os, op, PORT, core, pid)
+            rig.stack
+                .accept(&mut rig.ctx, &mut rig.os, op, PORT, core, pid)
         })
         .expect("connection must be accepted");
 
@@ -207,7 +208,11 @@ fn full_lifecycle_base_kernel() {
     assert_eq!(stats.passive_established, 1);
     assert_eq!(stats.closed, 1);
     assert_eq!(stats.rst_sent, 0);
-    assert_eq!(rig.stack.socks.live_count(), 1, "only the listen socket remains");
+    assert_eq!(
+        rig.stack.socks.live_count(),
+        1,
+        "only the listen socket remains"
+    );
 }
 
 #[test]
@@ -218,7 +223,11 @@ fn full_lifecycle_reuseport() {
     let stats = rig.stack.stats();
     assert_eq!(stats.passive_established, 1);
     // ReusePort walks all 4 copies per lookup.
-    assert!(stats.avg_listen_walk() >= 3.9, "walk={}", stats.avg_listen_walk());
+    assert!(
+        stats.avg_listen_walk() >= 3.9,
+        "walk={}",
+        stats.avg_listen_walk()
+    );
 }
 
 #[test]
@@ -327,7 +336,9 @@ fn invalid_cookie_ack_is_reset() {
     // A stray ACK that matches no SYN-queue entry and carries no valid
     // cookie must be refused.
     let flow = FlowTuple::new(CLIENT_IP, 47_000, SERVER_IP, PORT);
-    let stray = Packet::new(flow, TcpFlags::ACK).with_seq(9).with_ack(0xdead);
+    let stray = Packet::new(flow, TcpFlags::ACK)
+        .with_seq(9)
+        .with_ack(0xdead);
     let out = rig.rx(CoreId(0), stray);
     assert_eq!(out.replies.len(), 1);
     assert!(out.replies[0].flags.rst());
@@ -357,7 +368,10 @@ fn rto_retransmits_lost_syn_ack() {
     // The ACK cleared the queue: the next RTO finds nothing.
     let arms = rig.stack.take_rto_arms();
     let (s2, g2) = arms[0];
-    assert!(rig.stack.on_rto(&mut rig.ctx, &mut rig.os, s2, g2).is_none());
+    assert!(rig
+        .stack
+        .on_rto(&mut rig.ctx, &mut rig.os, s2, g2)
+        .is_none());
 }
 
 #[test]
@@ -368,7 +382,9 @@ fn fastsocket_slow_path_survives_worker_crash() {
     // other worker. A naive local-only partition would send RST here.
     let mut rig = Rig::new(StackConfig::fastsocket(4));
     rig.listen_all();
-    rig.stack.listen_table_mut().destroy_process_socket(PORT, CoreId(1));
+    rig.stack
+        .listen_table_mut()
+        .destroy_process_socket(PORT, CoreId(1));
 
     let mut client = Client::new(43_000);
     let out = rig.rx(CoreId(1), client.syn());
@@ -400,7 +416,9 @@ fn global_queue_checked_before_local() {
 
     // One connection lands in the global queue (core 1's local socket
     // destroyed mid-run), then gets re-created for the local one.
-    rig.stack.listen_table_mut().destroy_process_socket(PORT, CoreId(1));
+    rig.stack
+        .listen_table_mut()
+        .destroy_process_socket(PORT, CoreId(1));
     let mut slowpath = Client::new(44_000);
     let out = rig.rx(CoreId(1), slowpath.syn());
     let third = slowpath.ack_synack(&out.replies[0]);
@@ -535,7 +553,8 @@ fn rfd_steers_active_packets_to_owning_core() {
 
     // Re-delivered on the right core it completes the handshake.
     let out = rig.op(CoreId(2), |rig, op| {
-        rig.stack.net_rx(&mut rig.ctx, &mut rig.os, op, &synack, true)
+        rig.stack
+            .net_rx(&mut rig.ctx, &mut rig.os, op, &synack, true)
     });
     assert_eq!(out.steer, None);
     assert_eq!(out.replies.len(), 1);
@@ -560,8 +579,14 @@ fn reuseport_distributes_by_flow_hash() {
     for core in 0..4u16 {
         loop {
             let got = rig.op(CoreId(core), |rig, op| {
-                rig.stack
-                    .accept(&mut rig.ctx, &mut rig.os, op, PORT, CoreId(core), Pid(core as u32))
+                rig.stack.accept(
+                    &mut rig.ctx,
+                    &mut rig.os,
+                    op,
+                    PORT,
+                    CoreId(core),
+                    Pid(core as u32),
+                )
             });
             if got.is_none() {
                 break;
@@ -591,10 +616,19 @@ fn proc_net_tcp_shows_sockets_in_every_vfs_mode() {
 
         let dump = rig.stack.proc_net_tcp();
         assert!(dump.contains("local_address"), "{dump}");
-        assert!(dump.contains(" 0A\n"), "a LISTEN socket must appear: {dump}");
-        assert!(dump.contains(" 01\n"), "an ESTABLISHED socket must appear: {dump}");
+        assert!(
+            dump.contains(" 0A\n"),
+            "a LISTEN socket must appear: {dump}"
+        );
+        assert!(
+            dump.contains(" 01\n"),
+            "an ESTABLISHED socket must appear: {dump}"
+        );
         // Port 80 in hex.
-        assert!(dump.contains(":0050"), "service port rendered in hex: {dump}");
+        assert!(
+            dump.contains(":0050"),
+            "service port rendered in hex: {dump}"
+        );
 
         let summary = rig.stack.socket_summary();
         assert!(summary

@@ -8,12 +8,13 @@
 //! cargo run --release --example netstat
 //! ```
 
-use sim_core::{CoreId, SimRng};
+use sim_core::{usecs_to_cycles, CoreId, SimRng};
 use sim_mem::{CacheCosts, CacheModel};
 use sim_net::{FlowTuple, Packet, TcpFlags};
 use sim_os::process::Pid;
 use sim_os::KernelCtx;
 use sim_sync::{LockCosts, LockTable};
+use sim_trace::Tracer;
 use std::net::Ipv4Addr;
 use tcp_stack::stack::{OsServices, StackConfig, TcpStack};
 
@@ -25,6 +26,10 @@ fn main() {
         CacheModel::new(CacheCosts::default()),
         SimRng::seed(2),
     );
+    // Trace everything the stack does below, so the same run also
+    // demonstrates the latency histogram and cycle attribution.
+    let tracer = Tracer::enabled(2, 4096);
+    ctx.set_tracer(tracer.clone());
     let mut os = OsServices::new(&mut ctx, &config);
     let mut stack = TcpStack::new(&mut ctx, config);
 
@@ -74,4 +79,26 @@ fn main() {
     for (state, n) in stack.socket_summary() {
         println!("  {state:<12} {n}");
     }
+
+    // The tracer watched every handshake above; print what it measured.
+    let per_usec = usecs_to_cycles(1.0) as f64;
+    println!("\nconnection-setup latency histogram (SYN -> ESTABLISHED):");
+    let buckets = tracer.setup_buckets();
+    let peak = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for (upper_cycles, count) in &buckets {
+        let bar = "#".repeat((count * 40 / peak) as usize);
+        println!(
+            "  <= {:>8.2} us  {count:>4}  {bar}",
+            *upper_cycles as f64 / per_usec
+        );
+    }
+    if let Some(latency) = tracer.latency(per_usec) {
+        let s = latency.setup;
+        println!(
+            "  {} setups: p50 {:.2} us, p99 {:.2} us, max {:.2} us",
+            s.count, s.p50_us, s.p99_us, s.max_us
+        );
+    }
+    println!("\ncycle attribution (flamegraph .folded):");
+    print!("{}", tracer.folded());
 }

@@ -21,7 +21,10 @@ fn main() {
     let report = Simulation::new(config).run();
 
     println!("\n== results ==");
-    println!("throughput        : {:.0} connections/sec", report.throughput_cps);
+    println!(
+        "throughput        : {:.0} connections/sec",
+        report.throughput_cps
+    );
     println!("connections served: {}", report.completed);
     println!(
         "core utilization  : avg {:.1}%  (min {:.1}%, max {:.1}%)",

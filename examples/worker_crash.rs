@@ -68,7 +68,10 @@ fn main() {
         "SYN on core 1 -> {} (a naive local-only partition would send RST here)",
         if reply.flags.rst() { "RST" } else { "SYN-ACK" }
     );
-    assert!(reply.flags.syn() && reply.flags.ack(), "robustness slow path");
+    assert!(
+        reply.flags.syn() && reply.flags.ack(),
+        "robustness slow path"
+    );
 
     // Complete the handshake; the connection lands in the GLOBAL
     // accept queue.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, and the full test suite.
+#
+# Everything runs against the vendored in-tree dependency set (see
+# vendor/README.md) — no registry access is needed or attempted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The registry is unreachable in the build environment; every dependency
+# is an in-tree path crate, so force cargo to never try the network.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -38,7 +38,13 @@ fn vfs_fastpath_eliminates_dcache_and_inode_contention() {
 #[test]
 fn full_fastsocket_contends_on_nothing() {
     let r = run_step(FeatureStep::Vlre, 6);
-    for lock in ["dcache_lock", "inode_lock", "slock", "ep.lock", "ehash.lock"] {
+    for lock in [
+        "dcache_lock",
+        "inode_lock",
+        "slock",
+        "ep.lock",
+        "ehash.lock",
+    ] {
         assert_eq!(
             r.lock_contentions(lock),
             0,

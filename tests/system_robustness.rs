@@ -84,7 +84,10 @@ fn utilization_is_balanced_under_fastsocket_but_not_base() {
         fs_spread < base_spread,
         "fastsocket must balance better: base {base_spread:.3} vs fs {fs_spread:.3}"
     );
-    assert!(fs_spread < 0.05, "fastsocket cores stay within 5pp: {fs_spread:.3}");
+    assert!(
+        fs_spread < 0.05,
+        "fastsocket cores stay within 5pp: {fs_spread:.3}"
+    );
 }
 
 #[test]

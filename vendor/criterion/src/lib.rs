@@ -1,0 +1,156 @@
+//! Offline in-tree replacement for the subset of `criterion` this
+//! workspace's benches use. It keeps the same shape (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, benchmark groups, `Bencher::iter`,
+//! `black_box`, `BenchmarkId`) but performs a simple warmup + timed-run
+//! measurement and prints mean ns/iter, instead of upstream's full
+//! statistical analysis. See `vendor/README.md` for why the workspace
+//! vendors its dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark's closure repeatedly and measures it.
+pub struct Bencher {
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Times `f`, printing mean wall-clock ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle and estimate cost.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~0.2 s of measurement, clamped to [sample_size, 1e6] iters.
+        let target = Duration::from_millis(200).as_nanos() / estimate.as_nanos().max(1);
+        let iters = (target as u64).clamp(self.sample_size, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("    {per_iter:>12.1} ns/iter ({iters} iterations)");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench: {name}");
+        let mut b = Bencher { sample_size: 10 };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  bench: {id}");
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one named benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  bench: {id}");
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,312 @@
+//! Offline in-tree replacement for `serde_derive`, written against the
+//! compiler's own `proc_macro` API (no `syn`/`quote`, which would need
+//! the unreachable registry — see `vendor/README.md`).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields        → JSON objects
+//! * tuple structs with one field     → the inner value (newtype rule)
+//! * tuple structs with n > 1 fields  → JSON arrays
+//! * unit structs                     → `null`
+//! * enums with only unit variants    → variant-name strings
+//!
+//! These match upstream serde's default (attribute-free) encodings.
+//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes
+//! are rejected with a compile-time panic naming the offending item, so
+//! unsupported uses fail loudly rather than mis-encode.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item.
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Fieldless enum: variant identifiers.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{elems}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("::serde::de_elem(a, {i})?,"))
+                .collect();
+            format!(
+                "let a = ::serde::as_tuple(v, {n})?; \
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Body::Unit => format!(
+            "match v {{ \
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 other => ::std::result::Result::Err(::serde::Error::expected(\"null\", other)), \
+             }}"
+        ),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match ::serde::Value::as_str(v) {{ \
+                     ::std::option::Option::Some(s) => match s {{ \
+                         {arms} \
+                         other => ::std::result::Result::Err(::serde::Error(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }}, \
+                     ::std::option::Option::None => \
+                         ::std::result::Result::Err(::serde::Error::expected(\"string\", v)), \
+                 }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+// ---- token-level parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += skip_attribute(&tokens[i..]),
+            TokenTree::Ident(id) if id.to_string() == "pub" => i += skip_visibility(&tokens[i..]),
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(_) | TokenTree::Punct(_)) {
+        i += 1;
+    }
+    let body = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(&name, g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            None => Body::Unit,
+            other => panic!("serde_derive: expected struct body for `{name}`, found {other:?}"),
+        }
+    };
+    Item { name, body }
+}
+
+/// Number of tokens an attribute (`#[...]` or `#![...]`) occupies.
+fn skip_attribute(tokens: &[TokenTree]) -> usize {
+    let mut n = 1; // '#'
+    if let Some(TokenTree::Punct(p)) = tokens.get(n) {
+        if p.as_char() == '!' {
+            n += 1;
+        }
+    }
+    if matches!(tokens.get(n), Some(TokenTree::Group(_))) {
+        n += 1;
+    }
+    n
+}
+
+/// Number of tokens a visibility (`pub`, `pub(crate)`, ...) occupies.
+fn skip_visibility(tokens: &[TokenTree]) -> usize {
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => 2,
+        _ => 1,
+    }
+}
+
+/// Advances past a type up to (and including) the next top-level comma.
+/// Commas inside angle brackets (`Vec<(String, f64)>`) are not
+/// separators; `>` closing an angle pair is distinguished from the `>`
+/// of `->` by peeking at the previous punct.
+fn skip_type_and_comma(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut prev = ' ';
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if prev != '-' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+            prev = p.as_char();
+        } else {
+            prev = ' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += skip_attribute(&tokens[i..]),
+            TokenTree::Ident(id) if id.to_string() == "pub" => i += skip_visibility(&tokens[i..]),
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1; // the field name
+                i += 1; // the ':'
+                i += skip_type_and_comma(&tokens[i..]);
+            }
+            other => panic!("serde_derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += skip_attribute(&tokens[i..]),
+            TokenTree::Ident(id) if id.to_string() == "pub" => i += skip_visibility(&tokens[i..]),
+            _ => {
+                count += 1;
+                i += skip_type_and_comma(&tokens[i..]);
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += skip_attribute(&tokens[i..]),
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Group(_)) => panic!(
+                        "serde_derive (vendored): variant `{}::{}` carries data, \
+                         which is not supported",
+                        enum_name,
+                        variants.last().unwrap()
+                    ),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                        "serde_derive (vendored): explicit discriminants are not supported \
+                         (`{enum_name}`)"
+                    ),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    None => {}
+                    other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
