@@ -46,6 +46,7 @@ impl Sys<'_> {
             .accept(self.ctx, self.os, self.op, port, self.core, self.pid)
             .map(|(sock, _)| sock);
         self.op.trace_exit(TraceLabel::SysAccept);
+        self.op.check_boundary();
         sock
     }
 
@@ -55,6 +56,7 @@ impl Sys<'_> {
         self.stack
             .register_epoll(self.ctx, self.os, self.op, sock, self.ep, token);
         self.op.trace_exit(TraceLabel::SysEpollCtl);
+        self.op.check_boundary();
     }
 
     /// `read()`: drains and returns buffered receive bytes.
@@ -62,6 +64,7 @@ impl Sys<'_> {
         self.op.trace_enter(TraceLabel::SysRecv);
         let n = self.stack.recv(self.ctx, self.op, sock);
         self.op.trace_exit(TraceLabel::SysRecv);
+        self.op.check_boundary();
         n
     }
 
@@ -89,6 +92,7 @@ impl Sys<'_> {
             self.tx.push(pkt);
         }
         self.op.trace_exit(TraceLabel::SysSend);
+        self.op.check_boundary();
     }
 
     /// `close()`: releases the FD side and starts TCP teardown.
@@ -98,6 +102,7 @@ impl Sys<'_> {
             self.tx.push(fin);
         }
         self.op.trace_exit(TraceLabel::SysClose);
+        self.op.check_boundary();
     }
 
     /// `connect()` to `(dst_ip, dst_port)`; the SYN is queued for
@@ -115,6 +120,7 @@ impl Sys<'_> {
             dst_port,
         );
         self.op.trace_exit(TraceLabel::SysConnect);
+        self.op.check_boundary();
         let (sock, syn) = conn?;
         self.tx.push(syn);
         Some(sock)
@@ -149,6 +155,7 @@ impl Sys<'_> {
                 writable: false,
             },
         );
+        self.op.check_boundary();
     }
 }
 

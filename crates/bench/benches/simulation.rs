@@ -22,7 +22,7 @@ fn bench_kernels(c: &mut Criterion) {
         ("fastsocket", KernelSpec::Fastsocket),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &kernel, |b, k| {
-            b.iter(|| short_run(k.clone(), AppSpec::web(), 8))
+            b.iter(|| short_run(k.clone(), AppSpec::web(), 8));
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn bench_kernels(c: &mut Criterion) {
         ("fastsocket", KernelSpec::Fastsocket),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &kernel, |b, k| {
-            b.iter(|| short_run(k.clone(), AppSpec::proxy(), 8))
+            b.iter(|| short_run(k.clone(), AppSpec::proxy(), 8));
         });
     }
     group.finish();

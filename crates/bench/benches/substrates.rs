@@ -24,7 +24,7 @@ fn flow(port: u16) -> FlowTuple {
 fn bench_toeplitz(c: &mut Criterion) {
     let f = flow(40_000);
     c.bench_function("toeplitz_hash_flow", |b| {
-        b.iter(|| hash_flow(black_box(&RSS_KEY), black_box(&f)))
+        b.iter(|| hash_flow(black_box(&RSS_KEY), black_box(&f)));
     });
     c.bench_function("fnv_flow_hash", |b| b.iter(|| flow_hash(black_box(&f))));
 }
@@ -37,7 +37,7 @@ fn bench_packet_codec(c: &mut Criterion) {
     c.bench_function("packet_to_wire_600B", |b| b.iter(|| pkt.to_wire()));
     let wire = pkt.to_wire();
     c.bench_function("packet_parse_600B", |b| {
-        b.iter(|| Packet::parse(black_box(&wire)).unwrap())
+        b.iter(|| Packet::parse(black_box(&wire)).unwrap());
     });
 }
 
@@ -45,10 +45,10 @@ fn bench_nic(c: &mut Criterion) {
     let mut nic = Nic::new(NicConfig::new(24, SteeringMode::FdirAtr));
     let pkt = Packet::new(flow(40_001), TcpFlags::SYN);
     c.bench_function("nic_rx_queue_atr", |b| {
-        b.iter(|| nic.rx_queue(black_box(&pkt)))
+        b.iter(|| nic.rx_queue(black_box(&pkt)));
     });
     c.bench_function("nic_tx_atr_observe", |b| {
-        b.iter(|| nic.tx(black_box(&pkt), QueueId(3)))
+        b.iter(|| nic.tx(black_box(&pkt), QueueId(3)));
     });
 }
 
@@ -61,7 +61,7 @@ fn bench_locks(c: &mut Criterion) {
             now += 10_000;
             t.set_epoch(now);
             t.acquire(lock, CoreId(0), now, 500)
-        })
+        });
     });
     let mut t2 = LockTable::new(LockCosts::default());
     let hot = t2.register(LockClass::DcacheLock);
@@ -71,7 +71,7 @@ fn bench_locks(c: &mut Criterion) {
             i += 1;
             t2.set_epoch(i * 100);
             t2.acquire(hot, CoreId((i % 8) as u16), i * 100, 2_000)
-        })
+        });
     });
 }
 
@@ -84,7 +84,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % 2;
             cache.access(obj, CoreId(i), &mut rng)
-        })
+        });
     });
 }
 
@@ -96,13 +96,13 @@ fn bench_engine(c: &mut Criterion) {
                 q.push((i * 7919) % 10_000, i);
             }
             while q.pop().is_some() {}
-        })
+        });
     });
     let mut cpu = Cpu::new(24);
     let mut sheet = CostSheet::new();
     sheet.add(CycleClass::AppWork, 1_000);
     c.bench_function("cpu_execute", |b| {
-        b.iter(|| cpu.execute(CoreId(3), 0, black_box(&sheet)))
+        b.iter(|| cpu.execute(CoreId(3), 0, black_box(&sheet)));
     });
 }
 

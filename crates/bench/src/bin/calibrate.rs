@@ -8,12 +8,12 @@ use fastsocket::{AppSpec, KernelSpec, SimConfig, Simulation};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let app_name = args.get(1).map(String::as_str).unwrap_or("web");
+    let app_name = args.get(1).map_or("web", String::as_str);
     let measure: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    let cores_list: Vec<u16> = args
-        .get(3)
-        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
-        .unwrap_or_else(|| vec![1, 4, 8, 12, 16, 20, 24]);
+    let cores_list: Vec<u16> = args.get(3).map_or_else(
+        || vec![1, 4, 8, 12, 16, 20, 24],
+        |s| s.split(',').map(|x| x.parse().unwrap()).collect(),
+    );
 
     println!(
         "{:<12} {:>5} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7}",

@@ -1,0 +1,148 @@
+//! Sanitizer sweep: every stock kernel variant × core count runs under
+//! the full `sim-check` suite (lockdep, lockset race detection,
+//! partition lints) and must report **zero** violations.
+//!
+//! This is the repo's analog of booting a kernel with
+//! `CONFIG_PROVE_LOCKING` and KCSAN enabled and watching dmesg stay
+//! quiet: a correctness gate, not a performance figure. A second table
+//! turns each fault-injection knob and verifies that the corresponding
+//! detector *does* fire — the sanitizers are proven live, not merely
+//! silent.
+
+use fastsocket::{AppSpec, CheckReport, FaultInjection, KernelSpec, SimConfig, Simulation};
+use fastsocket_bench::HarnessArgs;
+
+/// One fault-injection row: the knob, the kernel to run it under, and
+/// the predicate proving the right detector fired.
+type FaultRow = (FaultInjection, KernelSpec, fn(&CheckReport) -> bool);
+
+fn run(
+    kernel: KernelSpec,
+    app: AppSpec,
+    cores: u16,
+    measure: f64,
+    fault: FaultInjection,
+) -> CheckReport {
+    let cfg = SimConfig::new(kernel, app, cores)
+        .warmup_secs(0.05)
+        .measure_secs(measure)
+        .concurrency(u32::from(cores) * 100)
+        .check(true)
+        .fault(fault);
+    Simulation::new(cfg)
+        .run()
+        .checks
+        .expect("check(true) must produce a report")
+}
+
+fn main() {
+    let args = HarnessArgs::parse(0.3, "checks");
+    let core_counts = args
+        .cores
+        .clone()
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 12, 16, 24]);
+
+    println!("sim-check sweep: lockdep + lockset + partition lints, web workload\n");
+    println!(
+        "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "kernel", "cores", "lockdep", "lockset", "partition", "invariant", "verdict"
+    );
+    let mut rows = Vec::new();
+    let mut dirty = 0u32;
+    for kernel in [
+        KernelSpec::BaseLinux,
+        KernelSpec::Linux313,
+        KernelSpec::Fastsocket,
+    ] {
+        for &cores in &core_counts {
+            let r = run(
+                kernel.clone(),
+                AppSpec::web(),
+                cores,
+                args.measure_secs,
+                FaultInjection::None,
+            );
+            let verdict = if r.is_clean() { "clean" } else { "DIRTY" };
+            if !r.is_clean() {
+                dirty += 1;
+                for d in &r.diagnostics {
+                    eprintln!(
+                        "  {}: {} at {}: {}",
+                        d.detector.name(),
+                        d.subject,
+                        d.site,
+                        d.detail
+                    );
+                }
+            }
+            println!(
+                "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10} {:>9}",
+                kernel.label(),
+                cores,
+                r.lockdep,
+                r.lockset,
+                r.partition,
+                r.invariant,
+                verdict
+            );
+            rows.push((kernel.label(), cores, r));
+        }
+    }
+
+    println!("\nfault-injection cross-check (each knob must trip its own detector):\n");
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>9}",
+        "fault", "lockdep", "lockset", "partition", "verdict"
+    );
+    let faults: [FaultRow; 5] = [
+        (FaultInjection::SkipSlock, KernelSpec::BaseLinux, |r| {
+            r.lockset > 0
+        }),
+        (
+            FaultInjection::ReverseLockOrder,
+            KernelSpec::BaseLinux,
+            |r| r.lockdep > 0,
+        ),
+        (FaultInjection::MisSteer, KernelSpec::Fastsocket, |r| {
+            r.partition > 0
+        }),
+        (
+            FaultInjection::CrossCoreAccept,
+            KernelSpec::Fastsocket,
+            |r| r.partition > 0,
+        ),
+        (
+            FaultInjection::CrossCoreTimer,
+            KernelSpec::Fastsocket,
+            |r| r.partition > 0,
+        ),
+    ];
+    for (fault, kernel, fired) in faults {
+        let app = if fault == FaultInjection::MisSteer {
+            AppSpec::proxy()
+        } else {
+            AppSpec::web()
+        };
+        let r = run(kernel, app, 4, args.measure_secs.min(0.15), fault);
+        let ok = fired(&r);
+        if !ok {
+            dirty += 1;
+        }
+        println!(
+            "{:<18} {:>8} {:>8} {:>10} {:>9}",
+            format!("{fault:?}"),
+            r.lockdep,
+            r.lockset,
+            r.partition,
+            if ok { "fires" } else { "SILENT" }
+        );
+    }
+
+    if dirty == 0 {
+        println!("\nall stock variants clean, all fault knobs detected");
+    } else {
+        println!("\n{dirty} FAILURES");
+    }
+    args.write_json(&rows);
+    assert_eq!(dirty, 0, "sanitizer sweep failed");
+}

@@ -8,7 +8,7 @@ use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles};
 use sim_mem::CacheCosts;
 use sim_nic::{AtrConfig, SteeringMode};
 use sim_sync::LockCosts;
-use tcp_stack::stack::StackConfig;
+use tcp_stack::stack::{FaultInjection, StackConfig};
 
 /// Which kernel is being simulated.
 #[derive(Debug, Clone)]
@@ -138,6 +138,14 @@ pub struct SimConfig {
     /// chrome export; attribution and histograms are unaffected by
     /// overwrites).
     pub trace_ring_capacity: usize,
+    /// Whether the `sim-check` sanitizers (lockdep, lockset race
+    /// detection, partition lints) run. Defaults to on when the crate is
+    /// built with the `check` feature, off otherwise; a disabled checker
+    /// costs one branch per would-be hook.
+    pub check: bool,
+    /// Fault-injection knob forwarded to the stack (sanitizer
+    /// validation only).
+    pub fault: FaultInjection,
 }
 
 impl SimConfig {
@@ -165,6 +173,8 @@ impl SimConfig {
             dedicated_stack_core: false,
             trace: false,
             trace_ring_capacity: sim_trace::DEFAULT_RING_CAPACITY,
+            check: cfg!(feature = "check"),
+            fault: FaultInjection::None,
         }
     }
 
@@ -215,6 +225,19 @@ impl SimConfig {
     /// Enables or disables event tracing (builder style).
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enables or disables the sanitizers (builder style).
+    pub fn check(mut self, on: bool) -> Self {
+        self.check = on;
+        self
+    }
+
+    /// Selects a fault-injection knob (builder style); implies nothing
+    /// about `check` — enable that separately to observe the fault.
+    pub fn fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
         self
     }
 

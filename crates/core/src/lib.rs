@@ -37,3 +37,5 @@ pub mod sim;
 pub use config::{AppSpec, KernelSpec, SimConfig};
 pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
+pub use sim_check::CheckReport;
+pub use tcp_stack::FaultInjection;

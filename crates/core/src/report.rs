@@ -1,6 +1,7 @@
 //! Run reports: everything the paper's evaluation section measures.
 
 use serde::{Deserialize, Serialize};
+use sim_check::CheckReport;
 use sim_core::{CycleClass, Cycles};
 use sim_mem::CacheStats;
 use sim_sync::{ClassStats, LockClass};
@@ -41,6 +42,9 @@ pub struct RunReport {
     /// Connection latency percentiles over the measured window —
     /// `None` unless the run had tracing enabled (`SimConfig::trace`).
     pub latency: Option<LatencyReport>,
+    /// Sanitizer verdict (lockdep, lockset races, partition lints) —
+    /// `None` unless the run had checking enabled (`SimConfig::check`).
+    pub checks: Option<CheckReport>,
     /// Measured window length in (simulated) seconds.
     pub measure_secs: f64,
     /// Connections per second completed by the clients — the paper's
@@ -162,6 +166,7 @@ mod tests {
             seed: 0xfa57_50c7,
             config_hash: "0123456789abcdef".into(),
             latency: None,
+            checks: None,
             measure_secs: 1.0,
             throughput_cps: 100_000.0,
             requests_per_sec: 100_000.0,

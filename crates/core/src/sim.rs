@@ -21,6 +21,7 @@ use std::net::Ipv4Addr;
 use sim_apps::peer::{Backend, ClientSlot};
 use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
 use sim_apps::{Proxy, WebServer};
+use sim_check::{Checker, PartitionPolicy};
 use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
 use sim_mem::CacheModel;
 use sim_net::Packet;
@@ -32,7 +33,7 @@ use sim_os::KernelCtx;
 use sim_sync::LockTable;
 use sim_trace::{TraceLabel, Tracer};
 use tcp_stack::stack::{OsServices, TcpStack};
-use tcp_stack::{ListenVariant, SockId};
+use tcp_stack::{EstVariant, ListenVariant, SockId};
 
 use crate::config::{AppSpec, SimConfig};
 use crate::report::{lock_reports, RunReport};
@@ -109,6 +110,7 @@ pub struct Simulation {
     timeouts: u64,
     pending_crashes: Vec<CoreId>,
     tracer: Tracer,
+    checker: Checker,
 }
 
 fn client_ip(slot: u32) -> Ipv4Addr {
@@ -119,11 +121,34 @@ impl Simulation {
     /// Builds the simulated machine, kernel, applications and peers.
     pub fn new(cfg: SimConfig) -> Self {
         let cores = cfg.cores;
-        let stack_config = cfg.kernel.resolve(cores);
+        let mut stack_config = cfg.kernel.resolve(cores);
+        stack_config.fault = cfg.fault;
         let tracer = if cfg.trace {
             Tracer::enabled(cores, cfg.trace_ring_capacity)
         } else {
             Tracer::disabled()
+        };
+        let checker = if cfg.check {
+            // Arm the partition lints the kernel variant actually
+            // promises. Timer affinity only holds under the full
+            // Fastsocket partition (stock kernels legitimately re-arm
+            // timers from remote cores); IsoStack's dedicated stack
+            // core deliberately splits app and softirq cores.
+            let full_partition = stack_config.listen == ListenVariant::Local
+                && stack_config.established == EstVariant::Local
+                && stack_config.rfd
+                && !cfg.dedicated_stack_core;
+            Checker::enabled(
+                cores,
+                PartitionPolicy {
+                    local_listen: stack_config.listen == ListenVariant::Local,
+                    local_est: stack_config.established == EstVariant::Local,
+                    rfd: stack_config.rfd,
+                    timer_affinity: full_partition,
+                },
+            )
+        } else {
+            Checker::disabled()
         };
         let mut ctx = KernelCtx::new(
             cores as usize,
@@ -132,6 +157,7 @@ impl Simulation {
             SimRng::seed(cfg.seed),
         );
         ctx.set_tracer(tracer.clone());
+        ctx.set_checker(checker.clone());
         let os = OsServices::new(&mut ctx, &stack_config);
         let stack = TcpStack::new(&mut ctx, stack_config);
         let mut nic_config = NicConfig::new(cores, cfg.steering);
@@ -196,6 +222,7 @@ impl Simulation {
             timeouts: 0,
             pending_crashes: Vec::new(),
             tracer,
+            checker,
         }
     }
 
@@ -204,6 +231,13 @@ impl Simulation {
     /// grab it before running, read traces after.
     pub fn tracer(&self) -> Tracer {
         self.tracer.clone()
+    }
+
+    /// A handle to this run's sanitizer. Clones share state (same
+    /// pattern as [`Simulation::tracer`]): grab it before running, read
+    /// the [`sim_check::CheckReport`] after.
+    pub fn checker(&self) -> Checker {
+        self.checker.clone()
     }
 
     /// Schedules the worker pinned to `core` to crash at startup (after
@@ -434,6 +468,7 @@ impl Simulation {
                 .stack
                 .net_rx(&mut self.ctx, &mut self.os, &mut op, &pkt, steered);
             op.trace_exit(TraceLabel::NetRx);
+            op.check_boundary();
             if let Some(target) = out.steer {
                 if self.softirq.push(target.index(), (pkt, true)) {
                     self.events.push(op.now(), Ev::Softirq(target.0));
@@ -475,6 +510,7 @@ impl Simulation {
             .epolls
             .wait(&mut self.ctx, &mut op, ep, EPOLL_BATCH, &mut events);
         op.trace_exit(TraceLabel::SysEpollWait);
+        op.check_boundary();
         let mut tx: Vec<Packet> = Vec::new();
         if !events.is_empty() {
             let mut sys = Sys {
@@ -682,6 +718,7 @@ impl Simulation {
             seed: self.cfg.seed,
             config_hash: self.cfg.config_digest(),
             latency: self.tracer.latency(usecs_to_cycles(1.0) as f64),
+            checks: self.checker.report(),
             measure_secs: secs,
             throughput_cps: completed as f64 / secs,
             requests_per_sec: responses as f64 / secs,

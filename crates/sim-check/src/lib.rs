@@ -1,0 +1,670 @@
+//! Dynamic sanitizers for the simulated kernel.
+//!
+//! Three detectors run over the event stream of a simulation, in the
+//! same zero-cost-when-disabled style as `sim-trace`:
+//!
+//! - **lockdep** ([`lockdep::Lockdep`]): per-core held-lock stacks and
+//!   an acquisition-order graph over `(LockClass, subclass)` pairs with
+//!   online cycle detection. Any two code paths that order the same two
+//!   lock classes differently are a potential deadlock, reported with
+//!   the witness sites of both orderings.
+//! - **lockset** ([`lockset::Lockset`]): Eraser-style candidate-lockset
+//!   race detection over `sim-mem` object writes. Each shared object
+//!   keeps the intersection of the lock classes held by every op that
+//!   wrote it from a second core onward; an empty intersection means no
+//!   common lock protects the object.
+//! - **partition lints** ([`partition::PartitionLint`]): Fastsocket
+//!   invariants — local listen/established table entries, RFD-steered
+//!   packets, and per-core timer bases must only be touched by their
+//!   owning core. Lints arm themselves from a [`PartitionPolicy`]
+//!   derived from the kernel variant under test.
+//!
+//! The [`Checker`] handle is cloned into every `Op`; when constructed
+//! with [`Checker::disabled`] every hook is a branch on a `None` and
+//! the simulation behaves (and costs) exactly as without the crate.
+//!
+//! Simulation timing is *never* affected by the checker: detectors only
+//! observe acquisitions, writes, and deliveries that the stack already
+//! performs. Violations accumulate into a [`CheckReport`] surfaced via
+//! `RunReport::checks`.
+
+pub mod lockdep;
+pub mod lockset;
+pub mod partition;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+use sim_mem::ObjKind;
+use sim_sync::LockClass;
+
+pub use lockdep::Lockdep;
+pub use lockset::Lockset;
+pub use partition::{PartitionLint, PartitionPolicy};
+
+/// Upper bound on diagnostics retained in a [`CheckReport`]; violation
+/// *counts* keep accumulating past it.
+pub const MAX_DIAGNOSTICS: usize = 16;
+
+/// Bitmask over every lock class (for candidate locksets).
+pub const ALL_CLASSES: u16 = (1 << LockClass::COUNT) - 1;
+
+/// Returns the lockset bit for a lock class.
+#[must_use]
+pub fn class_bit(class: LockClass) -> u16 {
+    1 << (class as u16)
+}
+
+/// Renders a class bitmask as `{A, B}` for diagnostics.
+#[must_use]
+pub fn mask_names(mask: u16) -> String {
+    let names: Vec<&str> = LockClass::ALL
+        .iter()
+        .filter(|&&c| mask & class_bit(c) != 0)
+        .map(|c| c.name())
+        .collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+/// Which detector produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detector {
+    /// Lock acquisition-order inversion (potential deadlock).
+    Lockdep,
+    /// Empty candidate lockset on a shared object (data race).
+    Lockset,
+    /// Cross-core touch of per-core partitioned state.
+    Partition,
+    /// A table invariant that previously `assert!`ed.
+    Invariant,
+}
+
+impl Detector {
+    /// Short stable name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Detector::Lockdep => "lockdep",
+            Detector::Lockset => "lockset",
+            Detector::Partition => "partition",
+            Detector::Invariant => "invariant",
+        }
+    }
+}
+
+/// One diagnosed violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The detector that fired.
+    pub detector: Detector,
+    /// What the violation is about: a `LockClass` ordering pair, an
+    /// `ObjKind`, or a partition lint name.
+    pub subject: String,
+    /// Cores involved (observing core first).
+    pub cores: Vec<u16>,
+    /// Trace-label path of the op that observed the violation.
+    pub site: String,
+    /// Human-readable explanation including witness sites.
+    pub detail: String,
+}
+
+/// Violation counts plus the first [`MAX_DIAGNOSTICS`] diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Lock-order inversions (counted once per class pair).
+    pub lockdep: u64,
+    /// Empty-lockset races (counted once per object).
+    pub lockset: u64,
+    /// Partition-lint violations.
+    pub partition: u64,
+    /// Soft table-invariant breaks.
+    pub invariant: u64,
+    /// First diagnostics, in detection order.
+    pub diagnostics: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Total violations across all detectors.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.lockdep + self.lockset + self.partition + self.invariant
+    }
+
+    /// Whether no detector fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    fn record(&mut self, v: Violation) {
+        match v.detector {
+            Detector::Lockdep => self.lockdep += 1,
+            Detector::Lockset => self.lockset += 1,
+            Detector::Partition => self.partition += 1,
+            Detector::Invariant => self.invariant += 1,
+        }
+        if self.diagnostics.len() < MAX_DIAGNOSTICS {
+            self.diagnostics.push(v);
+        }
+    }
+}
+
+/// A write recorded during the current op, evaluated at commit time
+/// against the full set of lock classes the op acquired. Commit-time
+/// evaluation tolerates the kernel idiom of touching an object in the
+/// same critical region but textually before the lock call.
+#[derive(Debug)]
+struct WriteRec {
+    slot: u32,
+    gen: u64,
+    kind: ObjKind,
+    site: String,
+}
+
+/// Per-core state for the op currently being built.
+#[derive(Debug, Default)]
+struct CoreState {
+    /// Stack of trace labels, giving the site string for diagnostics.
+    sites: Vec<&'static str>,
+    /// Bitmask of lock classes acquired so far in this op.
+    classes: u16,
+    /// Object writes performed so far in this op.
+    writes: Vec<WriteRec>,
+}
+
+impl CoreState {
+    fn site(&self) -> String {
+        if self.sites.is_empty() {
+            "op".to_string()
+        } else {
+            self.sites.join("/")
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CheckState {
+    policy: PartitionPolicy,
+    cores: Vec<CoreState>,
+    lockdep: Lockdep,
+    lockset: Lockset,
+    report: CheckReport,
+}
+
+impl CheckState {
+    fn core(&mut self, core: u16) -> &mut CoreState {
+        let idx = core as usize;
+        if idx >= self.cores.len() {
+            self.cores.resize_with(idx + 1, CoreState::default);
+        }
+        &mut self.cores[idx]
+    }
+}
+
+/// Cheap cloneable handle to the sanitizer state (or to nothing).
+///
+/// Mirrors `sim_trace::Tracer`: a disabled checker is a `None` and
+/// every hook returns immediately.
+#[derive(Debug, Clone, Default)]
+pub struct Checker {
+    inner: Option<Rc<RefCell<CheckState>>>,
+}
+
+impl Checker {
+    /// A checker that ignores everything (the default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live checker for `cores` cores under `policy`.
+    #[must_use]
+    pub fn enabled(cores: u16, policy: PartitionPolicy) -> Self {
+        let state = CheckState {
+            policy,
+            cores: (0..cores).map(|_| CoreState::default()).collect(),
+            lockdep: Lockdep::new(usize::from(cores)),
+            lockset: Lockset::new(),
+            report: CheckReport::default(),
+        };
+        Self {
+            inner: Some(Rc::new(RefCell::new(state))),
+        }
+    }
+
+    /// Whether this checker records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a fresh op on `core`, clearing its per-op state.
+    pub fn op_begin(&self, core: u16) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let cs = st.core(core);
+            cs.sites.clear();
+            cs.classes = 0;
+            cs.writes.clear();
+        }
+    }
+
+    /// Commits the op on `core`: evaluates every recorded write against
+    /// the op's full acquired-class set and flags leaked lock scopes.
+    pub fn op_commit(&self, core: u16) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let cs = st.core(core);
+            let mask = cs.classes;
+            let writes = std::mem::take(&mut cs.writes);
+            cs.sites.clear();
+            cs.classes = 0;
+            let CheckState {
+                lockset,
+                lockdep,
+                report,
+                ..
+            } = &mut *st;
+            for w in &writes {
+                lockset.write(w.slot, w.gen, w.kind, core, mask, &w.site, report);
+            }
+            for node in lockdep.clear_core(core) {
+                report.record(Violation {
+                    detector: Detector::Invariant,
+                    subject: "lock_scope".to_string(),
+                    cores: vec![core],
+                    site: "op".to_string(),
+                    detail: format!(
+                        "scoped hold of {} never released before op commit",
+                        lockdep::node_name(node)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Marks the boundary between two logical kernel entries (packets,
+    /// syscalls) batched into one costed op: the writes recorded since
+    /// the previous boundary are evaluated against the lock classes
+    /// acquired since then, so one entry's locks cannot vouch for
+    /// another entry's writes. Lock classes still scope-held across the
+    /// boundary carry forward into the next entry's mask.
+    pub fn boundary(&self, core: u16) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let cs = st.core(core);
+            let mask = cs.classes;
+            let writes = std::mem::take(&mut cs.writes);
+            let CheckState {
+                lockset,
+                lockdep,
+                report,
+                ..
+            } = &mut *st;
+            for w in &writes {
+                lockset.write(w.slot, w.gen, w.kind, core, mask, &w.site, report);
+            }
+            let held = lockdep.held_mask(core);
+            st.core(core).classes = held;
+        }
+    }
+
+    /// Pushes a trace label onto `core`'s site stack.
+    pub fn site_enter(&self, core: u16, label: &'static str) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().core(core).sites.push(label);
+        }
+    }
+
+    /// Pops the innermost trace label from `core`'s site stack.
+    pub fn site_exit(&self, core: u16) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().core(core).sites.pop();
+        }
+    }
+
+    /// Records a lock acquisition on `core`. `scoped` acquisitions stay
+    /// on the held stack until [`Checker::on_release`]; transient ones
+    /// only contribute ordering edges and the op's class mask.
+    pub fn on_acquire(&self, core: u16, class: LockClass, subclass: u8, scoped: bool) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            st.core(core).classes |= class_bit(class);
+            let site = st.core(core).site();
+            let CheckState {
+                lockdep, report, ..
+            } = &mut *st;
+            lockdep.acquire(core, class, subclass, scoped, &site, report);
+        }
+    }
+
+    /// Releases a scoped hold previously recorded on `core`.
+    pub fn on_release(&self, core: u16, class: LockClass, subclass: u8) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().lockdep.release(core, class, subclass);
+        }
+    }
+
+    /// Records a write to cache object `slot` (generation `gen`).
+    pub fn on_write(&self, core: u16, slot: u32, gen: u64, kind: ObjKind) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let site = st.core(core).site();
+            st.core(core).writes.push(WriteRec {
+                slot,
+                gen,
+                kind,
+                site,
+            });
+        }
+    }
+
+    /// Partition lint: `actor` touched state owned by `owner`. Records
+    /// a violation when the cores differ and `lint` is armed under the
+    /// current policy.
+    pub fn lint(&self, lint: PartitionLint, actor: u16, owner: u16) {
+        if actor == owner {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            if !lint.armed(st.policy) {
+                return;
+            }
+            let site = st.core(actor).site();
+            st.report.record(Violation {
+                detector: Detector::Partition,
+                subject: lint.subject().to_string(),
+                cores: vec![actor, owner],
+                site,
+                detail: format!("core {actor} {} owned by core {owner}", lint.describe()),
+            });
+        }
+    }
+
+    /// Reports a soft table-invariant break (a former `assert!`).
+    pub fn invariant_violation(&self, subject: &str, core: u16, detail: String) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let site = st.core(core).site();
+            st.report.record(Violation {
+                detector: Detector::Invariant,
+                subject: subject.to_string(),
+                cores: vec![core],
+                site,
+                detail,
+            });
+        }
+    }
+
+    /// Snapshot of the accumulated report (`None` when disabled).
+    #[must_use]
+    pub fn report(&self) -> Option<CheckReport> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.borrow().report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> Checker {
+        Checker::enabled(4, PartitionPolicy::all())
+    }
+
+    #[test]
+    fn disabled_checker_records_nothing() {
+        let c = Checker::disabled();
+        assert!(!c.is_enabled());
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, true);
+        c.on_write(0, 7, 1, ObjKind::Tcb);
+        c.lint(PartitionLint::TimerBase, 0, 3);
+        c.op_commit(0);
+        assert!(c.report().is_none());
+    }
+
+    #[test]
+    fn ordered_acquisitions_are_clean() {
+        let c = checker();
+        for core in 0..4u16 {
+            c.op_begin(core);
+            c.on_acquire(core, LockClass::Slock, 0, true);
+            c.on_acquire(core, LockClass::EhashLock, 0, false);
+            c.on_release(core, LockClass::Slock, 0);
+            c.op_commit(core);
+        }
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn inversion_is_reported_once_with_both_sites() {
+        let c = checker();
+        c.op_begin(0);
+        c.site_enter(0, "softirq");
+        c.on_acquire(0, LockClass::Slock, 0, true);
+        c.on_acquire(0, LockClass::BaseLock, 0, false);
+        c.on_release(0, LockClass::Slock, 0);
+        c.op_commit(0);
+        for _ in 0..3 {
+            c.op_begin(1);
+            c.site_enter(1, "timer");
+            c.on_acquire(1, LockClass::BaseLock, 0, true);
+            c.on_acquire(1, LockClass::Slock, 0, false);
+            c.on_release(1, LockClass::BaseLock, 0);
+            c.op_commit(1);
+        }
+        let r = c.report().unwrap();
+        assert_eq!(r.lockdep, 1, "inversion reported exactly once");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.detector, Detector::Lockdep);
+        assert!(d.subject.contains("slock") && d.subject.contains("base.lock"));
+        assert!(d.detail.contains("softirq"), "witness site kept: {d:?}");
+    }
+
+    #[test]
+    fn subclass_orderings_do_not_self_report() {
+        let c = checker();
+        // Listen slock (subclass 1) then child slock (subclass 0):
+        // distinct lockdep nodes, no AA report.
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 1, true);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_release(0, LockClass::Slock, 1);
+        c.op_commit(0);
+        let r = c.report().unwrap();
+        assert!(r.is_clean(), "{r:?}");
+    }
+
+    #[test]
+    fn recursive_same_node_acquire_is_aa_violation() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, true);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_release(0, LockClass::Slock, 0);
+        c.op_commit(0);
+        let r = c.report().unwrap();
+        assert_eq!(r.lockdep, 1);
+        assert!(r.diagnostics[0].detail.contains("recursive"));
+    }
+
+    #[test]
+    fn consistent_lock_discipline_has_no_race() {
+        let c = checker();
+        for core in 0..4u16 {
+            c.op_begin(core);
+            c.on_acquire(core, LockClass::Slock, 0, false);
+            c.on_write(core, 42, 1, ObjKind::Tcb);
+            c.op_commit(core);
+        }
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn empty_lockset_race_reports_kind_and_cores() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::BaseLock, 0, false);
+        c.on_write(0, 42, 1, ObjKind::SockBuf);
+        c.op_commit(0);
+        // Handover: shared, candidate set = {slock}.
+        c.op_begin(2);
+        c.on_acquire(2, LockClass::Slock, 0, false);
+        c.on_write(2, 42, 1, ObjKind::SockBuf);
+        c.op_commit(2);
+        // Disjoint write from the first core empties the set.
+        c.op_begin(0);
+        c.site_enter(0, "softirq");
+        c.on_acquire(0, LockClass::BaseLock, 0, false);
+        c.on_write(0, 42, 1, ObjKind::SockBuf);
+        c.op_commit(0);
+        let r = c.report().unwrap();
+        assert_eq!(r.lockset, 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.subject, "sock_buf");
+        assert_eq!(d.cores, vec![2, 0], "previous then current writer");
+        assert_eq!(d.site, "softirq");
+    }
+
+    #[test]
+    fn single_core_writes_never_race() {
+        let c = checker();
+        for i in 0..20u64 {
+            c.op_begin(1);
+            // No locks at all — still exclusive to core 1.
+            c.on_write(1, 9, 1, ObjKind::Tcb);
+            c.op_commit(1);
+            let _ = i;
+        }
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn slab_reuse_resets_lockset_state() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_write(0, 5, 1, ObjKind::Tcb);
+        c.op_commit(0);
+        // Same slot, new generation, different core + disjoint lock:
+        // fresh object, so this is a first (exclusive) access.
+        c.op_begin(3);
+        c.on_acquire(3, LockClass::EpLock, 0, false);
+        c.on_write(3, 5, 2, ObjKind::Epoll);
+        c.op_commit(3);
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn touch_before_lock_in_same_op_is_clean() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_write(0, 11, 1, ObjKind::Tcb);
+        c.op_commit(0);
+        // Second core writes *before* its lock call, kernel-style; the
+        // commit-time mask still contains Slock.
+        c.op_begin(1);
+        c.on_write(1, 11, 1, ObjKind::Tcb);
+        c.on_acquire(1, LockClass::Slock, 0, false);
+        c.op_commit(1);
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn boundary_isolates_entries_within_one_op() {
+        let c = checker();
+        // Core 0 writes under the slock; core 1's op batches two
+        // entries: one takes the slock (no write), the next writes the
+        // same object lockless. Without the boundary the op-wide mask
+        // would hide the race.
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_write(0, 4, 1, ObjKind::Tcb);
+        c.op_commit(0);
+        c.op_begin(1);
+        c.on_acquire(1, LockClass::Slock, 0, false);
+        c.on_write(1, 4, 1, ObjKind::Tcb);
+        c.boundary(1);
+        c.on_write(1, 4, 1, ObjKind::Tcb);
+        c.op_commit(1);
+        // Second entry's mask is empty; object already shared with
+        // candidate set {slock} — the intersection empties.
+        let r = c.report().unwrap();
+        assert_eq!(r.lockset, 1, "{r:#?}");
+    }
+
+    #[test]
+    fn boundary_carries_scoped_holds_forward() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, false);
+        c.on_write(0, 6, 1, ObjKind::Tcb);
+        c.op_commit(0);
+        c.op_begin(1);
+        c.on_acquire(1, LockClass::Slock, 0, true); // scoped, spans boundary
+        c.boundary(1);
+        c.on_write(1, 6, 1, ObjKind::Tcb);
+        c.on_release(1, LockClass::Slock, 0);
+        c.op_commit(1);
+        assert!(c.report().unwrap().is_clean());
+    }
+
+    #[test]
+    fn partition_lints_respect_policy() {
+        let c = Checker::enabled(
+            4,
+            PartitionPolicy {
+                local_listen: true,
+                local_est: false,
+                rfd: false,
+                timer_affinity: false,
+            },
+        );
+        c.op_begin(0);
+        c.lint(PartitionLint::LocalEst, 0, 1); // disarmed
+        c.lint(PartitionLint::TimerBase, 0, 1); // disarmed
+        c.lint(PartitionLint::LocalListen, 0, 0); // same core
+        c.lint(PartitionLint::LocalListen, 0, 2); // fires
+        c.op_commit(0);
+        let r = c.report().unwrap();
+        assert_eq!(r.partition, 1);
+        assert_eq!(r.diagnostics[0].subject, "local_listen");
+        assert_eq!(r.diagnostics[0].cores, vec![0, 2]);
+    }
+
+    #[test]
+    fn leaked_scope_flagged_at_commit() {
+        let c = checker();
+        c.op_begin(0);
+        c.on_acquire(0, LockClass::Slock, 0, true);
+        c.op_commit(0); // no release
+        let r = c.report().unwrap();
+        assert_eq!(r.invariant, 1);
+        assert!(r.diagnostics[0].detail.contains("never released"));
+    }
+
+    #[test]
+    fn diagnostics_cap_counts_keep_growing() {
+        let c = checker();
+        for i in 0..(MAX_DIAGNOSTICS as u16 + 10) {
+            c.invariant_violation("test", 0, format!("break {i}"));
+        }
+        let r = c.report().unwrap();
+        assert_eq!(r.invariant, MAX_DIAGNOSTICS as u64 + 10);
+        assert_eq!(r.diagnostics.len(), MAX_DIAGNOSTICS);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn mask_names_renders_set_members() {
+        let m = class_bit(LockClass::Slock) | class_bit(LockClass::BaseLock);
+        let s = mask_names(m);
+        assert!(s.contains("slock") && s.contains("base.lock"), "{s}");
+        assert_eq!(mask_names(0), "{}");
+    }
+}

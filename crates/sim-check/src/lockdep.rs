@@ -1,0 +1,309 @@
+//! Lock acquisition-order tracking with online cycle detection.
+//!
+//! Modeled on the kernel's lockdep: ordering is tracked per *lock
+//! class* (plus a nesting subclass, the `SINGLE_DEPTH_NESTING` analog
+//! used when a listen socket's `slock` is taken around a child's), not
+//! per instance — one observed `A -> B` ordering validates every pair
+//! of instances. Each core keeps a stack of *scoped* holds; every
+//! acquisition adds `held -> acquired` edges to a global digraph, and a
+//! new edge that closes a cycle is a potential deadlock, reported with
+//! the witness site of both directions.
+
+use std::collections::HashMap;
+
+use sim_sync::LockClass;
+
+use crate::{CheckReport, Detector, Violation};
+
+/// Nesting levels per class (0 = normal, 1 = nested/listen).
+pub const MAX_SUBCLASS: u8 = 2;
+
+const NODES: usize = LockClass::COUNT * MAX_SUBCLASS as usize;
+
+/// Graph node for a `(class, subclass)` pair.
+#[must_use]
+pub fn node(class: LockClass, subclass: u8) -> u8 {
+    debug_assert!(subclass < MAX_SUBCLASS, "subclass {subclass} out of range");
+    (class as u8) * MAX_SUBCLASS + subclass
+}
+
+/// Human-readable node name, e.g. `slock` or `slock#1`.
+#[must_use]
+pub fn node_name(n: u8) -> String {
+    let class = LockClass::ALL[usize::from(n) / MAX_SUBCLASS as usize];
+    let sub = n % MAX_SUBCLASS;
+    if sub == 0 {
+        class.name().to_string()
+    } else {
+        format!("{}#{sub}", class.name())
+    }
+}
+
+/// Where an ordering edge was first observed.
+#[derive(Debug, Clone)]
+struct Witness {
+    core: u16,
+    site: String,
+}
+
+/// The acquisition-order graph plus per-core held stacks.
+#[derive(Debug)]
+pub struct Lockdep {
+    /// Per-core stacks of scoped-hold nodes.
+    held: Vec<Vec<u8>>,
+    /// Adjacency: `edges[a]` lists nodes acquired while `a` was held.
+    edges: Vec<Vec<u8>>,
+    /// First witness per directed edge.
+    witness: HashMap<(u8, u8), Witness>,
+    /// Class pairs already reported (unordered, to collapse mirrors).
+    reported: Vec<(u8, u8)>,
+    /// Nodes already reported for recursive (AA) acquisition.
+    aa_reported: [bool; NODES],
+}
+
+impl Lockdep {
+    /// A graph sized for `cores` cores (grows on demand).
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            held: vec![Vec::new(); cores],
+            edges: vec![Vec::new(); NODES],
+            witness: HashMap::new(),
+            reported: Vec::new(),
+            aa_reported: [false; NODES],
+        }
+    }
+
+    fn stack(&mut self, core: u16) -> &mut Vec<u8> {
+        let idx = usize::from(core);
+        if idx >= self.held.len() {
+            self.held.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.held[idx]
+    }
+
+    /// Records an acquisition of `(class, subclass)` on `core` at
+    /// `site`, adding ordering edges from every currently-held node and
+    /// reporting any cycle the new edges would close. Scoped
+    /// acquisitions are pushed onto the held stack.
+    pub fn acquire(
+        &mut self,
+        core: u16,
+        class: LockClass,
+        subclass: u8,
+        scoped: bool,
+        site: &str,
+        report: &mut CheckReport,
+    ) {
+        let n = node(class, subclass);
+        let mut held = std::mem::take(self.stack(core));
+        for &h in &held {
+            self.add_edge(h, n, core, site, report);
+        }
+        if scoped {
+            held.push(n);
+        }
+        *self.stack(core) = held;
+    }
+
+    fn add_edge(&mut self, from: u8, to: u8, core: u16, site: &str, report: &mut CheckReport) {
+        if from == to {
+            if !self.aa_reported[usize::from(from)] {
+                self.aa_reported[usize::from(from)] = true;
+                report.record(Violation {
+                    detector: Detector::Lockdep,
+                    subject: format!("{0} -> {0}", node_name(from)),
+                    cores: vec![core],
+                    site: site.to_string(),
+                    detail: format!(
+                        "recursive acquisition of {} while already held (AA deadlock); \
+                         use a nesting subclass if the order is intentional",
+                        node_name(from)
+                    ),
+                });
+            }
+            return;
+        }
+        if self.edges[usize::from(from)].contains(&to) {
+            return;
+        }
+        // New ordering edge `from -> to`: if `to` already reaches
+        // `from`, the combined graph has a cycle — some other path
+        // ordered these nodes the other way round.
+        if let Some(path) = self.path(to, from) {
+            let pair = (from.min(to), from.max(to));
+            if !self.reported.contains(&pair) {
+                self.reported.push(pair);
+                let first = self
+                    .witness
+                    .get(&(path[0], path[1]))
+                    .cloned()
+                    .unwrap_or_else(|| Witness {
+                        core,
+                        site: "?".to_string(),
+                    });
+                let chain: Vec<String> = path.iter().map(|&p| node_name(p)).collect();
+                report.record(Violation {
+                    detector: Detector::Lockdep,
+                    subject: format!("{} -> {}", node_name(from), node_name(to)),
+                    cores: vec![core, first.core],
+                    site: site.to_string(),
+                    detail: format!(
+                        "acquiring {} while holding {} at {} inverts the existing order \
+                         {} established at {} (core {})",
+                        node_name(to),
+                        node_name(from),
+                        site,
+                        chain.join(" -> "),
+                        first.site,
+                        first.core,
+                    ),
+                });
+            }
+        }
+        self.edges[usize::from(from)].push(to);
+        self.witness.entry((from, to)).or_insert_with(|| Witness {
+            core,
+            site: site.to_string(),
+        });
+    }
+
+    /// BFS path from `from` to `to` over existing edges, inclusive of
+    /// both endpoints.
+    fn path(&self, from: u8, to: u8) -> Option<Vec<u8>> {
+        let mut parent: [Option<u8>; NODES] = [None; NODES];
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut seen = [false; NODES];
+        seen[usize::from(from)] = true;
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while let Some(p) = parent[usize::from(cur)] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in &self.edges[usize::from(n)] {
+                if !seen[usize::from(next)] {
+                    seen[usize::from(next)] = true;
+                    parent[usize::from(next)] = Some(n);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Bitmask of lock classes currently scope-held on `core`.
+    #[must_use]
+    pub fn held_mask(&self, core: u16) -> u16 {
+        self.held.get(usize::from(core)).map_or(0, |stack| {
+            stack.iter().fold(0, |m, &n| {
+                m | crate::class_bit(LockClass::ALL[usize::from(n) / MAX_SUBCLASS as usize])
+            })
+        })
+    }
+
+    /// Releases the innermost scoped hold of `(class, subclass)`.
+    pub fn release(&mut self, core: u16, class: LockClass, subclass: u8) {
+        let n = node(class, subclass);
+        let stack = self.stack(core);
+        if let Some(pos) = stack.iter().rposition(|&h| h == n) {
+            stack.remove(pos);
+        }
+    }
+
+    /// Clears `core`'s held stack at op commit, returning any nodes
+    /// that were still held (leaked scopes).
+    pub fn clear_core(&mut self, core: u16) -> Vec<u8> {
+        std::mem::take(self.stack(core))
+    }
+
+    /// Whether the acquisition-order graph is acyclic.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm over the small fixed node set.
+        let mut indegree = [0usize; NODES];
+        for from in 0..NODES {
+            for &to in &self.edges[from] {
+                indegree[usize::from(to)] += 1;
+            }
+        }
+        let mut queue: Vec<u8> = (0..NODES as u8)
+            .filter(|&n| indegree[usize::from(n)] == 0)
+            .collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for &to in &self.edges[usize::from(n)] {
+                indegree[usize::from(to)] -= 1;
+                if indegree[usize::from(to)] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        visited == NODES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_names_encode_subclass() {
+        assert_eq!(node_name(node(LockClass::Slock, 0)), "slock");
+        assert_eq!(node_name(node(LockClass::Slock, 1)), "slock#1");
+    }
+
+    #[test]
+    fn consistent_order_keeps_graph_acyclic() {
+        let mut ld = Lockdep::new(2);
+        let mut r = CheckReport::default();
+        for _ in 0..8 {
+            ld.acquire(0, LockClass::Slock, 0, true, "a", &mut r);
+            ld.acquire(0, LockClass::EhashLock, 0, false, "a", &mut r);
+            ld.acquire(0, LockClass::BaseLock, 0, false, "a", &mut r);
+            ld.release(0, LockClass::Slock, 0);
+            assert!(ld.clear_core(0).is_empty());
+        }
+        assert!(r.is_clean());
+        assert!(ld.is_acyclic());
+    }
+
+    #[test]
+    fn three_step_cycle_detected() {
+        let mut ld = Lockdep::new(1);
+        let mut r = CheckReport::default();
+        // A -> B, B -> C, then C -> A closes a 3-cycle.
+        ld.acquire(0, LockClass::DcacheLock, 0, true, "s1", &mut r);
+        ld.acquire(0, LockClass::InodeLock, 0, false, "s1", &mut r);
+        ld.release(0, LockClass::DcacheLock, 0);
+        ld.acquire(0, LockClass::InodeLock, 0, true, "s2", &mut r);
+        ld.acquire(0, LockClass::PortAlloc, 0, false, "s2", &mut r);
+        ld.release(0, LockClass::InodeLock, 0);
+        assert!(r.is_clean());
+        ld.acquire(0, LockClass::PortAlloc, 0, true, "s3", &mut r);
+        ld.acquire(0, LockClass::DcacheLock, 0, false, "s3", &mut r);
+        ld.release(0, LockClass::PortAlloc, 0);
+        assert_eq!(r.lockdep, 1);
+        assert!(!ld.is_acyclic());
+        let d = &r.diagnostics[0];
+        assert!(d.detail.contains("s3") && d.detail.contains("s1"), "{d:?}");
+    }
+
+    #[test]
+    fn release_pops_innermost_matching_hold() {
+        let mut ld = Lockdep::new(1);
+        let mut r = CheckReport::default();
+        ld.acquire(0, LockClass::Slock, 1, true, "outer", &mut r);
+        ld.acquire(0, LockClass::Slock, 0, true, "inner", &mut r);
+        ld.release(0, LockClass::Slock, 0);
+        ld.release(0, LockClass::Slock, 1);
+        assert!(ld.clear_core(0).is_empty());
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,205 @@
+//! Eraser-style candidate-lockset race detection.
+//!
+//! Each `sim-mem` object starts *exclusive* to the first core that
+//! writes it (initialization is race-free by construction). Once a
+//! second core writes, the object is *shared*: its candidate lockset —
+//! the set of lock classes that could be protecting it — is refined to
+//! the intersection of the classes held by every writing op from then
+//! on. An empty candidate set means no common lock orders those writes:
+//! a data race.
+//!
+//! Deliberate coarsenings, documented for anyone tuning the detector:
+//!
+//! - **Class-level sets.** The listen socket's `slock` and a child's
+//!   `slock` are different instances but the same discipline; tracking
+//!   instances would flag the accept-path handover as a false race.
+//! - **Writes only.** The stack's lock-free lookups (RCU-style reads of
+//!   the established/listen tables) are idiomatic and not tracked.
+//! - **Op-commit evaluation.** A write is judged against every class
+//!   the op acquired anywhere, because kernel code routinely touches an
+//!   object a few lines above the lock call that covers it.
+//! - **Generation keys.** Slab slots recycle; a new allocation
+//!   generation resets the state machine.
+
+use std::collections::HashMap;
+
+use sim_mem::ObjKind;
+
+use crate::{mask_names, CheckReport, Detector, Violation, ALL_CLASSES};
+
+#[derive(Debug)]
+struct ObjState {
+    gen: u64,
+    first_core: u16,
+    /// The most recent writer (the other half of a race witness).
+    last_core: u16,
+    exclusive: bool,
+    /// Candidate lockset (bitmask over `LockClass`).
+    set: u16,
+    reported: bool,
+}
+
+/// The per-object candidate-lockset state machine.
+#[derive(Debug, Default)]
+pub struct Lockset {
+    objs: HashMap<u32, ObjState>,
+}
+
+impl Lockset {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one committed write: object `slot` (generation `gen`) was
+    /// written by an op on `core` that acquired the classes in `mask`.
+    #[allow(clippy::too_many_arguments)] // flat hot-path call, every field used
+    pub fn write(
+        &mut self,
+        slot: u32,
+        gen: u64,
+        kind: ObjKind,
+        core: u16,
+        mask: u16,
+        site: &str,
+        report: &mut CheckReport,
+    ) {
+        let st = self.objs.entry(slot).or_insert(ObjState {
+            gen,
+            first_core: core,
+            last_core: core,
+            exclusive: true,
+            set: ALL_CLASSES,
+            reported: false,
+        });
+        if st.gen != gen {
+            // Slab slot recycled: a different object now lives here.
+            *st = ObjState {
+                gen,
+                first_core: core,
+                last_core: core,
+                exclusive: true,
+                set: ALL_CLASSES,
+                reported: false,
+            };
+            return;
+        }
+        if st.exclusive {
+            if st.first_core == core {
+                return;
+            }
+            st.exclusive = false;
+        }
+        let prev = st.last_core;
+        st.last_core = core;
+        st.set &= mask;
+        if st.set == 0 && !st.reported {
+            st.reported = true;
+            report.record(Violation {
+                detector: Detector::Lockset,
+                subject: kind.name().to_string(),
+                cores: vec![prev, core],
+                site: site.to_string(),
+                detail: format!(
+                    "write to shared {} on core {core} holding {} empties the candidate \
+                     lockset (previous writer core {prev}, first writer core {})",
+                    kind.name(),
+                    mask_names(mask),
+                    st.first_core,
+                ),
+            });
+        }
+    }
+
+    /// Number of objects currently tracked.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Whether any tracked object has raced.
+    #[must_use]
+    pub fn any_raced(&self) -> bool {
+        self.objs.values().any(|s| s.reported)
+    }
+
+    /// Forgets an object's state (e.g. when its slot is freed).
+    pub fn forget(&mut self, slot: u32) {
+        self.objs.remove(&slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class_bit;
+    use sim_sync::LockClass;
+
+    const SLOCK: u16 = 1 << (LockClass::Slock as u16);
+    const BASE: u16 = 1 << (LockClass::BaseLock as u16);
+
+    #[test]
+    fn shared_writes_under_common_class_are_clean() {
+        let mut ls = Lockset::new();
+        let mut r = CheckReport::default();
+        ls.write(1, 1, ObjKind::Tcb, 0, SLOCK | BASE, "a", &mut r);
+        ls.write(1, 1, ObjKind::Tcb, 1, SLOCK, "b", &mut r);
+        ls.write(1, 1, ObjKind::Tcb, 2, SLOCK | BASE, "c", &mut r);
+        assert!(r.is_clean());
+        assert!(!ls.any_raced());
+    }
+
+    #[test]
+    fn disjoint_locks_race_once() {
+        let mut ls = Lockset::new();
+        let mut r = CheckReport::default();
+        ls.write(7, 3, ObjKind::SockBuf, 0, SLOCK, "app", &mut r);
+        // Handover write: shared from here, candidate set = {base.lock}.
+        ls.write(7, 3, ObjKind::SockBuf, 2, BASE, "softirq", &mut r);
+        assert!(r.is_clean(), "handover alone is not yet a race");
+        // The next disjoint write empties the candidate set.
+        ls.write(7, 3, ObjKind::SockBuf, 0, SLOCK, "app", &mut r);
+        ls.write(7, 3, ObjKind::SockBuf, 2, BASE, "softirq", &mut r);
+        assert_eq!(r.lockset, 1, "reported exactly once per object");
+        assert_eq!(
+            r.diagnostics[0].cores,
+            vec![2, 0],
+            "previous then current writer"
+        );
+        assert_eq!(r.diagnostics[0].subject, "sock_buf");
+        assert_eq!(r.diagnostics[0].site, "app");
+    }
+
+    #[test]
+    fn first_core_initialization_is_unrefined() {
+        let mut ls = Lockset::new();
+        let mut r = CheckReport::default();
+        // Lock-free init writes on the owning core are fine.
+        ls.write(4, 1, ObjKind::Epoll, 3, 0, "init", &mut r);
+        ls.write(4, 1, ObjKind::Epoll, 3, 0, "init", &mut r);
+        // The handover write carries the real discipline.
+        ls.write(
+            4,
+            1,
+            ObjKind::Epoll,
+            1,
+            class_bit(LockClass::EpLock),
+            "post",
+            &mut r,
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn generation_change_resets_state() {
+        let mut ls = Lockset::new();
+        let mut r = CheckReport::default();
+        ls.write(9, 1, ObjKind::Tcb, 0, SLOCK, "a", &mut r);
+        ls.write(9, 1, ObjKind::Tcb, 1, SLOCK, "b", &mut r);
+        // Recycled slot: unrelated discipline must not intersect.
+        ls.write(9, 2, ObjKind::TimerBase, 3, BASE, "c", &mut r);
+        ls.write(9, 2, ObjKind::TimerBase, 2, BASE, "d", &mut r);
+        assert!(r.is_clean());
+    }
+}

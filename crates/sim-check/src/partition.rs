@@ -1,0 +1,126 @@
+//! Fastsocket partition invariants.
+//!
+//! The paper's scalability argument is that connection state becomes
+//! per-core: local listen tables (§3.2), local established tables
+//! (§3.3), RFD steering (§3.4), and per-core timer bases. These lints
+//! assert the *dynamic* half of that claim — no core ever touches
+//! another core's partition — for whichever features the kernel variant
+//! under test actually enables.
+
+use serde::{Deserialize, Serialize};
+
+/// Which partition invariants are armed for a run.
+///
+/// Derived from the kernel variant: linting a partition the variant
+/// does not implement (e.g. timer affinity on stock Linux, where remote
+/// `mod_timer` is legitimate) would drown real findings in noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPolicy {
+    /// Local Listen Table entries are core-private.
+    pub local_listen: bool,
+    /// Local Established Table entries are core-private.
+    pub local_est: bool,
+    /// RFD-steered packets must land on the core they were steered to.
+    pub rfd: bool,
+    /// Per-core timer bases are only touched by their owner. Armed only
+    /// under the full Fastsocket partition (local tables + RFD, no
+    /// dedicated stack core): everywhere else, remote timer access is
+    /// legitimate kernel behavior.
+    pub timer_affinity: bool,
+}
+
+impl PartitionPolicy {
+    /// Every lint armed (the full Fastsocket partition).
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            local_listen: true,
+            local_est: true,
+            rfd: true,
+            timer_affinity: true,
+        }
+    }
+}
+
+/// One partitioned-ownership invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionLint {
+    /// A core used another core's local listen table entry.
+    LocalListen,
+    /// A core used another core's local established table entry.
+    LocalEst,
+    /// An RFD-steered packet arrived on the wrong core.
+    RfdDelivery,
+    /// A per-core timer base was touched by a non-owner.
+    TimerBase,
+    /// `epoll_wait` ran on a core other than the instance's owner.
+    /// Always armed: applications are pinned in every variant.
+    EpollWait,
+}
+
+impl PartitionLint {
+    /// Whether this lint fires under `policy`.
+    #[must_use]
+    pub fn armed(self, policy: PartitionPolicy) -> bool {
+        match self {
+            PartitionLint::LocalListen => policy.local_listen,
+            PartitionLint::LocalEst => policy.local_est,
+            PartitionLint::RfdDelivery => policy.rfd,
+            PartitionLint::TimerBase => policy.timer_affinity,
+            PartitionLint::EpollWait => true,
+        }
+    }
+
+    /// Stable subject string for reports.
+    #[must_use]
+    pub fn subject(self) -> &'static str {
+        match self {
+            PartitionLint::LocalListen => "local_listen",
+            PartitionLint::LocalEst => "local_est",
+            PartitionLint::RfdDelivery => "rfd_delivery",
+            PartitionLint::TimerBase => "timer_base",
+            PartitionLint::EpollWait => "epoll_wait",
+        }
+    }
+
+    /// Verb phrase for the diagnostic detail line.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            PartitionLint::LocalListen => "touched a local listen table entry",
+            PartitionLint::LocalEst => "touched a local established table entry",
+            PartitionLint::RfdDelivery => "received an RFD-steered packet",
+            PartitionLint::TimerBase => "touched a per-core timer base",
+            PartitionLint::EpollWait => "ran epoll_wait on an instance",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_arms_only_epoll_wait() {
+        let p = PartitionPolicy::default();
+        assert!(!PartitionLint::LocalListen.armed(p));
+        assert!(!PartitionLint::LocalEst.armed(p));
+        assert!(!PartitionLint::RfdDelivery.armed(p));
+        assert!(!PartitionLint::TimerBase.armed(p));
+        assert!(PartitionLint::EpollWait.armed(p));
+    }
+
+    #[test]
+    fn full_policy_arms_everything() {
+        let p = PartitionPolicy::all();
+        for lint in [
+            PartitionLint::LocalListen,
+            PartitionLint::LocalEst,
+            PartitionLint::RfdDelivery,
+            PartitionLint::TimerBase,
+            PartitionLint::EpollWait,
+        ] {
+            assert!(lint.armed(p), "{lint:?}");
+        }
+    }
+}

@@ -13,7 +13,11 @@ use sim_trace::Tracer;
 
 use crate::time::Cycles;
 
-/// An event queue ordered by `(time, insertion order)`.
+/// A dispatch-count hook: the tracer plus the event-labeling function.
+type DispatchTrace<E> = (Tracer, fn(&E) -> &'static str);
+
+/// An event queue ordered by `(time, insertion order)`: equal-time
+/// events dispatch in the order they were scheduled.
 ///
 /// # Example
 ///
@@ -28,9 +32,6 @@ use crate::time::Cycles;
 /// assert_eq!(q.pop(), Some((20, 'c')));
 /// assert_eq!(q.pop(), None);
 /// ```
-/// A dispatch-count hook: the tracer plus the event-labeling function.
-type DispatchTrace<E> = (Tracer, fn(&E) -> &'static str);
-
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -178,10 +179,13 @@ mod tests {
     fn dispatch_labels_reach_the_tracer() {
         let mut q = EventQueue::new();
         let t = Tracer::enabled(1, 16);
-        q.set_tracer(
-            t.clone(),
-            |e: &u32| if *e % 2 == 0 { "even" } else { "odd" },
-        );
+        q.set_tracer(t.clone(), |e: &u32| {
+            if (*e).is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            }
+        });
         for i in 0..5u32 {
             q.push(i as Cycles, i);
         }

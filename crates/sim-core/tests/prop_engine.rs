@@ -10,7 +10,7 @@ proptest! {
     /// Events pop in nondecreasing time order; equal times preserve
     /// insertion order.
     #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    fn event_queue_total_order(times in collection::vec(0u64..1_000, 1..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
@@ -28,7 +28,7 @@ proptest! {
     /// previous one ended, regardless of requested start times.
     #[test]
     fn core_operations_serialize(
-        ops in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+        ops in collection::vec((0u64..10_000, 1u64..5_000), 1..100)
     ) {
         let mut cpu = Cpu::new(1);
         let mut busy_total = 0u64;
@@ -51,7 +51,7 @@ proptest! {
     /// Per-class accounting always sums to total busy time.
     #[test]
     fn class_accounting_conserves(
-        parts in proptest::collection::vec((0usize..14, 1u64..1_000), 1..50)
+        parts in collection::vec((0usize..14, 1u64..1_000), 1..50)
     ) {
         let mut cpu = Cpu::new(1);
         for (class_idx, dur) in &parts {

@@ -171,6 +171,15 @@ impl Default for CacheCosts {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ObjId(u32);
 
+impl ObjId {
+    /// Raw slab-slot index. Combined with [`CacheModel::gen_of`] this
+    /// forms a stable identity across slot recycling (used by the
+    /// sim-check lockset detector to key per-object state).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
 /// Outcome of one tracked access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
@@ -187,6 +196,10 @@ struct Obj {
     kind: ObjKind,
     owner: CoreId,
     live: bool,
+    /// Allocation generation of this slot, bumped every time the slot
+    /// is (re)used, so deferred consumers can tell recycled objects
+    /// apart from the ones they first saw.
+    gen: u64,
 }
 
 /// Per-kind and global access statistics.
@@ -247,17 +260,23 @@ impl CacheModel {
     /// Registers a new object homed on `core`.
     pub fn alloc(&mut self, kind: ObjKind, core: CoreId) -> ObjId {
         self.footprint += kind.footprint();
-        let obj = Obj {
-            kind,
-            owner: core,
-            live: true,
-        };
         if let Some(idx) = self.free.pop() {
-            self.objs[idx as usize] = obj;
+            let slot = &mut self.objs[idx as usize];
+            *slot = Obj {
+                kind,
+                owner: core,
+                live: true,
+                gen: slot.gen + 1,
+            };
             ObjId(idx)
         } else {
             let idx = self.objs.len() as u32;
-            self.objs.push(obj);
+            self.objs.push(Obj {
+                kind,
+                owner: core,
+                live: true,
+                gen: 0,
+            });
             ObjId(idx)
         }
     }
@@ -269,7 +288,7 @@ impl CacheModel {
     /// Panics (debug builds) on double free.
     pub fn free(&mut self, id: ObjId) {
         let obj = &mut self.objs[id.0 as usize];
-        debug_assert!(obj.live, "double free of cache object {:?}", id);
+        debug_assert!(obj.live, "double free of cache object {id:?}");
         obj.live = false;
         self.footprint -= obj.kind.footprint();
         self.free.push(id.0);
@@ -280,7 +299,7 @@ impl CacheModel {
     pub fn access(&mut self, id: ObjId, core: CoreId, rng: &mut SimRng) -> Access {
         let pressure = (self.footprint as f64 / self.costs.l3_bytes as f64).min(1.5);
         let obj = &mut self.objs[id.0 as usize];
-        debug_assert!(obj.live, "access to freed cache object {:?}", id);
+        debug_assert!(obj.live, "access to freed cache object {id:?}");
 
         let remote = obj.owner != core;
         obj.owner = core;
@@ -317,6 +336,16 @@ impl CacheModel {
     /// Current owner core of an object (diagnostics and tests).
     pub fn owner(&self, id: ObjId) -> CoreId {
         self.objs[id.0 as usize].owner
+    }
+
+    /// Kind of a tracked object.
+    pub fn kind_of(&self, id: ObjId) -> ObjKind {
+        self.objs[id.0 as usize].kind
+    }
+
+    /// Allocation generation of an object's slot (see [`ObjId::index`]).
+    pub fn gen_of(&self, id: ObjId) -> u64 {
+        self.objs[id.0 as usize].gen
     }
 
     /// Aggregate statistics.
@@ -456,9 +485,12 @@ mod tests {
         let a = m.alloc(ObjKind::Tcb, CoreId(0));
         m.free(a);
         let b = m.alloc(ObjKind::Epoll, CoreId(1));
-        // Same backing slot reused.
+        // Same backing slot reused, distinguishable by generation.
         assert_eq!(a.0, b.0);
+        assert_eq!(a.index(), b.index());
         assert_eq!(m.owner(b), CoreId(1));
+        assert_eq!(m.gen_of(b), 1);
+        assert_eq!(m.kind_of(b), ObjKind::Epoll);
     }
 
     #[test]

@@ -59,9 +59,11 @@ mod tests {
     use super::*;
     use std::net::Ipv4Addr;
 
+    /// One verification vector: (dst ip:port, src ip:port, hash).
+    type Vector = ((u8, u8, u8, u8, u16), (u8, u8, u8, u8, u16), u32);
+
     /// The Microsoft RSS verification-suite vectors for IPv4-with-TCP.
-    /// Each entry is (dst ip:port, src ip:port, expected hash).
-    const VECTORS: [((u8, u8, u8, u8, u16), (u8, u8, u8, u8, u16), u32); 5] = [
+    const VECTORS: [Vector; 5] = [
         (
             (161, 142, 100, 80, 1766),
             (66, 9, 149, 187, 2794),

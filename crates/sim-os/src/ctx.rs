@@ -1,8 +1,9 @@
 //! The kernel execution fabric: shared context and costed operations.
 
+use sim_check::Checker;
 use sim_core::{CoreId, CostSheet, Cpu, CycleClass, Cycles, SimRng};
 use sim_mem::{CacheModel, ObjId};
-use sim_sync::{LockId, LockTable};
+use sim_sync::{LockClass, LockId, LockTable};
 use sim_trace::{TraceEvent, TraceLabel, Tracer};
 
 /// Shared mutable state of the simulated kernel: the CPU, every lock,
@@ -19,6 +20,9 @@ pub struct KernelCtx {
     pub rng: SimRng,
     /// Observability sink; disabled by default (one branch per event).
     pub tracer: Tracer,
+    /// Sanitizer sink; disabled by default (one branch per hook). Never
+    /// affects costs or timing — it only observes.
+    pub checker: Checker,
 }
 
 impl KernelCtx {
@@ -31,6 +35,7 @@ impl KernelCtx {
             cache,
             rng,
             tracer: Tracer::disabled(),
+            checker: Checker::disabled(),
         }
     }
 
@@ -39,19 +44,42 @@ impl KernelCtx {
         self.tracer = tracer;
     }
 
+    /// Installs the checker every subsequent [`Op`] will report into.
+    pub fn set_checker(&mut self, checker: Checker) {
+        self.checker = checker;
+    }
+
     /// Begins a costed operation on `core`, not earlier than `earliest`.
     pub fn begin(&self, core: CoreId, earliest: Cycles) -> Op {
         let start = earliest.max(self.cpu.free_at(core));
         let tracer = self.tracer.clone();
         tracer.record(TraceEvent::enter(start, core.0, TraceLabel::CoreOp));
+        let checker = self.checker.clone();
+        checker.op_begin(core.0);
         Op {
             core,
             start,
             sheet: CostSheet::new(),
             syscalls: 0,
             tracer,
+            checker,
         }
     }
+}
+
+/// Token for a lock held across part of an operation, returned by
+/// [`Op::lock_scope`] and consumed by [`Op::unlock`].
+///
+/// The scope is *logical*: it tells the sim-check lockdep detector that
+/// every lock acquired before the matching [`Op::unlock`] nests inside
+/// this one. Cost accounting is identical to [`Op::lock_do`] — the
+/// timed-reservation lock model already charges the full hold time at
+/// acquisition.
+#[derive(Debug)]
+#[must_use = "a scoped hold must be released with Op::unlock before the op commits"]
+pub struct HeldLock {
+    class: LockClass,
+    subclass: u8,
 }
 
 /// One kernel path being executed on a core: accumulates work, lock
@@ -80,8 +108,9 @@ impl KernelCtx {
 ///
 /// let mut op = ctx.begin(CoreId(0), 0);
 /// op.work(CycleClass::Syscall, 200);
-/// op.touch(&mut ctx, tcb);
-/// op.lock_do(&mut ctx.locks, lock, CycleClass::Handshake, 500);
+/// op.touch_mut(&mut ctx, tcb);
+/// let held = op.lock_scope(&mut ctx.locks, lock, CycleClass::Handshake, 500);
+/// op.unlock(held);
 /// let span = op.commit(&mut ctx.cpu);
 /// assert!(span.end >= 700);
 /// ```
@@ -92,6 +121,7 @@ pub struct Op {
     sheet: CostSheet,
     syscalls: u32,
     tracer: Tracer,
+    checker: Checker,
 }
 
 impl Op {
@@ -115,6 +145,20 @@ impl Op {
         self.sheet.total()
     }
 
+    /// The sanitizer handle for this operation (disabled ⇒ every hook
+    /// is a no-op). Used by subsystems to run partition lints.
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// Marks a sanitizer boundary between logical kernel entries
+    /// (packets, syscalls) batched into this op: locks acquired for one
+    /// entry must not vouch for a later entry's writes. No-op when
+    /// checking is disabled.
+    pub fn check_boundary(&self) {
+        self.checker.boundary(self.core.0);
+    }
+
     /// Adds `cycles` of straight-line work attributed to `class`.
     pub fn work(&mut self, class: CycleClass, cycles: Cycles) {
         self.sheet.add(class, cycles);
@@ -136,12 +180,14 @@ impl Op {
     pub fn trace_enter(&self, label: TraceLabel) {
         self.tracer
             .record(TraceEvent::enter(self.now(), self.core.0, label));
+        self.checker.site_enter(self.core.0, label.name());
     }
 
     /// Closes the innermost trace span labelled `label`.
     pub fn trace_exit(&self, label: TraceLabel) {
         self.tracer
             .record(TraceEvent::exit(self.now(), self.core.0, label));
+        self.checker.site_exit(self.core.0);
     }
 
     /// Emits an instantaneous event tied to connection `conn` (a
@@ -167,10 +213,96 @@ impl Op {
         self.sheet.add(class, access.cost);
     }
 
+    /// Like [`Op::touch`], but declares the access a *write* to the
+    /// sim-check lockset detector. Cost-wise identical to `touch`.
+    pub fn touch_mut(&mut self, ctx: &mut KernelCtx, obj: ObjId) {
+        self.touch_mut_class(ctx, obj, CycleClass::CacheMiss);
+    }
+
+    /// Like [`Op::touch_class`], but declares the access a write.
+    pub fn touch_mut_class(&mut self, ctx: &mut KernelCtx, obj: ObjId, class: CycleClass) {
+        self.touch_class(ctx, obj, class);
+        if self.checker.is_enabled() {
+            self.checker.on_write(
+                self.core.0,
+                obj.index(),
+                ctx.cache.gen_of(obj),
+                ctx.cache.kind_of(obj),
+            );
+        }
+    }
+
     /// Acquires `lock`, performs `hold` cycles of protected work
     /// attributed to `class`, and releases. Spin time is charged to
     /// `CycleClass::LockSpin`; the fixed acquisition cost to `class`.
+    ///
+    /// The acquisition is *transient* for lock-order purposes: it
+    /// orders after any scoped hold currently open, but nothing orders
+    /// after it.
     pub fn lock_do(
+        &mut self,
+        locks: &mut LockTable,
+        lock: LockId,
+        class: CycleClass,
+        hold: Cycles,
+    ) {
+        self.lock_do_nested(locks, lock, class, hold, 0);
+    }
+
+    /// [`Op::lock_do`] with an explicit lockdep nesting subclass (the
+    /// `SINGLE_DEPTH_NESTING` analog; listen-socket `slock`s use 1).
+    pub fn lock_do_nested(
+        &mut self,
+        locks: &mut LockTable,
+        lock: LockId,
+        class: CycleClass,
+        hold: Cycles,
+        subclass: u8,
+    ) {
+        self.lock_acquire(locks, lock, class, hold);
+        self.checker
+            .on_acquire(self.core.0, locks.class_of(lock), subclass, false);
+    }
+
+    /// Like [`Op::lock_do`], but keeps the lock on the lockdep held
+    /// stack until [`Op::unlock`]: locks acquired in between nest
+    /// inside it. Costs and timing are identical to [`Op::lock_do`].
+    pub fn lock_scope(
+        &mut self,
+        locks: &mut LockTable,
+        lock: LockId,
+        class: CycleClass,
+        hold: Cycles,
+    ) -> HeldLock {
+        self.lock_scope_nested(locks, lock, class, hold, 0)
+    }
+
+    /// [`Op::lock_scope`] with an explicit lockdep nesting subclass.
+    pub fn lock_scope_nested(
+        &mut self,
+        locks: &mut LockTable,
+        lock: LockId,
+        class: CycleClass,
+        hold: Cycles,
+        subclass: u8,
+    ) -> HeldLock {
+        self.lock_acquire(locks, lock, class, hold);
+        let lock_class = locks.class_of(lock);
+        self.checker
+            .on_acquire(self.core.0, lock_class, subclass, true);
+        HeldLock {
+            class: lock_class,
+            subclass,
+        }
+    }
+
+    /// Closes a scoped hold opened by [`Op::lock_scope`].
+    pub fn unlock(&mut self, held: HeldLock) {
+        self.checker
+            .on_release(self.core.0, held.class, held.subclass);
+    }
+
+    fn lock_acquire(
         &mut self,
         locks: &mut LockTable,
         lock: LockId,
@@ -203,6 +335,7 @@ impl Op {
         let span = cpu.execute(self.core, self.start, &self.sheet);
         self.tracer
             .record(TraceEvent::exit(span.end, self.core.0, TraceLabel::CoreOp));
+        self.checker.op_commit(self.core.0);
         span
     }
 }
@@ -210,6 +343,7 @@ impl Op {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_check::PartitionPolicy;
     use sim_core::CycleClass;
     use sim_mem::{CacheCosts, CacheModel, ObjKind};
     use sim_sync::{LockClass, LockCosts, LockTable};
@@ -291,5 +425,54 @@ mod tests {
         assert!(op.cost() >= CacheCosts::default().remote_transfer);
         op.commit(&mut c.cpu);
         assert!(c.cpu.class_cycles(CoreId(1), CycleClass::CacheMiss) > 0);
+    }
+
+    #[test]
+    fn scope_costs_exactly_like_lock_do() {
+        let mut plain = ctx(1);
+        let mut scoped = ctx(1);
+        let lp = plain.locks.register(LockClass::Slock);
+        let ls = scoped.locks.register(LockClass::Slock);
+
+        let mut a = plain.begin(CoreId(0), 0);
+        a.lock_do(&mut plain.locks, lp, CycleClass::TcbManage, 700);
+        let cost_plain = a.cost();
+        a.commit(&mut plain.cpu);
+
+        let mut b = scoped.begin(CoreId(0), 0);
+        let held = b.lock_scope(&mut scoped.locks, ls, CycleClass::TcbManage, 700);
+        let cost_scoped = b.cost();
+        b.unlock(held);
+        assert_eq!(cost_plain, cost_scoped, "scoping is cost-neutral");
+        assert_eq!(b.cost(), cost_scoped, "unlock is free");
+        b.commit(&mut scoped.cpu);
+    }
+
+    #[test]
+    fn checker_observes_op_lifecycle() {
+        let mut c = ctx(2);
+        c.set_checker(Checker::enabled(2, PartitionPolicy::default()));
+        let slock = c.locks.register(LockClass::Slock);
+        let base = c.locks.register(LockClass::BaseLock);
+        let obj = c.cache.alloc(ObjKind::Tcb, CoreId(0));
+
+        // Core 0: slock (scoped) -> base.lock, writing the TCB.
+        let mut a = c.begin(CoreId(0), 0);
+        let held = a.lock_scope(&mut c.locks, slock, CycleClass::TcbManage, 500);
+        a.touch_mut(&mut c, obj);
+        a.lock_do(&mut c.locks, base, CycleClass::Timer, 100);
+        a.unlock(held);
+        a.commit(&mut c.cpu);
+
+        // Core 1: base.lock (scoped) -> slock — an inversion.
+        let mut b = c.begin(CoreId(1), 0);
+        let held = b.lock_scope(&mut c.locks, base, CycleClass::Timer, 100);
+        b.lock_do(&mut c.locks, slock, CycleClass::TcbManage, 100);
+        b.unlock(held);
+        b.commit(&mut c.cpu);
+
+        let report = c.checker.report().expect("checker enabled");
+        assert_eq!(report.lockdep, 1, "{report:?}");
+        assert_eq!(report.lockset, 0);
     }
 }

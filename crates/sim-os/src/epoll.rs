@@ -96,7 +96,7 @@ impl EpollSystem {
         let inst = &mut self.instances[ep.0 as usize];
         inst.interest += 1;
         op.work(CycleClass::Epoll, self.costs.ctl);
-        op.touch(ctx, inst.obj);
+        op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,
             inst.lock,
@@ -113,7 +113,7 @@ impl EpollSystem {
         debug_assert!(inst.interest > 0, "ctl_del without interest");
         inst.interest -= 1;
         op.work(CycleClass::Epoll, self.costs.ctl);
-        op.touch(ctx, inst.obj);
+        op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,
             inst.lock,
@@ -131,7 +131,7 @@ impl EpollSystem {
     pub fn post(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId, ev: EpollEvent) -> bool {
         op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
-        op.touch(ctx, inst.obj);
+        op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,
             inst.lock,
@@ -161,7 +161,12 @@ impl EpollSystem {
     ) {
         op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
-        op.touch(ctx, inst.obj);
+        op.checker().lint(
+            sim_check::PartitionLint::EpollWait,
+            op.core().0,
+            inst.owner_core.0,
+        );
+        op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,
             inst.lock,

@@ -73,7 +73,7 @@ impl TimerSystem {
         let base = &mut self.bases[core.index()];
         base.armed += 1;
         op.work(CycleClass::Timer, self.costs.setup);
-        op.touch(ctx, base.obj);
+        op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
             base.lock,
@@ -88,9 +88,14 @@ impl TimerSystem {
     /// runs on; remote modification contends with the owning core.
     pub fn modify(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
         op.trace_enter(sim_trace::TraceLabel::Timer);
+        op.checker().lint(
+            sim_check::PartitionLint::TimerBase,
+            op.core().0,
+            timer.base_core.0,
+        );
         let base = &mut self.bases[timer.base_core.index()];
         op.work(CycleClass::Timer, self.costs.setup);
-        op.touch(ctx, base.obj);
+        op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
             base.lock,
@@ -103,11 +108,16 @@ impl TimerSystem {
     /// Disarms (deletes) a timer.
     pub fn disarm(&mut self, ctx: &mut KernelCtx, op: &mut Op, timer: TimerHandle) {
         op.trace_enter(sim_trace::TraceLabel::Timer);
+        op.checker().lint(
+            sim_check::PartitionLint::TimerBase,
+            op.core().0,
+            timer.base_core.0,
+        );
         let base = &mut self.bases[timer.base_core.index()];
         debug_assert!(base.armed > 0, "disarm on empty base");
         base.armed -= 1;
         op.work(CycleClass::Timer, self.costs.setup);
-        op.touch(ctx, base.obj);
+        op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
             base.lock,
@@ -120,6 +130,12 @@ impl TimerSystem {
     /// Number of timers armed on `core`'s wheel.
     pub fn armed_on(&self, core: CoreId) -> u64 {
         self.bases[core.index()].armed
+    }
+
+    /// The `base.lock` of `core`'s wheel (fault injection uses this to
+    /// construct deliberately inverted acquisition orders).
+    pub fn base_lock(&self, core: CoreId) -> sim_sync::LockId {
+        self.bases[core.index()].lock
     }
 }
 

@@ -158,6 +158,11 @@ impl LockTable {
         }
     }
 
+    /// Returns the class a lock was registered under.
+    pub fn class_of(&self, id: LockId) -> LockClass {
+        self.locks[id.0 as usize].class
+    }
+
     /// Destroys a lock, recycling its slot.
     ///
     /// # Panics
@@ -165,7 +170,7 @@ impl LockTable {
     /// Panics (debug builds) if the lock was already destroyed.
     pub fn destroy(&mut self, id: LockId) {
         let slot = &mut self.locks[id.0 as usize];
-        debug_assert!(slot.live, "double destroy of lock {:?}", id);
+        debug_assert!(slot.live, "double destroy of lock {id:?}");
         slot.live = false;
         self.free.push(id.0);
     }
@@ -183,7 +188,7 @@ impl LockTable {
     pub fn acquire(&mut self, id: LockId, core: CoreId, now: Cycles, hold: Cycles) -> Acquisition {
         let costs = self.costs;
         let lock = &mut self.locks[id.0 as usize];
-        debug_assert!(lock.live, "acquire on destroyed lock {:?}", id);
+        debug_assert!(lock.live, "acquire on destroyed lock {id:?}");
 
         // Retire holds that released before the epoch watermark (NOT
         // before `now`: another core's clock may lag `now`, and its

@@ -11,7 +11,7 @@ proptest! {
     /// request time, and the per-class statistics add up.
     #[test]
     fn acquisitions_are_sane(
-        reqs in proptest::collection::vec(
+        reqs in collection::vec(
             (0u16..8, 0u64..100_000, 10u64..3_000),
             1..200
         )
@@ -43,7 +43,7 @@ proptest! {
     /// a contended handoff extends service — use the reported release).
     #[test]
     fn mutual_exclusion(
-        reqs in proptest::collection::vec(
+        reqs in collection::vec(
             (0u16..8, 0u64..50_000, 10u64..2_000),
             2..150
         )
@@ -70,7 +70,7 @@ proptest! {
     /// Without concurrent holders there is never contention: strictly
     /// spaced single-core acquisitions are all free.
     #[test]
-    fn serial_use_never_contends(holds in proptest::collection::vec(1u64..1_000, 1..100)) {
+    fn serial_use_never_contends(holds in collection::vec(1u64..1_000, 1..100)) {
         let mut t = LockTable::new(LockCosts::default());
         let lock = t.register(LockClass::BaseLock);
         let mut now = 0u64;

@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn spans_become_complete_events() {
-        let events = vec![
+        let events = [
             TraceEvent::enter(2_700, 0, Softirq),
             TraceEvent::enter(5_400, 0, NetRx),
             TraceEvent::exit(8_100, 0, NetRx),
@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn open_spans_are_closed_at_capture_end() {
-        let events = vec![TraceEvent::enter(100, 3, ProcWake)];
+        let events = [TraceEvent::enter(100, 3, ProcWake)];
         let trace = ChromeTrace::from_events(events.iter(), 1.0, 400);
         assert_eq!(trace.traceEvents.len(), 1);
         assert_eq!(trace.traceEvents[0].dur, Some(300.0));
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn json_round_trips_through_serde() {
-        let events = vec![
+        let events = [
             TraceEvent::enter(10, 1, SysAccept),
             TraceEvent::exit(30, 1, SysAccept),
             TraceEvent::instant(20, 1, 5, SynArrival),

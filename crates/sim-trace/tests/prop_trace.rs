@@ -27,7 +27,7 @@ proptest! {
     /// per core.
     #[test]
     fn per_core_timestamps_are_monotone(
-        raw in proptest::collection::vec((0u64..10_000, 0u16..4, 0usize..LABELS.len()), 1..300),
+        raw in collection::vec((0u64..10_000, 0u16..4, 0usize..LABELS.len()), 1..300),
     ) {
         let t = Tracer::enabled(4, 64);
         for &(ts, core, li) in &raw {
@@ -53,7 +53,7 @@ proptest! {
     /// time each core had at least one span open.
     #[test]
     fn balanced_spans_nest_and_conserve_cycles(
-        ops in proptest::collection::vec(0u8..=255, 1..400),
+        ops in collection::vec(0u8..=255, 1..400),
     ) {
         // Ring capacity exceeds 2 * ops, so no event is ever overwritten
         // and the recorded stream is the full ground truth.

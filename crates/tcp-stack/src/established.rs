@@ -157,27 +157,37 @@ impl EstTable {
         sock: SockId,
         costs: &StackCosts,
     ) -> Option<CoreId> {
-        match self.variant {
+        let prev = match self.variant {
             EstVariant::Global => {
                 let b = self.bucket(&flow);
-                op.touch(ctx, self.bucket_objs[b]);
+                op.touch_mut(ctx, self.bucket_objs[b]);
                 op.lock_do(
                     &mut ctx.locks,
                     self.bucket_locks[b],
                     CycleClass::TcbManage,
                     costs.ehash_hold,
                 );
-                let prev = self.map.insert(flow, sock);
-                debug_assert!(prev.is_none(), "duplicate established insert for {flow}");
-                None
+                self.map.insert(flow, sock)
             }
             EstVariant::Local => {
+                // A core only ever inserts into its own table.
+                op.checker()
+                    .lint(sim_check::PartitionLint::LocalEst, op.core().0, core.0);
                 op.work(CycleClass::TcbManage, costs.ehash_hold);
-                op.touch(ctx, self.local_objs[core.index()]);
-                let prev = self.local_maps[core.index()].insert(flow, sock);
-                debug_assert!(prev.is_none(), "duplicate established insert for {flow}");
-                Some(core)
+                op.touch_mut(ctx, self.local_objs[core.index()]);
+                self.local_maps[core.index()].insert(flow, sock)
             }
+        };
+        if prev.is_some() {
+            op.checker().invariant_violation(
+                "established",
+                op.core().0,
+                format!("duplicate established insert for {flow}"),
+            );
+        }
+        match self.variant {
+            EstVariant::Global => None,
+            EstVariant::Local => Some(core),
         }
     }
 
@@ -191,26 +201,35 @@ impl EstTable {
         flow: &FlowTuple,
         costs: &StackCosts,
     ) {
-        match self.variant {
+        let removed = match self.variant {
             EstVariant::Global => {
                 let b = self.bucket(flow);
-                op.touch(ctx, self.bucket_objs[b]);
+                op.touch_mut(ctx, self.bucket_objs[b]);
                 op.lock_do(
                     &mut ctx.locks,
                     self.bucket_locks[b],
                     CycleClass::TcbManage,
                     costs.ehash_hold,
                 );
-                let removed = self.map.remove(flow);
-                debug_assert!(removed.is_some(), "removing unknown connection {flow}");
+                self.map.remove(flow)
             }
             EstVariant::Local => {
                 let home = home.expect("local established entries have a home core");
+                // Teardown must happen on the entry's home core —
+                // RFD's delivery guarantee extends to removal.
+                op.checker()
+                    .lint(sim_check::PartitionLint::LocalEst, op.core().0, home.0);
                 op.work(CycleClass::TcbManage, costs.ehash_hold);
-                op.touch(ctx, self.local_objs[home.index()]);
-                let removed = self.local_maps[home.index()].remove(flow);
-                debug_assert!(removed.is_some(), "removing unknown connection {flow}");
+                op.touch_mut(ctx, self.local_objs[home.index()]);
+                self.local_maps[home.index()].remove(flow)
             }
+        };
+        if removed.is_none() {
+            op.checker().invariant_violation(
+                "established",
+                op.core().0,
+                format!("removing unknown connection {flow}"),
+            );
         }
     }
 
@@ -297,7 +316,7 @@ mod tests {
         let a = flow_hash(&flow(40_000));
         assert_eq!(a, flow_hash(&flow(40_000)));
         // Distribution over buckets should be roughly uniform.
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for p in 32_768..(32_768 + 16_000) {
             counts[(flow_hash(&flow(p)) as usize) % 16] += 1;
         }

@@ -40,7 +40,7 @@ pub mod tcb;
 pub use established::EstVariant;
 pub use listen::ListenVariant;
 pub use rfd::{PacketClass, Rfd};
-pub use stack::{AcceptSource, OsServices, RxOutcome, StackConfig, TcpStack};
+pub use stack::{AcceptSource, FaultInjection, OsServices, RxOutcome, StackConfig, TcpStack};
 pub use state::TcpState;
 pub use stats::StackStats;
 pub use tcb::SockId;

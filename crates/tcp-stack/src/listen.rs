@@ -135,11 +135,9 @@ impl ListenTable {
 
     /// `listen()`: creates the original (global) listen socket for
     /// `port`. Must be called once per port before copies or local
-    /// listen sockets are added.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the port is already listened on.
+    /// listen sockets are added; a duplicate `listen()` is reported to
+    /// the sanitizer (when enabled) and returns the existing socket
+    /// (`EADDRINUSE` in a real kernel).
     pub fn listen(
         &mut self,
         ctx: &mut KernelCtx,
@@ -148,10 +146,14 @@ impl ListenTable {
         backlog: usize,
         core: CoreId,
     ) -> LsId {
-        assert!(
-            !self.by_port.contains_key(&port),
-            "port {port} already listened"
-        );
+        if let Some(entry) = self.by_port.get(&port) {
+            ctx.checker.invariant_violation(
+                "listen_table",
+                core.0,
+                format!("port {port} already listened"),
+            );
+            return entry.global;
+        }
         let global = self.push_socket(ctx, socks, port, backlog, None, core);
         let cores = self.cores;
         self.by_port.insert(
@@ -193,13 +195,18 @@ impl ListenTable {
         core: CoreId,
     ) -> LsId {
         debug_assert_eq!(self.variant, ListenVariant::Local);
+        if let Some(existing) = self.entry(port).local[core.index()] {
+            // Double registration is a workload bug, not a kernel one:
+            // report it and hand back the existing local socket.
+            ctx.checker.invariant_violation(
+                "listen_table",
+                core.0,
+                format!("core {core} already has a local listen socket for port {port}"),
+            );
+            return existing;
+        }
         let id = self.push_socket(ctx, socks, port, backlog, Some(owner), core);
-        let entry = self.entry_mut(port);
-        debug_assert!(
-            entry.local[core.index()].is_none(),
-            "core {core} already has a local listen socket for port {port}"
-        );
-        entry.local[core.index()] = Some(id);
+        self.entry_mut(port).local[core.index()] = Some(id);
         id
     }
 

@@ -208,7 +208,7 @@ mod tests {
         let mut alloc = PortAlloc::new(&mut c, PortAllocVariant::Global, 2);
         let costs = StackCosts::default();
         let (ip, port) = dst();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         let mut op = c.begin(CoreId(0), 0);
         for _ in 0..2_000 {
             let p = alloc

@@ -15,6 +15,7 @@
 //! execute on one core (the Per-Core Process Zone), which is precisely
 //! why every shared-lock contention count in Table 1 drops to zero.
 
+use sim_check::PartitionLint;
 use sim_core::{CoreId, CycleClass, Cycles};
 use sim_net::{FlowTuple, Packet, TcpFlags};
 use sim_os::epoll::{EpollEvent, EpollId, EpollSystem};
@@ -33,6 +34,32 @@ use crate::rfd::{ClassifiedBy, PacketClass, Rfd};
 use crate::state::{self, TcpState};
 use crate::stats::StackStats;
 use crate::tcb::{SockId, SockTable};
+
+/// Seeded fault-injection knobs that break one kernel invariant on
+/// purpose, so the `sim-check` sanitizers can be shown to catch real
+/// bugs (each knob maps to exactly one detector — see the negative
+/// system tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No fault: the stock kernel.
+    #[default]
+    None,
+    /// Softirq segment processing skips the socket `slock`, racing the
+    /// syscall half on the TCB and socket buffer (lockset detector).
+    SkipSlock,
+    /// Softirq takes `base.lock` before the socket `slock`, inverting
+    /// the RTO re-arm order `slock -> base.lock` (lockdep detector).
+    ReverseLockOrder,
+    /// RFD steers active-incoming packets to the wrong core (partition
+    /// detector: `rfd_delivery`).
+    MisSteer,
+    /// `accept()` pops from the next core's local listen table
+    /// (partition detector: `local_listen`).
+    CrossCoreAccept,
+    /// Established-segment timer maintenance re-arms on the next core's
+    /// timer base (partition detector: `timer_base`).
+    CrossCoreTimer,
+}
 
 /// Full configuration of the simulated kernel's TCP stack.
 #[derive(Debug, Clone)]
@@ -77,6 +104,9 @@ pub struct StackConfig {
     /// *mechanism* — timer-driven recovery of lost segments — is what
     /// matters).
     pub rto: Cycles,
+    /// Deliberately broken invariant for sanitizer validation; keep
+    /// [`FaultInjection::None`] for any measurement run.
+    pub fault: FaultInjection,
 }
 
 impl StackConfig {
@@ -98,6 +128,7 @@ impl StackConfig {
             syscall_batching: false,
             zero_copy: false,
             rto: 13_500_000, // 5 ms at 2.7 GHz
+            fault: FaultInjection::None,
         }
     }
 
@@ -307,7 +338,7 @@ impl TcpStack {
     }
 
     fn cookie_for(&self, lflow: &FlowTuple) -> u32 {
-        (crate::established::flow_hash(lflow) ^ self.cookie_secret) as u32
+        (flow_hash(lflow) ^ self.cookie_secret) as u32
     }
 
     /// The active configuration.
@@ -436,6 +467,16 @@ impl TcpStack {
         let core = op.core();
         let mut out = RxOutcome::default();
 
+        // A steered packet must have landed on its connection's owning
+        // core — the delivery guarantee the Local Established Table
+        // depends on (§3.3).
+        if self.config.rfd && already_steered {
+            if let Some(owner) = self.rfd_engine.steer_target(pkt) {
+                op.checker()
+                    .lint(PartitionLint::RfdDelivery, core.0, owner.0);
+            }
+        }
+
         // Receive Flow Deliver hooks in early (netif_receive_skb),
         // before the expensive stack traversal: classify, count
         // locality, steer. A steered packet costs this core only the
@@ -451,7 +492,10 @@ impl TcpStack {
                 ClassifiedBy::Rule3 => self.stats.rfd_rule3 += 1,
             }
             if class == PacketClass::ActiveIncoming {
-                let target = self.rfd_engine.steer_target(pkt);
+                let mut target = self.rfd_engine.steer_target(pkt);
+                if self.config.fault == FaultInjection::MisSteer {
+                    target = target.map(|c| CoreId((c.0 + 1) % self.config.cores));
+                }
                 self.stats.active_in_packets += 1;
                 if target == Some(core) || target.is_none() {
                     self.stats.active_in_local += 1;
@@ -535,13 +579,29 @@ impl TcpStack {
             let t = self.socks.get(sock);
             (t.lock, t.obj, t.rtx_timer)
         };
-        op.touch(ctx, obj);
-        op.lock_do(
-            &mut ctx.locks,
-            lock,
-            CycleClass::TcbManage,
-            costs.slock_hold_softirq,
-        );
+        if self.config.fault == FaultInjection::ReverseLockOrder {
+            // Fault: take this core's base.lock before the socket
+            // slock — the reverse of the re-arm path's order.
+            let base = os.timers.base_lock(op.core());
+            let inverted = op.lock_scope(&mut ctx.locks, base, CycleClass::Timer, 1);
+            op.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, 1);
+            op.unlock(inverted);
+        }
+        op.touch_mut(ctx, obj);
+        // Everything up to the queue/timer/epoll work happens under the
+        // socket lock, as tcp_v4_rcv does.
+        let mut slock = if self.config.fault == FaultInjection::SkipSlock {
+            // Fault: segment processing without lock_sock().
+            op.work(CycleClass::TcbManage, costs.slock_hold_softirq);
+            None
+        } else {
+            Some(op.lock_scope(
+                &mut ctx.locks,
+                lock,
+                CycleClass::TcbManage,
+                costs.slock_hold_softirq,
+            ))
+        };
 
         if pkt.flags.ack() {
             self.clear_acked(sock, pkt.ack);
@@ -559,6 +619,9 @@ impl TcpStack {
                     .with_seq(t.snd_nxt)
                     .with_ack(t.rcv_nxt);
                 self.transmit(op, reply, out);
+                if let Some(held) = slock.take() {
+                    op.unlock(held);
+                }
                 return;
             }
         }
@@ -577,11 +640,18 @@ impl TcpStack {
             self.transmit(op, reply, out);
             self.teardown(ctx, os, op, sock);
             out.closed.push(sock);
+            if let Some(held) = slock.take() {
+                op.unlock(held);
+            }
             return;
         }
 
         // Per-packet timer maintenance (re-arm RTO).
-        if let Some(t) = timer {
+        if let Some(mut t) = timer {
+            if self.config.fault == FaultInjection::CrossCoreTimer {
+                // Fault: re-arm on the next core's wheel.
+                t.base_core = CoreId((op.core().0 + 1) % self.config.cores);
+            }
             os.timers.modify(ctx, op, t);
         }
 
@@ -614,7 +684,7 @@ impl TcpStack {
                 CycleClass::SoftirqBase,
                 costs.copy_cost(u32::from(pkt.payload_len)),
             );
-            op.touch(ctx, buf);
+            op.touch_mut(ctx, buf);
             op.trace_mark(flow_hash(&flow), TraceLabel::FirstByte);
             notify_readable = true;
         }
@@ -645,6 +715,9 @@ impl TcpStack {
             self.teardown(ctx, os, op, sock);
             self.stats.closed += 1;
             out.closed.push(sock);
+        }
+        if let Some(held) = slock.take() {
+            op.unlock(held);
         }
     }
 
@@ -709,12 +782,17 @@ impl TcpStack {
 
         // Queue manipulation under the listen socket's slock: on the
         // shared global socket this is the accept-path bottleneck.
+        // Listen-socket slocks nest under connection slocks in the
+        // real kernel (SINGLE_DEPTH_NESTING), hence subclass 1.
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(
+        let ls_obj = self.socks.get(ls_sock).obj;
+        op.touch_mut(ctx, ls_obj);
+        op.lock_do_nested(
             &mut ctx.locks,
             ls_lock,
             CycleClass::Handshake,
             costs.listen_hold_softirq,
+            1,
         );
         self.listen_table
             .ls_mut(ls_id)
@@ -817,17 +895,22 @@ impl TcpStack {
             }
         }
 
-        // Queue on the accept queue under the listen slock and notify
-        // the watchers on the empty→non-empty edge (epoll reports
-        // readiness transitions; a queue that stays backlogged posts
-        // nothing new).
+        // Queue on the accept queue under the listen slock (held across
+        // the watcher notification, as __inet_csk_reqsk_queue_add +
+        // sk_data_ready run under the listener lock; subclass 1 because
+        // listener slocks nest under connection slocks) and notify the
+        // watchers on the empty→non-empty edge (epoll reports readiness
+        // transitions; a queue that stays backlogged posts nothing new).
         let ls_sock = self.listen_table.ls(ls_id).sock;
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(
+        let ls_obj = self.socks.get(ls_sock).obj;
+        op.touch_mut(ctx, ls_obj);
+        let held = op.lock_scope_nested(
             &mut ctx.locks,
             ls_lock,
             CycleClass::Handshake,
             costs.listen_hold_softirq,
+            1,
         );
         let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
         self.listen_table
@@ -854,6 +937,7 @@ impl TcpStack {
                 }
             }
         }
+        op.unlock(held);
     }
 
     /// Whether `accept()` on `port` from `core` would find a ready
@@ -908,12 +992,13 @@ impl TcpStack {
                 let ls_sock = self.listen_table.ls(ls_id).sock;
                 let ls_lock = self.socks.get(ls_sock).lock;
                 let ls_obj = self.socks.get(ls_sock).obj;
-                op.touch(ctx, ls_obj);
-                op.lock_do(
+                op.touch_mut(ctx, ls_obj);
+                op.lock_do_nested(
                     &mut ctx.locks,
                     ls_lock,
                     CycleClass::Syscall,
                     costs.listen_hold_accept,
+                    1,
                 );
                 (
                     self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
@@ -924,11 +1009,14 @@ impl TcpStack {
                 let ls_id = self.listen_table.copy_of(port, core)?;
                 let ls_sock = self.listen_table.ls(ls_id).sock;
                 let ls_lock = self.socks.get(ls_sock).lock;
-                op.lock_do(
+                let ls_obj = self.socks.get(ls_sock).obj;
+                op.touch_mut(ctx, ls_obj);
+                op.lock_do_nested(
                     &mut ctx.locks,
                     ls_lock,
                     CycleClass::Syscall,
                     costs.listen_hold_accept,
+                    1,
                 );
                 (
                     self.listen_table.ls_mut(ls_id).accept_queue.pop_front(),
@@ -946,27 +1034,46 @@ impl TcpStack {
                         .listen_table
                         .local_of(port, core)
                         .is_some_and(|l| !self.listen_table.ls(l).accept_queue.is_empty());
+                let lookup_core = if self.config.fault == FaultInjection::CrossCoreAccept {
+                    // Fault: pop from the next core's local table.
+                    CoreId((core.0 + 1) % self.config.cores)
+                } else {
+                    core
+                };
                 if !local_first && !self.listen_table.ls(global).accept_queue.is_empty() {
                     let ls_sock = self.listen_table.ls(global).sock;
                     let ls_lock = self.socks.get(ls_sock).lock;
-                    op.lock_do(
+                    let ls_obj = self.socks.get(ls_sock).obj;
+                    op.touch_mut(ctx, ls_obj);
+                    op.lock_do_nested(
                         &mut ctx.locks,
                         ls_lock,
                         CycleClass::Syscall,
                         costs.listen_hold_accept,
+                        1,
                     );
                     (
                         self.listen_table.ls_mut(global).accept_queue.pop_front(),
                         AcceptSource::Global,
                     )
-                } else if let Some(local) = self.listen_table.local_of(port, core) {
-                    let ls_sock = self.listen_table.ls(local).sock;
+                } else if let Some(local) = self.listen_table.local_of(port, lookup_core) {
+                    let ls = self.listen_table.ls(local);
+                    if let Some(owner) = ls.core {
+                        // A local listen table entry belongs to exactly
+                        // one core (§3.2.1).
+                        op.checker()
+                            .lint(PartitionLint::LocalListen, core.0, owner.0);
+                    }
+                    let ls_sock = ls.sock;
                     let ls_lock = self.socks.get(ls_sock).lock;
-                    op.lock_do(
+                    let ls_obj = self.socks.get(ls_sock).obj;
+                    op.touch_mut(ctx, ls_obj);
+                    op.lock_do_nested(
                         &mut ctx.locks,
                         ls_lock,
                         CycleClass::Syscall,
                         costs.listen_hold_accept,
+                        1,
                     );
                     (
                         self.listen_table.ls_mut(local).accept_queue.pop_front(),
@@ -992,7 +1099,7 @@ impl TcpStack {
             t.app_core = core;
             t.obj
         };
-        op.touch(ctx, obj);
+        op.touch_mut(ctx, obj);
         // VFS socket-FD materialization + descriptor allocation.
         let node = os.vfs.alloc_socket(ctx, op, core);
         self.socks.get_mut(child).vfs = Some(node);
@@ -1069,8 +1176,10 @@ impl TcpStack {
         self.syscall_entry(op);
         op.work(CycleClass::Syscall, costs.send);
         op.work(CycleClass::Syscall, self.copy_cost(u32::from(bytes)));
-        op.touch(ctx, buf);
-        op.lock_do(
+        op.touch_mut(ctx, buf);
+        // The slock covers buffer queueing and RTO re-arm, as
+        // tcp_sendmsg under lock_sock() does.
+        let held = op.lock_scope(
             &mut ctx.locks,
             lock,
             CycleClass::TcbManage,
@@ -1083,6 +1192,7 @@ impl TcpStack {
                 self.socks.get_mut(sock).rtx_timer = Some(t);
             }
         }
+        op.unlock(held);
         let t = self.socks.get_mut(sock);
         let seg = Packet::new(t.flow, TcpFlags::PSH | TcpFlags::ACK)
             .with_seq(t.snd_nxt)
@@ -1104,7 +1214,7 @@ impl TcpStack {
         };
         self.syscall_entry(op);
         op.work(CycleClass::Syscall, costs.recv);
-        op.touch(ctx, buf);
+        op.touch_mut(ctx, buf);
         op.lock_do(
             &mut ctx.locks,
             lock,
@@ -1261,11 +1371,14 @@ impl TcpStack {
         }
         let ls_sock = self.listen_table.ls(ls_id).sock;
         let ls_lock = self.socks.get(ls_sock).lock;
-        op.lock_do(
+        let ls_obj = self.socks.get(ls_sock).obj;
+        op.touch_mut(ctx, ls_obj);
+        let held = op.lock_scope_nested(
             &mut ctx.locks,
             ls_lock,
             CycleClass::Handshake,
             costs.listen_hold_softirq,
+            1,
         );
         let was_empty = self.listen_table.ls(ls_id).accept_queue.is_empty();
         self.listen_table
@@ -1291,6 +1404,7 @@ impl TcpStack {
                 }
             }
         }
+        op.unlock(held);
     }
 
     /// Full resource teardown of a socket: established-table removal,

@@ -188,7 +188,7 @@ impl SockTable {
 
     /// Whether `id` refers to a live socket.
     pub fn exists(&self, id: SockId) -> bool {
-        self.socks.get(id.0 as usize).is_some_and(|s| s.is_some())
+        self.socks.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
     /// Number of live sockets.

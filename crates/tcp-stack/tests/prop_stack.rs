@@ -48,7 +48,7 @@ proptest! {
     /// Ports are never handed out twice towards the same destination
     /// while in use, under interleaved alloc/release.
     #[test]
-    fn port_allocator_uniqueness(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+    fn port_allocator_uniqueness(ops in collection::vec(any::<bool>(), 1..200)) {
         let mut c = ctx(2);
         let mut alloc = PortAlloc::new(&mut c, PortAllocVariant::Global, 2);
         let costs = StackCosts::default();

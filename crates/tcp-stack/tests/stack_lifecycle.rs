@@ -251,7 +251,7 @@ fn fastsocket_many_connections_zero_contention() {
     rig.listen_all();
     for i in 0..32 {
         let core = CoreId(i % 4);
-        run_one_connection(&mut rig, core, 41_000 + u16::from(i));
+        run_one_connection(&mut rig, core, 41_000 + i);
     }
     for class in [
         LockClass::DcacheLock,

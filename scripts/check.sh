@@ -19,4 +19,10 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Sanitizer pass: the `check` feature defaults SimConfig::check to on,
+# so every system test re-runs with lockdep, lockset race detection and
+# partition lints armed (plus the sanitizer-specific suites).
+echo "==> cargo test -q --features check (sanitizers armed)"
+cargo test -q --features check --test check_invariants --test check_negative --test system_partition
+
 echo "All checks passed."
