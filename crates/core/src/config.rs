@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_apps::proxy::ProxyConfig;
 use sim_apps::web::WebConfig;
 use sim_apps::HttpWorkload;
-use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles};
+use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles, SchedulerKind};
 use sim_mem::CacheCosts;
 use sim_nic::{AtrConfig, SteeringMode};
 use sim_sync::LockCosts;
@@ -146,6 +146,10 @@ pub struct SimConfig {
     /// Fault-injection knob forwarded to the stack (sanitizer
     /// validation only).
     pub fault: FaultInjection,
+    /// Event-queue backend. Both produce bit-identical results (proven
+    /// by the differential proptest and the cross-scheduler digest
+    /// test); the heap is retained as the benchmarking baseline.
+    pub scheduler: SchedulerKind,
 }
 
 impl SimConfig {
@@ -175,6 +179,7 @@ impl SimConfig {
             trace_ring_capacity: sim_trace::DEFAULT_RING_CAPACITY,
             check: cfg!(feature = "check"),
             fault: FaultInjection::None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -241,12 +246,22 @@ impl SimConfig {
         self
     }
 
+    /// Selects the event-queue backend (builder style).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
-    /// parameter set that produced them.
+    /// parameter set that produced them. The scheduler backend is
+    /// canonicalized out: it is an implementation detail proven
+    /// result-identical, so it must not fork result provenance.
     pub fn config_digest(&self) -> String {
+        let mut canon = self.clone();
+        canon.scheduler = SchedulerKind::default();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in format!("{self:?}").bytes() {
+        for b in format!("{canon:?}").bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -301,6 +316,14 @@ mod tests {
         let c = b.seed(1);
         assert_ne!(a.config_digest(), c.config_digest());
         assert!(a.trace(true).trace);
+    }
+
+    #[test]
+    fn config_digest_ignores_scheduler_backend() {
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+            .scheduler(SchedulerKind::Heap);
+        assert_eq!(a.config_digest(), b.config_digest());
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// FNV-1a digest over the report's full JSON serialization. Two runs
+    /// of the same configuration must produce the same digest regardless
+    /// of the event-queue backend — `tests/system_scaling.rs` holds the
+    /// schedulers to exactly that.
+    pub fn results_digest(&self) -> String {
+        let json = serde_json::to_string(self).expect("RunReport serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Mean core utilization.
     pub fn avg_utilization(&self) -> f64 {
         if self.core_utilization.is_empty() {

@@ -5,6 +5,21 @@
 //! they were pushed (FIFO tie-breaking via a monotonically increasing
 //! sequence number), which makes every run bit-for-bit reproducible for a
 //! given seed.
+//!
+//! Two interchangeable backends implement that contract:
+//!
+//! * [`SchedulerKind::Wheel`] (the default) — a hashed timing wheel for the
+//!   near future (Varghese & Lauck), cascading into a slab-backed binary
+//!   heap only for far-future events such as TIME_WAIT expiry, RTO backoff
+//!   and client timeouts. Near events (packets, softirqs, process wakes)
+//!   land in O(1) wheel slots instead of paying an O(log n) sift past the
+//!   tens of thousands of pending far-future timers.
+//! * [`SchedulerKind::Heap`] — the original global `BinaryHeap`, kept as
+//!   the differential-testing and benchmarking baseline.
+//!
+//! Both backends produce bit-identical pop orders; the differential
+//! proptest in `tests/prop_event_diff.rs` drives them with identical
+//! push/pop schedules and asserts exactly that.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,6 +30,30 @@ use crate::time::Cycles;
 
 /// A dispatch-count hook: the tracer plus the event-labeling function.
 type DispatchTrace<E> = (Tracer, fn(&E) -> &'static str);
+
+/// Which event-queue backend drives the simulation.
+///
+/// Both orders are proven identical; the knob exists so benchmarks and
+/// tests can compare them and so a regression can be bisected to the
+/// scheduler in one config flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Two-tier timing wheel + far-future heap (default, fast).
+    #[default]
+    Wheel,
+    /// Single global binary heap (baseline).
+    Heap,
+}
+
+/// Log2 of the wheel-slot width in cycles: 8192 cycles ≈ 3 µs per slot.
+const SLOT_BITS: u32 = 13;
+/// Number of wheel slots; the near horizon is `SLOTS << SLOT_BITS` cycles
+/// (≈ 0.78 ms at 2.7 GHz) — comfortably past one RTT, so every packet,
+/// softirq and wake event stays on the wheel while protocol timers
+/// (TIME_WAIT ≥ 1 ms, RTO, client timeouts) go to the far heap.
+const WHEEL_SLOTS: usize = 256;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+const OCC_WORDS: usize = WHEEL_SLOTS / 64;
 
 /// An event queue ordered by `(time, insertion order)`: equal-time
 /// events dispatch in the order they were scheduled.
@@ -34,10 +73,16 @@ type DispatchTrace<E> = (Tracer, fn(&E) -> &'static str);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     popped: u64,
     trace: Option<DispatchTrace<E>>,
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(Box<Wheel<E>>),
 }
 
 #[derive(Debug)]
@@ -69,24 +114,217 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Far-tier heap key: the event payload lives in a slab so sift
+/// operations move 20-byte keys, not whole events.
+#[derive(Debug)]
+struct FarKey {
+    time: Cycles,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialEq for FarKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for FarKey {}
+impl PartialOrd for FarKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FarKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: earliest (time, seq) on top of the max-heap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Two-tier scheduler state.
+///
+/// Invariants:
+/// * `batch` holds *all* pending events whose slot is `cur_slot`, sorted
+///   descending by `(time, seq)` so `Vec::pop` yields the minimum.
+/// * `ring[s]` holds events whose absolute slot is in
+///   `(cur_slot, cur_slot + WHEEL_SLOTS)`; `occupied` mirrors non-empty
+///   slots.
+/// * `far` holds only events with slot `>= cur_slot + WHEEL_SLOTS`.
+#[derive(Debug)]
+struct Wheel<E> {
+    /// Absolute slot index (`time >> SLOT_BITS`) the batch covers.
+    cur_slot: u64,
+    /// Events of the current slot, sorted descending; pop from the end.
+    batch: Vec<Entry<E>>,
+    /// Near-future slots, indexed by absolute slot & `WHEEL_MASK`.
+    ring: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over `ring` (one bit per slot).
+    occupied: [u64; OCC_WORDS],
+    /// Far-future tier: small keys in a heap, payloads in the slab.
+    far: BinaryHeap<FarKey>,
+    /// Slab of far-event payloads; `None` entries are free.
+    slab: Vec<Option<E>>,
+    /// Free-list of slab indices, recycled to kill per-push allocation.
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    fn new(cap: usize) -> Self {
+        Wheel {
+            cur_slot: 0,
+            batch: Vec::new(),
+            ring: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; OCC_WORDS],
+            far: BinaryHeap::with_capacity(cap),
+            slab: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, time: Cycles, seq: u64, event: E) {
+        self.len += 1;
+        let slot = time >> SLOT_BITS;
+        if slot <= self.cur_slot {
+            // Current (or past) slot: merge into the sorted batch. The
+            // batch is descending, so find the first entry not greater
+            // than the new key and insert before it.
+            let entry = Entry { time, seq, event };
+            let pos = self
+                .batch
+                .partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+            self.batch.insert(pos, entry);
+        } else if slot < self.cur_slot + WHEEL_SLOTS as u64 {
+            let idx = (slot & WHEEL_MASK) as usize;
+            self.ring[idx].push(Entry { time, seq, event });
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        } else {
+            let idx = if let Some(i) = self.free.pop() {
+                self.slab[i as usize] = Some(event);
+                i
+            } else {
+                let i = u32::try_from(self.slab.len()).expect("far slab exceeds u32 range");
+                self.slab.push(Some(event));
+                i
+            };
+            self.far.push(FarKey { time, seq, idx });
+        }
+    }
+
+    /// First occupied ring slot with absolute index in
+    /// `[start, cur_slot + WHEEL_SLOTS)`, scanning the bitmap a word at a
+    /// time.
+    fn next_occupied(&self, start: u64) -> Option<u64> {
+        let limit = self.cur_slot + WHEEL_SLOTS as u64;
+        let mut abs = start;
+        while abs < limit {
+            let idx = (abs & WHEEL_MASK) as usize;
+            let word = self.occupied[idx / 64] >> (idx % 64);
+            if word != 0 {
+                let cand = abs + u64::from(word.trailing_zeros());
+                return (cand < limit).then_some(cand);
+            }
+            abs += 64 - (idx % 64) as u64;
+        }
+        None
+    }
+
+    /// Refills `batch` from the earliest non-empty tier. Called only when
+    /// `batch` is empty and `len > 0`.
+    fn advance(&mut self) {
+        debug_assert!(self.batch.is_empty());
+        let ring_slot = self.next_occupied(self.cur_slot + 1);
+        let far_slot = self.far.peek().map(|k| k.time >> SLOT_BITS);
+        let target = match (ring_slot, far_slot) {
+            (Some(r), Some(f)) => r.min(f),
+            (Some(r), None) => r,
+            (None, Some(f)) => f,
+            (None, None) => unreachable!("advance called on empty wheel"),
+        };
+        self.cur_slot = target;
+        if ring_slot == Some(target) {
+            let idx = (target & WHEEL_MASK) as usize;
+            std::mem::swap(&mut self.batch, &mut self.ring[idx]);
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+        }
+        // Drain every far event that belongs to the new current slot so
+        // the batch invariant (all pending events of cur_slot) holds.
+        while let Some(k) = self.far.peek() {
+            if k.time >> SLOT_BITS != target {
+                break;
+            }
+            let k = self.far.pop().expect("peeked entry vanished");
+            let event = self.slab[k.idx as usize]
+                .take()
+                .expect("far slab slot empty");
+            self.free.push(k.idx);
+            self.batch.push(Entry {
+                time: k.time,
+                seq: k.seq,
+                event,
+            });
+        }
+        // Descending order: the minimum (time, seq) sits at the end.
+        self.batch
+            .sort_unstable_by_key(|e| core::cmp::Reverse((e.time, e.seq)));
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.batch.is_empty() {
+            self.advance();
+        }
+        self.len -= 1;
+        self.batch.pop()
+    }
+
+    fn peek_time(&mut self) -> Option<Cycles> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.batch.is_empty() {
+            self.advance();
+        }
+        self.batch.last().map(|e| e.time)
+    }
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default (wheel) scheduler.
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::default(), 0)
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_scheduler(SchedulerKind::default(), cap)
+    }
+
+    /// Creates an empty queue with an explicit backend.
+    pub fn with_scheduler(kind: SchedulerKind, cap: usize) -> Self {
+        let backend = match kind {
+            SchedulerKind::Wheel => Backend::Wheel(Box::new(Wheel::new(cap))),
+            SchedulerKind::Heap => Backend::Heap(BinaryHeap::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             seq: 0,
             popped: 0,
             trace: None,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            seq: 0,
-            popped: 0,
-            trace: None,
+    /// Which backend this queue runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Heap(_) => SchedulerKind::Heap,
+            Backend::Wheel(_) => SchedulerKind::Wheel,
         }
     }
 
@@ -100,12 +338,18 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: Cycles, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Entry { time, seq, event }),
+            Backend::Wheel(wheel) => wheel.push(time, seq, event),
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        let e = self.heap.pop()?;
+        let e = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop()?,
+            Backend::Wheel(wheel) => wheel.pop()?,
+        };
         self.popped += 1;
         if let Some((tracer, label)) = &self.trace {
             tracer.count_dispatch(label(&e.event));
@@ -113,19 +357,40 @@ impl<E> EventQueue<E> {
         Some((e.time, e.event))
     }
 
+    /// Drains every pending event that shares the earliest timestamp into
+    /// `out` (in FIFO order) and returns that timestamp, or `None` when
+    /// empty. Events the caller schedules *at* the returned timestamp
+    /// while dispatching the batch get later sequence numbers, so they
+    /// form the next batch — exactly the order per-event `pop` yields.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<Cycles> {
+        let (t, first) = self.pop()?;
+        out.push(first);
+        while self.peek_time() == Some(t) {
+            let (_, e) = self.pop().expect("peeked event vanished");
+            out.push(e);
+        }
+        Some(t)
+    }
+
     /// Time of the earliest pending event without removing it.
-    pub fn peek_time(&self) -> Option<Cycles> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Wheel(wheel) => wheel.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len,
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events delivered so far (diagnostics).
@@ -144,35 +409,105 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<u32>; 2] {
+        [
+            EventQueue::with_scheduler(SchedulerKind::Wheel, 0),
+            EventQueue::with_scheduler(SchedulerKind::Heap, 0),
+        ]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(5, 5u32);
-        q.push(1, 1);
-        q.push(3, 3);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 3, 5]);
+        for mut q in both() {
+            q.push(5, 5u32);
+            q.push(1, 1);
+            q.push(3, 3);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 3, 5]);
+        }
     }
 
     #[test]
     fn fifo_on_equal_time() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.push(42, i);
+        for mut q in both() {
+            for i in 0..100u32 {
+                q.push(42, i);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(10, "a");
-        q.push(30, "c");
-        assert_eq!(q.pop(), Some((10, "a")));
-        q.push(20, "b");
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            let mut q = EventQueue::with_scheduler(kind, 0);
+            q.push(10, "a");
+            q.push(30, "c");
+            assert_eq!(q.pop(), Some((10, "a")));
+            q.push(20, "b");
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+        }
+    }
+
+    #[test]
+    fn far_future_events_cascade_back() {
+        // Far beyond the wheel horizon, with slab recycling in between.
+        let horizon = (WHEEL_SLOTS as u64) << SLOT_BITS;
+        for mut q in both() {
+            q.push(3 * horizon, 3u32);
+            q.push(1, 1);
+            q.push(7 * horizon, 7);
+            q.push(horizon + 5, 2);
+            assert_eq!(q.pop(), Some((1, 1)));
+            assert_eq!(q.pop(), Some((horizon + 5, 2)));
+            // Push after draining part of the far tier: indices recycle.
+            q.push(5 * horizon, 5);
+            assert_eq!(q.pop(), Some((3 * horizon, 3)));
+            assert_eq!(q.pop(), Some((5 * horizon, 5)));
+            assert_eq!(q.pop(), Some((7 * horizon, 7)));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn same_slot_mixed_tiers_keep_fifo() {
+        // Events in one slot arriving via ring, far tier and late pushes
+        // must still come out in (time, seq) order.
+        let t = ((WHEEL_SLOTS as u64) + 3) << SLOT_BITS;
+        for mut q in both() {
+            q.push(t + 2, 20u32); // far at creation time
+            q.push(t + 1, 10);
+            q.push(t + 2, 21);
+            q.push(0, 0);
+            assert_eq!(q.pop(), Some((0, 0)));
+            // Now cur advances into range; same-slot push lands in batch.
+            assert_eq!(q.pop(), Some((t + 1, 10)));
+            q.push(t + 2, 22);
+            assert_eq!(q.pop(), Some((t + 2, 20)));
+            assert_eq!(q.pop(), Some((t + 2, 21)));
+            assert_eq!(q.pop(), Some((t + 2, 22)));
+        }
+    }
+
+    #[test]
+    fn pop_batch_groups_equal_times() {
+        for mut q in both() {
+            q.push(10, 1u32);
+            q.push(10, 2);
+            q.push(20, 3);
+            q.push(10, 4);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(&mut out), Some(10));
+            assert_eq!(out, vec![1, 2, 4]);
+            out.clear();
+            assert_eq!(q.pop_batch(&mut out), Some(20));
+            assert_eq!(out, vec![3]);
+            out.clear();
+            assert_eq!(q.pop_batch(&mut out), None);
+            assert_eq!(q.delivered(), 4);
+        }
     }
 
     #[test]
@@ -196,14 +531,15 @@ mod tests {
 
     #[test]
     fn counters_track_len_and_delivered() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.push(1, ());
-        q.push(2, ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.peek_time(), Some(1));
-        q.pop();
-        assert_eq!(q.delivered(), 1);
-        assert_eq!(q.len(), 1);
+        for mut q in both() {
+            assert!(q.is_empty());
+            q.push(1, 1);
+            q.push(2, 2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(1));
+            q.pop();
+            assert_eq!(q.delivered(), 1);
+            assert_eq!(q.len(), 1);
+        }
     }
 }

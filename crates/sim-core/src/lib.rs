@@ -34,6 +34,6 @@ pub mod rng;
 pub mod time;
 
 pub use cpu::{CoreId, CostSheet, Cpu, CycleClass};
-pub use event::EventQueue;
+pub use event::{EventQueue, SchedulerKind};
 pub use rng::SimRng;
 pub use time::{cycles_to_secs, secs_to_cycles, usecs_to_cycles, Cycles, CYCLES_PER_SEC};

@@ -43,6 +43,9 @@ impl Default for TimerCosts {
 struct Base {
     lock: sim_sync::LockId,
     obj: sim_mem::ObjId,
+    /// The `base.lock` spinlock word itself: a separate cacheline that
+    /// ping-pongs when another core's cmpxchg takes the lock remotely.
+    lock_line: sim_mem::ObjId,
     armed: u64,
 }
 
@@ -60,6 +63,7 @@ impl TimerSystem {
             .map(|i| Base {
                 lock: ctx.locks.register(LockClass::BaseLock),
                 obj: ctx.cache.alloc(ObjKind::TimerBase, CoreId(i as u16)),
+                lock_line: ctx.cache.alloc(ObjKind::TimerBase, CoreId(i as u16)),
                 armed: 0,
             })
             .collect();
@@ -73,6 +77,7 @@ impl TimerSystem {
         let base = &mut self.bases[core.index()];
         base.armed += 1;
         op.work(CycleClass::Timer, self.costs.setup);
+        op.touch_class(ctx, base.lock_line, CycleClass::Timer);
         op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
@@ -95,6 +100,11 @@ impl TimerSystem {
         );
         let base = &mut self.bases[timer.base_core.index()];
         op.work(CycleClass::Timer, self.costs.setup);
+        // The spinlock word is its own cacheline: a cross-core re-arm
+        // bounces it to the modifying core, and the owner pays again to
+        // pull it home on its next local operation. All-local usage
+        // (Fastsocket) keeps the line resident and pays a bare hit.
+        op.touch_class(ctx, base.lock_line, CycleClass::Timer);
         op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
@@ -114,9 +124,18 @@ impl TimerSystem {
             timer.base_core.0,
         );
         let base = &mut self.bases[timer.base_core.index()];
-        debug_assert!(base.armed > 0, "disarm on empty base");
-        base.armed -= 1;
+        if base.armed == 0 {
+            // A release build must not wrap the counter to ~2^64 and
+            // poison `armed_on` diagnostics: report and saturate.
+            op.checker().invariant_violation(
+                "timer_base",
+                op.core().0,
+                format!("disarm on empty base {}", timer.base_core.0),
+            );
+        }
+        base.armed = base.armed.saturating_sub(1);
         op.work(CycleClass::Timer, self.costs.setup);
+        op.touch_class(ctx, base.lock_line, CycleClass::Timer);
         op.touch_mut(ctx, base.obj);
         op.lock_do(
             &mut ctx.locks,
@@ -167,6 +186,31 @@ mod tests {
         timers.disarm(&mut c, &mut op, t);
         op.commit(&mut c.cpu);
         assert_eq!(timers.armed_on(CoreId(1)), 0);
+    }
+
+    #[test]
+    fn double_disarm_saturates_and_reports() {
+        // Regression: `disarm` on an empty base used to wrap the u64
+        // counter in release builds (the guard was only a debug_assert),
+        // poisoning `armed_on` diagnostics with ~2^64 values.
+        let mut c = ctx(1);
+        c.set_checker(sim_check::Checker::enabled(
+            1,
+            sim_check::PartitionPolicy::default(),
+        ));
+        let mut timers = TimerSystem::new(&mut c, 1, TimerCosts::default());
+        let mut op = c.begin(CoreId(0), 0);
+        let t = timers.arm(&mut c, &mut op);
+        timers.disarm(&mut c, &mut op, t);
+        timers.disarm(&mut c, &mut op, t);
+        op.commit(&mut c.cpu);
+        assert_eq!(
+            timers.armed_on(CoreId(0)),
+            0,
+            "counter must saturate, not wrap"
+        );
+        let report = c.checker.report().expect("checker enabled");
+        assert_eq!(report.invariant, 1, "double disarm must be reported");
     }
 
     #[test]

@@ -55,6 +55,17 @@ pub struct VfsCosts {
     pub init_work: Cycles,
     /// Total work on the Fastpath (no locks).
     pub fastpath_work: Cycles,
+    /// Protected hash-chain maintenance per shard acquisition in
+    /// [`VfsMode::Sharded`]: the 3.13-era fine-grained path still walks
+    /// the per-bucket dentry chain before it can insert or unhash.
+    pub shard_walk: Cycles,
+    /// Protected work under 3.13's still-global `inode_sb_list_lock`:
+    /// every `sock_alloc`/`iput` splices the inode in or out of the
+    /// sockfs superblock list (made per-sb only in Linux 4.3). The list
+    /// head and the sloppy inode counters are cold remote lines under
+    /// cross-core socket churn, so the critical section is long enough
+    /// to contend once every core allocates sockets concurrently.
+    pub sb_list_hold: Cycles,
 }
 
 impl Default for VfsCosts {
@@ -65,6 +76,8 @@ impl Default for VfsCosts {
             instantiate_hold: 1_700,
             init_work: 1_500,
             fastpath_work: 260,
+            shard_walk: 600,
+            sb_list_hold: 2_200,
         }
     }
 }
@@ -75,7 +88,7 @@ const SHARDS: usize = 16;
 /// How much shorter the Sharded (3.13-era) critical sections are than
 /// the Legacy global-lock ones (finer-grained locking protects less
 /// state per acquisition).
-const SHARDED_HOLD_DIV: u64 = 3;
+const SHARDED_HOLD_DIV: u64 = 2;
 
 /// The VFS model.
 #[derive(Debug)]
@@ -84,6 +97,16 @@ pub struct Vfs {
     costs: VfsCosts,
     dcache_locks: Vec<LockId>,
     inode_locks: Vec<LockId>,
+    /// 3.13's global `inode_sb_list_lock` (Sharded mode only; Legacy's
+    /// global `inode_lock` already serializes the same list, Fastpath
+    /// never links the inode at all).
+    sb_list_lock: Option<LockId>,
+    /// Per-shard shared cachelines (Sharded mode only): the dentry
+    /// hash-bucket head and the inode hash-chain head that every
+    /// insert/unhash dirties, bouncing between whichever cores last
+    /// used the shard. Legacy mode pays for the same lines implicitly
+    /// through its far longer global critical sections.
+    shard_heads: Vec<[sim_mem::ObjId; 2]>,
     visible_sockets: u64,
     shard_rr: usize,
 }
@@ -102,11 +125,30 @@ impl Vfs {
         let inode_locks = (0..shards)
             .map(|_| ctx.locks.register(LockClass::InodeLock))
             .collect();
+        let sb_list_lock = match mode {
+            VfsMode::Sharded => Some(ctx.locks.register(LockClass::InodeLock)),
+            _ => None,
+        };
+        let cores = ctx.cpu.num_cores().max(1);
+        let shard_heads = match mode {
+            VfsMode::Sharded => (0..shards)
+                .map(|i| {
+                    let home = CoreId((i % cores) as u16);
+                    [
+                        ctx.cache.alloc(ObjKind::Dentry, home),
+                        ctx.cache.alloc(ObjKind::Inode, home),
+                    ]
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         Vfs {
             mode,
             costs,
             dcache_locks,
             inode_locks,
+            sb_list_lock,
+            shard_heads,
             visible_sockets: 0,
             shard_rr: 0,
         }
@@ -131,6 +173,17 @@ impl Vfs {
         }
     }
 
+    /// Per-acquisition protected hash-chain walk. Both lock-based modes
+    /// walk the bucket chain before inserting or unhashing — 2.6.32
+    /// under its global locks, 3.13 under the shard locks; only the
+    /// Fastsocket fast path skips the hash entirely.
+    fn walk_cost(&self) -> Cycles {
+        match self.mode {
+            VfsMode::Fastpath => 0,
+            _ => self.costs.shard_walk,
+        }
+    }
+
     /// Allocates and initializes the VFS state for one new socket, as
     /// part of `op` running on `core`.
     pub fn alloc_socket(&mut self, ctx: &mut KernelCtx, op: &mut Op, core: CoreId) -> VfsNode {
@@ -142,15 +195,23 @@ impl Vfs {
             VfsMode::Legacy | VfsMode::Sharded => {
                 let s = self.shard();
                 let div = self.hold_div();
+                let walk = self.walk_cost();
                 op.work(CycleClass::Vfs, self.costs.init_work);
                 op.touch(ctx, dentry);
                 op.touch(ctx, inode);
-                // d_alloc
+                if let Some(heads) = self.shard_heads.get(s) {
+                    // The shard's shared chain-head cachelines bounce
+                    // from whichever core last used this shard.
+                    for head in *heads {
+                        op.touch_class(ctx, head, CycleClass::Vfs);
+                    }
+                }
+                // d_alloc (+ bucket-chain walk under the lock)
                 op.lock_do(
                     &mut ctx.locks,
                     self.dcache_locks[s],
                     CycleClass::Vfs,
-                    self.costs.dentry_hold / div,
+                    self.costs.dentry_hold / div + walk,
                 );
                 // d_instantiate (a second dcache_lock acquisition in
                 // the 2.6.32 allocation path)
@@ -167,6 +228,10 @@ impl Vfs {
                     CycleClass::Vfs,
                     self.costs.inode_hold / div,
                 );
+                // inode_sb_list_add under the global inode_sb_list_lock
+                if let Some(sb) = self.sb_list_lock {
+                    op.lock_do(&mut ctx.locks, sb, CycleClass::Vfs, self.costs.sb_list_hold);
+                }
             }
             VfsMode::Fastpath => {
                 // Skip dentry/inode initialization; only core-local
@@ -186,21 +251,33 @@ impl Vfs {
             VfsMode::Legacy | VfsMode::Sharded => {
                 let s = self.shard();
                 let div = self.hold_div();
+                let walk = self.walk_cost();
                 op.work(CycleClass::Vfs, self.costs.init_work / 2);
                 op.touch(ctx, node.dentry);
                 op.touch(ctx, node.inode);
+                if let Some(heads) = self.shard_heads.get(s) {
+                    for head in *heads {
+                        op.touch_class(ctx, head, CycleClass::Vfs);
+                    }
+                }
+                // d_unhash (+ bucket-chain fixup under the shard lock)
                 op.lock_do(
                     &mut ctx.locks,
                     self.dcache_locks[s],
                     CycleClass::Vfs,
-                    self.costs.dentry_hold / div,
+                    self.costs.dentry_hold / div + walk,
                 );
+                // iput
                 op.lock_do(
                     &mut ctx.locks,
                     self.inode_locks[s],
                     CycleClass::Vfs,
                     self.costs.inode_hold / div,
                 );
+                // inode_sb_list_del under the global inode_sb_list_lock
+                if let Some(sb) = self.sb_list_lock {
+                    op.lock_do(&mut ctx.locks, sb, CycleClass::Vfs, self.costs.sb_list_hold);
+                }
             }
             VfsMode::Fastpath => {
                 op.work(CycleClass::Vfs, self.costs.fastpath_work / 2);

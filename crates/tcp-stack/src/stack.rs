@@ -920,24 +920,56 @@ impl TcpStack {
         self.socks.get_mut(child).queued_in = Some(ls_id);
 
         if was_empty {
-            let watchers: Vec<(EpollId, Pid, u64)> = self.listen_table.ls(ls_id).watchers.clone();
-            for (ep, pid, data) in watchers {
-                let woke = os.epolls.post(
-                    ctx,
-                    op,
-                    ep,
-                    EpollEvent {
-                        data,
-                        readable: true,
-                        writable: false,
-                    },
-                );
-                if woke {
-                    out.wakeups.push(pid);
-                }
-            }
+            self.notify_accept_watchers(ctx, os, op, ls_id, out);
         }
         op.unlock(held);
+    }
+
+    /// Posts readiness to every epoll watching `ls_id`, rotating the
+    /// starting point pseudo-randomly on the base kernel's shared
+    /// accept queue. A real kernel's wait queue order depends on
+    /// accumulated sleep/wake history; iterating the watcher list
+    /// deterministically from index 0 instead pins one worker as the
+    /// permanent hot core of the shared accept queue and overstates the
+    /// base kernel's worst-core load (Figure 3's whiskers). The
+    /// Fastsocket global fallback keeps the deterministic order: its
+    /// queue only sees mis-steered connections, and the robustness
+    /// guarantee asserted in `stack_lifecycle.rs` is about *who* drains
+    /// it, not fairness.
+    fn notify_accept_watchers(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        ls_id: LsId,
+        out: &mut RxOutcome,
+    ) {
+        let watchers: Vec<(EpollId, Pid, u64)> = self.listen_table.ls(ls_id).watchers.clone();
+        let n = watchers.len();
+        if n == 0 {
+            return;
+        }
+        let start = if n > 1 && self.listen_table.variant() == ListenVariant::Global {
+            (ctx.rng.next_u64() % n as u64) as usize
+        } else {
+            0
+        };
+        for k in 0..n {
+            let (ep, pid, data) = watchers[(start + k) % n];
+            let woke = os.epolls.post(
+                ctx,
+                op,
+                ep,
+                EpollEvent {
+                    data,
+                    readable: true,
+                    writable: false,
+                },
+            );
+            if woke {
+                out.wakeups.push(pid);
+            }
+        }
     }
 
     /// Whether `accept()` on `port` from `core` would find a ready
@@ -1387,22 +1419,7 @@ impl TcpStack {
             .push_back(child);
         self.socks.get_mut(child).queued_in = Some(ls_id);
         if was_empty {
-            let watchers: Vec<(EpollId, Pid, u64)> = self.listen_table.ls(ls_id).watchers.clone();
-            for (ep, pid, data) in watchers {
-                let woke = os.epolls.post(
-                    ctx,
-                    op,
-                    ep,
-                    EpollEvent {
-                        data,
-                        readable: true,
-                        writable: false,
-                    },
-                );
-                if woke {
-                    out.wakeups.push(pid);
-                }
-            }
+            self.notify_accept_watchers(ctx, os, op, ls_id, out);
         }
         op.unlock(held);
     }

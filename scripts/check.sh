@@ -19,6 +19,15 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Bench smoke: self-profile the event core on a short window and hold
+# the timing-wheel's events/sec against the committed baseline. The
+# wide tolerance absorbs machine-to-machine variance (the committed
+# baseline is a full-length run on the reference box); a real scheduler
+# regression shows up as a multiple, not a few percent.
+echo "==> bench smoke (event-core self-profile vs committed baseline)"
+cargo build -q --release -p fastsocket-bench --bin selfprof
+./target/release/selfprof 0.02 --baseline results/BENCH_event_core.json --tolerance 0.5
+
 # Sanitizer pass: the `check` feature defaults SimConfig::check to on,
 # so every system test re-runs with lockdep, lockset race detection and
 # partition lints armed (plus the sanitizer-specific suites).
