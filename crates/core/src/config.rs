@@ -5,6 +5,7 @@ use sim_apps::proxy::ProxyConfig;
 use sim_apps::web::WebConfig;
 use sim_apps::HttpWorkload;
 use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles, SchedulerKind};
+use sim_fault::FaultSchedule;
 use sim_mem::CacheCosts;
 use sim_nic::{AtrConfig, SteeringMode};
 use sim_sync::LockCosts;
@@ -146,6 +147,18 @@ pub struct SimConfig {
     /// Fault-injection knob forwarded to the stack (sanitizer
     /// validation only).
     pub fault: FaultInjection,
+    /// Scheduled fault timeline (worker crashes, queue failures, core
+    /// stalls, loss bursts, SYN floods). Non-empty schedules also turn
+    /// on windowed throughput sampling and attach a
+    /// [`sim_fault::RobustnessReport`] to the run report.
+    pub faults: FaultSchedule,
+    /// Memory-pressure cap on live TCBs forwarded to the stack
+    /// (`None` = uncapped; see `StackConfig::tcb_cap`).
+    pub tcb_cap: Option<u32>,
+    /// Whether backlog overflow answers with SYN cookies (`None` =
+    /// keep the kernel variant's default; chaos scenarios force it off
+    /// to isolate the cookies' contribution under a SYN flood).
+    pub syn_cookies: Option<bool>,
     /// Event-queue backend. Both produce bit-identical results (proven
     /// by the differential proptest and the cross-scheduler digest
     /// test); the heap is retained as the benchmarking baseline.
@@ -179,6 +192,9 @@ impl SimConfig {
             trace_ring_capacity: sim_trace::DEFAULT_RING_CAPACITY,
             check: cfg!(feature = "check"),
             fault: FaultInjection::None,
+            faults: FaultSchedule::default(),
+            tcb_cap: None,
+            syn_cookies: None,
             scheduler: SchedulerKind::default(),
         }
     }
@@ -243,6 +259,34 @@ impl SimConfig {
     /// about `check` — enable that separately to observe the fault.
     pub fn fault(mut self, fault: FaultInjection) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Installs a scheduled fault timeline (builder style).
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
+        self
+    }
+
+    /// Caps the number of live TCBs (builder style); SYNs beyond the
+    /// cap are dropped by admission control.
+    pub fn tcb_cap(mut self, cap: u32) -> Self {
+        self.tcb_cap = Some(cap);
+        self
+    }
+
+    /// Forces SYN cookies on or off (builder style), overriding the
+    /// kernel variant's default.
+    pub fn syn_cookies(mut self, on: bool) -> Self {
+        self.syn_cookies = Some(on);
+        self
+    }
+
+    /// Sets the per-client connection-attempt timeout in seconds
+    /// (builder style). Fault scenarios shorten this so clients
+    /// stranded by a crashed worker re-attempt within the run.
+    pub fn client_timeout_secs(mut self, secs: f64) -> Self {
+        self.client_timeout = secs_to_cycles(secs);
         self
     }
 

@@ -38,4 +38,5 @@ pub use config::{AppSpec, KernelSpec, SimConfig};
 pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
 pub use sim_check::CheckReport;
+pub use sim_fault::{FaultEvent, FaultKind, FaultRecord, FaultSchedule, RobustnessReport};
 pub use tcp_stack::FaultInjection;

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sim_check::CheckReport;
 use sim_core::{CycleClass, Cycles};
+use sim_fault::RobustnessReport;
 use sim_mem::CacheStats;
 use sim_sync::{ClassStats, LockClass};
 use sim_trace::LatencyReport;
@@ -45,6 +46,9 @@ pub struct RunReport {
     /// Sanitizer verdict (lockdep, lockset races, partition lints) —
     /// `None` unless the run had checking enabled (`SimConfig::check`).
     pub checks: Option<CheckReport>,
+    /// Degrade-and-recover analysis — `None` unless the run had a
+    /// fault schedule installed (`SimConfig::faults`).
+    pub robustness: Option<RobustnessReport>,
     /// Measured window length in (simulated) seconds.
     pub measure_secs: f64,
     /// Connections per second completed by the clients — the paper's
@@ -147,6 +151,31 @@ impl RunReport {
     pub fn lock_spin_share(&self) -> f64 {
         self.cycle_share(CycleClass::LockSpin)
     }
+
+    /// `netstat -s`-style TcpExt counter block, so chaos runs are
+    /// debuggable from the `.txt` artifacts alone.
+    pub fn netstat_ext(&self) -> String {
+        let s = &self.stack;
+        let mut out = String::from("TcpExt:\n");
+        for (label, v) in [
+            ("passive connections established", s.passive_established),
+            ("connections reset by client", self.resets),
+            ("client connect timeouts", self.timeouts),
+            ("RSTs sent", s.rst_sent),
+            ("SYNs refused (no listener)", s.syn_refusals),
+            ("SYNs dropped (backlog full)", s.syn_drops),
+            ("SYNs dropped (memory pressure)", s.mem_pressure_drops),
+            ("SYN cookies sent", s.syn_cookies_sent),
+            ("SYN cookies validated", s.syn_cookies_ok),
+            ("segments retransmitted", s.retransmits),
+            ("connections aborted on retries", s.rtx_abandoned),
+            ("no-match drops", s.no_match_drops),
+            ("TIME_WAIT sockets recycled", s.tw_reused),
+        ] {
+            out.push_str(&format!("    {v} {label}\n"));
+        }
+        out
+    }
 }
 
 /// Builds the lockstat rows from raw class stats.
@@ -181,6 +210,7 @@ mod tests {
             config_hash: "0123456789abcdef".into(),
             latency: None,
             checks: None,
+            robustness: None,
             measure_secs: 1.0,
             throughput_cps: 100_000.0,
             requests_per_sec: 100_000.0,
@@ -227,5 +257,18 @@ mod tests {
         let json = serde_json::to_string(&report()).unwrap();
         assert!(json.contains("fastsocket"));
         assert!(json.contains("dcache_lock"));
+    }
+
+    #[test]
+    fn netstat_ext_lists_cookie_and_refusal_counters() {
+        let mut r = report();
+        r.stack.syn_cookies_sent = 12;
+        r.stack.syn_refusals = 3;
+        r.stack.mem_pressure_drops = 4;
+        let text = r.netstat_ext();
+        assert!(text.starts_with("TcpExt:"));
+        assert!(text.contains("12 SYN cookies sent"));
+        assert!(text.contains("3 SYNs refused (no listener)"));
+        assert!(text.contains("4 SYNs dropped (memory pressure)"));
     }
 }

@@ -23,9 +23,10 @@ use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
 use sim_apps::{Proxy, WebServer};
 use sim_check::{Checker, PartitionPolicy};
 use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
+use sim_fault::{FaultKind, RobustnessReport, WindowSample};
 use sim_mem::CacheModel;
-use sim_net::Packet;
-use sim_nic::{Nic, NicConfig, SteeringMode};
+use sim_net::{FlowTuple, Packet, TcpFlags};
+use sim_nic::{Nic, NicConfig, QueueId, SteeringMode};
 use sim_os::epoll::EpollId;
 use sim_os::process::{Pid, ProcessTable};
 use sim_os::softirq::SoftirqQueues;
@@ -69,6 +70,14 @@ enum Ev {
     ClientTimeout(u32, u64),
     /// Client-side retransmission check (loss recovery).
     ClientNudge(u32, u64),
+    /// Inject scheduled fault `i` of the fault schedule.
+    Fault(u32),
+    /// Heal scheduled fault `i`.
+    Heal(u32),
+    /// Record one windowed throughput sample (fault schedules only).
+    Sample,
+    /// Inject one burst of spoofed SYNs for flood fault `i`.
+    FloodTick(u32),
 }
 
 impl Ev {
@@ -84,8 +93,25 @@ impl Ev {
             Ev::ClientStart(_) => "client_start",
             Ev::ClientTimeout(..) => "client_timeout",
             Ev::ClientNudge(..) => "client_nudge",
+            Ev::Fault(_) => "fault",
+            Ev::Heal(_) => "heal",
+            Ev::Sample => "sample",
+            Ev::FloodTick(_) => "flood_tick",
         }
     }
+}
+
+/// Spacing of spoofed-SYN bursts during a SYN-flood fault.
+const FLOOD_TICK_USECS: f64 = 50.0;
+
+/// Cumulative client/stack counters at the last sample boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleCursor {
+    at: Cycles,
+    completed: u64,
+    resets: u64,
+    timeouts: u64,
+    refusals: u64,
 }
 
 /// One configured simulation, ready to [`run`](Simulation::run).
@@ -111,6 +137,18 @@ pub struct Simulation {
     pending_crashes: Vec<CoreId>,
     tracer: Tracer,
     checker: Checker,
+    /// Current client-wire loss probability (differs from `cfg.loss`
+    /// inside a loss-burst fault window).
+    active_loss: f64,
+    /// `stalled[c]` holds the heal time while core `c` is serving a
+    /// softirq-starvation fault.
+    stalled: Vec<Option<Cycles>>,
+    /// Whether scheduled fault `i` is currently active.
+    fault_active: Vec<bool>,
+    /// Monotonic spoofed-SYN counter (distinct flood tuples).
+    flood_seq: u32,
+    samples: Vec<WindowSample>,
+    sample_cursor: SampleCursor,
 }
 
 fn client_ip(slot: u32) -> Ipv4Addr {
@@ -123,6 +161,10 @@ impl Simulation {
         let cores = cfg.cores;
         let mut stack_config = cfg.kernel.resolve(cores);
         stack_config.fault = cfg.fault;
+        stack_config.tcb_cap = cfg.tcb_cap;
+        if let Some(on) = cfg.syn_cookies {
+            stack_config.syn_cookies = on;
+        }
         let tracer = if cfg.trace {
             Tracer::enabled(cores, cfg.trace_ring_capacity)
         } else {
@@ -138,13 +180,19 @@ impl Simulation {
                 && stack_config.established == EstVariant::Local
                 && stack_config.rfd
                 && !cfg.dedicated_stack_core;
+            // A worker crash migrates its local queues to the global
+            // fallback; the surviving workers then legitimately serve,
+            // tear down, and re-arm timers for the migrated connections
+            // from their own cores, so the est-affinity and
+            // timer-affinity lints stand down for crash schedules.
+            let crash_faults = cfg.faults.has_worker_crash();
             Checker::enabled(
                 cores,
                 PartitionPolicy {
                     local_listen: stack_config.listen == ListenVariant::Local,
-                    local_est: stack_config.established == EstVariant::Local,
+                    local_est: stack_config.established == EstVariant::Local && !crash_faults,
                     rfd: stack_config.rfd,
-                    timer_affinity: full_partition,
+                    timer_affinity: full_partition && !crash_faults,
                 },
             )
         } else {
@@ -201,6 +249,9 @@ impl Simulation {
         let peer_rng = SimRng::seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut events = EventQueue::with_scheduler(cfg.scheduler, 1 << 16);
         events.set_tracer(tracer.clone(), Ev::label);
+        let active_loss = cfg.loss;
+        let stalled = vec![None; cores as usize];
+        let fault_active = vec![false; cfg.faults.events.len()];
         Simulation {
             cfg,
             ctx,
@@ -223,6 +274,12 @@ impl Simulation {
             pending_crashes: Vec::new(),
             tracer,
             checker,
+            active_loss,
+            stalled,
+            fault_active,
+            flood_seq: 0,
+            samples: Vec::new(),
+            sample_cursor: SampleCursor::default(),
         }
     }
 
@@ -262,12 +319,10 @@ impl Simulation {
         let cores = self.cfg.cores;
         let port = self.cfg.app.port();
         let backlog = self.cfg.backlog;
-        let variant = self.stack.config().listen;
 
         // The master process creates the (global) listen socket.
         let mut op = self.ctx.begin(CoreId(0), 0);
-        let global_ls = self
-            .stack
+        self.stack
             .listen(&mut self.ctx, &mut op, port, backlog, CoreId(0));
         op.commit(&mut self.ctx.cpu);
 
@@ -280,80 +335,7 @@ impl Simulation {
             0
         };
         for c in first_worker_core..cores {
-            let core = CoreId(c);
-            let pid = self.procs.spawn(core);
-            let ep = self.os.epolls.create(&mut self.ctx, core);
-            self.eps.push(ep);
-            let mut op = self.ctx.begin(core, 0);
-            match variant {
-                ListenVariant::Global => {
-                    self.stack.watch_listen(
-                        &mut self.ctx,
-                        &mut self.os,
-                        &mut op,
-                        global_ls,
-                        ep,
-                        pid,
-                        LISTEN_TOKEN,
-                    );
-                }
-                ListenVariant::ReusePort => {
-                    let copy = self.stack.reuseport_listen(
-                        &mut self.ctx,
-                        &mut op,
-                        port,
-                        backlog,
-                        pid,
-                        core,
-                    );
-                    self.stack.watch_listen(
-                        &mut self.ctx,
-                        &mut self.os,
-                        &mut op,
-                        copy,
-                        ep,
-                        pid,
-                        LISTEN_TOKEN,
-                    );
-                }
-                ListenVariant::Local => {
-                    let local =
-                        self.stack
-                            .local_listen(&mut self.ctx, &mut op, port, backlog, pid, core);
-                    self.stack.watch_listen(
-                        &mut self.ctx,
-                        &mut self.os,
-                        &mut op,
-                        local,
-                        ep,
-                        pid,
-                        LISTEN_TOKEN,
-                    );
-                    self.stack.watch_listen(
-                        &mut self.ctx,
-                        &mut self.os,
-                        &mut op,
-                        global_ls,
-                        ep,
-                        pid,
-                        LISTEN_TOKEN,
-                    );
-                }
-            }
-            op.commit(&mut self.ctx.cpu);
-
-            let worker: Box<dyn Worker> = match &self.cfg.app {
-                AppSpec::Web(w) => {
-                    let mut w = *w;
-                    // Keep the server's lifecycle consistent with the
-                    // workload: multi-request connections require the
-                    // client to close.
-                    w.keep_alive = self.cfg.workload.requests_per_conn > 1;
-                    Box::new(WebServer::new(w))
-                }
-                AppSpec::Proxy(p) => Box::new(Proxy::new(p.clone())),
-            };
-            self.workers.push(worker);
+            self.spawn_worker(CoreId(c));
         }
 
         // Stagger the client starts over ~2 RTTs to avoid a synthetic
@@ -362,6 +344,103 @@ impl Simulation {
         for s in 0..self.clients.len() as u32 {
             let jitter = (u64::from(s) * 2 * self.cfg.rtt) / n.max(1);
             self.events.push(jitter, Ev::ClientStart(s));
+        }
+
+        // Scheduled faults: injection, healing and the window sampler
+        // that feeds the RobustnessReport.
+        for (i, ev) in self.cfg.faults.events.iter().enumerate() {
+            self.events.push(ev.at, Ev::Fault(i as u32));
+            if let Some(h) = ev.heal_at {
+                self.events.push(h, Ev::Heal(i as u32));
+            }
+        }
+        if !self.cfg.faults.is_empty() {
+            let w = self.sample_window_cycles();
+            self.events.push(w, Ev::Sample);
+        }
+    }
+
+    /// Forks a worker pinned to `core` and registers its listen/epoll
+    /// interest per the kernel variant. Used at setup and again when a
+    /// crashed worker restarts (fault healing).
+    fn spawn_worker(&mut self, core: CoreId) {
+        let port = self.cfg.app.port();
+        let backlog = self.cfg.backlog;
+        let variant = self.stack.config().listen;
+        let global_ls = self.stack.listen_table_mut().global_of(port);
+        let pid = self.procs.spawn(core);
+        let ep = self.os.epolls.create(&mut self.ctx, core);
+        self.eps.push(ep);
+        let mut op = self.ctx.begin(core, self.now);
+        match variant {
+            ListenVariant::Global => {
+                self.stack.watch_listen(
+                    &mut self.ctx,
+                    &mut self.os,
+                    &mut op,
+                    global_ls,
+                    ep,
+                    pid,
+                    LISTEN_TOKEN,
+                );
+            }
+            ListenVariant::ReusePort => {
+                let copy =
+                    self.stack
+                        .reuseport_listen(&mut self.ctx, &mut op, port, backlog, pid, core);
+                self.stack.watch_listen(
+                    &mut self.ctx,
+                    &mut self.os,
+                    &mut op,
+                    copy,
+                    ep,
+                    pid,
+                    LISTEN_TOKEN,
+                );
+            }
+            ListenVariant::Local => {
+                let local =
+                    self.stack
+                        .local_listen(&mut self.ctx, &mut op, port, backlog, pid, core);
+                self.stack.watch_listen(
+                    &mut self.ctx,
+                    &mut self.os,
+                    &mut op,
+                    local,
+                    ep,
+                    pid,
+                    LISTEN_TOKEN,
+                );
+                self.stack.watch_listen(
+                    &mut self.ctx,
+                    &mut self.os,
+                    &mut op,
+                    global_ls,
+                    ep,
+                    pid,
+                    LISTEN_TOKEN,
+                );
+            }
+        }
+        op.commit(&mut self.ctx.cpu);
+
+        let worker: Box<dyn Worker> = match &self.cfg.app {
+            AppSpec::Web(w) => {
+                let mut w = *w;
+                // Keep the server's lifecycle consistent with the
+                // workload: multi-request connections require the
+                // client to close.
+                w.keep_alive = self.cfg.workload.requests_per_conn > 1;
+                Box::new(WebServer::new(w))
+            }
+            AppSpec::Proxy(p) => Box::new(Proxy::new(p.clone())),
+        };
+        self.workers.push(worker);
+
+        // A restarted worker must notice connections that queued up on
+        // the global fallback while its predecessor was dead.
+        if self.stack.accept_ready(port, core) {
+            self.wake(pid, self.now);
         }
     }
 
@@ -423,6 +502,10 @@ impl Simulation {
             Ev::ClientStart(slot) => self.on_client_start(slot),
             Ev::ClientTimeout(slot, attempt) => self.on_client_timeout(slot, attempt),
             Ev::ClientNudge(slot, attempt) => self.on_client_nudge(slot, attempt),
+            Ev::Fault(i) => self.on_fault(i),
+            Ev::Heal(i) => self.on_heal(i),
+            Ev::Sample => self.on_sample(),
+            Ev::FloodTick(i) => self.on_flood_tick(i),
         }
     }
 
@@ -438,9 +521,10 @@ impl Simulation {
     }
 
     fn arm_rtos(&mut self) {
-        let rto = self.stack.config().rto;
-        for (sock, gen) in self.stack.take_rto_arms() {
-            self.events.push(self.now + rto, Ev::Rto(sock, gen));
+        // Each arm carries its own delay: retransmission timers back
+        // off exponentially with the attempt count.
+        for (sock, gen, delay) in self.stack.take_rto_arms() {
+            self.events.push(self.now + delay, Ev::Rto(sock, gen));
         }
     }
 
@@ -452,7 +536,10 @@ impl Simulation {
     }
 
     fn on_to_server(&mut self, pkt: Packet) {
-        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss) {
+        if self.active_loss > 0.0
+            && self.on_client_wire(&pkt)
+            && self.peer_rng.chance(self.active_loss)
+        {
             return; // lost on the wire
         }
         let core = self.nic.rx_core(&pkt);
@@ -461,7 +548,18 @@ impl Simulation {
         }
     }
 
+    /// The heal time of a core-stall fault covering `core` right now.
+    fn stalled_until(&self, core: CoreId) -> Option<Cycles> {
+        self.stalled[core.index()].filter(|&t| t > self.now)
+    }
+
     fn on_softirq(&mut self, core: u16) {
+        if let Some(t) = self.stalled_until(CoreId(core)) {
+            // Softirq starvation: the pending work sits in the per-core
+            // backlog until the stall heals.
+            self.events.push(t, Ev::Softirq(core));
+            return;
+        }
         let batch = self.softirq.drain(core as usize, SOFTIRQ_BUDGET);
         if batch.is_empty() {
             return;
@@ -505,6 +603,12 @@ impl Simulation {
 
     fn on_proc_wake(&mut self, pid_idx: u32) {
         let pid = Pid(pid_idx);
+        if let Some(t) = self.stalled_until(self.procs.get(pid).core) {
+            // Leave wake_pending set: the deferred event below is the
+            // wakeup, so no new ones should be queued meanwhile.
+            self.events.push(t, Ev::ProcWake(pid_idx));
+            return;
+        }
         self.procs.get_mut(pid).wake_pending = false;
         if !self.procs.get(pid).alive {
             return;
@@ -562,7 +666,10 @@ impl Simulation {
     }
 
     fn on_to_peer(&mut self, pkt: Packet) {
-        if self.cfg.loss > 0.0 && self.on_client_wire(&pkt) && self.peer_rng.chance(self.cfg.loss) {
+        if self.active_loss > 0.0
+            && self.on_client_wire(&pkt)
+            && self.peer_rng.chance(self.active_loss)
+        {
             return; // lost on the wire
         }
         let dst = pkt.flow.dst_ip;
@@ -608,7 +715,7 @@ impl Simulation {
             self.now + self.cfg.client_timeout,
             Ev::ClientTimeout(slot, attempt),
         );
-        if self.cfg.loss > 0.0 {
+        if self.cfg.loss > 0.0 || self.cfg.faults.has_loss_burst() {
             self.events.push(
                 self.now + self.nudge_interval(),
                 Ev::ClientNudge(slot, attempt),
@@ -647,6 +754,133 @@ impl Simulation {
                 .push(self.now + self.cfg.rtt / 2, Ev::ToServer(rst));
             self.events.push(self.now, Ev::ClientStart(slot));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Length of one throughput-sampling window.
+    fn sample_window_cycles(&self) -> Cycles {
+        if self.cfg.faults.sample_window > 0 {
+            self.cfg.faults.sample_window
+        } else {
+            // Default: 20 windows across the measured interval.
+            (self.cfg.measure / 20).max(1)
+        }
+    }
+
+    fn on_fault(&mut self, idx: u32) {
+        let ev = self.cfg.faults.events[idx as usize];
+        self.fault_active[idx as usize] = true;
+        match ev.kind {
+            FaultKind::WorkerCrash { core } => {
+                let core = CoreId(core);
+                let port = self.cfg.app.port();
+                if let Some(pid) = self.procs.on_core(core) {
+                    self.procs.kill(pid);
+                    let mut op = self.ctx.begin(core, self.now);
+                    let out = self.stack.on_worker_crash(
+                        &mut self.ctx,
+                        &mut self.os,
+                        &mut op,
+                        port,
+                        core,
+                        pid,
+                    );
+                    let span = op.commit(&mut self.ctx.cpu);
+                    self.transmit(core, out.replies, span.end);
+                    for pid in out.wakeups {
+                        self.wake(pid, span.end);
+                    }
+                }
+            }
+            FaultKind::QueueFailure { queue } => self.nic.fail_queue(QueueId(queue)),
+            FaultKind::CoreStall { core } => {
+                let until = ev.heal_at.unwrap_or(self.cfg.warmup + self.cfg.measure);
+                self.stalled[core as usize] = Some(until);
+            }
+            FaultKind::LossBurst { loss } => self.active_loss = loss,
+            FaultKind::SynFlood { .. } => {
+                self.events.push(self.now, Ev::FloodTick(idx));
+            }
+        }
+    }
+
+    fn on_heal(&mut self, idx: u32) {
+        let ev = self.cfg.faults.events[idx as usize];
+        self.fault_active[idx as usize] = false;
+        match ev.kind {
+            FaultKind::WorkerCrash { core } => self.spawn_worker(CoreId(core)),
+            FaultKind::QueueFailure { queue } => self.nic.heal_queue(QueueId(queue)),
+            FaultKind::CoreStall { core } => self.stalled[core as usize] = None,
+            FaultKind::LossBurst { .. } => self.active_loss = self.cfg.loss,
+            FaultKind::SynFlood { .. } => {}
+        }
+    }
+
+    /// One burst of spoofed SYNs from addresses no client owns, so the
+    /// handshakes never complete — the classic SYN-flood shape.
+    fn on_flood_tick(&mut self, idx: u32) {
+        if !self.fault_active[idx as usize] {
+            return;
+        }
+        let FaultKind::SynFlood { syns_per_tick } = self.cfg.faults.events[idx as usize].kind
+        else {
+            return;
+        };
+        let port = self.cfg.app.port();
+        for _ in 0..syns_per_tick {
+            let n = self.flood_seq;
+            self.flood_seq = self.flood_seq.wrapping_add(1);
+            // 172.16/12 space: never a client IP, so replies (SYN-ACKs,
+            // cookies) vanish on the wire and loss doesn't apply.
+            let ip = Ipv4Addr::new(
+                172,
+                16 + ((n >> 14) & 0x0f) as u8,
+                ((n >> 8) & 0x3f) as u8,
+                (n & 0xff) as u8,
+            );
+            let src_port = 1024 + (n % 60_000) as u16;
+            let flow = FlowTuple::new(ip, src_port, SERVER_IP, port);
+            let isn = self.peer_rng.next_u64() as u32;
+            let syn = Packet::new(flow, TcpFlags::SYN).with_seq(isn);
+            self.events.push(self.now, Ev::ToServer(syn));
+        }
+        self.events.push(
+            self.now + usecs_to_cycles(FLOOD_TICK_USECS),
+            Ev::FloodTick(idx),
+        );
+    }
+
+    fn on_sample(&mut self) {
+        let completed: u64 = self.clients.iter().map(|c| c.completed).sum();
+        let resets: u64 = self.clients.iter().map(|c| c.resets).sum();
+        let timeouts = self.timeouts;
+        let s = self.stack.stats();
+        // Server-side refusals: SYNs answered with RST or dropped for
+        // backlog/memory pressure. Stack stats reset at the warmup
+        // boundary, so a window spanning it falls back to the absolute
+        // value (`checked_sub`).
+        let refusals = s.syn_refusals + s.syn_drops + s.mem_pressure_drops;
+        let prev = self.sample_cursor;
+        self.samples.push(WindowSample {
+            start: prev.at,
+            end: self.now,
+            completed: completed - prev.completed,
+            resets: resets - prev.resets,
+            timeouts: timeouts - prev.timeouts,
+            refusals: refusals.checked_sub(prev.refusals).unwrap_or(refusals),
+        });
+        self.sample_cursor = SampleCursor {
+            at: self.now,
+            completed,
+            resets,
+            timeouts,
+            refusals,
+        };
+        self.events
+            .push(self.now + self.sample_window_cycles(), Ev::Sample);
     }
 
     // ------------------------------------------------------------------
@@ -712,6 +946,18 @@ impl Simulation {
             })
             .collect();
 
+        let robustness = if self.cfg.faults.is_empty() {
+            None
+        } else {
+            let cycles_per_sec = 1.0 / cycles_to_secs(1);
+            Some(RobustnessReport::analyze(
+                &self.cfg.faults,
+                self.sample_window_cycles(),
+                self.samples.clone(),
+                cycles_per_sec,
+            ))
+        };
+
         let stack_stats = self.stack.stats();
         let steering = match self.cfg.steering {
             SteeringMode::Rss => "rss",
@@ -728,6 +974,7 @@ impl Simulation {
             config_hash: self.cfg.config_digest(),
             latency: self.tracer.latency(usecs_to_cycles(1.0) as f64),
             checks: self.checker.report(),
+            robustness,
             measure_secs: secs,
             throughput_cps: completed as f64 / secs,
             requests_per_sec: responses as f64 / secs,

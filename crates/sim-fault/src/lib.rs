@@ -1,0 +1,513 @@
+//! Scheduled fault injection and degrade-and-recover verification.
+//!
+//! The paper's central robustness claim is architectural: Fastsocket's
+//! partitioned tables keep a *global fallback* (Figure 2's slow path)
+//! precisely so the server stays alive when locality breaks — a worker
+//! dies, a NIC queue fails, the wire gets hostile. This crate provides
+//! the vocabulary for exercising that claim:
+//!
+//! * [`FaultSchedule`] — a deterministic timeline of [`FaultEvent`]s
+//!   (inject at a cycle, optionally heal later) that the simulation
+//!   driver fires like any other event;
+//! * [`WindowSample`] — periodic throughput/error samples the driver
+//!   records while a schedule is active;
+//! * [`RobustnessReport`] — the per-fault degrade-and-recover analysis
+//!   ([`RobustnessReport::analyze`]): pre-fault baseline, degradation
+//!   depth, time to recover to [`RECOVERY_FRACTION`] of baseline, and
+//!   the resets/timeouts/refusals clients suffered inside the fault
+//!   window.
+//!
+//! Like `sim-trace`, this crate sits below `sim-core` in the dependency
+//! graph, so timestamps are plain `u64` cycles rather than
+//! `sim_core::Cycles`.
+
+use serde::{Deserialize, Serialize};
+
+/// A recovery window ends at the first sample whose throughput reaches
+/// this fraction of the pre-fault baseline.
+pub const RECOVERY_FRACTION: f64 = 0.9;
+
+/// What kind of fault an event injects.
+///
+/// (Not serialized: schedules are simulation *inputs*; reports carry
+/// the [`FaultKind::label`] string instead.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The worker process pinned to `core` is killed; its per-process
+    /// listen socket (local listen table entry or `SO_REUSEPORT` copy)
+    /// dies with it. Healing restarts the worker (fork + listen +
+    /// epoll registration).
+    WorkerCrash {
+        /// The core whose worker dies.
+        core: u16,
+    },
+    /// NIC RX `queue` stops delivering; the NIC re-steers its traffic
+    /// to a surviving queue until healed.
+    QueueFailure {
+        /// The failing RX queue index.
+        queue: u16,
+    },
+    /// `core` stops servicing softirqs and process wakeups until healed
+    /// (softirq starvation under a runaway thread / SMI window).
+    CoreStall {
+        /// The stalled core.
+        core: u16,
+    },
+    /// The client wire's packet-loss probability jumps to `loss` for
+    /// the fault window, then falls back to the configured baseline.
+    LossBurst {
+        /// Loss probability in `[0, 1)` during the burst.
+        loss: f64,
+    },
+    /// Spoofed SYNs (addresses that never complete a handshake) arrive
+    /// at `syns_per_tick` per driver flood tick until healed,
+    /// exercising SYN-queue overflow, SYN cookies, and the TCB
+    /// memory-pressure cap.
+    SynFlood {
+        /// Spoofed SYNs injected per flood tick.
+        syns_per_tick: u32,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerCrash { .. } => "worker_crash",
+            FaultKind::QueueFailure { .. } => "queue_failure",
+            FaultKind::CoreStall { .. } => "core_stall",
+            FaultKind::LossBurst { .. } => "loss_burst",
+            FaultKind::SynFlood { .. } => "syn_flood",
+        }
+    }
+}
+
+/// One scheduled fault: injected at `at`, optionally healed at
+/// `heal_at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Injection cycle.
+    pub at: u64,
+    /// Heal cycle; `None` means the fault persists to the end of the
+    /// run.
+    pub heal_at: Option<u64>,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic timeline of faults plus the sampling period for the
+/// windowed throughput measurements that feed the analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// The scheduled faults, in the order they were added.
+    pub events: Vec<FaultEvent>,
+    /// Throughput sampling period in cycles; `0` lets the driver pick
+    /// a default.
+    pub sample_window: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, at: u64, heal_at: Option<u64>, kind: FaultKind) -> Self {
+        if let Some(h) = heal_at {
+            assert!(h > at, "heal must come after injection");
+        }
+        self.events.push(FaultEvent { at, heal_at, kind });
+        self
+    }
+
+    /// Schedules a worker crash on `core` at `at`; `heal_at` restarts
+    /// the worker (builder style).
+    #[must_use]
+    pub fn worker_crash(self, at: u64, heal_at: Option<u64>, core: u16) -> Self {
+        self.push(at, heal_at, FaultKind::WorkerCrash { core })
+    }
+
+    /// Schedules an RX queue failure (builder style).
+    #[must_use]
+    pub fn queue_failure(self, at: u64, heal_at: Option<u64>, queue: u16) -> Self {
+        self.push(at, heal_at, FaultKind::QueueFailure { queue })
+    }
+
+    /// Schedules a softirq stall on `core` (builder style).
+    #[must_use]
+    pub fn core_stall(self, at: u64, heal_at: Option<u64>, core: u16) -> Self {
+        self.push(at, heal_at, FaultKind::CoreStall { core })
+    }
+
+    /// Schedules a packet-loss burst on the client wire (builder
+    /// style).
+    #[must_use]
+    pub fn loss_burst(self, at: u64, heal_at: Option<u64>, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss probability in [0,1)");
+        self.push(at, heal_at, FaultKind::LossBurst { loss })
+    }
+
+    /// Schedules a SYN flood (builder style).
+    #[must_use]
+    pub fn syn_flood(self, at: u64, heal_at: Option<u64>, syns_per_tick: u32) -> Self {
+        self.push(at, heal_at, FaultKind::SynFlood { syns_per_tick })
+    }
+
+    /// Sets the sampling period (builder style).
+    #[must_use]
+    pub fn sample_every(mut self, cycles: u64) -> Self {
+        self.sample_window = cycles;
+        self
+    }
+
+    /// Whether no fault is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the schedule kills (and possibly restarts) any worker.
+    /// Crash-induced slow-path connections legitimately re-arm timers
+    /// across cores, so the `timer_affinity` partition lint must stand
+    /// down for such schedules.
+    #[must_use]
+    pub fn has_worker_crash(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerCrash { .. }))
+    }
+
+    /// Whether any loss burst is scheduled (the driver must provision
+    /// client-side retransmission nudges up front).
+    #[must_use]
+    pub fn has_loss_burst(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::LossBurst { .. }))
+    }
+}
+
+/// One windowed sample of client-observed progress: counter deltas over
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Window start cycle.
+    pub start: u64,
+    /// Window end cycle.
+    pub end: u64,
+    /// Connections completed inside the window.
+    pub completed: u64,
+    /// Client-observed resets inside the window.
+    pub resets: u64,
+    /// Client connect timeouts inside the window.
+    pub timeouts: u64,
+    /// Connection refusals (RST answering a SYN) inside the window.
+    pub refusals: u64,
+}
+
+impl WindowSample {
+    /// Completed connections per second, given the cycle frequency.
+    #[must_use]
+    pub fn cps(&self, cycles_per_sec: f64) -> f64 {
+        let w = self.end.saturating_sub(self.start);
+        if w == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (w as f64 / cycles_per_sec)
+        }
+    }
+}
+
+/// The degrade-and-recover verdict for one scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// [`FaultKind::label`] of the fault.
+    pub kind: String,
+    /// Injection cycle.
+    pub injected_at: u64,
+    /// Heal cycle, if the fault healed.
+    pub healed_at: Option<u64>,
+    /// Mean throughput (connections/sec) over the windows fully before
+    /// injection.
+    pub baseline_cps: f64,
+    /// Worst windowed throughput while the fault was active.
+    pub degraded_cps: f64,
+    /// `1 - degraded/baseline`, clamped to `[0, 1]`.
+    pub degradation_depth: f64,
+    /// Cycles from heal (or injection, for unhealed faults) until the
+    /// first window at ≥ [`RECOVERY_FRACTION`] × baseline; `None` if
+    /// throughput never recovered inside the run.
+    pub time_to_recover: Option<u64>,
+    /// Client-observed resets inside the fault window.
+    pub resets_during: u64,
+    /// Client connect timeouts inside the fault window.
+    pub timeouts_during: u64,
+    /// Connection refusals inside the fault window.
+    pub refusals_during: u64,
+}
+
+/// The robustness section of a run report: the raw windowed samples
+/// plus one [`FaultRecord`] per scheduled fault.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Sampling period used, in cycles.
+    pub sample_window: u64,
+    /// All windowed samples, in time order.
+    pub samples: Vec<WindowSample>,
+    /// Per-fault analysis, in schedule order.
+    pub faults: Vec<FaultRecord>,
+}
+
+impl RobustnessReport {
+    /// Computes the per-fault degrade-and-recover records from the
+    /// windowed samples. Pure arithmetic over the inputs: two runs
+    /// with identical samples produce bit-identical reports.
+    #[must_use]
+    pub fn analyze(
+        schedule: &FaultSchedule,
+        sample_window: u64,
+        samples: Vec<WindowSample>,
+        cycles_per_sec: f64,
+    ) -> Self {
+        let faults = schedule
+            .events
+            .iter()
+            .map(|ev| analyze_fault(ev, &samples, cycles_per_sec))
+            .collect();
+        RobustnessReport {
+            sample_window,
+            samples,
+            faults,
+        }
+    }
+
+    /// FNV-1a digest over the report's JSON serialization — the
+    /// bit-identical-across-runs check.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let json = serde_json::to_string(self).expect("RobustnessReport serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+fn analyze_fault(ev: &FaultEvent, samples: &[WindowSample], cycles_per_sec: f64) -> FaultRecord {
+    let run_end = samples.last().map_or(ev.at, |s| s.end);
+    let active_until = ev.heal_at.unwrap_or(run_end);
+
+    let baseline: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.end <= ev.at)
+        .map(|s| s.cps(cycles_per_sec))
+        .collect();
+    let baseline_cps = if baseline.is_empty() {
+        0.0
+    } else {
+        baseline.iter().sum::<f64>() / baseline.len() as f64
+    };
+
+    // Windows overlapping the active fault interval.
+    let during: Vec<&WindowSample> = samples
+        .iter()
+        .filter(|s| s.start < active_until && s.end > ev.at)
+        .collect();
+    let degraded_cps = during
+        .iter()
+        .map(|s| s.cps(cycles_per_sec))
+        .fold(f64::INFINITY, f64::min);
+    let degraded_cps = if degraded_cps.is_finite() {
+        degraded_cps
+    } else {
+        baseline_cps
+    };
+    let degradation_depth = if baseline_cps > 0.0 {
+        (1.0 - degraded_cps / baseline_cps).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let recover_from = ev.heal_at.unwrap_or(ev.at);
+    let time_to_recover = if baseline_cps > 0.0 {
+        samples
+            .iter()
+            .filter(|s| s.start >= recover_from)
+            .find(|s| s.cps(cycles_per_sec) >= RECOVERY_FRACTION * baseline_cps)
+            .map(|s| s.end.saturating_sub(recover_from))
+    } else {
+        None
+    };
+
+    FaultRecord {
+        kind: ev.kind.label().to_string(),
+        injected_at: ev.at,
+        healed_at: ev.heal_at,
+        baseline_cps,
+        degraded_cps,
+        degradation_depth,
+        time_to_recover,
+        resets_during: during.iter().map(|s| s.resets).sum(),
+        timeouts_during: during.iter().map(|s| s.timeouts).sum(),
+        refusals_during: during.iter().map(|s| s.refusals).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HZ: f64 = 1_000.0; // 1000 cycles per second for easy math
+
+    fn sample(start: u64, end: u64, completed: u64) -> WindowSample {
+        WindowSample {
+            start,
+            end,
+            completed,
+            ..WindowSample::default()
+        }
+    }
+
+    /// 10-cycle windows at 10 completions each (1000 cps baseline),
+    /// dipping to 2 during [30, 50), back to 10 from 60.
+    fn dip_samples() -> Vec<WindowSample> {
+        let mut v = Vec::new();
+        for i in 0..10u64 {
+            let c = if (3..5).contains(&i) {
+                2
+            } else if i == 5 {
+                6
+            } else {
+                10
+            };
+            v.push(sample(i * 10, (i + 1) * 10, c));
+        }
+        v
+    }
+
+    #[test]
+    fn schedule_builders_and_flags() {
+        let s = FaultSchedule::new()
+            .worker_crash(100, Some(200), 2)
+            .loss_burst(300, Some(400), 0.05)
+            .sample_every(10);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.sample_window, 10);
+        assert!(s.has_worker_crash());
+        assert!(s.has_loss_burst());
+        assert!(!FaultSchedule::new()
+            .syn_flood(1, None, 8)
+            .has_worker_crash());
+        assert!(FaultSchedule::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "heal must come after injection")]
+    fn heal_before_injection_panics() {
+        let _ = FaultSchedule::new().worker_crash(100, Some(100), 0);
+    }
+
+    #[test]
+    fn window_cps() {
+        let s = sample(0, 10, 5);
+        assert!((s.cps(HZ) - 500.0).abs() < 1e-9);
+        assert_eq!(sample(5, 5, 9).cps(HZ), 0.0, "degenerate window");
+    }
+
+    #[test]
+    fn analysis_finds_baseline_depth_and_recovery() {
+        let sched = FaultSchedule::new()
+            .core_stall(30, Some(50), 1)
+            .sample_every(10);
+        let r = RobustnessReport::analyze(&sched, 10, dip_samples(), HZ);
+        assert_eq!(r.faults.len(), 1);
+        let f = &r.faults[0];
+        assert!((f.baseline_cps - 1_000.0).abs() < 1e-9, "{f:?}");
+        assert!((f.degraded_cps - 200.0).abs() < 1e-9);
+        assert!((f.degradation_depth - 0.8).abs() < 1e-9);
+        // Heal at 50; window [50,60) holds 6 (600 cps < 900), [60,70)
+        // holds 10 (1000 cps ≥ 900) → recovered at 70, i.e. 20 cycles.
+        assert_eq!(f.time_to_recover, Some(20));
+    }
+
+    #[test]
+    fn analysis_counts_errors_inside_fault_window() {
+        let mut samples = dip_samples();
+        samples[3].resets = 4;
+        samples[4].timeouts = 2;
+        samples[4].refusals = 7;
+        samples[8].resets = 99; // outside the fault window
+        let sched = FaultSchedule::new().worker_crash(30, Some(50), 0);
+        let r = RobustnessReport::analyze(&sched, 10, samples, HZ);
+        let f = &r.faults[0];
+        assert_eq!(f.resets_during, 4);
+        assert_eq!(f.timeouts_during, 2);
+        assert_eq!(f.refusals_during, 7);
+    }
+
+    #[test]
+    fn unrecovered_fault_reports_none() {
+        // Throughput never returns after the fault.
+        let mut v = Vec::new();
+        for i in 0..6u64 {
+            v.push(sample(i * 10, (i + 1) * 10, if i < 3 { 10 } else { 1 }));
+        }
+        let sched = FaultSchedule::new().queue_failure(30, Some(40), 1);
+        let r = RobustnessReport::analyze(&sched, 10, v, HZ);
+        assert_eq!(r.faults[0].time_to_recover, None);
+    }
+
+    #[test]
+    fn unhealed_fault_measures_recovery_from_injection() {
+        // A fault with no heal: degradation window runs to the end, and
+        // recovery (adaptation) is measured from the injection point.
+        let mut v = Vec::new();
+        for i in 0..6u64 {
+            v.push(sample(i * 10, (i + 1) * 10, if i == 3 { 2 } else { 10 }));
+        }
+        let sched = FaultSchedule::new().worker_crash(30, None, 0);
+        let r = RobustnessReport::analyze(&sched, 10, v, HZ);
+        let f = &r.faults[0];
+        assert_eq!(f.healed_at, None);
+        assert_eq!(
+            f.time_to_recover,
+            Some(20),
+            "window [40,50) is back at baseline"
+        );
+    }
+
+    #[test]
+    fn empty_samples_are_harmless() {
+        let sched = FaultSchedule::new().syn_flood(5, Some(9), 4);
+        let r = RobustnessReport::analyze(&sched, 10, Vec::new(), HZ);
+        let f = &r.faults[0];
+        assert_eq!(f.baseline_cps, 0.0);
+        assert_eq!(f.time_to_recover, None);
+        assert_eq!(f.degradation_depth, 0.0);
+    }
+
+    #[test]
+    fn report_digest_is_stable_and_content_sensitive() {
+        let sched = FaultSchedule::new().core_stall(30, Some(50), 1);
+        let a = RobustnessReport::analyze(&sched, 10, dip_samples(), HZ);
+        let b = RobustnessReport::analyze(&sched, 10, dip_samples(), HZ);
+        assert_eq!(a.digest(), b.digest());
+        let mut tampered = dip_samples();
+        tampered[0].completed += 1;
+        let c = RobustnessReport::analyze(&sched, 10, tampered, HZ);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let sched = FaultSchedule::new().worker_crash(30, Some(50), 2);
+        let r = RobustnessReport::analyze(&sched, 10, dip_samples(), HZ);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RobustnessReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -69,6 +69,8 @@ pub struct NicStats {
     pub rx_per_queue: Vec<u64>,
     /// Packets transmitted per queue.
     pub tx_per_queue: Vec<u64>,
+    /// Packets re-steered away from a failed queue.
+    pub redirected: u64,
 }
 
 /// The NIC model.
@@ -78,6 +80,9 @@ pub struct Nic {
     rss: RssEngine,
     fdir: FlowDirector,
     stats: NicStats,
+    /// `failed[q]` marks RX queue `q` as dead (fault injection): its
+    /// traffic is re-steered to the next surviving queue.
+    failed: Vec<bool>,
 }
 
 impl Nic {
@@ -96,17 +101,52 @@ impl Nic {
         let stats = NicStats {
             rx_per_queue: vec![0; config.queues as usize],
             tx_per_queue: vec![0; config.queues as usize],
+            redirected: 0,
         };
+        let failed = vec![false; config.queues as usize];
         Nic {
             config,
             rss,
             fdir,
             stats,
+            failed,
         }
     }
 
+    /// Marks RX `queue` as failed: until [`Nic::heal_queue`], packets
+    /// steered to it are redirected to the next surviving queue
+    /// (deterministically: the first live queue scanning upward from
+    /// `queue + 1`, wrapping). With every queue failed, traffic falls
+    /// back to queue 0 — the driver would be resetting the device at
+    /// that point anyway.
+    pub fn fail_queue(&mut self, queue: QueueId) {
+        self.failed[queue.0 as usize] = true;
+    }
+
+    /// Brings a failed RX queue back into service.
+    pub fn heal_queue(&mut self, queue: QueueId) {
+        self.failed[queue.0 as usize] = false;
+    }
+
+    /// Whether `queue` is currently failed.
+    pub fn queue_failed(&self, queue: QueueId) -> bool {
+        self.failed[queue.0 as usize]
+    }
+
+    fn redirect(&mut self, q: u16) -> u16 {
+        if !self.failed[q as usize] {
+            return q;
+        }
+        self.stats.redirected += 1;
+        let n = self.config.queues;
+        (1..n)
+            .map(|k| (q + k) % n)
+            .find(|&c| !self.failed[c as usize])
+            .unwrap_or(0)
+    }
+
     /// Selects the RX queue for an incoming packet, per the steering
-    /// mode, and counts it.
+    /// mode, and counts it. Failed queues are redirected.
     pub fn rx_queue(&mut self, pkt: &Packet) -> QueueId {
         let q = match self.config.steering {
             SteeringMode::Rss => self.rss.queue_for(&pkt.flow),
@@ -120,6 +160,7 @@ impl Nic {
                 .perfect_lookup(pkt, self.config.queues)
                 .unwrap_or_else(|| self.rss.queue_for(&pkt.flow)),
         };
+        let q = self.redirect(q);
         self.stats.rx_per_queue[q as usize] += 1;
         QueueId(q)
     }
@@ -232,6 +273,35 @@ mod tests {
         assert_eq!(nic.tx_queue_for_core(CoreId(3)), QueueId(3));
         // More cores than queues wraps.
         assert_eq!(nic.tx_queue_for_core(CoreId(11)), QueueId(3));
+    }
+
+    #[test]
+    fn failed_queue_redirects_to_next_survivor() {
+        let mut nic = Nic::new(NicConfig::new(4, SteeringMode::Rss));
+        let p = Packet::new(flow(40_000, 80), TcpFlags::SYN);
+        let home = nic.rx_queue(&p);
+        nic.fail_queue(home);
+        assert!(nic.queue_failed(home));
+        let q = nic.rx_queue(&p);
+        assert_eq!(q.0, (home.0 + 1) % 4, "next surviving queue");
+        assert_eq!(nic.stats().redirected, 1);
+        // With the neighbour also down, traffic skips one further.
+        nic.fail_queue(q);
+        assert_eq!(nic.rx_queue(&p).0, (home.0 + 2) % 4);
+        // Healing restores the original steering decision.
+        nic.heal_queue(home);
+        nic.heal_queue(q);
+        assert_eq!(nic.rx_queue(&p), home);
+        assert_eq!(nic.stats().redirected, 2);
+    }
+
+    #[test]
+    fn all_queues_failed_falls_back_to_queue_zero() {
+        let mut nic = Nic::new(NicConfig::new(2, SteeringMode::Rss));
+        nic.fail_queue(QueueId(0));
+        nic.fail_queue(QueueId(1));
+        let p = Packet::new(flow(40_000, 80), TcpFlags::SYN);
+        assert_eq!(nic.rx_queue(&p), QueueId(0));
     }
 
     #[test]

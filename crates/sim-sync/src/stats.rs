@@ -22,6 +22,11 @@ pub enum LockClass {
     BaseLock,
     /// Per-bucket lock of the global established table (`ehash.lock`).
     EhashLock,
+    /// Per-core lock of Fastsocket's Local Established Table. Only its
+    /// home core takes it in steady state (never contended, lock word
+    /// stays core-local); crash-recovery teardown of migrated
+    /// connections is the one cross-core taker.
+    LocalEstLock,
     /// Listen-table bucket chain lock (`listening_hash`).
     ListenHash,
     /// Ephemeral port allocator lock.
@@ -32,7 +37,7 @@ pub enum LockClass {
 
 impl LockClass {
     /// Number of classes; sizes the statistics arrays.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All classes in declaration order.
     pub const ALL: [LockClass; Self::COUNT] = [
@@ -42,6 +47,7 @@ impl LockClass {
         LockClass::EpLock,
         LockClass::BaseLock,
         LockClass::EhashLock,
+        LockClass::LocalEstLock,
         LockClass::ListenHash,
         LockClass::PortAlloc,
         LockClass::Other,
@@ -56,6 +62,7 @@ impl LockClass {
             LockClass::EpLock => "ep.lock",
             LockClass::BaseLock => "base.lock",
             LockClass::EhashLock => "ehash.lock",
+            LockClass::LocalEstLock => "local_est.lock",
             LockClass::ListenHash => "listen_hash",
             LockClass::PortAlloc => "port_alloc",
             LockClass::Other => "other",

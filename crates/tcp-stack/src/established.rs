@@ -5,9 +5,15 @@
 //! uses one global hash table with per-bucket locks taken on insert and
 //! remove; lookups are lock-free (RCU) but still pull the bucket's cache
 //! line. Fastsocket gives each core its own table (§3.2.2): all
-//! operations touch core-local memory and no lock exists at all —
-//! *provided* Receive Flow Deliver guarantees that a connection's
-//! packets are always processed on its home core (§3.3).
+//! operations touch core-local memory and the per-table lock is only
+//! ever taken by its home core — never contended, and its lock word
+//! never leaves the home core's cache — *provided* Receive Flow Deliver
+//! guarantees that a connection's packets are always processed on its
+//! home core (§3.3). The lock still exists (the tables are ordinary
+//! inet hashtables underneath) and matters on the one path that breaks
+//! the partition: crash-recovery teardown of migrated connections,
+//! where a surviving core must remove entries from the dead core's
+//! table.
 
 use std::collections::HashMap;
 
@@ -66,6 +72,7 @@ pub struct EstTable {
     // Local variant state.
     local_maps: Vec<HashMap<FlowTuple, SockId>>,
     local_objs: Vec<ObjId>,
+    local_locks: Vec<LockId>,
 }
 
 impl EstTable {
@@ -90,12 +97,16 @@ impl EstTable {
                     bucket_objs,
                     local_maps: Vec::new(),
                     local_objs: Vec::new(),
+                    local_locks: Vec::new(),
                 }
             }
             EstVariant::Local => {
                 let local_maps = (0..cores).map(|_| HashMap::new()).collect();
                 let local_objs = (0..cores)
                     .map(|i| ctx.cache.alloc(ObjKind::TableBucket, CoreId(i as u16)))
+                    .collect();
+                let local_locks = (0..cores)
+                    .map(|_| ctx.locks.register(LockClass::LocalEstLock))
                     .collect();
                 EstTable {
                     variant,
@@ -104,6 +115,7 @@ impl EstTable {
                     bucket_objs: Vec::new(),
                     local_maps,
                     local_objs,
+                    local_locks,
                 }
             }
         }
@@ -170,11 +182,17 @@ impl EstTable {
                 self.map.insert(flow, sock)
             }
             EstVariant::Local => {
-                // A core only ever inserts into its own table.
+                // A core only ever inserts into its own table; the
+                // per-table lock is core-local and never contended.
                 op.checker()
                     .lint(sim_check::PartitionLint::LocalEst, op.core().0, core.0);
-                op.work(CycleClass::TcbManage, costs.ehash_hold);
                 op.touch_mut(ctx, self.local_objs[core.index()]);
+                op.lock_do(
+                    &mut ctx.locks,
+                    self.local_locks[core.index()],
+                    CycleClass::TcbManage,
+                    costs.ehash_hold,
+                );
                 self.local_maps[core.index()].insert(flow, sock)
             }
         };
@@ -215,12 +233,20 @@ impl EstTable {
             }
             EstVariant::Local => {
                 let home = home.expect("local established entries have a home core");
-                // Teardown must happen on the entry's home core —
-                // RFD's delivery guarantee extends to removal.
+                // Teardown normally happens on the entry's home core —
+                // RFD's delivery guarantee extends to removal. The one
+                // legitimate exception is crash recovery, where a
+                // survivor reaps a dead worker's migrated connections
+                // under the home table's (otherwise core-local) lock.
                 op.checker()
                     .lint(sim_check::PartitionLint::LocalEst, op.core().0, home.0);
-                op.work(CycleClass::TcbManage, costs.ehash_hold);
                 op.touch_mut(ctx, self.local_objs[home.index()]);
+                op.lock_do(
+                    &mut ctx.locks,
+                    self.local_locks[home.index()],
+                    CycleClass::TcbManage,
+                    costs.ehash_hold,
+                );
                 self.local_maps[home.index()].remove(flow)
             }
         };
@@ -308,7 +334,13 @@ mod tests {
         );
         t.remove(&mut c, &mut op, home, &flow(40_000), &costs);
         op.commit(&mut c.cpu);
+        // No global-table traffic; the per-core table lock is taken but
+        // never contended (only the home core touches it).
         assert_eq!(c.locks.stats(LockClass::EhashLock).acquisitions, 0);
+        let local = c.locks.stats(LockClass::LocalEstLock);
+        assert_eq!(local.acquisitions, 2);
+        assert_eq!(local.contentions, 0);
+        assert_eq!(local.line_transfers, 0);
     }
 
     #[test]

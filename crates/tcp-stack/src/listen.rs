@@ -72,6 +72,30 @@ impl ListenSocket {
     }
 }
 
+/// Connections stranded by [`ListenTable::destroy_process_socket`]:
+/// mid-handshake embryos (with their flows, so they can be re-keyed
+/// into another syn queue) and established-but-unaccepted sockets.
+/// Both lists are sorted by [`SockId`] for determinism.
+#[derive(Debug, Default)]
+pub struct DestroyedListener {
+    /// Mid-handshake connections from the dead socket's SYN queue.
+    pub embryos: Vec<(FlowTuple, SockId)>,
+    /// Established connections from the dead socket's accept queue.
+    pub accepted: Vec<SockId>,
+}
+
+impl DestroyedListener {
+    /// Whether the dead listener stranded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.embryos.is_empty() && self.accepted.is_empty()
+    }
+
+    /// Total stranded connections.
+    pub fn len(&self) -> usize {
+        self.embryos.len() + self.accepted.len()
+    }
+}
+
 #[derive(Debug)]
 struct PortEntry {
     global: LsId,
@@ -212,9 +236,12 @@ impl ListenTable {
 
     /// Simulates the owner process of `core`'s local listen socket (or
     /// reuseport copy) crashing: the kernel destroys the copied socket.
-    /// Embryonic and un-accepted connections on it are lost (their
-    /// sockets are returned for the caller to reset/free).
-    pub fn destroy_process_socket(&mut self, port: u16, core: CoreId) -> Vec<SockId> {
+    /// Embryonic and un-accepted connections on it are returned for the
+    /// caller to migrate to the global fallback (Fastsocket) or to
+    /// reset/free (stock kernels). Both lists come back sorted by
+    /// socket id so every downstream decision is deterministic — the
+    /// syn queue is a `HashMap` and drains in random order.
+    pub fn destroy_process_socket(&mut self, port: u16, core: CoreId) -> DestroyedListener {
         let removed: Option<LsId> = match self.variant {
             ListenVariant::Local => self.entry_mut(port).local[core.index()].take(),
             ListenVariant::ReusePort => {
@@ -233,12 +260,13 @@ impl ListenTable {
         match removed {
             Some(id) => {
                 let ls = &mut self.sockets[id.0 as usize];
-                let mut orphans: Vec<SockId> = ls.syn_queue.drain().map(|(_, s)| s).collect();
-                orphans.extend(ls.accept_queue.drain(..));
+                let mut embryos: Vec<(FlowTuple, SockId)> = ls.syn_queue.drain().collect();
+                embryos.sort_unstable_by_key(|&(_, s)| s);
+                let accepted: Vec<SockId> = ls.accept_queue.drain(..).collect();
                 ls.watchers.clear();
-                orphans
+                DestroyedListener { embryos, accepted }
             }
-            None => Vec::new(),
+            None => DestroyedListener::default(),
         }
     }
 

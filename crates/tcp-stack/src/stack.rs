@@ -102,8 +102,14 @@ pub struct StackConfig {
     /// Retransmission timeout, in cycles (compressed relative to
     /// Linux's 200 ms minimum to keep simulated runs short; the
     /// *mechanism* — timer-driven recovery of lost segments — is what
-    /// matters).
+    /// matters). Doubles per retry up to [`MAX_RTO_BACKOFF_SHIFT`]
+    /// doublings, as Linux's exponential backoff does.
     pub rto: Cycles,
+    /// Memory-pressure cap on live TCBs (Linux's `tcp_max_orphans` /
+    /// `tcp_mem` analogue): when the socket slab holds this many live
+    /// sockets, new embryo allocations are refused (admission-control
+    /// drop, counted in `mem_pressure_drops`). `None` = uncapped.
+    pub tcb_cap: Option<u32>,
     /// Deliberately broken invariant for sanitizer validation; keep
     /// [`FaultInjection::None`] for any measurement run.
     pub fault: FaultInjection,
@@ -128,6 +134,7 @@ impl StackConfig {
             syscall_batching: false,
             zero_copy: false,
             rto: 13_500_000, // 5 ms at 2.7 GHz
+            tcb_cap: None,
             fault: FaultInjection::None,
         }
     }
@@ -208,7 +215,12 @@ pub struct RxOutcome {
 
 /// RTO firings tolerated per segment before the connection is aborted
 /// (Linux's `tcp_retries2`-style bound).
-const MAX_RTX_ATTEMPTS: u8 = 8;
+pub const MAX_RTX_ATTEMPTS: u8 = 8;
+
+/// Maximum doublings of the base RTO under exponential backoff (the
+/// retry timeout is capped at `rto << MAX_RTO_BACKOFF_SHIFT`, mirroring
+/// Linux's `TCP_RTO_MAX` clamp).
+pub const MAX_RTO_BACKOFF_SHIFT: u8 = 6;
 
 /// The simulated kernel TCP stack.
 #[derive(Debug)]
@@ -222,7 +234,7 @@ pub struct TcpStack {
     ports: PortAlloc,
     stats: StackStats,
     cookie_secret: u64,
-    pending_rto: Vec<(SockId, u64)>,
+    pending_rto: Vec<(SockId, u64, Cycles)>,
 }
 
 impl TcpStack {
@@ -245,11 +257,19 @@ impl TcpStack {
         }
     }
 
-    /// Drains the `(socket, generation)` pairs whose retransmission
-    /// timer must be (re)armed `config.rto` cycles from now. The driver
+    /// Drains the `(socket, generation, delay)` triples whose
+    /// retransmission timer must be (re)armed `delay` cycles from now
+    /// (`config.rto`, exponentially backed off per retry). The driver
     /// schedules the expirations and calls [`TcpStack::on_rto`].
-    pub fn take_rto_arms(&mut self) -> Vec<(SockId, u64)> {
+    pub fn take_rto_arms(&mut self) -> Vec<(SockId, u64, Cycles)> {
         std::mem::take(&mut self.pending_rto)
+    }
+
+    /// The backed-off retransmission timeout after `attempts` RTO
+    /// firings: doubles per retry, capped at
+    /// `rto << `[`MAX_RTO_BACKOFF_SHIFT`].
+    fn rto_after(&self, attempts: u8) -> Cycles {
+        self.config.rto << attempts.min(MAX_RTO_BACKOFF_SHIFT)
     }
 
     /// Retransmission timeout for `sock` (if still live and matching
@@ -287,7 +307,8 @@ impl TcpStack {
         }
         op.commit(&mut ctx.cpu);
         self.stats.retransmits += 1;
-        self.pending_rto.push((sock, gen));
+        let delay = self.rto_after(attempts);
+        self.pending_rto.push((sock, gen, delay));
         Some(seg)
     }
 
@@ -295,9 +316,10 @@ impl TcpStack {
     /// for the socket.
     fn track_unacked(&mut self, sock: SockId, seg: Packet) {
         let gen = self.socks.get(sock).gen;
+        let rto = self.config.rto;
         let t = self.socks.get_mut(sock);
         t.unacked.push_back(seg);
-        self.pending_rto.push((sock, gen));
+        self.pending_rto.push((sock, gen, rto));
     }
 
     /// Drops tracked segments fully acknowledged by `ack`; forward
@@ -430,6 +452,24 @@ impl TcpStack {
     ) {
         os.epolls.ctl_add(ctx, op, ep);
         self.listen_table.ls_mut(ls).watchers.push((ep, pid, data));
+        // ep_insert polls the fd at EPOLL_CTL_ADD time: a listen socket
+        // whose accept queue is already backlogged goes straight onto
+        // the epoll ready list. Without this, a worker registered
+        // mid-run (crash restart) would wait for the next
+        // empty→non-empty edge of the shared queue — which never comes
+        // while the surviving workers keep it backlogged.
+        if !self.listen_table.ls(ls).accept_queue.is_empty() {
+            os.epolls.post(
+                ctx,
+                op,
+                ep,
+                EpollEvent {
+                    data,
+                    readable: true,
+                    writable: false,
+                },
+            );
+        }
     }
 
     /// Registers a connection socket in `ep` with token `data`.
@@ -740,6 +780,7 @@ impl TcpStack {
             // No listener: refuse.
             let reply = Packet::new(*lflow, TcpFlags::RST).with_ack(pkt.seq.wrapping_add(1));
             self.stats.rst_sent += 1;
+            self.stats.syn_refusals += 1;
             op.work(CycleClass::Handshake, costs.rst);
             self.transmit(op, reply, out);
             return;
@@ -753,7 +794,21 @@ impl TcpStack {
             if self.config.syn_cookies {
                 // Stateless SYN cookie: answer without consuming backlog
                 // (the §1 security requirement — SYN floods must not
-                // deny service).
+                // deny service). `tcp_conn_request` still runs under the
+                // listener lock before the cookie decision, so a flood
+                // hammers the *shared* listener lock on stock kernels
+                // while Fastsocket's per-core listeners each absorb only
+                // their slice of it.
+                let ls_lock = self.socks.get(ls_sock).lock;
+                let ls_obj = self.socks.get(ls_sock).obj;
+                op.touch_mut(ctx, ls_obj);
+                op.lock_do_nested(
+                    &mut ctx.locks,
+                    ls_lock,
+                    CycleClass::Handshake,
+                    costs.listen_hold_softirq / 2,
+                    1,
+                );
                 let isn = self.cookie_for(lflow);
                 let reply = Packet::new(*lflow, TcpFlags::SYN | TcpFlags::ACK)
                     .with_seq(isn)
@@ -766,6 +821,17 @@ impl TcpStack {
                 self.stats.syn_drops += 1;
             }
             return;
+        }
+
+        if let Some(cap) = self.config.tcb_cap {
+            // Memory pressure: refuse to allocate another embryo once
+            // the socket slab is at the cap (admission control à la
+            // `tcp_max_orphans`; the cookie path above stays available
+            // because it allocates nothing).
+            if self.socks.live_count() >= cap {
+                self.stats.mem_pressure_drops += 1;
+                return;
+            }
         }
 
         op.trace_mark(flow_hash(lflow), TraceLabel::SynArrival);
@@ -798,6 +864,7 @@ impl TcpStack {
             .ls_mut(ls_id)
             .syn_queue
             .insert(*lflow, child);
+        self.socks.get_mut(child).syn_queued_in = Some(ls_id);
 
         let (rcv_nxt, snd_isn) = {
             let t = self.socks.get(child);
@@ -863,6 +930,7 @@ impl TcpStack {
             return;
         };
 
+        self.socks.get_mut(child).syn_queued_in = None;
         op.work(CycleClass::Handshake, costs.ack_promotion);
         if pkt.flags.ack() {
             // The handshake ACK acknowledges our SYN-ACK.
@@ -994,6 +1062,96 @@ impl TcpStack {
                         .is_some_and(|ls| !self.listen_table.ls(ls).accept_queue.is_empty())
             }
         }
+    }
+
+    /// A worker process died mid-run (fault injection): destroys its
+    /// per-process listen socket and disposes of the stranded
+    /// connections per the listen variant — the behavioral contrast at
+    /// the heart of §2.1:
+    ///
+    /// * `Local` (Fastsocket): stranded embryos and un-accepted
+    ///   connections migrate to the global fallback socket, so the
+    ///   surviving workers drain them through Figure 2's slow path;
+    ///   no client sees a reset.
+    /// * `ReusePort`: the dead copy's queues cannot be re-attached —
+    ///   every stranded connection is reset and torn down.
+    /// * `Global`: the shared listen socket survives; only the dead
+    ///   worker's epoll registration goes away.
+    pub fn on_worker_crash(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        port: u16,
+        core: CoreId,
+        pid: Pid,
+    ) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        // The kernel tears the dead process's epoll registrations on
+        // *surviving* listen sockets down with its file table.
+        let global = self.listen_table.global_of(port);
+        self.listen_table
+            .ls_mut(global)
+            .watchers
+            .retain(|&(_, p, _)| p != pid);
+        let dead = self.listen_table.destroy_process_socket(port, core);
+        if dead.is_empty() {
+            return out;
+        }
+        match self.config.listen {
+            ListenVariant::Local => {
+                let was_empty = self.listen_table.ls(global).accept_queue.is_empty();
+                for &(flow, sock) in &dead.embryos {
+                    self.listen_table
+                        .ls_mut(global)
+                        .syn_queue
+                        .insert(flow, sock);
+                    self.socks.get_mut(sock).syn_queued_in = Some(global);
+                }
+                for &sock in &dead.accepted {
+                    self.listen_table
+                        .ls_mut(global)
+                        .accept_queue
+                        .push_back(sock);
+                    self.socks.get_mut(sock).queued_in = Some(global);
+                }
+                if was_empty && !dead.accepted.is_empty() {
+                    self.notify_accept_watchers(ctx, os, op, global, &mut out);
+                }
+            }
+            ListenVariant::ReusePort | ListenVariant::Global => {
+                for &(_, sock) in &dead.embryos {
+                    // The dead queue entry is already drained.
+                    self.socks.get_mut(sock).syn_queued_in = None;
+                    self.reset_stranded(ctx, os, op, sock, &mut out);
+                }
+                for &sock in &dead.accepted {
+                    self.socks.get_mut(sock).queued_in = None;
+                    self.reset_stranded(ctx, os, op, sock, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets and frees one connection stranded by a worker crash.
+    fn reset_stranded(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        out: &mut RxOutcome,
+    ) {
+        let (flow, snd_nxt) = {
+            let t = self.socks.get(sock);
+            (t.flow, t.snd_nxt)
+        };
+        let rst = Packet::new(flow, TcpFlags::RST).with_seq(snd_nxt);
+        self.stats.rst_sent += 1;
+        op.work(CycleClass::Handshake, self.config.costs.rst);
+        self.transmit(op, rst, out);
+        self.teardown(ctx, os, op, sock);
     }
 
     // ------------------------------------------------------------------
@@ -1428,9 +1586,16 @@ impl TcpStack {
     /// port release, timers, VFS leftovers, TCB free.
     fn teardown(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, sock: SockId) {
         let costs = self.config.costs;
-        let (in_est, est_home, flow, active, queued_in) = {
+        let (in_est, est_home, flow, active, queued_in, syn_queued_in) = {
             let t = self.socks.get(sock);
-            (t.in_est, t.est_home, t.flow, t.active, t.queued_in)
+            (
+                t.in_est,
+                t.est_home,
+                t.flow,
+                t.active,
+                t.queued_in,
+                t.syn_queued_in,
+            )
         };
         if let Some(ls_id) = queued_in {
             // The connection dies while waiting in an accept queue
@@ -1439,6 +1604,12 @@ impl TcpStack {
                 .ls_mut(ls_id)
                 .accept_queue
                 .retain(|&s| s != sock);
+        }
+        if let Some(ls_id) = syn_queued_in {
+            // The embryo dies mid-handshake (e.g. SYN-ACK retries
+            // exhausted): unlink its SYN-queue entry so a late
+            // handshake ACK cannot resolve to a freed socket.
+            self.listen_table.ls_mut(ls_id).syn_queue.remove(&flow);
         }
         if in_est {
             self.est.remove(ctx, op, est_home, &flow, &costs);

@@ -53,6 +53,12 @@ pub struct StackStats {
     pub rtx_abandoned: u64,
     /// TIME_WAIT sockets recycled early by a fresh SYN (tcp_tw_reuse).
     pub tw_reused: u64,
+    /// SYNs answered with RST because no listener was bound to the
+    /// destination port (connection refused).
+    pub syn_refusals: u64,
+    /// SYNs dropped by the TCB memory-pressure cap (admission control
+    /// under orphan/embryo buildup; Linux's `tcp_max_orphans` analogue).
+    pub mem_pressure_drops: u64,
 }
 
 impl StackStats {

@@ -69,6 +69,9 @@ pub struct Tcb {
     /// The listen socket whose accept queue currently holds this
     /// connection (so an abort can unlink it).
     pub queued_in: Option<crate::listen::LsId>,
+    /// The listen socket whose SYN queue holds this embryo (so an
+    /// abort before handshake completion can unlink it).
+    pub syn_queued_in: Option<crate::listen::LsId>,
     /// Sent-but-unacknowledged segments, oldest first (retransmitted on
     /// RTO expiry under packet loss).
     pub unacked: std::collections::VecDeque<sim_net::Packet>,
@@ -133,6 +136,7 @@ impl SockTable {
             peer_fin_seen: false,
             est_home: None,
             queued_in: None,
+            syn_queued_in: None,
             unacked: std::collections::VecDeque::new(),
             rtx_attempts: 0,
         };

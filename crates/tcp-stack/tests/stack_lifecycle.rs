@@ -9,7 +9,9 @@ use sim_os::process::Pid;
 use sim_os::KernelCtx;
 use sim_sync::{LockClass, LockCosts, LockTable};
 use std::net::Ipv4Addr;
-use tcp_stack::stack::{OsServices, RxOutcome, StackConfig, TcpStack};
+use tcp_stack::stack::{
+    OsServices, RxOutcome, StackConfig, TcpStack, MAX_RTO_BACKOFF_SHIFT, MAX_RTX_ATTEMPTS,
+};
 use tcp_stack::{AcceptSource, ListenVariant, SockId, TcpState};
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -354,7 +356,8 @@ fn rto_retransmits_lost_syn_ack() {
     let synack = out.replies[0];
     let arms = rig.stack.take_rto_arms();
     assert_eq!(arms.len(), 1, "the SYN-ACK must arm an RTO");
-    let (sock, gen) = arms[0];
+    let (sock, gen, delay) = arms[0];
+    assert_eq!(delay, rig.stack.config().rto, "first arm uses the base RTO");
     // Pretend the SYN-ACK was lost: fire the RTO.
     let reseg = rig
         .stack
@@ -367,11 +370,46 @@ fn rto_retransmits_lost_syn_ack() {
     rig.rx(CoreId(0), third);
     // The ACK cleared the queue: the next RTO finds nothing.
     let arms = rig.stack.take_rto_arms();
-    let (s2, g2) = arms[0];
+    let (s2, g2, _) = arms[0];
     assert!(rig
         .stack
         .on_rto(&mut rig.ctx, &mut rig.os, s2, g2)
         .is_none());
+}
+
+#[test]
+fn rto_backs_off_exponentially_and_still_aborts() {
+    // Each retry doubles the timer (capped), and the `tcp_retries2`
+    // abort still fires after MAX_RTX_ATTEMPTS.
+    let mut rig = Rig::new(StackConfig::fastsocket(2));
+    rig.listen_all();
+    let mut c = Client::new(48_500);
+    rig.rx(CoreId(0), c.syn());
+    let rto = rig.stack.config().rto;
+    let (mut sock, mut gen, first) = rig.stack.take_rto_arms()[0];
+    assert_eq!(first, rto);
+    let mut delays = Vec::new();
+    while rig
+        .stack
+        .on_rto(&mut rig.ctx, &mut rig.os, sock, gen)
+        .is_some()
+    {
+        let arms = rig.stack.take_rto_arms();
+        assert_eq!(arms.len(), 1);
+        let (s, g, d) = arms[0];
+        delays.push(d);
+        sock = s;
+        gen = g;
+    }
+    // Doubling per retry, capped at rto << MAX_RTO_BACKOFF_SHIFT.
+    let expected: Vec<u64> = (1..=MAX_RTX_ATTEMPTS)
+        .map(|a| rto << a.min(MAX_RTO_BACKOFF_SHIFT))
+        .collect();
+    assert_eq!(delays, expected);
+    assert!(delays.windows(2).all(|w| w[1] >= w[0]), "monotone backoff");
+    assert_eq!(rig.stack.stats().retransmits, u64::from(MAX_RTX_ATTEMPTS));
+    assert_eq!(rig.stack.stats().rtx_abandoned, 1, "abort still fires");
+    assert_eq!(rig.stack.take_rto_arms().len(), 0, "no re-arm after abort");
 }
 
 #[test]

@@ -34,4 +34,12 @@ cargo build -q --release -p fastsocket-bench --bin selfprof
 echo "==> cargo test -q --features check (sanitizers armed)"
 cargo test -q --features check --test check_invariants --test check_negative --test system_partition
 
+# Chaos smoke: one short fault schedule per kernel with every sanitizer
+# armed. Fails on any lockdep/lockset/partition finding during fault
+# handling, or if a kernel never climbs back to 90% of its pre-fault
+# throughput after the heal (time_to_recover == None).
+echo "==> chaos smoke (fault injection under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin chaos
+./target/release/chaos --smoke
+
 echo "All checks passed."
