@@ -23,6 +23,10 @@ pub struct ClientSlot {
     /// Requests issued per connection (HTTP keep-alive when > 1).
     requests_per_conn: u32,
     requests_left: u32,
+    /// Whether this side closes first after the last response. True
+    /// whenever the server runs keep-alive (it waits for our FIN);
+    /// false for HTTP/1.0 servers, which close after one response.
+    client_closes: bool,
     /// The request in flight, kept for retransmission when the server's
     /// duplicate SYN-ACK reveals our ACK/request was lost.
     inflight_request: Option<Packet>,
@@ -72,6 +76,7 @@ impl ClientSlot {
             request_len,
             requests_per_conn,
             requests_left: 0,
+            client_closes: requests_per_conn > 1,
             inflight_request: None,
             next_port: 1_025,
             state: ClientState::Idle,
@@ -109,6 +114,25 @@ impl ClientSlot {
     /// Whether the slot is between connections.
     pub fn idle(&self) -> bool {
         self.state == ClientState::Idle
+    }
+
+    /// Reprofiles the slot for its next connection (open-loop sessions
+    /// draw a fresh request size and length per arrival). Must be
+    /// called between connections; `client_closes` decides who FINs
+    /// first after the last response (see the field on [`ClientSlot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection is in flight or `requests_per_conn == 0`.
+    pub fn set_session(&mut self, request_len: u16, requests_per_conn: u32, client_closes: bool) {
+        assert_eq!(self.state, ClientState::Idle, "connection already active");
+        assert!(
+            requests_per_conn >= 1,
+            "a connection carries at least one request"
+        );
+        self.request_len = request_len;
+        self.requests_per_conn = requests_per_conn;
+        self.client_closes = client_closes;
     }
 
     /// Aborts the in-flight connection (client-side timeout). Returns
@@ -230,7 +254,7 @@ impl ClientSlot {
                         out.push(self.request());
                         return false;
                     }
-                    if self.requests_per_conn > 1 && !pkt.flags.fin() {
+                    if self.client_closes && !pkt.flags.fin() {
                         // Keep-alive done: the client closes first.
                         out.push(
                             Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)

@@ -6,12 +6,18 @@
 //! that exposes the paper's active-connection locality problem: the
 //! backend's reply packets land wherever the NIC hashes them unless
 //! Receive Flow Deliver steers them home.
+//!
+//! With [`Proxy::with_keep_alive`] the client side stays open across
+//! requests (each request still opens a fresh backend connection, as
+//! HAProxy's default `http-server-close` mode does); the client closes
+//! first, exactly like the keep-alive web server.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
-use sim_core::Cycles;
+use sim_core::{Cycles, SimRng};
+use sim_load::SizeDist;
 use sim_os::epoll::EpollEvent;
 use sim_os::fdtable::{Fd, FdTable};
 use tcp_stack::SockId;
@@ -78,6 +84,11 @@ pub struct Proxy {
     next_token: u64,
     rr: usize,
     served: u64,
+    /// Keep client connections open across requests (the client closes).
+    keep_alive: bool,
+    /// Per-response size sampling (open-loop heavy-tailed workloads);
+    /// `None` relays the fixed `config.response_len`.
+    response_sizer: Option<(SizeDist, SimRng)>,
     /// Backend connects that failed (port exhaustion).
     pub connect_failures: u64,
 }
@@ -92,7 +103,32 @@ impl Proxy {
             next_token: 0,
             rr: 0,
             served: 0,
+            keep_alive: false,
+            response_sizer: None,
             connect_failures: 0,
+        }
+    }
+
+    /// Serves multiple requests per client connection (builder style):
+    /// after each relayed response the client side stays open and the
+    /// next request opens a fresh backend connection.
+    pub fn with_keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Samples relayed response sizes from `dist` (with a
+    /// worker-private RNG) instead of the fixed configured length
+    /// (builder style).
+    pub fn with_response_sizer(mut self, dist: SizeDist, rng: SimRng) -> Self {
+        self.response_sizer = Some((dist, rng));
+        self
+    }
+
+    fn response_len(&mut self) -> u16 {
+        match &mut self.response_sizer {
+            Some((dist, rng)) => dist.sample(rng),
+            None => self.config.response_len,
         }
     }
 
@@ -197,16 +233,25 @@ impl Proxy {
         if ev.readable {
             let bytes = sys.recv(sock);
             if bytes > 0 {
-                // Relay the response to the client and close that side.
+                // Relay the response to the client; without keep-alive
+                // that side closes, with keep-alive it stays open for
+                // the next request (which gets a fresh backend).
                 sys.work(self.config.app_work);
                 let client_sock = match self.conns.get(&client) {
                     Some(Conn::Client { sock, .. }) => Some(*sock),
                     _ => None,
                 };
                 if let Some(cs) = client_sock {
-                    sys.send(cs, self.config.response_len);
-                    self.drop_conn(sys, client, true);
+                    let len = self.response_len();
+                    sys.send(cs, len);
                     self.served += 1;
+                    if self.keep_alive && !sys.peer_fin(cs) {
+                        if let Some(Conn::Client { backend, .. }) = self.conns.get_mut(&client) {
+                            *backend = None;
+                        }
+                    } else {
+                        self.drop_conn(sys, client, true);
+                    }
                 }
             }
             if sys.peer_fin(sock) {

@@ -8,7 +8,8 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
-use sim_core::Cycles;
+use sim_core::{Cycles, SimRng};
+use sim_load::SizeDist;
 use sim_os::epoll::EpollEvent;
 use sim_os::fdtable::{Fd, FdTable};
 use tcp_stack::SockId;
@@ -57,6 +58,9 @@ pub struct WebServer {
     conns: HashMap<u64, Conn>,
     next_token: u64,
     served: u64,
+    /// Per-response size sampling (open-loop heavy-tailed workloads);
+    /// `None` serves the fixed `config.response_len`.
+    response_sizer: Option<(SizeDist, SimRng)>,
 }
 
 impl WebServer {
@@ -68,6 +72,21 @@ impl WebServer {
             conns: HashMap::new(),
             next_token: 0,
             served: 0,
+            response_sizer: None,
+        }
+    }
+
+    /// Samples response sizes from `dist` (with a worker-private RNG)
+    /// instead of serving the fixed configured length (builder style).
+    pub fn with_response_sizer(mut self, dist: SizeDist, rng: SimRng) -> Self {
+        self.response_sizer = Some((dist, rng));
+        self
+    }
+
+    fn response_len(&mut self) -> u16 {
+        match &mut self.response_sizer {
+            Some((dist, rng)) => dist.sample(rng),
+            None => self.config.response_len,
         }
     }
 
@@ -111,7 +130,8 @@ impl WebServer {
         // the next request only after the previous response.
         let _ = bytes;
         sys.work(self.config.app_work);
-        sys.send(sock, self.config.response_len);
+        let len = self.response_len();
+        sys.send(sock, len);
         self.served += 1;
         if self.config.keep_alive {
             if sys.peer_fin(sock) {

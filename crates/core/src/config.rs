@@ -6,6 +6,7 @@ use sim_apps::web::WebConfig;
 use sim_apps::HttpWorkload;
 use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles, SchedulerKind};
 use sim_fault::FaultSchedule;
+use sim_load::OpenLoopConfig;
 use sim_mem::CacheCosts;
 use sim_nic::{AtrConfig, SteeringMode};
 use sim_sync::LockCosts;
@@ -163,6 +164,13 @@ pub struct SimConfig {
     /// by the differential proptest and the cross-scheduler digest
     /// test); the heap is retained as the benchmarking baseline.
     pub scheduler: SchedulerKind,
+    /// Open-loop workload (`sim-load`): arrivals come from a seeded
+    /// arrival process instead of the closed-loop client slots. `None`
+    /// (the default) keeps the closed-loop `http_load` model that every
+    /// paper figure uses. Must stay the **last** field: the config
+    /// digest canonicalizes a `None` away so closed-loop digests are
+    /// unchanged by the field's existence.
+    pub open_loop: Option<OpenLoopConfig>,
 }
 
 impl SimConfig {
@@ -196,6 +204,7 @@ impl SimConfig {
             tcb_cap: None,
             syn_cookies: None,
             scheduler: SchedulerKind::default(),
+            open_loop: None,
         }
     }
 
@@ -296,6 +305,14 @@ impl SimConfig {
         self
     }
 
+    /// Switches the run to an open-loop workload (builder style): the
+    /// given arrival process replaces the closed-loop client slots.
+    /// See [`OpenLoopConfig`].
+    pub fn open_loop(mut self, cfg: OpenLoopConfig) -> Self {
+        self.open_loop = Some(cfg);
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
     /// parameter set that produced them. The scheduler backend is
@@ -304,8 +321,16 @@ impl SimConfig {
     pub fn config_digest(&self) -> String {
         let mut canon = self.clone();
         canon.scheduler = SchedulerKind::default();
+        let mut s = format!("{canon:?}");
+        if canon.open_loop.is_none() {
+            // Closed-loop configs must digest exactly as they did
+            // before the field existed (pinned by the golden-digest
+            // regression test), so an absent open loop is erased from
+            // the canonical form rather than printed as `None`.
+            s = s.replace(", open_loop: None", "");
+        }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in format!("{canon:?}").bytes() {
+        for b in s.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
@@ -368,6 +393,17 @@ mod tests {
         let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
             .scheduler(SchedulerKind::Heap);
         assert_eq!(a.config_digest(), b.config_digest());
+    }
+
+    #[test]
+    fn config_digest_unchanged_by_absent_open_loop() {
+        // Pinned from before `open_loop` existed: the canonicalization
+        // must keep every closed-loop digest stable.
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), "827cde302cffa2a4");
+        let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+            .open_loop(OpenLoopConfig::poisson(50_000.0));
+        assert_ne!(a.config_digest(), b.config_digest());
     }
 
     #[test]

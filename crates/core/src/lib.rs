@@ -39,4 +39,8 @@ pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
 pub use sim_check::CheckReport;
 pub use sim_fault::{FaultEvent, FaultKind, FaultRecord, FaultSchedule, RobustnessReport};
+pub use sim_load::{
+    ArrivalProcess, LoadReport, MmppPhase, OpenLoopConfig, RateProfile, SessionDist, SizeDist,
+    DEFAULT_DIURNAL,
+};
 pub use tcp_stack::FaultInjection;

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_check::CheckReport;
 use sim_core::{CycleClass, Cycles};
 use sim_fault::RobustnessReport;
+use sim_load::LoadReport;
 use sim_mem::CacheStats;
 use sim_sync::{ClassStats, LockClass};
 use sim_trace::LatencyReport;
@@ -85,6 +86,12 @@ pub struct RunReport {
     /// Sockets still live when the run ended (listen sockets plus
     /// in-flight connections; a per-connection leak would show here).
     pub live_sockets: u32,
+    /// Open-loop load accounting — `None` for closed-loop runs, which
+    /// also keeps their serialized form (and thus
+    /// [`results_digest`](RunReport::results_digest)) byte-identical to
+    /// before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load: Option<LoadReport>,
 }
 
 impl RunReport {
@@ -233,6 +240,7 @@ mod tests {
             avg_listen_walk: 1.0,
             events: 42,
             live_sockets: 5,
+            load: None,
         }
     }
 

@@ -15,7 +15,7 @@
 //! contention counts and miss rates *emerge* rather than being
 //! scripted.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use sim_apps::peer::{Backend, ClientSlot};
@@ -24,6 +24,7 @@ use sim_apps::{Proxy, WebServer};
 use sim_check::{Checker, PartitionPolicy};
 use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
 use sim_fault::{FaultKind, RobustnessReport, WindowSample};
+use sim_load::{ArrivalGen, LoadReport, OpenLoopConfig, ScheduleDigest};
 use sim_mem::CacheModel;
 use sim_net::{FlowTuple, Packet, TcpFlags};
 use sim_nic::{Nic, NicConfig, QueueId, SteeringMode};
@@ -33,6 +34,7 @@ use sim_os::softirq::SoftirqQueues;
 use sim_os::KernelCtx;
 use sim_sync::LockTable;
 use sim_trace::{TraceLabel, Tracer};
+use tcp_stack::established::flow_hash;
 use tcp_stack::stack::{OsServices, TcpStack};
 use tcp_stack::{EstVariant, ListenVariant, SockId};
 
@@ -78,6 +80,8 @@ enum Ev {
     Sample,
     /// Inject one burst of spoofed SYNs for flood fault `i`.
     FloodTick(u32),
+    /// An open-loop connection arrival is due (`sim-load` generator).
+    Arrival,
 }
 
 impl Ev {
@@ -97,12 +101,56 @@ impl Ev {
             Ev::Heal(_) => "heal",
             Ev::Sample => "sample",
             Ev::FloodTick(_) => "flood_tick",
+            Ev::Arrival => "arrival",
         }
     }
 }
 
 /// Spacing of spoofed-SYN bursts during a SYN-flood fault.
 const FLOOD_TICK_USECS: f64 = 50.0;
+
+/// One arrival the open-loop engine has committed to but not yet
+/// admitted (all client slots busy): it waits in the accept backlog of
+/// the *population*, not the kernel.
+#[derive(Debug, Clone, Copy)]
+struct PendingSession {
+    /// The cycle the arrival was scheduled for — latency is measured
+    /// from here, never from admission (no coordinated omission).
+    sched: Cycles,
+    /// Request length for every request of the session.
+    request_len: u16,
+    /// Number of requests in the session (keep-alive length).
+    requests: u32,
+}
+
+/// Open-loop workload state (`SimConfig::open_loop`).
+///
+/// Arrival times, per-session shapes and the response sizer all draw
+/// from dedicated forks of one seeded root RNG, so the generated load
+/// is a pure function of the seed — event interleaving, kernel variant
+/// and scheduler backend cannot perturb it (the schedule digest proves
+/// it).
+#[derive(Debug)]
+struct OpenLoop {
+    cfg: OpenLoopConfig,
+    gen: ArrivalGen,
+    /// Session shapes: request length, response draw, session length.
+    shape_rng: SimRng,
+    /// Forked per worker for server-side response sizing.
+    sizer_rng: SimRng,
+    /// Client slots not currently running a session.
+    free: Vec<u32>,
+    /// Arrivals waiting for a free slot (population exhausted).
+    backlog: VecDeque<PendingSession>,
+    digest: ScheduleDigest,
+    offered: u64,
+    admitted: u64,
+    queued_admissions: u64,
+    abandoned_wait: u64,
+    abandoned_connect: u64,
+    completed_sessions: u64,
+    peak_backlog: u64,
+}
 
 /// Cumulative client/stack counters at the last sample boundary.
 #[derive(Debug, Clone, Copy, Default)]
@@ -149,6 +197,8 @@ pub struct Simulation {
     flood_seq: u32,
     samples: Vec<WindowSample>,
     sample_cursor: SampleCursor,
+    /// Open-loop workload engine (`None` = closed loop).
+    open: Option<OpenLoop>,
 }
 
 fn client_ip(slot: u32) -> Ipv4Addr {
@@ -218,8 +268,39 @@ impl Simulation {
         let nic = Nic::new(nic_config);
         let softirq = SoftirqQueues::new(cores as usize);
 
-        // Peers.
-        let n_clients = cfg.workload.concurrency(cores);
+        // The open-loop engine, when configured: arrival generator and
+        // shape/sizer RNGs are forks of one root seeded independently
+        // of the kernel-side RNG, so the offered load is identical
+        // across kernel variants.
+        let open = cfg.open_loop.clone().map(|oc| {
+            let mut root = SimRng::seed(cfg.seed ^ 0x6f70_656e_6c6f_6f70); // "openloop"
+            let gen = ArrivalGen::new(oc.arrivals.clone(), oc.profile.clone(), root.fork());
+            let shape_rng = root.fork();
+            let sizer_rng = root.fork();
+            let free = (0..oc.population).rev().collect();
+            OpenLoop {
+                cfg: oc,
+                gen,
+                shape_rng,
+                sizer_rng,
+                free,
+                backlog: VecDeque::new(),
+                digest: ScheduleDigest::new(),
+                offered: 0,
+                admitted: 0,
+                queued_admissions: 0,
+                abandoned_wait: 0,
+                abandoned_connect: 0,
+                completed_sessions: 0,
+                peak_backlog: 0,
+            }
+        });
+
+        // Peers. Open loop sizes the slot pool from the client
+        // population; closed loop from the workload concurrency.
+        let n_clients = open
+            .as_ref()
+            .map_or(cfg.workload.concurrency(cores), |o| o.cfg.population);
         let mut clients = Vec::with_capacity(n_clients as usize);
         let mut client_by_ip = HashMap::new();
         for s in 0..n_clients {
@@ -233,10 +314,6 @@ impl Simulation {
                 cfg.workload.requests_per_conn,
             ));
         }
-        assert!(
-            cfg.workload.requests_per_conn == 1 || matches!(cfg.app, AppSpec::Web(_)),
-            "keep-alive workloads are only modelled for the web server"
-        );
         let mut backends = Vec::new();
         let mut backend_by_ip = HashMap::new();
         if let AppSpec::Proxy(p) = &cfg.app {
@@ -280,6 +357,7 @@ impl Simulation {
             flood_seq: 0,
             samples: Vec::new(),
             sample_cursor: SampleCursor::default(),
+            open,
         }
     }
 
@@ -338,12 +416,19 @@ impl Simulation {
             self.spawn_worker(CoreId(c));
         }
 
-        // Stagger the client starts over ~2 RTTs to avoid a synthetic
-        // SYN burst at t=0.
-        let n = self.clients.len() as u64;
-        for s in 0..self.clients.len() as u32 {
-            let jitter = (u64::from(s) * 2 * self.cfg.rtt) / n.max(1);
-            self.events.push(jitter, Ev::ClientStart(s));
+        if let Some(o) = &mut self.open {
+            // Open loop: connections start when the arrival process
+            // says so, nothing else.
+            let first = o.gen.next_arrival();
+            self.events.push(first, Ev::Arrival);
+        } else {
+            // Stagger the client starts over ~2 RTTs to avoid a
+            // synthetic SYN burst at t=0.
+            let n = self.clients.len() as u64;
+            for s in 0..self.clients.len() as u32 {
+                let jitter = (u64::from(s) * 2 * self.cfg.rtt) / n.max(1);
+                self.events.push(jitter, Ev::ClientStart(s));
+            }
         }
 
         // Scheduled faults: injection, healing and the window sampler
@@ -424,16 +509,37 @@ impl Simulation {
         }
         op.commit(&mut self.ctx.cpu);
 
+        // Keep the server's lifecycle consistent with the workload:
+        // multi-request connections require the client to close.
+        let keep_alive = self
+            .open
+            .as_ref()
+            .map_or(self.cfg.workload.requests_per_conn > 1, |o| {
+                o.cfg.keep_alive()
+            });
+        // Open-loop runs sample response sizes server-side from the
+        // configured distribution, with a per-worker RNG fork.
+        let sizer = self
+            .open
+            .as_mut()
+            .map(|o| (o.cfg.response_len, o.sizer_rng.fork()));
         let worker: Box<dyn Worker> = match &self.cfg.app {
             AppSpec::Web(w) => {
                 let mut w = *w;
-                // Keep the server's lifecycle consistent with the
-                // workload: multi-request connections require the
-                // client to close.
-                w.keep_alive = self.cfg.workload.requests_per_conn > 1;
-                Box::new(WebServer::new(w))
+                w.keep_alive = keep_alive;
+                let mut srv = WebServer::new(w);
+                if let Some((dist, rng)) = sizer {
+                    srv = srv.with_response_sizer(dist, rng);
+                }
+                Box::new(srv)
             }
-            AppSpec::Proxy(p) => Box::new(Proxy::new(p.clone())),
+            AppSpec::Proxy(p) => {
+                let mut srv = Proxy::new(p.clone()).with_keep_alive(keep_alive);
+                if let Some((dist, rng)) = sizer {
+                    srv = srv.with_response_sizer(dist, rng);
+                }
+                Box::new(srv)
+            }
         };
         self.workers.push(worker);
 
@@ -506,6 +612,109 @@ impl Simulation {
             Ev::Heal(i) => self.on_heal(i),
             Ev::Sample => self.on_sample(),
             Ev::FloodTick(i) => self.on_flood_tick(i),
+            Ev::Arrival => self.on_arrival(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Open-loop workload
+    // ------------------------------------------------------------------
+
+    /// One open-loop arrival: draw the session shape, admit it onto a
+    /// free client slot (or queue it against the population), and
+    /// schedule the next arrival.
+    fn on_arrival(&mut self) {
+        let Some(o) = &mut self.open else {
+            return;
+        };
+        let sched = self.now;
+        let request_len = o.cfg.request_len.sample(&mut o.shape_rng);
+        let requests = o.cfg.session.sample(&mut o.shape_rng);
+        o.digest.push(sched);
+        o.digest
+            .push((u64::from(request_len) << 32) | u64::from(requests));
+        o.offered += 1;
+        let next = o.gen.next_arrival();
+        self.events.push(next, Ev::Arrival);
+        let pending = PendingSession {
+            sched,
+            request_len,
+            requests,
+        };
+        if let Some(slot) = o.free.pop() {
+            o.admitted += 1;
+            self.start_open_session(slot, pending);
+        } else {
+            o.backlog.push_back(pending);
+            o.peak_backlog = o.peak_backlog.max(o.backlog.len() as u64);
+        }
+    }
+
+    /// Starts one admitted open-loop session on client slot `slot`.
+    ///
+    /// The lifecycle tracker is pre-marked with `SynArrival` at the
+    /// *scheduled* arrival cycle (the tracker keeps the earliest mark
+    /// per connection), so setup latency includes any admission queueing
+    /// — the open-loop engine cannot commit coordinated omission.
+    fn start_open_session(&mut self, slot: u32, p: PendingSession) {
+        let client_closes = self.open.as_ref().is_some_and(|o| o.cfg.keep_alive());
+        let timeout = self
+            .open
+            .as_ref()
+            .map_or(self.cfg.client_timeout, |o| o.cfg.connect_timeout);
+        self.clients[slot as usize].set_session(p.request_len, p.requests, client_closes);
+        let isn = self.peer_rng.next_u64() as u32;
+        let syn = self.clients[slot as usize].start(isn);
+        self.client_attempt[slot as usize] += 1;
+        let attempt = self.client_attempt[slot as usize];
+        // The stack keys lifecycle marks by the server-side flow
+        // orientation.
+        self.tracer.mark(
+            p.sched,
+            0,
+            flow_hash(&syn.flow.reversed()),
+            TraceLabel::SynArrival,
+        );
+        self.events
+            .push(self.now + self.cfg.rtt / 2, Ev::ToServer(syn));
+        self.events
+            .push(self.now + timeout, Ev::ClientTimeout(slot, attempt));
+        if self.cfg.loss > 0.0 || self.cfg.faults.has_loss_burst() {
+            self.events.push(
+                self.now + self.nudge_interval(),
+                Ev::ClientNudge(slot, attempt),
+            );
+        }
+    }
+
+    /// Returns an open-loop client slot to the pool, first serving the
+    /// admission backlog: queued arrivals past their patience abandon,
+    /// the first still-willing one is admitted with its original
+    /// scheduled time (so its measured latency includes the wait).
+    fn release_slot(&mut self, slot: u32) {
+        let next = {
+            let Some(o) = &mut self.open else {
+                return;
+            };
+            loop {
+                match o.backlog.pop_front() {
+                    Some(p) if self.now.saturating_sub(p.sched) > o.cfg.patience => {
+                        o.abandoned_wait += 1;
+                    }
+                    Some(p) => {
+                        o.admitted += 1;
+                        o.queued_admissions += 1;
+                        break Some(p);
+                    }
+                    None => {
+                        o.free.push(slot);
+                        break None;
+                    }
+                }
+            }
+        };
+        if let Some(p) = next {
+            self.start_open_session(slot, p);
         }
     }
 
@@ -696,8 +905,15 @@ impl Simulation {
             self.events.push(self.now + half_rtt, Ev::ToServer(r));
         }
         if done {
-            self.events
-                .push(self.now + self.cfg.think_time, Ev::ClientStart(slot));
+            if self.open.is_some() {
+                if let Some(o) = &mut self.open {
+                    o.completed_sessions += 1;
+                }
+                self.release_slot(slot);
+            } else {
+                self.events
+                    .push(self.now + self.cfg.think_time, Ev::ClientStart(slot));
+            }
         }
     }
 
@@ -752,7 +968,16 @@ impl Simulation {
             self.timeouts += 1;
             self.events
                 .push(self.now + self.cfg.rtt / 2, Ev::ToServer(rst));
-            self.events.push(self.now, Ev::ClientStart(slot));
+            if self.open.is_some() {
+                // Open loop: the human behind the connection gives up;
+                // the slot turns to whatever arrival is waiting.
+                if let Some(o) = &mut self.open {
+                    o.abandoned_connect += 1;
+                }
+                self.release_slot(slot);
+            } else {
+                self.events.push(self.now, Ev::ClientStart(slot));
+            }
         }
     }
 
@@ -958,6 +1183,18 @@ impl Simulation {
             ))
         };
 
+        let load = self.open.as_ref().map(|o| LoadReport {
+            offered: o.offered,
+            admitted: o.admitted,
+            queued_admissions: o.queued_admissions,
+            abandoned_wait: o.abandoned_wait,
+            abandoned_connect: o.abandoned_connect,
+            completed_sessions: o.completed_sessions,
+            peak_backlog: o.peak_backlog,
+            offered_cps: o.offered as f64 / cycles_to_secs(end),
+            schedule_digest: o.digest.hex(),
+        });
+
         let stack_stats = self.stack.stats();
         let steering = match self.cfg.steering {
             SteeringMode::Rss => "rss",
@@ -991,6 +1228,7 @@ impl Simulation {
             avg_listen_walk: stack_stats.avg_listen_walk(),
             events: self.events.delivered(),
             live_sockets: self.stack.socks.live_count(),
+            load,
         }
     }
 }

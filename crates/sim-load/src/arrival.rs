@@ -1,0 +1,346 @@
+//! Arrival processes: when the next connection shows up.
+//!
+//! The generator produces a strictly increasing sequence of arrival
+//! cycles by *thinning*: candidate gaps are drawn exponentially at the
+//! peak rate `λ_max`, and each candidate survives with probability
+//! `λ(t)/λ_max`, which samples an inhomogeneous Poisson process with
+//! intensity `λ(t)` exactly — no time-step discretization error. The
+//! intensity is the product of the base process (constant-rate Poisson,
+//! or an MMPP whose phase trajectory is itself sampled from the same
+//! seeded RNG) and a deterministic rate profile (constant or diurnal).
+
+use sim_core::{Cycles, SimRng, CYCLES_PER_SEC};
+
+/// One phase of a Markov-modulated Poisson process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppPhase {
+    /// Arrival rate while this phase is active, in connections/sec.
+    pub rate_cps: f64,
+    /// Mean phase dwell time in seconds (exponentially distributed).
+    pub mean_dwell_secs: f64,
+}
+
+/// The base arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at a fixed rate.
+    Poisson {
+        /// Offered load in connections/sec.
+        rate_cps: f64,
+    },
+    /// Markov-modulated Poisson: the rate switches between phases,
+    /// cycling in order with exponentially distributed dwell times —
+    /// two phases with very different rates model flash crowds.
+    Mmpp {
+        /// The phases, visited cyclically starting from the first.
+        phases: Vec<MmppPhase>,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean offered rate in connections/sec (before any
+    /// rate profile is applied) — what a capacity table should quote.
+    pub fn mean_rate_cps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_cps } => *rate_cps,
+            ArrivalProcess::Mmpp { phases } => {
+                let dwell: f64 = phases.iter().map(|p| p.mean_dwell_secs).sum();
+                if dwell <= 0.0 {
+                    return 0.0;
+                }
+                phases
+                    .iter()
+                    .map(|p| p.rate_cps * p.mean_dwell_secs)
+                    .sum::<f64>()
+                    / dwell
+            }
+        }
+    }
+
+    fn peak_rate_cps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_cps } => *rate_cps,
+            ArrivalProcess::Mmpp { phases } => {
+                phases.iter().map(|p| p.rate_cps).fold(0.0, f64::max)
+            }
+        }
+    }
+}
+
+/// Hourly load shape used by [`RateProfile::diurnal`]: trough before
+/// dawn, evening peak — the same consumer-service curve Figure 3 uses.
+pub const DEFAULT_DIURNAL: [f64; 24] = [
+    0.55, 0.45, 0.35, 0.28, 0.25, 0.27, 0.35, 0.50, 0.65, 0.75, 0.80, 0.82, 0.85, 0.82, 0.80, 0.82,
+    0.85, 0.88, 0.95, 1.00, 0.98, 0.90, 0.80, 0.65,
+];
+
+/// A deterministic modulation of the base rate over simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateProfile {
+    /// No modulation.
+    Constant,
+    /// A 24-entry hourly shape stretched over `period` cycles (one
+    /// simulated "day") and repeated; entries are fractions of peak.
+    Diurnal {
+        /// Cycles per simulated day.
+        period: Cycles,
+        /// Fraction of peak per hour, entries in `(0, 1]`.
+        shape: [f64; 24],
+    },
+}
+
+impl RateProfile {
+    /// The default consumer-traffic diurnal shape over one `period`.
+    pub fn diurnal(period: Cycles) -> RateProfile {
+        RateProfile::Diurnal {
+            period,
+            shape: DEFAULT_DIURNAL,
+        }
+    }
+
+    /// Rate multiplier at simulated cycle `t`.
+    pub fn frac(&self, t: Cycles) -> f64 {
+        match self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal { period, shape } => {
+                let period = (*period).max(24);
+                let hour = ((t % period) * 24 / period) as usize;
+                shape[hour.min(23)]
+            }
+        }
+    }
+
+    fn peak_frac(&self) -> f64 {
+        match self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal { shape, .. } => shape.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Deterministic open-loop arrival generator.
+///
+/// Same seed ⇒ the identical arrival sequence, independent of anything
+/// else the simulation does — the generator owns its RNG and is queried
+/// one arrival ahead, so event-loop interleaving cannot perturb it.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    profile: RateProfile,
+    rng: SimRng,
+    now: Cycles,
+    /// Current MMPP phase index (unused for Poisson).
+    phase: usize,
+    /// Cycle at which the current MMPP phase ends.
+    phase_until: Cycles,
+    peak_cps: f64,
+}
+
+impl ArrivalGen {
+    /// Creates a generator starting at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has no positive rate (the generator could
+    /// never produce an arrival) or an MMPP phase has a non-positive
+    /// mean dwell.
+    pub fn new(process: ArrivalProcess, profile: RateProfile, rng: SimRng) -> ArrivalGen {
+        let peak_cps = process.peak_rate_cps() * profile.peak_frac();
+        assert!(
+            peak_cps > 0.0,
+            "arrival process must have a positive peak rate"
+        );
+        if let ArrivalProcess::Mmpp { phases } = &process {
+            assert!(!phases.is_empty(), "MMPP needs at least one phase");
+            assert!(
+                phases.iter().all(|p| p.mean_dwell_secs > 0.0),
+                "MMPP phase dwell must be positive"
+            );
+        }
+        let mut gen = ArrivalGen {
+            process,
+            profile,
+            rng,
+            now: 0,
+            phase: 0,
+            phase_until: Cycles::MAX,
+            peak_cps,
+        };
+        if matches!(gen.process, ArrivalProcess::Mmpp { .. }) {
+            gen.phase_until = gen.draw_dwell(0);
+        }
+        gen
+    }
+
+    fn draw_dwell(&mut self, from: Cycles) -> Cycles {
+        let ArrivalProcess::Mmpp { phases } = &self.process else {
+            return Cycles::MAX;
+        };
+        let mean = phases[self.phase].mean_dwell_secs * CYCLES_PER_SEC as f64;
+        from.saturating_add(to_cycles(self.rng.exponential(mean)))
+    }
+
+    /// Advances the MMPP phase trajectory up to cycle `t`.
+    fn advance_phases(&mut self, t: Cycles) {
+        let n = match &self.process {
+            ArrivalProcess::Mmpp { phases } => phases.len(),
+            ArrivalProcess::Poisson { .. } => return,
+        };
+        while self.phase_until <= t {
+            self.phase = (self.phase + 1) % n;
+            self.phase_until = self.draw_dwell(self.phase_until);
+        }
+    }
+
+    fn base_rate(&self) -> f64 {
+        match &self.process {
+            ArrivalProcess::Poisson { rate_cps } => *rate_cps,
+            ArrivalProcess::Mmpp { phases } => phases[self.phase].rate_cps,
+        }
+    }
+
+    /// The next arrival cycle — strictly after the previous one.
+    pub fn next_arrival(&mut self) -> Cycles {
+        // Thinning: candidates at λ_max, accepted at λ(t)/λ_max.
+        loop {
+            let mean_gap = CYCLES_PER_SEC as f64 / self.peak_cps;
+            self.now = self
+                .now
+                .saturating_add(to_cycles(self.rng.exponential(mean_gap)));
+            self.advance_phases(self.now);
+            let lambda = self.base_rate() * self.profile.frac(self.now);
+            if self.rng.unit() * self.peak_cps < lambda {
+                return self.now;
+            }
+        }
+    }
+}
+
+/// Converts a (positive) cycle count drawn as `f64` to `Cycles`,
+/// clamped to at least 1 so time always advances.
+fn to_cycles(x: f64) -> Cycles {
+    if !x.is_finite() || x >= 9.0e18 {
+        return Cycles::MAX / 2;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (x.max(1.0)) as Cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::secs_to_cycles;
+
+    fn poisson(rate: f64, seed: u64) -> ArrivalGen {
+        ArrivalGen::new(
+            ArrivalProcess::Poisson { rate_cps: rate },
+            RateProfile::Constant,
+            SimRng::seed(seed),
+        )
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = poisson(50_000.0, 9);
+        let mut b = poisson(50_000.0, 9);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut g = poisson(1_000_000.0, 10);
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let t = g.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_achieved() {
+        let mut g = poisson(100_000.0, 11);
+        let horizon = secs_to_cycles(1.0);
+        let mut n = 0u64;
+        while g.next_arrival() < horizon {
+            n += 1;
+        }
+        // 100K arrivals: ±3σ ≈ ±950.
+        assert!((99_000..=101_000).contains(&n), "n={n}");
+    }
+
+    #[test]
+    fn mmpp_bursts_densify_arrivals() {
+        let phases = vec![
+            MmppPhase {
+                rate_cps: 20_000.0,
+                mean_dwell_secs: 0.05,
+            },
+            MmppPhase {
+                rate_cps: 200_000.0,
+                mean_dwell_secs: 0.01,
+            },
+        ];
+        let process = ArrivalProcess::Mmpp {
+            phases: phases.clone(),
+        };
+        // Mean rate is dwell-weighted: (20K*0.05 + 200K*0.01) / 0.06 = 50K.
+        assert!((process.mean_rate_cps() - 50_000.0).abs() < 1.0);
+        let mut g = ArrivalGen::new(process, RateProfile::Constant, SimRng::seed(12));
+        let horizon = secs_to_cycles(2.0);
+        let mut n = 0u64;
+        let mut min_gap = Cycles::MAX;
+        let mut max_gap = 0;
+        let mut last = 0;
+        loop {
+            let t = g.next_arrival();
+            if t >= horizon {
+                break;
+            }
+            if last > 0 {
+                min_gap = min_gap.min(t - last);
+                max_gap = max_gap.max(t - last);
+            }
+            last = t;
+            n += 1;
+        }
+        let mean = n as f64 / 2.0;
+        assert!((40_000.0..=60_000.0).contains(&mean), "mean cps {mean}");
+        // Burstiness: the widest gap dwarfs the tightest far beyond
+        // what a homogeneous Poisson at the mean rate would show.
+        assert!(max_gap > min_gap * 200, "min {min_gap} max {max_gap}");
+    }
+
+    #[test]
+    fn diurnal_trough_is_quieter_than_peak() {
+        let day = secs_to_cycles(2.4); // 0.1 s per simulated hour
+        let mut g = ArrivalGen::new(
+            ArrivalProcess::Poisson {
+                rate_cps: 100_000.0,
+            },
+            RateProfile::diurnal(day),
+            SimRng::seed(13),
+        );
+        let hour = day / 24;
+        let mut per_hour = [0u64; 24];
+        loop {
+            let t = g.next_arrival();
+            if t >= day {
+                break;
+            }
+            per_hour[((t / hour) as usize).min(23)] += 1;
+        }
+        // Hour 4 runs at 0.25× peak; hour 19 at 1.00×.
+        assert!(per_hour[4] * 3 < per_hour[19], "{per_hour:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive peak rate")]
+    fn zero_rate_is_rejected() {
+        let _ = poisson(0.0, 14);
+    }
+}

@@ -1,0 +1,273 @@
+//! Request/response-size and session-length distributions.
+//!
+//! Real serving traffic is not fixed-size: response sizes are
+//! heavy-tailed (a few large objects dominate bytes) and keep-alive
+//! session lengths cluster at 1 with a long tail of chatty clients.
+//! Every distribution here samples from [`SimRng`], so a seeded run
+//! draws the identical sequence on every execution.
+
+use sim_core::SimRng;
+
+/// A payload-size distribution, sampled per request (sizes are `u16`
+/// because the wire model carries one-packet payloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    /// Every draw returns the same size (the closed-loop default).
+    Fixed(u16),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Smallest size.
+        lo: u16,
+        /// Largest size.
+        hi: u16,
+    },
+    /// Bounded Pareto: `scale / u^(1/shape)` capped at `cap` — the
+    /// classic heavy-tailed web-object model (smaller `shape` = heavier
+    /// tail; web traces sit near 1.0–1.5).
+    Pareto {
+        /// Minimum size (the Pareto scale parameter).
+        scale: u16,
+        /// Tail index α.
+        shape: f64,
+        /// Hard cap (one-packet payload limit).
+        cap: u16,
+    },
+    /// Log-normal around `median` with shape `sigma`, capped at `cap` —
+    /// a good fit for request sizes, which are skewed but not scale-free.
+    LogNormal {
+        /// Median size (`exp(µ)` of the underlying normal).
+        median: u16,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Hard cap (one-packet payload limit).
+        cap: u16,
+    },
+}
+
+impl SizeDist {
+    /// Draws one size. Always ≥ 1: zero-byte requests/responses would
+    /// degenerate to bare ACKs and break the request/response framing.
+    pub fn sample(&self, rng: &mut SimRng) -> u16 {
+        match *self {
+            SizeDist::Fixed(n) => n.max(1),
+            SizeDist::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                (lo + rng.below(u64::from(hi - lo) + 1) as u16).max(1)
+            }
+            SizeDist::Pareto { scale, shape, cap } => {
+                // Inverse CDF; u in (0,1] so the draw is finite.
+                let u = 1.0 - rng.unit();
+                let x = f64::from(scale.max(1)) / u.powf(1.0 / shape.max(0.05));
+                clamp_size(x, cap)
+            }
+            SizeDist::LogNormal { median, sigma, cap } => {
+                // Box–Muller; u1 in (0,1] keeps ln(u1) finite.
+                let u1 = 1.0 - rng.unit();
+                let u2 = rng.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let x = f64::from(median.max(1)) * (sigma * z).exp();
+                clamp_size(x, cap)
+            }
+        }
+    }
+
+    /// Whether every draw returns the same value.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, SizeDist::Fixed(_))
+    }
+}
+
+fn clamp_size(x: f64, cap: u16) -> u16 {
+    if !x.is_finite() || x >= f64::from(cap) {
+        cap.max(1)
+    } else if x < 1.0 {
+        1
+    } else {
+        // Representable: 1.0 <= x < cap <= u16::MAX.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            x as u16
+        }
+    }
+}
+
+/// Requests-per-connection (keep-alive session length) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionDist {
+    /// Every connection carries exactly `n` requests (`n ≥ 1`).
+    Fixed(u32),
+    /// Geometric with the given mean, capped: each request is the last
+    /// with probability `1/mean` — the memoryless keep-alive model.
+    Geometric {
+        /// Mean requests per connection (≥ 1).
+        mean: f64,
+        /// Hard cap on session length.
+        cap: u32,
+    },
+    /// Bounded zipf over `1..=cap`: most sessions are length 1, a heavy
+    /// tail of clients reuses the connection many times.
+    Zipf {
+        /// Largest session length.
+        cap: u32,
+        /// Zipf exponent `s` (larger = lighter tail).
+        exponent: f64,
+    },
+}
+
+impl SessionDist {
+    /// Draws one session length (always ≥ 1).
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            SessionDist::Fixed(n) => n.max(1),
+            SessionDist::Geometric { mean, cap } => {
+                let mean = mean.max(1.0);
+                let p = 1.0 / mean;
+                // Inverse CDF of the geometric on {1, 2, ...}.
+                let u = 1.0 - rng.unit();
+                let k = if p >= 1.0 {
+                    1.0
+                } else {
+                    (u.ln() / (1.0 - p).ln()).floor() + 1.0
+                };
+                clamp_len(k, cap)
+            }
+            SessionDist::Zipf { cap, exponent } => {
+                let cap = cap.max(1);
+                // O(cap) inverse-CDF walk; caps are small (≤ a few
+                // hundred), so precomputation isn't worth carrying.
+                let norm: f64 = (1..=cap).map(|k| f64::from(k).powf(-exponent)).sum();
+                let mut u = rng.unit() * norm;
+                for k in 1..=cap {
+                    u -= f64::from(k).powf(-exponent);
+                    if u <= 0.0 {
+                        return k;
+                    }
+                }
+                cap
+            }
+        }
+    }
+
+    /// The largest length a draw can return — drives whether the server
+    /// must run in keep-alive mode.
+    pub fn max_len(&self) -> u32 {
+        match *self {
+            SessionDist::Fixed(n) => n.max(1),
+            SessionDist::Geometric { cap, .. } | SessionDist::Zipf { cap, .. } => cap.max(1),
+        }
+    }
+}
+
+fn clamp_len(x: f64, cap: u32) -> u32 {
+    let cap = cap.max(1);
+    if !x.is_finite() || x >= f64::from(cap) {
+        cap
+    } else if x < 1.0 {
+        1
+    } else {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            x as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_draws_are_constant() {
+        let mut rng = SimRng::seed(1);
+        let d = SizeDist::Fixed(1_200);
+        for _ in 0..64 {
+            assert_eq!(d.sample(&mut rng), 1_200);
+        }
+        assert!(d.is_fixed());
+        assert!(!SizeDist::Uniform { lo: 1, hi: 2 }.is_fixed());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed(2);
+        let d = SizeDist::Uniform { lo: 100, hi: 200 };
+        for _ in 0..1_000 {
+            let v = d.sample(&mut rng);
+            assert!((100..=200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_capped() {
+        let mut rng = SimRng::seed(3);
+        let d = SizeDist::Pareto {
+            scale: 200,
+            shape: 1.2,
+            cap: 8_000,
+        };
+        let draws: Vec<u16> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&v| (200..=8_000).contains(&v)));
+        let mut sorted = draws.clone();
+        sorted.sort_unstable();
+        let median = sorted[draws.len() / 2];
+        let max = *sorted.last().unwrap();
+        // Heavy tail: the max dwarfs the median, and the cap is hit.
+        assert!(median < 500, "median={median}");
+        assert_eq!(max, 8_000, "tail must reach the cap");
+    }
+
+    #[test]
+    fn lognormal_centers_on_median() {
+        let mut rng = SimRng::seed(4);
+        let d = SizeDist::LogNormal {
+            median: 600,
+            sigma: 0.5,
+            cap: 16_000,
+        };
+        let mut draws: Vec<u16> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        draws.sort_unstable();
+        let median = f64::from(draws[draws.len() / 2]);
+        assert!((median - 600.0).abs() < 60.0, "median={median}");
+    }
+
+    #[test]
+    fn geometric_mean_is_plausible() {
+        let mut rng = SimRng::seed(5);
+        let d = SessionDist::Geometric {
+            mean: 4.0,
+            cap: 256,
+        };
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| u64::from(d.sample(&mut rng))).sum();
+        let mean = sum as f64 / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.25, "mean={mean}");
+        assert_eq!(d.max_len(), 256);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_short_sessions() {
+        let mut rng = SimRng::seed(6);
+        let d = SessionDist::Zipf {
+            cap: 64,
+            exponent: 1.5,
+        };
+        let draws: Vec<u32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        let ones = draws.iter().filter(|&&v| v == 1).count();
+        assert!(draws.iter().all(|&v| (1..=64).contains(&v)));
+        // P(1) = 1/H_64(1.5) ≈ 0.40: singletons dominate every other
+        // length by far.
+        assert!(ones > 3_200, "zipf(1.5) favours singletons: {ones}");
+        assert!(draws.iter().any(|&v| v > 8), "but has a tail");
+    }
+
+    #[test]
+    fn session_lengths_are_at_least_one() {
+        let mut rng = SimRng::seed(7);
+        assert_eq!(SessionDist::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(SessionDist::Fixed(0).max_len(), 1);
+        let g = SessionDist::Geometric { mean: 0.1, cap: 8 };
+        for _ in 0..100 {
+            assert!(g.sample(&mut rng) >= 1);
+        }
+    }
+}

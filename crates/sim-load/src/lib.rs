@@ -1,0 +1,267 @@
+//! Open-loop workload engine.
+//!
+//! Every figure the repo reproduces drives the server with *closed-loop*
+//! clients: a fixed population of slots, each starting its next
+//! connection only after the previous one finishes. Closed loops
+//! self-throttle — under overload the offered rate silently collapses to
+//! the service rate, so latency looks fine right up to saturation. Real
+//! serving systems are evaluated *open-loop*: connections arrive on a
+//! schedule that does not care how the server is doing, and overload
+//! shows up as queueing delay, timeouts and abandonment.
+//!
+//! This crate provides the pieces, all driven from [`sim_core::SimRng`]
+//! so a seeded run is bit-reproducible:
+//!
+//! * [`ArrivalProcess`] — Poisson or MMPP (burst/flash-crowd) arrivals;
+//! * [`RateProfile`] — constant or diurnal modulation of the rate;
+//! * [`SizeDist`] / [`SessionDist`] — heavy-tailed request/response
+//!   sizes and keep-alive session lengths;
+//! * [`OpenLoopConfig`] — the knob block `fastsocket::SimConfig` embeds
+//!   (closed loop remains the default everywhere);
+//! * [`LoadReport`] — offered/admitted/abandoned accounting plus the
+//!   arrival-schedule digest, attached to the run report;
+//! * [`ScheduleDigest`] — the FNV-1a accumulator that fingerprints the
+//!   arrival schedule for the determinism gates.
+
+pub mod arrival;
+pub mod dist;
+
+pub use arrival::{ArrivalGen, ArrivalProcess, MmppPhase, RateProfile, DEFAULT_DIURNAL};
+pub use dist::{SessionDist, SizeDist};
+
+use serde::{Deserialize, Serialize};
+use sim_core::{secs_to_cycles, Cycles};
+
+/// Configuration of the open-loop client population.
+///
+/// Embedded as `SimConfig::open_loop`; when present, the simulation
+/// replaces the closed-loop recycle (slot finishes → slot restarts)
+/// with schedule-driven admission: arrivals claim a free slot, wait in
+/// a FIFO backlog when the population is exhausted, and abandon after
+/// [`patience`](Self::patience).
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Deterministic rate modulation over the run.
+    pub profile: RateProfile,
+    /// Client population: the maximum number of concurrently open
+    /// connections (each maps to one source IP, as in the closed loop).
+    pub population: u32,
+    /// Per-connection connect/response timeout; an expired session
+    /// sends RST and counts as `abandoned_connect`.
+    pub connect_timeout: Cycles,
+    /// How long an arrival waits in the admission backlog for a free
+    /// slot before abandoning (`abandoned_wait`).
+    pub patience: Cycles,
+    /// Request payload size, drawn per session.
+    pub request_len: SizeDist,
+    /// Response payload size, drawn per request by the server worker.
+    pub response_len: SizeDist,
+    /// Requests per connection (keep-alive), drawn per session.
+    pub session: SessionDist,
+}
+
+impl OpenLoopConfig {
+    /// Poisson arrivals at `rate_cps` with the paper's short-lived
+    /// profile: fixed 600 B requests, 1200 B responses, one request per
+    /// connection, 2 s connect timeout, 1 s patience, population 2048.
+    pub fn poisson(rate_cps: f64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Poisson { rate_cps },
+            profile: RateProfile::Constant,
+            population: 2_048,
+            connect_timeout: secs_to_cycles(2.0),
+            patience: secs_to_cycles(1.0),
+            request_len: SizeDist::Fixed(600),
+            response_len: SizeDist::Fixed(1_200),
+            session: SessionDist::Fixed(1),
+        }
+    }
+
+    /// MMPP arrivals cycling through `phases`, otherwise as
+    /// [`poisson`](Self::poisson).
+    pub fn mmpp(phases: Vec<MmppPhase>) -> OpenLoopConfig {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Mmpp { phases },
+            ..OpenLoopConfig::poisson(1.0)
+        }
+    }
+
+    /// Sets the rate profile (builder style).
+    pub fn profile(mut self, profile: RateProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the client population (builder style).
+    pub fn population(mut self, n: u32) -> Self {
+        assert!(n >= 1, "population must be at least 1");
+        self.population = n;
+        self
+    }
+
+    /// Sets the connect timeout in seconds (builder style).
+    pub fn connect_timeout_secs(mut self, secs: f64) -> Self {
+        self.connect_timeout = secs_to_cycles(secs);
+        self
+    }
+
+    /// Sets the admission patience in seconds (builder style).
+    pub fn patience_secs(mut self, secs: f64) -> Self {
+        self.patience = secs_to_cycles(secs);
+        self
+    }
+
+    /// Sets the request-size distribution (builder style).
+    pub fn request_len(mut self, d: SizeDist) -> Self {
+        self.request_len = d;
+        self
+    }
+
+    /// Sets the response-size distribution (builder style).
+    pub fn response_len(mut self, d: SizeDist) -> Self {
+        self.response_len = d;
+        self
+    }
+
+    /// Sets the session-length distribution (builder style).
+    pub fn session(mut self, d: SessionDist) -> Self {
+        self.session = d;
+        self
+    }
+
+    /// Whether the workload requires the server to hold connections
+    /// open across requests (any session can exceed one request).
+    pub fn keep_alive(&self) -> bool {
+        self.session.max_len() > 1
+    }
+}
+
+/// Open-loop accounting attached to the run report. Counters cover the
+/// whole run (warmup included): the schedule exists independently of
+/// the measurement window, and the digest must fingerprint all of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Arrivals generated by the schedule.
+    pub offered: u64,
+    /// Sessions that claimed a slot and sent a SYN.
+    pub admitted: u64,
+    /// Of `admitted`, how many waited in the backlog first.
+    pub queued_admissions: u64,
+    /// Arrivals that gave up waiting for a free slot.
+    pub abandoned_wait: u64,
+    /// Admitted sessions that hit the connect timeout (RST sent).
+    pub abandoned_connect: u64,
+    /// Admitted sessions that ran to an end (including server resets).
+    pub completed_sessions: u64,
+    /// Deepest admission backlog observed.
+    pub peak_backlog: u64,
+    /// Mean offered rate over the whole run, in connections/sec.
+    pub offered_cps: f64,
+    /// FNV-1a digest over (arrival cycle, request size, session length)
+    /// for every arrival — same seed ⇒ same digest, regardless of the
+    /// event-queue backend or how the server behaved.
+    pub schedule_digest: String,
+}
+
+/// FNV-1a accumulator fingerprinting the arrival schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleDigest {
+    h: u64,
+}
+
+impl ScheduleDigest {
+    /// The empty digest (FNV offset basis).
+    pub fn new() -> ScheduleDigest {
+        ScheduleDigest {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds one 64-bit word (little-endian bytes) into the digest.
+    pub fn push(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest so far, as 16 hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+}
+
+impl Default for ScheduleDigest {
+    fn default() -> Self {
+        ScheduleDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_chain() {
+        let c = OpenLoopConfig::poisson(50_000.0)
+            .population(4_000)
+            .connect_timeout_secs(0.5)
+            .patience_secs(0.25)
+            .request_len(SizeDist::LogNormal {
+                median: 600,
+                sigma: 0.4,
+                cap: 4_000,
+            })
+            .response_len(SizeDist::Pareto {
+                scale: 400,
+                shape: 1.3,
+                cap: 16_000,
+            })
+            .session(SessionDist::Geometric { mean: 2.0, cap: 32 });
+        assert_eq!(c.population, 4_000);
+        assert_eq!(c.connect_timeout, secs_to_cycles(0.5));
+        assert!(c.keep_alive());
+        assert!(!OpenLoopConfig::poisson(1.0).keep_alive());
+    }
+
+    #[test]
+    fn mmpp_constructor_carries_phases() {
+        let c = OpenLoopConfig::mmpp(vec![MmppPhase {
+            rate_cps: 10_000.0,
+            mean_dwell_secs: 0.1,
+        }]);
+        assert!(matches!(c.arrivals, ArrivalProcess::Mmpp { .. }));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = ScheduleDigest::new();
+        a.push(1);
+        a.push(2);
+        let mut b = ScheduleDigest::new();
+        b.push(2);
+        b.push(1);
+        assert_ne!(a.hex(), b.hex());
+        assert_eq!(ScheduleDigest::new().hex(), ScheduleDigest::default().hex());
+    }
+
+    #[test]
+    fn load_report_round_trips_through_json() {
+        let r = LoadReport {
+            offered: 10,
+            admitted: 9,
+            queued_admissions: 2,
+            abandoned_wait: 1,
+            abandoned_connect: 0,
+            completed_sessions: 9,
+            peak_backlog: 3,
+            offered_cps: 1_000.0,
+            schedule_digest: "00ff00ff00ff00ff".into(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LoadReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -11,7 +11,11 @@
 //!    attribution is exact even after the rings overwrite.
 //! 3. **Latency distributions** — connection lifecycle instants feed
 //!    log-bucketed histograms ([`hist::LatencyHistogram`]) with
-//!    p50/p90/p99/p999 summaries ([`hist::LatencySummary`]).
+//!    p50/p90/p99/p999 summaries ([`hist::LatencySummary`]). The
+//!    tracker keeps the *first* `SynArrival` mark per connection, so
+//!    open-loop drivers can pre-mark the scheduled arrival time and
+//!    latencies include admission queueing (no coordinated omission;
+//!    see [`lifecycle::LifecycleTracker`]).
 //!
 //! The [`Tracer`] handle is a cheap clone (`Option<Rc<RefCell<..>>>`);
 //! the disabled tracer is `None`, so untraced runs pay one branch per

@@ -19,6 +19,18 @@ struct ConnLife {
 /// Setup latency is recorded *when the connection establishes* (not at
 /// close), so connections still open at the end of a window contribute
 /// to the tail instead of silently dropping out of it.
+///
+/// # Coordinated omission
+///
+/// Duplicate marks keep the **first** timestamp per connection. That
+/// rule is what lets the open-loop driver (`sim-load`) avoid
+/// coordinated omission: it pre-marks `SynArrival` at the *scheduled*
+/// arrival cycle before the SYN is admitted, so when the stack marks
+/// the same connection at admission the earlier timestamp wins and
+/// every latency here is measured from when the user showed up — queue
+/// wait included — not from when the server got around to the
+/// connection. Closed-loop runs have no admission queue, so their
+/// stack-side mark is simply first.
 #[derive(Debug, Default)]
 pub struct LifecycleTracker {
     inflight: HashMap<u64, ConnLife>,

@@ -42,4 +42,14 @@ echo "==> chaos smoke (fault injection under sanitizers)"
 cargo build -q --release -p fastsocket-bench --bin chaos
 ./target/release/chaos --smoke
 
+# Capacity smoke: a short open-loop ladder per kernel with sanitizers
+# armed — doubled same-seed runs must be bit-identical and the emitted
+# bench artifact must round-trip through the schema. Then the committed
+# full-matrix artifact is schema-checked, including the 24-core SLO
+# capacity ordering (fastsocket > linux-3.13 > base).
+echo "==> capacity smoke (open-loop SLO ladder under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin capacity
+./target/release/capacity --smoke
+./target/release/capacity --validate results/BENCH_capacity.json
+
 echo "All checks passed."

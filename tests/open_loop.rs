@@ -1,0 +1,269 @@
+//! Open-loop workload gates: closed-loop digests must not move, and
+//! same-seed open-loop runs must be bit-identical — across scheduler
+//! backends, across repeated runs, and under keep-alive sessions.
+//!
+//! The golden digests below were captured from the tree *before* the
+//! open-loop engine existed. They pin the promise that `sim-load` is
+//! purely additive: every closed-loop figure reproduces byte-for-byte.
+
+use fastsocket::{
+    AppSpec, ArrivalProcess, KernelSpec, MmppPhase, OpenLoopConfig, SessionDist, SimConfig,
+    Simulation,
+};
+use proptest::prelude::*;
+use sim_core::SchedulerKind;
+
+/// The exact closed-loop cells whose digests were pinned from the seed
+/// tree (8-core web sweep plus a 4-core proxy cell).
+fn golden_cell(kernel: KernelSpec, app: AppSpec, cores: u16) -> SimConfig {
+    SimConfig::new(kernel, app, cores)
+        .warmup_secs(0.02)
+        .measure_secs(0.06)
+        .concurrency(u32::from(cores) * 60)
+}
+
+#[test]
+fn closed_loop_golden_digests_are_unchanged() {
+    let golden: [(KernelSpec, AppSpec, u16, &str, &str); 4] = [
+        (
+            KernelSpec::BaseLinux,
+            AppSpec::web(),
+            8,
+            "b1d753914e2879db",
+            "10b3cea4bd68edc2",
+        ),
+        (
+            KernelSpec::Linux313,
+            AppSpec::web(),
+            8,
+            "31154f95822d4911",
+            "a61bd7f749e70c32",
+        ),
+        (
+            KernelSpec::Fastsocket,
+            AppSpec::web(),
+            8,
+            "271027ae3854ba79",
+            "ad52d456c616c3da",
+        ),
+        (
+            KernelSpec::Fastsocket,
+            AppSpec::proxy(),
+            4,
+            "971740e01fc5c30a",
+            "914a66b7635e033f",
+        ),
+    ];
+    for (kernel, app, cores, cfg_digest, report_digest) in golden {
+        let label = kernel.label();
+        let app_label = app.label();
+        let cfg = golden_cell(kernel, app, cores);
+        assert_eq!(
+            cfg.config_digest(),
+            cfg_digest,
+            "config digest moved: {label}/{app_label}"
+        );
+        let r = Simulation::new(cfg).run();
+        assert_eq!(
+            r.results_digest(),
+            report_digest,
+            "results digest moved: {label}/{app_label}"
+        );
+        assert!(r.load.is_none(), "closed loop must not report load");
+    }
+}
+
+fn open_cell(rate_cps: f64, seed: u64) -> SimConfig {
+    SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 2)
+        .warmup_secs(0.02)
+        .measure_secs(0.08)
+        .seed(seed)
+        .open_loop(OpenLoopConfig::poisson(rate_cps).population(400))
+}
+
+#[test]
+fn same_seed_open_loop_runs_are_bit_identical() {
+    let a = Simulation::new(open_cell(30_000.0, 7)).run();
+    let b = Simulation::new(open_cell(30_000.0, 7)).run();
+    assert_eq!(a.results_digest(), b.results_digest());
+    let (la, lb) = (a.load.unwrap(), b.load.unwrap());
+    assert_eq!(la.schedule_digest, lb.schedule_digest);
+    assert_eq!(la, lb);
+    // And a different seed forks the schedule.
+    let c = Simulation::new(open_cell(30_000.0, 8)).run();
+    assert_ne!(
+        la.schedule_digest,
+        c.load.unwrap().schedule_digest,
+        "seed must drive the arrival schedule"
+    );
+}
+
+#[test]
+fn open_loop_offers_the_configured_rate() {
+    let r = Simulation::new(open_cell(30_000.0, 3)).run();
+    let load = r.load.expect("open-loop run reports load");
+    // 0.1 s at 30K cps ⇒ ~3000 arrivals (±4σ ≈ ±220).
+    assert!(
+        (2_700..=3_300).contains(&load.offered),
+        "offered {} out of range",
+        load.offered
+    );
+    assert!(load.admitted > 0);
+    assert!(
+        load.offered >= load.admitted,
+        "cannot admit more than offered"
+    );
+    // The server keeps up at this rate: nearly everything completes.
+    assert!(
+        load.completed_sessions * 10 >= load.admitted * 9,
+        "completed {} of {} admitted",
+        load.completed_sessions,
+        load.admitted
+    );
+}
+
+#[test]
+fn keep_alive_sessions_multiply_requests_over_connections() {
+    let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 2)
+        .warmup_secs(0.02)
+        .measure_secs(0.08)
+        .open_loop(
+            OpenLoopConfig::poisson(12_000.0)
+                .population(400)
+                .session(SessionDist::Fixed(4)),
+        );
+    let r = Simulation::new(cfg).run();
+    assert!(r.completed > 0, "sessions must complete");
+    assert!(
+        r.requests_per_sec > 3.0 * r.throughput_cps,
+        "4-request sessions: {} req/s vs {} cps",
+        r.requests_per_sec,
+        r.throughput_cps
+    );
+}
+
+#[test]
+fn proxy_serves_open_loop_keep_alive_sessions() {
+    let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 2)
+        .warmup_secs(0.02)
+        .measure_secs(0.08)
+        .open_loop(
+            OpenLoopConfig::poisson(6_000.0)
+                .population(300)
+                .session(SessionDist::Fixed(3)),
+        );
+    let r = Simulation::new(cfg).run();
+    assert!(r.completed > 0, "proxy sessions must complete");
+    assert!(
+        r.requests_per_sec > 2.0 * r.throughput_cps,
+        "3-request proxy sessions: {} req/s vs {} cps",
+        r.requests_per_sec,
+        r.throughput_cps
+    );
+    assert!(r.stack.active_established > 0, "backend conns happened");
+}
+
+#[test]
+fn mmpp_bursts_overflow_a_small_population() {
+    // A flash crowd against a tiny population: the burst phase must
+    // overflow into the admission backlog (and some arrivals abandon),
+    // which the closed loop structurally cannot express.
+    let cfg = SimConfig::new(KernelSpec::BaseLinux, AppSpec::web(), 1)
+        .warmup_secs(0.0)
+        .measure_secs(0.12)
+        .open_loop(
+            OpenLoopConfig::mmpp(vec![
+                MmppPhase {
+                    rate_cps: 2_000.0,
+                    mean_dwell_secs: 0.02,
+                },
+                MmppPhase {
+                    rate_cps: 150_000.0,
+                    mean_dwell_secs: 0.01,
+                },
+            ])
+            .population(64)
+            .patience_secs(0.01),
+        );
+    let r = Simulation::new(cfg).run();
+    let load = r.load.unwrap();
+    assert!(load.peak_backlog > 0, "burst should overflow the slots");
+    assert!(
+        load.abandoned_wait > 0,
+        "short patience should shed backlog"
+    );
+}
+
+#[test]
+fn queue_wait_is_charged_to_setup_latency() {
+    // Coordinated omission gate: identical load, but a starved
+    // population forces arrivals through the admission backlog. The
+    // pre-marked scheduled arrival time must charge that wait to setup
+    // latency, so the starved run's p99 is far above the roomy run's.
+    let run = |population: u32| {
+        let cfg = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 2)
+            .warmup_secs(0.0)
+            .measure_secs(0.08)
+            .trace(true)
+            .open_loop(
+                OpenLoopConfig::poisson(40_000.0)
+                    .population(population)
+                    .patience_secs(10.0),
+            );
+        Simulation::new(cfg).run()
+    };
+    let roomy = run(800);
+    let starved = run(4);
+    assert!(
+        starved.load.as_ref().unwrap().queued_admissions > 0,
+        "population 4 at 40K cps must queue admissions"
+    );
+    let roomy_p99 = roomy.latency.as_ref().unwrap().setup.p99_us;
+    let starved_p99 = starved.latency.as_ref().unwrap().setup.p99_us;
+    assert!(
+        starved_p99 > 10.0 * roomy_p99,
+        "queue wait missing from setup latency: starved p99 {starved_p99}µs \
+         vs roomy p99 {roomy_p99}µs"
+    );
+}
+
+proptest! {
+    /// Same seed ⇒ bit-identical results and arrival-schedule digests
+    /// across event-queue backends, and the schedule digest depends
+    /// only on the seed and workload — never on the kernel under test
+    /// (the offered load is identical for every column of a capacity
+    /// table).
+    #[test]
+    fn open_loop_digests_are_scheduler_and_kernel_invariant(
+        seed in 0u64..1_000,
+        kernel_pick in 0u8..3,
+        rate in 2_000f64..8_000f64,
+    ) {
+        let kernel = match kernel_pick {
+            0 => KernelSpec::BaseLinux,
+            1 => KernelSpec::Linux313,
+            _ => KernelSpec::Fastsocket,
+        };
+        let cell = |kernel: KernelSpec, sched: SchedulerKind| {
+            let cfg = SimConfig::new(kernel, AppSpec::web(), 1)
+                .warmup_secs(0.005)
+                .measure_secs(0.02)
+                .seed(seed)
+                .scheduler(sched)
+                .open_loop(OpenLoopConfig::poisson(rate).population(100));
+            Simulation::new(cfg).run()
+        };
+        let wheel = cell(kernel.clone(), SchedulerKind::Wheel);
+        let heap = cell(kernel.clone(), SchedulerKind::Heap);
+        prop_assert_eq!(wheel.results_digest(), heap.results_digest());
+        let wheel_sched = wheel.load.unwrap().schedule_digest;
+        prop_assert_eq!(&wheel_sched, &heap.load.unwrap().schedule_digest);
+        // A different kernel serves the identical arrival schedule.
+        let other = match kernel {
+            KernelSpec::BaseLinux => KernelSpec::Fastsocket,
+            _ => KernelSpec::BaseLinux,
+        };
+        let cross = cell(other, SchedulerKind::Wheel);
+        prop_assert_eq!(&wheel_sched, &cross.load.unwrap().schedule_digest);
+    }
+}

@@ -143,6 +143,20 @@ pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
     }
 }
 
+/// Like [`de_field`], but a missing key falls back to `T::default()`.
+/// Generated for fields marked
+/// `#[serde(default, skip_serializing_if = "Option::is_none")]`, so
+/// documents written before such a field existed still deserialize.
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, Error> {
+    match v.get(key) {
+        Some(f) => T::from_value(f).map_err(|e| Error(format!("field `{key}`: {e}"))),
+        None => match v {
+            Value::Object(_) => Ok(T::default()),
+            other => Err(Error::expected("object", other)),
+        },
+    }
+}
+
 /// Extracts and deserializes one element of a fixed-arity array.
 pub fn de_elem<T: Deserialize>(a: &[Value], idx: usize) -> Result<T, Error> {
     match a.get(idx) {

@@ -11,16 +11,28 @@
 //! * enums with only unit variants    → variant-name strings
 //!
 //! These match upstream serde's default (attribute-free) encodings.
-//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes
-//! are rejected with a compile-time panic naming the offending item, so
-//! unsupported uses fail loudly rather than mis-encode.
+//! One field attribute is honoured — the exact form
+//! `#[serde(default, skip_serializing_if = "Option::is_none")]`, which
+//! makes an `Option` field vanish from the output when `None` and
+//! default to `None` when absent on input (upstream semantics for that
+//! combination). Generics, data-carrying enum variants, and every other
+//! `#[serde(...)]` attribute are rejected with a compile-time panic
+//! naming the offending item, so unsupported uses fail loudly rather
+//! than mis-encode.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field.
+struct Field {
+    name: String,
+    /// `#[serde(default, skip_serializing_if = "Option::is_none")]`.
+    optional: bool,
+}
+
 /// The shape of the deriving item.
 enum Body {
-    /// Named-field struct: field identifiers in declaration order.
-    Named(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Named(Vec<Field>),
     /// Tuple struct with this many fields.
     Tuple(usize),
     /// Unit struct.
@@ -34,15 +46,39 @@ struct Item {
     body: Body,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
     let body = match &item.body {
+        Body::Named(fields) if fields.iter().any(|f| f.optional) => {
+            // Optional fields are pushed conditionally, so the object
+            // is built statement by statement in declaration order.
+            let stmts: String = fields
+                .iter()
+                .map(|f| {
+                    let n = &f.name;
+                    let push = format!(
+                        "__fields.push((::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::to_value(&self.{n})));"
+                    );
+                    if f.optional {
+                        format!("if !::std::option::Option::is_none(&self.{n}) {{ {push} }}")
+                    } else {
+                        push
+                    }
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {stmts} ::serde::Value::Object(__fields)"
+            )
+        }
         Body::Named(fields) => {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -81,7 +117,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated impl must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -89,7 +125,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Body::Named(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?,"))
+                .map(|f| {
+                    let n = &f.name;
+                    if f.optional {
+                        format!("{n}: ::serde::de_field_or_default(v, \"{n}\")?,")
+                    } else {
+                        format!("{n}: ::serde::de_field(v, \"{n}\")?,")
+                    }
+                })
                 .collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
         }
@@ -242,16 +285,50 @@ fn skip_type_and_comma(tokens: &[TokenTree]) -> usize {
     i
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// The one `#[serde(...)]` argument list the derive understands.
+const SUPPORTED_ATTR: &str = "default,skip_serializing_if=\"Option::is_none\"";
+
+/// Whether the attribute starting at `tokens[0]` (a `#`) is a
+/// `#[serde(...)]` field attribute; panics unless its arguments are
+/// exactly the supported combination.
+fn serde_attr_marks_optional(tokens: &[TokenTree]) -> bool {
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return false;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false, // some other attribute (e.g. a doc comment)
+    }
+    let args: String = match inner.get(1) {
+        Some(TokenTree::Group(args)) => args.stream().into_iter().map(|t| t.to_string()).collect(),
+        other => panic!("serde_derive (vendored): malformed serde attribute: {other:?}"),
+    };
+    assert_eq!(
+        args, SUPPORTED_ATTR,
+        "serde_derive (vendored): only `#[serde({SUPPORTED_ATTR})]` is supported"
+    );
+    true
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
+    let mut optional = false;
     let mut i = 0;
     while i < tokens.len() {
         match &tokens[i] {
-            TokenTree::Punct(p) if p.as_char() == '#' => i += skip_attribute(&tokens[i..]),
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                optional |= serde_attr_marks_optional(&tokens[i..]);
+                i += skip_attribute(&tokens[i..]);
+            }
             TokenTree::Ident(id) if id.to_string() == "pub" => i += skip_visibility(&tokens[i..]),
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    optional,
+                });
+                optional = false;
                 i += 1; // the field name
                 i += 1; // the ':'
                 i += skip_type_and_comma(&tokens[i..]);
