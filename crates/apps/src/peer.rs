@@ -41,6 +41,16 @@ pub struct ClientSlot {
     pub responses: u64,
     /// Connections aborted by RST.
     pub resets: u64,
+    /// Bulk mode: expected response size in bytes. The slot then ACKs
+    /// every in-order data segment (the server's ACK clock), echoes ECN
+    /// marks, dup-ACKs on gaps, and counts a response complete only
+    /// once all its bytes arrived.
+    bulk: Option<u32>,
+    /// Bytes of the current response still outstanding (bulk mode).
+    resp_remaining: u32,
+    /// Response payload bytes received across all connections (bulk
+    /// goodput accounting).
+    pub bytes_received: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +96,17 @@ impl ClientSlot {
             completed: 0,
             responses: 0,
             resets: 0,
+            bulk: None,
+            resp_remaining: 0,
+            bytes_received: 0,
         }
+    }
+
+    /// Switches the slot to bulk mode (builder style): responses are
+    /// `response_bytes` long, streamed over many segments.
+    pub fn with_bulk(mut self, response_bytes: u32) -> Self {
+        self.bulk = Some(response_bytes);
+        self
     }
 
     /// Starts a new connection, returning the SYN to send.
@@ -158,6 +178,7 @@ impl ClientSlot {
             .with_payload(self.request_len);
         self.snd_nxt = self.snd_nxt.wrapping_add(u32::from(self.request_len));
         self.inflight_request = Some(p);
+        self.resp_remaining = self.bulk.unwrap_or(0);
         p
     }
 
@@ -240,30 +261,66 @@ impl ClientSlot {
                     return false;
                 }
                 if pkt.seq_len() > 0 && pkt.seq != self.rcv_nxt {
+                    if self.bulk.is_some() {
+                        // A gap (a segment ahead of this one was lost)
+                        // or a duplicate: re-ACK the hole so the
+                        // server's dup-ACK counter can trip fast
+                        // retransmit.
+                        out.push(
+                            Packet::new(self.flow, TcpFlags::ACK)
+                                .with_seq(self.snd_nxt)
+                                .with_ack(self.rcv_nxt),
+                        );
+                    }
                     // Stale duplicate (the server's RTO fired while the
                     // original was in flight): ignore.
                     return false;
                 }
                 self.rcv_nxt = self.rcv_nxt.wrapping_add(pkt.seq_len());
                 if pkt.payload_len > 0 {
-                    // One response per request.
-                    self.responses += 1;
-                    self.requests_left = self.requests_left.saturating_sub(1);
-                    if self.requests_left > 0 {
-                        // Keep-alive: next request on the same connection.
-                        out.push(self.request());
-                        return false;
-                    }
-                    if self.client_closes && !pkt.flags.fin() {
-                        // Keep-alive done: the client closes first.
-                        out.push(
-                            Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
-                                .with_seq(self.snd_nxt)
-                                .with_ack(self.rcv_nxt),
-                        );
-                        self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                        self.state = ClientState::Closing;
-                        return false;
+                    let complete = match self.bulk {
+                        Some(_) => {
+                            // Bulk: one segment of many. ACK it (the
+                            // sender's ACK clock), echoing a CE mark as
+                            // ECE so the congestion controller sees it.
+                            self.bytes_received += u64::from(pkt.payload_len);
+                            self.resp_remaining = self
+                                .resp_remaining
+                                .saturating_sub(u32::from(pkt.payload_len));
+                            let flags = if pkt.flags.ce() {
+                                TcpFlags::ACK | TcpFlags::ECE
+                            } else {
+                                TcpFlags::ACK
+                            };
+                            out.push(
+                                Packet::new(self.flow, flags)
+                                    .with_seq(self.snd_nxt)
+                                    .with_ack(self.rcv_nxt),
+                            );
+                            self.resp_remaining == 0
+                        }
+                        // One response per packet.
+                        None => true,
+                    };
+                    if complete {
+                        self.responses += 1;
+                        self.requests_left = self.requests_left.saturating_sub(1);
+                        if self.requests_left > 0 {
+                            // Keep-alive: next request on the same connection.
+                            out.push(self.request());
+                            return false;
+                        }
+                        if self.client_closes && !pkt.flags.fin() {
+                            // Keep-alive done: the client closes first.
+                            out.push(
+                                Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+                                    .with_seq(self.snd_nxt)
+                                    .with_ack(self.rcv_nxt),
+                            );
+                            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                            self.state = ClientState::Closing;
+                            return false;
+                        }
                     }
                 }
                 if pkt.flags.fin() {
@@ -325,6 +382,27 @@ struct BackendConn {
     rcv_nxt: u32,
     established: bool,
     fin_sent: bool,
+    /// In-flight bulk response (bulk mode only).
+    bulk: Option<BulkSend>,
+}
+
+/// A sliding-window bulk response in flight from the backend: the
+/// scripted peer paces itself by the proxy's advertised window (carried
+/// on every ACK the proxy's stack emits), so it never overruns the
+/// proxy's receive budget. The backend LAN is lossless and in-order, so
+/// no retransmission state is needed.
+#[derive(Debug)]
+struct BulkSend {
+    /// Sequence number of the response's first byte.
+    base: u32,
+    /// Total response bytes.
+    total: u32,
+    /// Bytes sent so far (offset past `base`).
+    sent: u32,
+    /// Bytes the proxy has cumulatively ACKed (offset past `base`).
+    una: u32,
+    /// The proxy's advertised receive window, from its last ACK.
+    peer_wnd: u32,
 }
 
 /// A scripted backend HTTP/1.0 server: accepts connections, answers
@@ -337,6 +415,9 @@ pub struct Backend {
     port: u16,
     response_len: u16,
     conns: HashMap<FlowTuple, BackendConn>,
+    /// Bulk mode: `(response_bytes, mss)` — responses stream as MSS
+    /// segments paced by the proxy's advertised window.
+    bulk: Option<(u32, u16)>,
     /// Requests served.
     pub served: u64,
 }
@@ -349,8 +430,51 @@ impl Backend {
             port,
             response_len,
             conns: HashMap::new(),
+            bulk: None,
             served: 0,
         }
+    }
+
+    /// Switches the backend to bulk mode (builder style): each request
+    /// is answered with `response_bytes` streamed in `mss`-sized
+    /// segments, flow-controlled by the proxy's advertised window.
+    pub fn with_bulk(mut self, response_bytes: u32, mss: u16) -> Self {
+        self.bulk = Some((response_bytes, mss));
+        self
+    }
+
+    /// Sends whatever the flow-control window currently allows of a
+    /// bulk response, followed by the FIN once everything is out.
+    fn push_bulk(conn: &mut BackendConn, lflow: FlowTuple, mss: u16, out: &mut Vec<Packet>) {
+        let Some(b) = &mut conn.bulk else {
+            return;
+        };
+        while b.sent < b.total {
+            let inflight = b.sent - b.una;
+            let usable = b.peer_wnd.saturating_sub(inflight);
+            let seg = (b.total - b.sent).min(u32::from(mss)).min(usable);
+            if seg == 0 {
+                return; // window closed: resume on the next ACK
+            }
+            out.push(
+                Packet::new(lflow, TcpFlags::PSH | TcpFlags::ACK)
+                    .with_seq(b.base.wrapping_add(b.sent))
+                    .with_ack(conn.rcv_nxt)
+                    .with_payload(seg as u16),
+            );
+            b.sent += seg;
+            conn.snd_nxt = conn.snd_nxt.wrapping_add(seg);
+        }
+        // Everything queued for the wire: the FIN rides right behind
+        // the last segment (HTTP/1.0 close).
+        out.push(
+            Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
+                .with_seq(conn.snd_nxt)
+                .with_ack(conn.rcv_nxt),
+        );
+        conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
+        conn.fin_sent = true;
+        conn.bulk = None;
     }
 
     /// The backend's address.
@@ -369,6 +493,7 @@ impl Backend {
                 rcv_nxt: pkt.seq.wrapping_add(1),
                 established: false,
                 fin_sent: false,
+                bulk: None,
             };
             self.conns.insert(lflow, conn);
             out.push(
@@ -389,23 +514,50 @@ impl Backend {
         if !conn.established && pkt.flags.ack() {
             conn.established = true;
         }
-        if pkt.payload_len > 0 && !conn.fin_sent {
-            // The request: answer with response + FIN.
-            out.push(
-                Packet::new(lflow, TcpFlags::PSH | TcpFlags::ACK)
-                    .with_seq(conn.snd_nxt)
-                    .with_ack(conn.rcv_nxt)
-                    .with_payload(self.response_len),
-            );
-            conn.snd_nxt = conn.snd_nxt.wrapping_add(u32::from(self.response_len));
-            out.push(
-                Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
-                    .with_seq(conn.snd_nxt)
-                    .with_ack(conn.rcv_nxt),
-            );
-            conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
-            conn.fin_sent = true;
-            self.served += 1;
+        if let Some(b) = &mut conn.bulk {
+            // Mid-transfer ACK from the proxy: advance the cumulative
+            // ACK point, refresh the advertised window, and send more.
+            if pkt.flags.ack() {
+                let off = pkt.ack.wrapping_sub(b.base);
+                if off <= b.sent {
+                    b.una = b.una.max(off);
+                }
+                b.peer_wnd = u32::from(pkt.wnd);
+                Self::push_bulk(conn, lflow, self.bulk.map_or(1_448, |(_, m)| m), out);
+            }
+        } else if pkt.payload_len > 0 && !conn.fin_sent {
+            match self.bulk {
+                Some((total, mss)) => {
+                    // The request: stream the bulk response, windowed.
+                    conn.bulk = Some(BulkSend {
+                        base: conn.snd_nxt,
+                        total,
+                        sent: 0,
+                        una: 0,
+                        peer_wnd: u32::from(pkt.wnd),
+                    });
+                    self.served += 1;
+                    Self::push_bulk(conn, lflow, mss, out);
+                }
+                None => {
+                    // The request: answer with response + FIN.
+                    out.push(
+                        Packet::new(lflow, TcpFlags::PSH | TcpFlags::ACK)
+                            .with_seq(conn.snd_nxt)
+                            .with_ack(conn.rcv_nxt)
+                            .with_payload(self.response_len),
+                    );
+                    conn.snd_nxt = conn.snd_nxt.wrapping_add(u32::from(self.response_len));
+                    out.push(
+                        Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
+                            .with_seq(conn.snd_nxt)
+                            .with_ack(conn.rcv_nxt),
+                    );
+                    conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
+                    conn.fin_sent = true;
+                    self.served += 1;
+                }
+            }
         }
         if pkt.flags.fin() {
             // The proxy's FIN (LAST_ACK side): acknowledge and forget.

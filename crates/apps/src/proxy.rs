@@ -89,6 +89,10 @@ pub struct Proxy {
     /// Per-response size sampling (open-loop heavy-tailed workloads);
     /// `None` relays the fixed `config.response_len`.
     response_sizer: Option<(SizeDist, SimRng)>,
+    /// Bulk mode: backend responses stream in over many segments and
+    /// are relayed chunk-by-chunk through the data plane; the client
+    /// side closes when the backend's FIN arrives.
+    bulk: bool,
     /// Backend connects that failed (port exhaustion).
     pub connect_failures: u64,
 }
@@ -105,8 +109,16 @@ impl Proxy {
             served: 0,
             keep_alive: false,
             response_sizer: None,
+            bulk: false,
             connect_failures: 0,
         }
+    }
+
+    /// Relays backend responses as streamed chunks through the data
+    /// plane (builder style); requires `StackConfig::cc` to be armed.
+    pub fn with_bulk(mut self, on: bool) -> Self {
+        self.bulk = on;
+        self
     }
 
     /// Serves multiple requests per client connection (builder style):
@@ -229,6 +241,40 @@ impl Proxy {
             if let Some(Conn::Backend { request_sent, .. }) = self.conns.get_mut(&token) {
                 *request_sent = true;
             }
+        }
+        if ev.readable && self.bulk {
+            // Streamed relay: forward every drained chunk to the client
+            // immediately; the response is done when the backend's FIN
+            // arrives behind its last byte.
+            let bytes = sys.recv(sock);
+            if bytes > 0 {
+                sys.work(self.config.app_work);
+                let client_sock = match self.conns.get(&client) {
+                    Some(Conn::Client { sock, .. }) => Some(*sock),
+                    _ => None,
+                };
+                if let Some(cs) = client_sock {
+                    sys.send_bulk(cs, bytes);
+                }
+            }
+            if sys.peer_fin(sock) {
+                self.served += 1;
+                let client_sock = match self.conns.get(&client) {
+                    Some(Conn::Client { sock, .. }) => Some(*sock),
+                    _ => None,
+                };
+                if let Some(cs) = client_sock {
+                    if self.keep_alive && !sys.peer_fin(cs) {
+                        if let Some(Conn::Client { backend, .. }) = self.conns.get_mut(&client) {
+                            *backend = None;
+                        }
+                    } else {
+                        self.drop_conn(sys, client, true);
+                    }
+                }
+                self.drop_conn(sys, token, true);
+            }
+            return;
         }
         if ev.readable {
             let bytes = sys.recv(sock);

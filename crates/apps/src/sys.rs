@@ -59,10 +59,15 @@ impl Sys<'_> {
         self.op.check_boundary();
     }
 
-    /// `read()`: drains and returns buffered receive bytes.
+    /// `read()`: drains and returns buffered receive bytes. Draining a
+    /// mostly-closed receive window queues a window-update ACK for the
+    /// peer (sliding-window data plane only).
     pub fn recv(&mut self, sock: SockId) -> u32 {
         self.op.trace_enter(TraceLabel::SysRecv);
-        let n = self.stack.recv(self.ctx, self.op, sock);
+        let (n, window_update) = self.stack.recv(self.ctx, self.op, sock);
+        if let Some(pkt) = window_update {
+            self.tx.push(pkt);
+        }
         self.op.trace_exit(TraceLabel::SysRecv);
         self.op.check_boundary();
         n
@@ -91,6 +96,21 @@ impl Sys<'_> {
         if let Some(pkt) = self.stack.send(self.ctx, self.os, self.op, sock, bytes) {
             self.tx.push(pkt);
         }
+        self.op.trace_exit(TraceLabel::SysSend);
+        self.op.check_boundary();
+    }
+
+    /// `write()` of a bulk response: queues `bytes` on the socket's
+    /// sliding send window and transmits whatever the congestion and
+    /// peer windows allow right now; the rest follows ACK-clocked from
+    /// the receive path. Falls back to a single-packet `send` when the
+    /// data plane is not armed.
+    pub fn send_bulk(&mut self, sock: SockId, bytes: u32) {
+        self.op.trace_enter(TraceLabel::SysSend);
+        let pkts = self
+            .stack
+            .send_bulk(self.ctx, self.os, self.op, sock, bytes);
+        self.tx.extend(pkts);
         self.op.trace_exit(TraceLabel::SysSend);
         self.op.check_boundary();
     }

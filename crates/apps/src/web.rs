@@ -61,6 +61,9 @@ pub struct WebServer {
     /// Per-response size sampling (open-loop heavy-tailed workloads);
     /// `None` serves the fixed `config.response_len`.
     response_sizer: Option<(SizeDist, SimRng)>,
+    /// Bulk mode: stream responses of this many bytes through the
+    /// sliding-window data plane instead of one-packet sends.
+    bulk: Option<u32>,
 }
 
 impl WebServer {
@@ -73,7 +76,15 @@ impl WebServer {
             next_token: 0,
             served: 0,
             response_sizer: None,
+            bulk: None,
         }
+    }
+
+    /// Streams `response_bytes`-sized responses through the data plane
+    /// (builder style); requires `StackConfig::cc` to be armed.
+    pub fn with_bulk(mut self, response_bytes: u32) -> Self {
+        self.bulk = Some(response_bytes);
+        self
     }
 
     /// Samples response sizes from `dist` (with a worker-private RNG)
@@ -130,8 +141,13 @@ impl WebServer {
         // the next request only after the previous response.
         let _ = bytes;
         sys.work(self.config.app_work);
-        let len = self.response_len();
-        sys.send(sock, len);
+        match self.bulk {
+            Some(resp) => sys.send_bulk(sock, resp),
+            None => {
+                let len = self.response_len();
+                sys.send(sock, len);
+            }
+        }
         self.served += 1;
         if self.config.keep_alive {
             if sys.peer_fin(sock) {

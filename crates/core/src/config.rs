@@ -8,9 +8,10 @@ use sim_core::{secs_to_cycles, usecs_to_cycles, Cycles, SchedulerKind};
 use sim_fault::FaultSchedule;
 use sim_load::OpenLoopConfig;
 use sim_mem::CacheCosts;
-use sim_nic::{AtrConfig, SteeringMode};
+use sim_nic::{AtrConfig, BatchConfig, SteeringMode};
 use sim_sync::LockCosts;
 use tcp_stack::stack::{FaultInjection, StackConfig};
+use tcp_stack::{CcAlgo, CcConfig};
 
 /// Which kernel is being simulated.
 #[derive(Debug, Clone)]
@@ -167,10 +168,64 @@ pub struct SimConfig {
     /// Open-loop workload (`sim-load`): arrivals come from a seeded
     /// arrival process instead of the closed-loop client slots. `None`
     /// (the default) keeps the closed-loop `http_load` model that every
-    /// paper figure uses. Must stay the **last** field: the config
-    /// digest canonicalizes a `None` away so closed-loop digests are
-    /// unchanged by the field's existence.
+    /// paper figure uses. The config digest canonicalizes a `None`
+    /// away so closed-loop digests are unchanged by the field's
+    /// existence.
     pub open_loop: Option<OpenLoopConfig>,
+    /// Sliding-window bulk-transfer data plane (`sim-cc`): when set,
+    /// responses stream as multi-segment sequence/ACK-driven transfers
+    /// under the selected congestion controller instead of the
+    /// single-packet response model. `None` (the default) keeps the
+    /// 1-packet paths byte-identical to the pre-data-plane model.
+    /// Trailing `Option` fields must stay **last**: the config digest
+    /// canonicalizes a `None` away so legacy digests are unchanged by
+    /// the field's existence.
+    pub data_plane: Option<DataPlaneConfig>,
+}
+
+/// Configuration of the sliding-window data plane (see
+/// [`tcp_stack::cc`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DataPlaneConfig {
+    /// Congestion-control algorithm driving cwnd.
+    pub cc: CcAlgo,
+    /// Maximum segment size in bytes.
+    pub mss: u16,
+    /// Initial congestion window in segments (RFC 6928 default: 10).
+    pub init_cwnd_segs: u16,
+    /// Per-connection receive-buffer budget in bytes, backing the
+    /// advertised window.
+    pub rcv_buf: u32,
+    /// NIC GSO/GRO batch-offload and ECN-marking model.
+    pub batch: BatchConfig,
+    /// Response body size streamed per request, in bytes.
+    pub response_bytes: u32,
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        DataPlaneConfig {
+            cc: CcAlgo::NewReno,
+            mss: 1448,
+            init_cwnd_segs: 10,
+            rcv_buf: 65_535,
+            batch: BatchConfig::default(),
+            response_bytes: 65_536,
+        }
+    }
+}
+
+impl DataPlaneConfig {
+    /// The stack-facing slice of this configuration.
+    pub fn cc_config(&self) -> CcConfig {
+        CcConfig {
+            algo: self.cc,
+            mss: self.mss,
+            init_cwnd_segs: self.init_cwnd_segs,
+            rcv_buf: self.rcv_buf,
+            batch: self.batch,
+        }
+    }
 }
 
 impl SimConfig {
@@ -205,6 +260,7 @@ impl SimConfig {
             syn_cookies: None,
             scheduler: SchedulerKind::default(),
             open_loop: None,
+            data_plane: None,
         }
     }
 
@@ -313,6 +369,14 @@ impl SimConfig {
         self
     }
 
+    /// Arms the sliding-window data plane (builder style): responses
+    /// stream as sequence/ACK-driven bulk transfers under `cfg`'s
+    /// congestion controller. See [`DataPlaneConfig`].
+    pub fn data_plane(mut self, cfg: DataPlaneConfig) -> Self {
+        self.data_plane = Some(cfg);
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
     /// parameter set that produced them. The scheduler backend is
@@ -328,6 +392,11 @@ impl SimConfig {
             // regression test), so an absent open loop is erased from
             // the canonical form rather than printed as `None`.
             s = s.replace(", open_loop: None", "");
+        }
+        if canon.data_plane.is_none() {
+            // Same treatment for the data plane: 1-packet configs must
+            // digest exactly as they did before the field existed.
+            s = s.replace(", data_plane: None", "");
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in s.bytes() {
@@ -404,6 +473,27 @@ mod tests {
         let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
             .open_loop(OpenLoopConfig::poisson(50_000.0));
         assert_ne!(a.config_digest(), b.config_digest());
+    }
+
+    #[test]
+    fn config_digest_unchanged_by_absent_data_plane() {
+        // Same pin as above: arming the data plane must fork the
+        // digest, but its absence must leave legacy digests alone.
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), "827cde302cffa2a4");
+        let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+            .data_plane(DataPlaneConfig::default());
+        assert_ne!(a.config_digest(), b.config_digest());
+        let c =
+            SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4).data_plane(DataPlaneConfig {
+                cc: CcAlgo::Cubic,
+                ..DataPlaneConfig::default()
+            });
+        assert_ne!(
+            b.config_digest(),
+            c.config_digest(),
+            "CC algo is provenance"
+        );
     }
 
     #[test]

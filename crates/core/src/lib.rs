@@ -34,7 +34,7 @@ pub mod experiments;
 pub mod report;
 pub mod sim;
 
-pub use config::{AppSpec, KernelSpec, SimConfig};
+pub use config::{AppSpec, DataPlaneConfig, KernelSpec, SimConfig};
 pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
 pub use sim_check::CheckReport;

@@ -92,6 +92,26 @@ pub struct RunReport {
     /// before the field existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub load: Option<LoadReport>,
+    /// Bulk-transfer accounting — `None` for 1-packet runs
+    /// (`SimConfig::data_plane` unset), which keeps their serialized
+    /// form byte-identical to before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bulk: Option<BulkReport>,
+}
+
+/// Goodput accounting for sliding-window bulk-transfer runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BulkReport {
+    /// Congestion-control algorithm label (`newreno`, `cubic`,
+    /// `dctcp`).
+    pub cc: String,
+    /// Response body size per request, in bytes.
+    pub response_bytes: u32,
+    /// Response payload bytes delivered to clients in the measured
+    /// window.
+    pub payload_bytes: u64,
+    /// Goodput over the measured window, in Gbps (payload bits only).
+    pub goodput_gbps: f64,
 }
 
 impl RunReport {
@@ -181,6 +201,19 @@ impl RunReport {
         ] {
             out.push_str(&format!("    {v} {label}\n"));
         }
+        if let Some(dp) = &s.dp {
+            for (label, v) in [
+                (
+                    "segments fast-retransmitted (dup ACKs)",
+                    dp.fast_retransmits,
+                ),
+                ("out-of-order segments dropped", dp.out_of_order_segments),
+                ("ECN echoes consumed", dp.ecn_echoes),
+                ("payload bytes streamed", dp.bytes_streamed),
+            ] {
+                out.push_str(&format!("    {v} {label}\n"));
+            }
+        }
         out
     }
 }
@@ -241,6 +274,7 @@ mod tests {
             events: 42,
             live_sockets: 5,
             load: None,
+            bulk: None,
         }
     }
 
@@ -278,5 +312,34 @@ mod tests {
         assert!(text.contains("12 SYN cookies sent"));
         assert!(text.contains("3 SYNs refused (no listener)"));
         assert!(text.contains("4 SYNs dropped (memory pressure)"));
+    }
+
+    #[test]
+    fn netstat_ext_gates_data_plane_rows() {
+        let mut r = report();
+        assert!(
+            !r.netstat_ext().contains("fast-retransmitted"),
+            "no data-plane rows without data-plane counters"
+        );
+        r.stack.dp_mut().fast_retransmits = 7;
+        r.stack.dp_mut().ecn_echoes = 9;
+        let text = r.netstat_ext();
+        assert!(text.contains("7 segments fast-retransmitted (dup ACKs)"));
+        assert!(text.contains("9 ECN echoes consumed"));
+    }
+
+    #[test]
+    fn report_digest_unchanged_by_absent_bulk() {
+        let a = report();
+        let d = a.results_digest();
+        let mut b = report();
+        b.bulk = Some(BulkReport {
+            cc: "cubic".into(),
+            response_bytes: 65_536,
+            payload_bytes: 1 << 30,
+            goodput_gbps: 8.6,
+        });
+        assert_ne!(d, b.results_digest());
+        assert!(!serde_json::to_string(&a).unwrap().contains("bulk"));
     }
 }

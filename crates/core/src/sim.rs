@@ -39,7 +39,7 @@ use tcp_stack::stack::{OsServices, TcpStack};
 use tcp_stack::{EstVariant, ListenVariant, SockId};
 
 use crate::config::{AppSpec, SimConfig};
-use crate::report::{lock_reports, RunReport};
+use crate::report::{lock_reports, BulkReport, RunReport};
 
 /// The server's IP address.
 pub const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -215,6 +215,9 @@ impl Simulation {
         if let Some(on) = cfg.syn_cookies {
             stack_config.syn_cookies = on;
         }
+        if let Some(dp) = cfg.data_plane {
+            stack_config.cc = Some(dp.cc_config());
+        }
         let tracer = if cfg.trace {
             Tracer::enabled(cores, cfg.trace_ring_capacity)
         } else {
@@ -261,6 +264,9 @@ impl Simulation {
         let mut nic_config = NicConfig::new(cores, cfg.steering);
         nic_config.atr = cfg.atr;
         nic_config.rfd_shift = stack.config().rfd_shift;
+        if let Some(dp) = cfg.data_plane {
+            nic_config.batch = dp.batch;
+        }
         if cfg.dedicated_stack_core {
             // IsoStack: every RX queue interrupts the dedicated core.
             nic_config.irq_affinity = vec![CoreId(0); cores as usize];
@@ -306,20 +312,28 @@ impl Simulation {
         for s in 0..n_clients {
             let ip = client_ip(s);
             client_by_ip.insert(ip, s);
-            clients.push(ClientSlot::new(
+            let mut slot = ClientSlot::new(
                 ip,
                 SERVER_IP,
                 cfg.app.port(),
                 cfg.workload.request_len,
                 cfg.workload.requests_per_conn,
-            ));
+            );
+            if let Some(dp) = cfg.data_plane {
+                slot = slot.with_bulk(dp.response_bytes);
+            }
+            clients.push(slot);
         }
         let mut backends = Vec::new();
         let mut backend_by_ip = HashMap::new();
         if let AppSpec::Proxy(p) = &cfg.app {
             for (i, &ip) in p.backends.iter().enumerate() {
                 backend_by_ip.insert(ip, i);
-                backends.push(Backend::new(ip, p.backend_port, p.response_len));
+                let mut b = Backend::new(ip, p.backend_port, p.response_len);
+                if let Some(dp) = cfg.data_plane {
+                    b = b.with_bulk(dp.response_bytes, dp.mss);
+                }
+                backends.push(b);
             }
         }
 
@@ -531,10 +545,15 @@ impl Simulation {
                 if let Some((dist, rng)) = sizer {
                     srv = srv.with_response_sizer(dist, rng);
                 }
+                if let Some(dp) = self.cfg.data_plane {
+                    srv = srv.with_bulk(dp.response_bytes);
+                }
                 Box::new(srv)
             }
             AppSpec::Proxy(p) => {
-                let mut srv = Proxy::new(p.clone()).with_keep_alive(keep_alive);
+                let mut srv = Proxy::new(p.clone())
+                    .with_keep_alive(keep_alive)
+                    .with_bulk(self.cfg.data_plane.is_some());
                 if let Some((dist, rng)) = sizer {
                     srv = srv.with_response_sizer(dist, rng);
                 }
@@ -857,11 +876,14 @@ impl Simulation {
         }
     }
 
-    fn transmit(&mut self, core: CoreId, tx: Vec<Packet>, at: Cycles) {
+    fn transmit(&mut self, core: CoreId, mut tx: Vec<Packet>, at: Cycles) {
         let half_rtt = self.cfg.rtt / 2;
+        let q = self.nic.tx_queue_for_core(core);
+        // Burst transmit: the NIC's ECN queue-threshold model marks
+        // data segments deep in the burst with CE. With batch offload
+        // disabled this is exactly the old per-packet tx loop.
+        self.nic.tx_burst(&mut tx, q);
         for pkt in tx {
-            let q = self.nic.tx_queue_for_core(core);
-            self.nic.tx(&pkt, q);
             self.events.push(at + half_rtt, Ev::ToPeer(pkt));
         }
     }
@@ -1133,6 +1155,7 @@ impl Simulation {
             responses: self.clients.iter().map(|c| c.responses).sum(),
             resets: self.clients.iter().map(|c| c.resets).sum(),
             timeouts: self.timeouts,
+            bytes: self.clients.iter().map(|c| c.bytes_received).sum(),
         }
     }
 
@@ -1195,6 +1218,17 @@ impl Simulation {
             schedule_digest: o.digest.hex(),
         });
 
+        let bulk = self.cfg.data_plane.map(|dp| {
+            let payload_bytes =
+                self.clients.iter().map(|c| c.bytes_received).sum::<u64>() - snap.bytes;
+            BulkReport {
+                cc: dp.cc.name().to_string(),
+                response_bytes: dp.response_bytes,
+                payload_bytes,
+                goodput_gbps: payload_bytes as f64 * 8.0 / secs / 1e9,
+            }
+        });
+
         let stack_stats = self.stack.stats();
         let steering = match self.cfg.steering {
             SteeringMode::Rss => "rss",
@@ -1229,6 +1263,7 @@ impl Simulation {
             events: self.events.delivered(),
             live_sockets: self.stack.socks.live_count(),
             load,
+            bulk,
         }
     }
 }
@@ -1242,4 +1277,5 @@ struct Snapshot {
     responses: u64,
     resets: u64,
     timeouts: u64,
+    bytes: u64,
 }

@@ -122,7 +122,7 @@ pub struct TcpHeader {
     pub seq: u32,
     /// Acknowledgment number.
     pub ack: u32,
-    /// Flag bits (low 6 bits: URG/ACK/PSH/RST/SYN/FIN).
+    /// Flag bits (full byte: CWR/ECE/URG/ACK/PSH/RST/SYN/FIN).
     pub flags: u8,
     /// Receive window.
     pub window: u16,
@@ -138,7 +138,7 @@ impl TcpHeader {
         hdr[4..8].copy_from_slice(&self.seq.to_be_bytes());
         hdr[8..12].copy_from_slice(&self.ack.to_be_bytes());
         hdr[12] = (5 << 4) as u8; // data offset 5 words
-        hdr[13] = self.flags & 0x3f;
+        hdr[13] = self.flags;
         hdr[14..16].copy_from_slice(&self.window.to_be_bytes());
         let pseudo = pseudo_header_sum(src, dst, (TCP_HEADER_LEN + payload.len()) as u16);
         let partial = sum_words(&hdr, pseudo);
@@ -172,7 +172,7 @@ impl TcpHeader {
         let seq = b.get_u32();
         let ack = b.get_u32();
         b.advance(1);
-        let flags = b.get_u8() & 0x3f;
+        let flags = b.get_u8();
         let window = b.get_u16();
         Ok(TcpHeader {
             src_port,

@@ -23,6 +23,14 @@ impl TcpFlags {
     pub const PSH: TcpFlags = TcpFlags(0x08);
     /// ACK: acknowledgment field is significant.
     pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// ECE: ECN-echo — the receiver is echoing a congestion mark back
+    /// to the sender (RFC 3168).
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CE: congestion experienced. On the real wire this is the IP
+    /// header's ECN CE codepoint; the simulator's merged L3/L4 segment
+    /// carries it in the spare top flag bit (CWR's position, which the
+    /// model does not otherwise use).
+    pub const CE: TcpFlags = TcpFlags(0x80);
 
     /// Whether every flag in `other` is set in `self`.
     pub fn contains(self, other: TcpFlags) -> bool {
@@ -44,6 +52,14 @@ impl TcpFlags {
     /// True if RST is set.
     pub fn rst(self) -> bool {
         self.contains(TcpFlags::RST)
+    }
+    /// True if ECE (ECN echo) is set.
+    pub fn ece(self) -> bool {
+        self.contains(TcpFlags::ECE)
+    }
+    /// True if CE (congestion experienced) is set.
+    pub fn ce(self) -> bool {
+        self.contains(TcpFlags::CE)
     }
 }
 
@@ -72,6 +88,12 @@ impl std::fmt::Display for TcpFlags {
         if self.contains(TcpFlags::PSH) {
             parts.push("PSH");
         }
+        if self.ece() {
+            parts.push("ECE");
+        }
+        if self.ce() {
+            parts.push("CE");
+        }
         if parts.is_empty() {
             parts.push("-");
         }
@@ -96,6 +118,8 @@ pub struct Packet {
     pub flags: TcpFlags,
     /// Payload length in bytes.
     pub payload_len: u16,
+    /// Advertised receive window.
+    pub wnd: u16,
 }
 
 /// Errors from [`Packet::parse`].
@@ -119,6 +143,7 @@ impl Packet {
             ack: 0,
             flags,
             payload_len: 0,
+            wnd: 65_535,
         }
     }
 
@@ -137,6 +162,18 @@ impl Packet {
     /// Sets the payload length (builder style).
     pub fn with_payload(mut self, len: u16) -> Packet {
         self.payload_len = len;
+        self
+    }
+
+    /// Sets the advertised receive window (builder style).
+    pub fn with_wnd(mut self, wnd: u16) -> Packet {
+        self.wnd = wnd;
+        self
+    }
+
+    /// Sets extra flags on top of the existing ones (builder style).
+    pub fn with_flags(mut self, extra: TcpFlags) -> Packet {
+        self.flags = self.flags | extra;
         self
     }
 
@@ -163,7 +200,7 @@ impl Packet {
             seq: self.seq,
             ack: self.ack,
             flags: self.flags.0,
-            window: 65_535,
+            window: self.wnd,
         }
         .encode(&mut buf, self.flow.src_ip, self.flow.dst_ip, &payload);
         buf.extend_from_slice(&payload);
@@ -187,6 +224,7 @@ impl Packet {
             ack: tcp.ack,
             flags: TcpFlags(tcp.flags),
             payload_len,
+            wnd: tcp.window,
         })
     }
 }
@@ -223,6 +261,19 @@ mod tests {
             .with_payload(600);
         let wire = p.to_wire();
         assert_eq!(Packet::parse(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn wire_round_trip_keeps_window_and_ecn_bits() {
+        let p = Packet::new(flow(), TcpFlags::ACK | TcpFlags::ECE)
+            .with_seq(1)
+            .with_ack(2)
+            .with_wnd(12_345);
+        let wire = p.to_wire();
+        assert_eq!(Packet::parse(&wire).unwrap(), p);
+        let marked = Packet::new(flow(), TcpFlags::ACK | TcpFlags::CE).with_payload(1_448);
+        assert_eq!(Packet::parse(&marked.to_wire()).unwrap(), marked);
+        assert_eq!(marked.to_string().contains("CE"), true);
     }
 
     #[test]

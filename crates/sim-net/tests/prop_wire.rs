@@ -15,15 +15,17 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         arb_flow(),
         any::<u32>(),
         any::<u32>(),
-        0u8..0x40,
+        any::<u8>(),
         0u16..4_000,
+        any::<u16>(),
     )
-        .prop_map(|(flow, seq, ack, flags, len)| Packet {
+        .prop_map(|(flow, seq, ack, flags, len, wnd)| Packet {
             flow,
             seq,
             ack,
             flags: TcpFlags(flags),
             payload_len: len,
+            wnd,
         })
 }
 

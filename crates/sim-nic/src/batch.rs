@@ -1,0 +1,131 @@
+//! GSO/GRO-style batch offload and ECN queue-threshold marking.
+//!
+//! Real NICs amortize per-segment costs when the stack hands them a
+//! super-segment (GSO: one descriptor, the hardware segments) and when
+//! the driver coalesces an in-order train of received segments into one
+//! super-segment before the stack sees it (GRO). The model keeps the
+//! per-segment *wire* packets — steering, loss, and peer logic all see
+//! individual MSS segments — but charges only a fraction of the full
+//! per-segment CPU cost for the tail of each burst.
+//!
+//! The same config models DCTCP-style ECN marking: a TX burst longer
+//! than `ecn_threshold` segments is the discrete-event analogue of a
+//! queue exceeding the marking threshold K (the wire drains between
+//! events, so the instantaneous queue depth *is* the burst length).
+//! Segments past the threshold leave with CE set.
+
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// Batch-offload parameters. The default configuration disables every
+/// mechanism (`gso_burst`/`gro_burst` of 1, `ecn_threshold` of 0), so
+/// a NIC built without explicit batch settings behaves exactly like the
+/// pre-offload model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum segments per GSO burst on the TX path. The first segment
+    /// of each burst pays the full per-segment cost; the rest pay
+    /// `amortized_pct`.
+    pub gso_burst: u16,
+    /// Maximum segments per GRO coalescing train on the RX path,
+    /// amortized the same way.
+    pub gro_burst: u16,
+    /// Percentage (0–100) of the full per-segment cost charged for
+    /// amortized segments.
+    pub amortized_pct: u8,
+    /// ECN marking threshold in segments: within one TX burst, segments
+    /// at index >= threshold are CE-marked. 0 disables marking.
+    pub ecn_threshold: u16,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            gso_burst: 1,
+            gro_burst: 1,
+            amortized_pct: 100,
+            ecn_threshold: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// An enabled offload configuration with typical values: 16-segment
+    /// GSO/GRO bursts, amortized segments at 25% of full cost, and a
+    /// DCTCP-ish marking threshold of 20 segments.
+    pub fn offload() -> Self {
+        BatchConfig {
+            gso_burst: 16,
+            gro_burst: 16,
+            amortized_pct: 25,
+            ecn_threshold: 20,
+        }
+    }
+
+    /// Cost of the `idx`-th segment (0-based) of a segmentation burst,
+    /// given the full per-segment cost. Index 0 of every `gso_burst`-
+    /// sized window pays full price, the rest are amortized.
+    pub fn gso_cost(&self, idx: u16, full: Cycles) -> Cycles {
+        self.burst_cost(idx, self.gso_burst, full)
+    }
+
+    /// Cost of the `idx`-th segment (0-based) of a coalescing train.
+    pub fn gro_cost(&self, idx: u16, full: Cycles) -> Cycles {
+        self.burst_cost(idx, self.gro_burst, full)
+    }
+
+    fn burst_cost(&self, idx: u16, burst: u16, full: Cycles) -> Cycles {
+        let burst = burst.max(1);
+        if idx.is_multiple_of(burst) {
+            full
+        } else {
+            full * Cycles::from(self.amortized_pct) / 100
+        }
+    }
+
+    /// Whether the segment at `idx` (0-based) in a TX burst crosses the
+    /// modeled queue threshold and must be CE-marked.
+    pub fn ecn_mark(&self, idx: u16) -> bool {
+        self.ecn_threshold > 0 && idx >= self.ecn_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_a_no_op() {
+        let b = BatchConfig::default();
+        for idx in 0..8 {
+            assert_eq!(b.gso_cost(idx, 2_500), 2_500);
+            assert_eq!(b.gro_cost(idx, 3_000), 3_000);
+            assert!(!b.ecn_mark(idx));
+        }
+    }
+
+    #[test]
+    fn amortization_charges_full_price_once_per_burst() {
+        let b = BatchConfig {
+            gso_burst: 4,
+            gro_burst: 4,
+            amortized_pct: 25,
+            ecn_threshold: 0,
+        };
+        let costs: Vec<_> = (0..6).map(|i| b.gso_cost(i, 1_000)).collect();
+        assert_eq!(costs, vec![1_000, 250, 250, 250, 1_000, 250]);
+        assert_eq!(b.gro_cost(1, 1_000), 250);
+    }
+
+    #[test]
+    fn ecn_marks_past_threshold_only() {
+        let b = BatchConfig {
+            ecn_threshold: 3,
+            ..BatchConfig::default()
+        };
+        assert!(!b.ecn_mark(0));
+        assert!(!b.ecn_mark(2));
+        assert!(b.ecn_mark(3));
+        assert!(b.ecn_mark(9));
+    }
+}

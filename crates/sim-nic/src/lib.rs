@@ -39,11 +39,13 @@
 //! assert_eq!(rx, QueueId(3));
 //! ```
 
+pub mod batch;
 pub mod fdir;
 pub mod nic;
 pub mod rss;
 pub mod toeplitz;
 
+pub use batch::BatchConfig;
 pub use fdir::{AtrConfig, FlowDirector, PerfectFilterConfig};
 pub use nic::{Nic, NicConfig, QueueId, SteeringMode};
 pub use rss::RssEngine;

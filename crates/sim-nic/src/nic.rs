@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::CoreId;
 use sim_net::Packet;
 
+use crate::batch::BatchConfig;
 use crate::fdir::{AtrConfig, FdirStats, FlowDirector, PerfectFilterConfig};
 use crate::rss::RssEngine;
 
@@ -41,6 +42,8 @@ pub struct NicConfig {
     /// Interrupt affinity: `irq_affinity[q]` is the core that services
     /// queue `q`'s interrupts. Defaults to the identity mapping.
     pub irq_affinity: Vec<CoreId>,
+    /// GSO/GRO batch offload and ECN marking (disabled by default).
+    pub batch: BatchConfig,
 }
 
 impl NicConfig {
@@ -58,6 +61,7 @@ impl NicConfig {
             atr: AtrConfig::default(),
             rfd_shift: 0,
             irq_affinity: (0..queues).map(CoreId).collect(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -71,6 +75,8 @@ pub struct NicStats {
     pub tx_per_queue: Vec<u64>,
     /// Packets re-steered away from a failed queue.
     pub redirected: u64,
+    /// Data segments CE-marked by the ECN queue-threshold model.
+    pub ecn_marked: u64,
 }
 
 /// The NIC model.
@@ -102,6 +108,7 @@ impl Nic {
             rx_per_queue: vec![0; config.queues as usize],
             tx_per_queue: vec![0; config.queues as usize],
             redirected: 0,
+            ecn_marked: 0,
         };
         let failed = vec![false; config.queues as usize];
         Nic {
@@ -188,6 +195,29 @@ impl Nic {
         if self.config.steering == SteeringMode::FdirAtr {
             self.fdir.observe_tx(pkt, queue.0);
         }
+    }
+
+    /// Transmits a burst of packets on `queue`, applying the ECN
+    /// queue-threshold model: data segments whose position in the burst
+    /// crosses `batch.ecn_threshold` leave with CE set. With the
+    /// default (disabled) batch config this is exactly a `tx` loop.
+    pub fn tx_burst(&mut self, pkts: &mut [Packet], queue: QueueId) {
+        let mut data_idx: u16 = 0;
+        for pkt in pkts.iter_mut() {
+            if pkt.payload_len > 0 {
+                if self.config.batch.ecn_mark(data_idx) {
+                    pkt.flags = pkt.flags | sim_net::TcpFlags::CE;
+                    self.stats.ecn_marked += 1;
+                }
+                data_idx += 1;
+            }
+            self.tx(pkt, queue);
+        }
+    }
+
+    /// The batch-offload configuration.
+    pub fn batch(&self) -> BatchConfig {
+        self.config.batch
     }
 
     /// Receive/transmit counters.
@@ -302,6 +332,43 @@ mod tests {
         nic.fail_queue(QueueId(1));
         let p = Packet::new(flow(40_000, 80), TcpFlags::SYN);
         assert_eq!(nic.rx_queue(&p), QueueId(0));
+    }
+
+    #[test]
+    fn tx_burst_marks_ce_past_threshold() {
+        let mut cfg = NicConfig::new(2, SteeringMode::Rss);
+        cfg.batch = BatchConfig {
+            ecn_threshold: 2,
+            ..BatchConfig::default()
+        };
+        let mut nic = Nic::new(cfg);
+        let f = flow(80, 40_000);
+        let mut burst: Vec<Packet> = (0..4)
+            .map(|i| {
+                Packet::new(f, TcpFlags::ACK | TcpFlags::PSH)
+                    .with_seq(i * 1_448)
+                    .with_payload(1_448)
+            })
+            .collect();
+        // A pure ACK interleaved in the burst does not count as queue depth.
+        burst.insert(0, Packet::new(f, TcpFlags::ACK));
+        nic.tx_burst(&mut burst, QueueId(0));
+        let marked: Vec<bool> = burst.iter().map(|p| p.flags.ce()).collect();
+        assert_eq!(marked, vec![false, false, false, true, true]);
+        assert_eq!(nic.stats().ecn_marked, 2);
+        assert_eq!(nic.stats().tx_per_queue[0], 5);
+    }
+
+    #[test]
+    fn tx_burst_with_default_batch_is_plain_tx() {
+        let mut nic = Nic::new(NicConfig::new(2, SteeringMode::Rss));
+        let f = flow(80, 40_000);
+        let mut burst: Vec<Packet> = (0..30)
+            .map(|i| Packet::new(f, TcpFlags::ACK).with_seq(i).with_payload(100))
+            .collect();
+        nic.tx_burst(&mut burst, QueueId(1));
+        assert!(burst.iter().all(|p| !p.flags.ce()));
+        assert_eq!(nic.stats().ecn_marked, 0);
     }
 
     #[test]

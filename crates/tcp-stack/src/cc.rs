@@ -1,0 +1,553 @@
+//! Pluggable congestion control for the bulk-transfer data plane.
+//!
+//! Three controllers ship behind the [`CongestionControl`] trait:
+//!
+//! * [`NewReno`] — RFC 5681/6582 slow start, AIMD congestion
+//!   avoidance and fast recovery.
+//! * [`Cubic`] — RFC 8312 window growth `W(t) = C·(t−K)³ + Wmax`,
+//!   driven off the deterministic simulated clock.
+//! * [`Dctcp`] — a DCTCP-style ECN responder: it maintains the EWMA
+//!   marked fraction `α` and cuts `cwnd` by `α/2` once per window,
+//!   instead of NewReno's half-on-any-mark.
+//!
+//! All state lives in the TCB (inside [`crate::window::DataPlane`]) and
+//! every transition is driven off the event path — ACK arrival,
+//! duplicate-ACK threshold, RTO — so same-seed runs are bit-identical.
+//! The floating-point math in CUBIC/DCTCP is pure (no wall clock, no
+//! RNG) and therefore deterministic too.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{cycles_to_secs, Cycles};
+use sim_nic::BatchConfig;
+
+use crate::window::seq_ge;
+
+/// Hard ceiling on cwnd, well above anything the 16-bit peer window
+/// lets a sender use; keeps the arithmetic overflow-free.
+const MAX_CWND: u32 = 1 << 24;
+
+/// Which congestion-control algorithm a connection runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcAlgo {
+    /// RFC 5681/6582 NewReno.
+    NewReno,
+    /// RFC 8312 CUBIC.
+    Cubic,
+    /// DCTCP-style proportional ECN responder.
+    Dctcp,
+}
+
+impl CcAlgo {
+    /// All algorithms, in sweep order.
+    pub const ALL: [CcAlgo; 3] = [CcAlgo::NewReno, CcAlgo::Cubic, CcAlgo::Dctcp];
+
+    /// Short lowercase name, used in bench labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgo::NewReno => "newreno",
+            CcAlgo::Cubic => "cubic",
+            CcAlgo::Dctcp => "dctcp",
+        }
+    }
+}
+
+impl std::fmt::Display for CcAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Data-plane configuration carried by `StackConfig::cc`; present only
+/// when the sliding-window data plane is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CcConfig {
+    /// Congestion-control algorithm for every connection.
+    pub algo: CcAlgo,
+    /// Maximum segment size.
+    pub mss: u16,
+    /// Initial congestion window, in segments (RFC 6928 IW10).
+    pub init_cwnd_segs: u16,
+    /// Per-connection receive buffer budget backing the advertised
+    /// window.
+    pub rcv_buf: u32,
+    /// GSO/GRO batch amortization and ECN-marking parameters.
+    pub batch: BatchConfig,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            algo: CcAlgo::NewReno,
+            mss: 1_448,
+            init_cwnd_segs: 10,
+            rcv_buf: 65_535,
+            batch: BatchConfig::default(),
+        }
+    }
+}
+
+/// Context handed to the controller on every ACK that advances `una`.
+#[derive(Debug, Clone, Copy)]
+pub struct AckCtx {
+    /// Bytes newly acknowledged.
+    pub acked: u32,
+    /// The ACK carried an ECN echo (ECE).
+    pub marked: bool,
+    /// Current simulated time.
+    pub now: Cycles,
+    /// New `snd_una` after this ACK.
+    pub una: u32,
+    /// Current `snd_nxt`.
+    pub snd_nxt: u32,
+}
+
+/// A per-connection congestion controller. Implementations own cwnd
+/// and ssthresh; the stack owns retransmission and recovery sequencing.
+pub trait CongestionControl: std::fmt::Debug + Send {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u32;
+    /// Current slow-start threshold in bytes.
+    fn ssthresh(&self) -> u32;
+    /// An ACK advanced `snd_una`.
+    fn on_ack(&mut self, ctx: &AckCtx);
+    /// Third duplicate ACK: entering fast recovery.
+    fn on_fast_retransmit(&mut self, inflight: u32, now: Cycles);
+    /// A full ACK ended fast recovery.
+    fn on_recovery_exit(&mut self);
+    /// The retransmission timer fired.
+    fn on_rto(&mut self, inflight: u32, now: Cycles);
+}
+
+/// Builds the configured controller.
+pub fn build(cfg: &CcConfig) -> Box<dyn CongestionControl> {
+    let mss = u32::from(cfg.mss.max(1));
+    let iw = mss * u32::from(cfg.init_cwnd_segs.max(1));
+    match cfg.algo {
+        CcAlgo::NewReno => Box::new(NewReno::new(mss, iw)),
+        CcAlgo::Cubic => Box::new(Cubic::new(mss, iw)),
+        CcAlgo::Dctcp => Box::new(Dctcp::new(mss, iw)),
+    }
+}
+
+/// Once-per-window ECN guard: reacting to every ECE in a window would
+/// collapse cwnd exponentially, so a controller records `snd_nxt` at
+/// each cut and ignores further marks until `una` passes it (the
+/// `CWR`-state analogue).
+#[derive(Debug, Clone, Copy, Default)]
+struct EcnGuard {
+    cut_at: Option<u32>,
+}
+
+impl EcnGuard {
+    /// Whether a mark observed at `una` may trigger a new cut.
+    fn may_cut(&self, una: u32) -> bool {
+        match self.cut_at {
+            None => true,
+            Some(point) => seq_ge(una, point),
+        }
+    }
+
+    fn record_cut(&mut self, snd_nxt: u32) {
+        self.cut_at = Some(snd_nxt);
+    }
+}
+
+/// RFC 5681/6582 NewReno.
+#[derive(Debug)]
+pub struct NewReno {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    acked_bytes: u32,
+    ecn: EcnGuard,
+}
+
+impl NewReno {
+    fn new(mss: u32, iw: u32) -> Self {
+        NewReno {
+            mss,
+            cwnd: iw,
+            ssthresh: MAX_CWND,
+            acked_bytes: 0,
+            ecn: EcnGuard::default(),
+        }
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if ctx.marked && self.ecn.may_cut(ctx.una) {
+            self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+            self.cwnd = self.ssthresh;
+            self.ecn.record_cut(ctx.snd_nxt);
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + ctx.acked.min(self.mss)).min(MAX_CWND);
+        } else {
+            self.acked_bytes += ctx.acked;
+            if self.acked_bytes >= self.cwnd {
+                self.acked_bytes -= self.cwnd;
+                self.cwnd = (self.cwnd + self.mss).min(MAX_CWND);
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, inflight: u32, _now: Cycles) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        // Window inflation by the three duplicates that triggered us.
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.acked_bytes = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, inflight: u32, _now: Cycles) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_bytes = 0;
+    }
+}
+
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+
+/// RFC 8312 CUBIC. Window math runs in MSS units; elapsed time comes
+/// from the simulated clock, so growth is deterministic.
+#[derive(Debug)]
+pub struct Cubic {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    /// Window (MSS units) at the last congestion event.
+    wmax: f64,
+    /// Time to return to `wmax`, seconds.
+    k: f64,
+    /// Start of the current growth epoch.
+    epoch: Option<Cycles>,
+    ecn: EcnGuard,
+}
+
+impl Cubic {
+    fn new(mss: u32, iw: u32) -> Self {
+        Cubic {
+            mss,
+            cwnd: iw,
+            ssthresh: MAX_CWND,
+            wmax: 0.0,
+            k: 0.0,
+            epoch: None,
+            ecn: EcnGuard::default(),
+        }
+    }
+
+    /// Multiplicative decrease shared by loss and ECN events.
+    fn congestion_event(&mut self) {
+        self.wmax = f64::from(self.cwnd) / f64::from(self.mss);
+        self.k = (self.wmax * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        self.ssthresh = ((f64::from(self.cwnd) * CUBIC_BETA) as u32).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.epoch = None;
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        if ctx.marked && self.ecn.may_cut(ctx.una) {
+            self.congestion_event();
+            self.ecn.record_cut(ctx.snd_nxt);
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + ctx.acked.min(self.mss)).min(MAX_CWND);
+            return;
+        }
+        let epoch = *self.epoch.get_or_insert(ctx.now);
+        let t = cycles_to_secs(ctx.now.saturating_sub(epoch));
+        let w = (CUBIC_C * (t - self.k).powi(3) + self.wmax).clamp(2.0, 16_384.0);
+        let target = (w * f64::from(self.mss)) as u32;
+        if target > self.cwnd {
+            // At most one MSS of growth per ACK keeps the ramp paced
+            // by the ACK clock, as the RFC's cwnd/target division does.
+            self.cwnd = (self.cwnd + (target - self.cwnd).min(self.mss)).min(MAX_CWND);
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _inflight: u32, _now: Cycles) {
+        self.congestion_event();
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _inflight: u32, _now: Cycles) {
+        self.congestion_event();
+        self.cwnd = self.mss;
+    }
+}
+
+/// EWMA gain for the DCTCP marked fraction, `g = 1/16`.
+const DCTCP_G: f64 = 0.0625;
+
+/// DCTCP-style ECN responder: per-window marked-byte fraction feeds an
+/// EWMA `α`, and each marked window cuts cwnd by `α/2`. Loss falls
+/// back to NewReno behaviour.
+#[derive(Debug)]
+pub struct Dctcp {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    alpha: f64,
+    acked_total: u64,
+    marked_total: u64,
+    /// Sequence ending the current observation window.
+    obs_end: Option<u32>,
+    acked_bytes: u32,
+}
+
+impl Dctcp {
+    fn new(mss: u32, iw: u32) -> Self {
+        Dctcp {
+            mss,
+            cwnd: iw,
+            ssthresh: MAX_CWND,
+            alpha: 1.0,
+            acked_total: 0,
+            marked_total: 0,
+            obs_end: None,
+            acked_bytes: 0,
+        }
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ctx: &AckCtx) {
+        self.acked_total += u64::from(ctx.acked);
+        if ctx.marked {
+            self.marked_total += u64::from(ctx.acked);
+        }
+        let end = *self.obs_end.get_or_insert(ctx.snd_nxt);
+        let mut cut = false;
+        if seq_ge(ctx.una, end) {
+            let f = self.marked_total as f64 / self.acked_total.max(1) as f64;
+            self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * f;
+            if self.marked_total > 0 {
+                let next = (f64::from(self.cwnd) * (1.0 - self.alpha / 2.0)) as u32;
+                self.cwnd = next.max(2 * self.mss);
+                self.ssthresh = self.cwnd;
+                cut = true;
+            }
+            self.acked_total = 0;
+            self.marked_total = 0;
+            self.obs_end = Some(ctx.snd_nxt);
+        }
+        if cut {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + ctx.acked.min(self.mss)).min(MAX_CWND);
+        } else {
+            self.acked_bytes += ctx.acked;
+            if self.acked_bytes >= self.cwnd {
+                self.acked_bytes -= self.cwnd;
+                self.cwnd = (self.cwnd + self.mss).min(MAX_CWND);
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, inflight: u32, _now: Cycles) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.acked_bytes = 0;
+    }
+
+    fn on_recovery_exit(&mut self) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, inflight: u32, _now: Cycles) {
+        self.ssthresh = (inflight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::CYCLES_PER_SEC;
+
+    fn ack(acked: u32, marked: bool, now: Cycles, una: u32, snd_nxt: u32) -> AckCtx {
+        AckCtx {
+            acked,
+            marked,
+            now,
+            una,
+            snd_nxt,
+        }
+    }
+
+    fn cfg(algo: CcAlgo) -> CcConfig {
+        CcConfig {
+            algo,
+            ..CcConfig::default()
+        }
+    }
+
+    #[test]
+    fn newreno_slow_start_doubles_per_rtt() {
+        let mut cc = build(&cfg(CcAlgo::NewReno));
+        let start = cc.cwnd();
+        // Ack a full window's worth of segments.
+        let mut una = 0;
+        for _ in 0..10 {
+            una += 1_448;
+            cc.on_ack(&ack(1_448, false, 0, una, una + 100_000));
+        }
+        assert_eq!(cc.cwnd(), start + 10 * 1_448);
+    }
+
+    #[test]
+    fn newreno_congestion_avoidance_adds_one_mss_per_window() {
+        let mut cc = build(&cfg(CcAlgo::NewReno));
+        cc.on_fast_retransmit(20 * 1_448, 0);
+        cc.on_recovery_exit();
+        let base = cc.cwnd();
+        assert_eq!(base, 10 * 1_448, "half of 20 segments in flight");
+        // One full window of ACKs grows cwnd by exactly one MSS.
+        let mut acked = 0;
+        while acked < base {
+            cc.on_ack(&ack(1_448, false, 0, acked, acked + 100_000));
+            acked += 1_448;
+        }
+        assert_eq!(cc.cwnd(), base + 1_448);
+    }
+
+    #[test]
+    fn newreno_rto_collapses_to_one_mss() {
+        let mut cc = build(&cfg(CcAlgo::NewReno));
+        cc.on_rto(10 * 1_448, 0);
+        assert_eq!(cc.cwnd(), 1_448);
+        assert_eq!(cc.ssthresh(), 5 * 1_448);
+    }
+
+    #[test]
+    fn newreno_cuts_once_per_window_on_ecn() {
+        let mut cc = build(&cfg(CcAlgo::NewReno));
+        let before = cc.cwnd();
+        cc.on_ack(&ack(1_448, true, 0, 1_448, 50_000));
+        let after_first = cc.cwnd();
+        assert_eq!(after_first, (before / 2).max(2 * 1_448));
+        // Further marks in the same window are ignored.
+        cc.on_ack(&ack(1_448, true, 0, 2_896, 50_000));
+        assert!(cc.cwnd() >= after_first);
+        // A mark after una passes the cut point cuts again.
+        cc.on_ack(&ack(1_448, true, 0, 51_000, 80_000));
+        assert!(cc.cwnd() < after_first);
+    }
+
+    #[test]
+    fn cubic_grows_toward_wmax_over_time() {
+        let mut cc = build(&cfg(CcAlgo::Cubic));
+        // Force a congestion event at a large window.
+        while cc.cwnd() < 40 * 1_448 {
+            cc.on_ack(&ack(1_448, false, 0, 0, 100_000));
+        }
+        let peak = cc.cwnd();
+        cc.on_fast_retransmit(peak, 0);
+        cc.on_recovery_exit();
+        let floor = cc.cwnd();
+        assert!(floor < peak);
+        // ACKs spread over simulated time climb back toward the peak.
+        let mut now = 0;
+        let mut una = 0u32;
+        for _ in 0..4_000 {
+            now += CYCLES_PER_SEC / 1_000; // 1 ms of ACK clock
+            una = una.wrapping_add(1_448);
+            cc.on_ack(&ack(1_448, false, now, una, una.wrapping_add(100_000)));
+        }
+        assert!(cc.cwnd() > floor, "cubic must regrow");
+        let wmax_bytes = peak;
+        assert!(
+            cc.cwnd() >= wmax_bytes * 9 / 10,
+            "after 4s cubic should be near wmax: {} vs {}",
+            cc.cwnd(),
+            wmax_bytes
+        );
+    }
+
+    #[test]
+    fn dctcp_cut_is_proportional_to_marked_fraction() {
+        let mut half = build(&cfg(CcAlgo::Dctcp));
+        let mut light = build(&cfg(CcAlgo::Dctcp));
+        // Window 1 establishes the observation window [0, 50_000).
+        half.on_ack(&ack(1_448, false, 0, 1_448, 50_000));
+        light.on_ack(&ack(1_448, false, 0, 1_448, 50_000));
+        // Window 1 completes: every byte marked vs. one mark.
+        for i in 2..40 {
+            let una = i * 1_448;
+            half.on_ack(&ack(1_448, true, 0, una, 120_000));
+            light.on_ack(&ack(1_448, i == 2, 0, una, 120_000));
+        }
+        let heavy_cut = half.cwnd();
+        let light_cut = light.cwnd();
+        assert!(
+            heavy_cut < light_cut,
+            "heavier marking must cut deeper: {heavy_cut} vs {light_cut}"
+        );
+    }
+
+    #[test]
+    fn all_algorithms_build_and_report_names() {
+        for algo in CcAlgo::ALL {
+            let cc = build(&cfg(algo));
+            assert_eq!(cc.name(), algo.name());
+            assert!(cc.cwnd() > 0);
+        }
+        assert_eq!(CcAlgo::Cubic.to_string(), "cubic");
+    }
+
+    #[test]
+    fn ecn_guard_is_wrap_safe() {
+        let mut g = EcnGuard::default();
+        assert!(g.may_cut(u32::MAX - 10));
+        g.record_cut(5); // snd_nxt wrapped past zero
+        assert!(!g.may_cut(u32::MAX - 2), "still before the cut point");
+        assert!(g.may_cut(6), "wrapped past the cut point");
+    }
+}

@@ -27,6 +27,7 @@
 //! All variants run the same workload code; a [`stack::StackConfig`]
 //! selects which kernel is being simulated.
 
+pub mod cc;
 pub mod costs;
 pub mod established;
 pub mod listen;
@@ -36,11 +37,14 @@ pub mod stack;
 pub mod state;
 pub mod stats;
 pub mod tcb;
+pub mod window;
 
+pub use cc::{AckCtx, CcAlgo, CcConfig, CongestionControl};
 pub use established::EstVariant;
 pub use listen::ListenVariant;
 pub use rfd::{PacketClass, Rfd};
 pub use stack::{AcceptSource, FaultInjection, OsServices, RxOutcome, StackConfig, TcpStack};
 pub use state::TcpState;
-pub use stats::StackStats;
+pub use stats::{DataPlaneStats, StackStats};
 pub use tcb::SockId;
+pub use window::{DataPlane, RecvWindow, SendWindow};

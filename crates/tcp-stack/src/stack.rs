@@ -26,6 +26,7 @@ use sim_os::{KernelCtx, Op};
 
 use sim_trace::TraceLabel;
 
+use crate::cc::{AckCtx, CcConfig};
 use crate::costs::StackCosts;
 use crate::established::{flow_hash, EstTable, EstVariant};
 use crate::listen::{ListenTable, ListenVariant, LsId};
@@ -34,6 +35,7 @@ use crate::rfd::{ClassifiedBy, PacketClass, Rfd};
 use crate::state::{self, TcpState};
 use crate::stats::StackStats;
 use crate::tcb::{SockId, SockTable};
+use crate::window::{seq_gt, AckKind, DataPlane, DUP_ACK_THRESHOLD};
 
 /// Seeded fault-injection knobs that break one kernel invariant on
 /// purpose, so the `sim-check` sanitizers can be shown to catch real
@@ -113,6 +115,13 @@ pub struct StackConfig {
     /// Deliberately broken invariant for sanitizer validation; keep
     /// [`FaultInjection::None`] for any measurement run.
     pub fault: FaultInjection,
+    /// Sliding-window data plane: when set, every established
+    /// connection gets send/receive windows and the configured
+    /// congestion controller, enabling [`TcpStack::send_bulk`]
+    /// multi-segment streaming. `None` keeps the single-packet
+    /// request/response model byte-identical to the pre-data-plane
+    /// stack.
+    pub cc: Option<CcConfig>,
 }
 
 impl StackConfig {
@@ -136,7 +145,15 @@ impl StackConfig {
             rto: 13_500_000, // 5 ms at 2.7 GHz
             tcb_cap: None,
             fault: FaultInjection::None,
+            cc: None,
         }
+    }
+
+    /// Enables the sliding-window data plane with the given
+    /// congestion-control configuration (builder style).
+    pub fn with_cc(mut self, cc: CcConfig) -> Self {
+        self.cc = Some(cc);
+        self
     }
 
     /// Linux 3.13: `SO_REUSEPORT` listen copies and finer-grained VFS
@@ -305,6 +322,17 @@ impl TcpStack {
         if let Some(t) = self.socks.get(sock).rtx_timer {
             os.timers.modify(ctx, &mut op, t);
         }
+        // Timeout is the congestion controller's strongest signal:
+        // collapse cwnd and abandon any fast-recovery episode.
+        let now = op.now();
+        {
+            let t = self.socks.get_mut(sock);
+            let snd_nxt = t.snd_nxt;
+            if let Some(dp) = t.dp.as_mut() {
+                dp.cc.on_rto(dp.snd.inflight(snd_nxt), now);
+                dp.snd.on_rto();
+            }
+        }
         op.commit(&mut ctx.cpu);
         self.stats.retransmits += 1;
         let delay = self.rto_after(attempts);
@@ -322,6 +350,22 @@ impl TcpStack {
         self.pending_rto.push((sock, gen, rto));
     }
 
+    /// Like [`TcpStack::track_unacked`], but arms the RTO only on the
+    /// empty→non-empty transition: a bulk transfer keeps many segments
+    /// in flight and one armed expiry per flight suffices ([`on_rto`]
+    /// re-arms while segments remain outstanding).
+    ///
+    /// [`on_rto`]: TcpStack::on_rto
+    fn track_unacked_dp(&mut self, sock: SockId, seg: Packet) {
+        let gen = self.socks.get(sock).gen;
+        let rto = self.config.rto;
+        let t = self.socks.get_mut(sock);
+        if t.unacked.is_empty() {
+            self.pending_rto.push((sock, gen, rto));
+        }
+        t.unacked.push_back(seg);
+    }
+
     /// Drops tracked segments fully acknowledged by `ack`; forward
     /// progress resets the retry counter.
     fn clear_acked(&mut self, sock: SockId, ack: u32) {
@@ -335,6 +379,128 @@ impl TcpStack {
             } else {
                 break;
             }
+        }
+    }
+
+    /// Data-plane ACK processing: duplicate-ACK counting with
+    /// dup-ACK-threshold fast retransmit, congestion-controller
+    /// updates (including the ECN echo), NewReno partial-ACK
+    /// retransmission during recovery, recovery exit on a full ACK,
+    /// and transmission of whatever the freshly opened window now
+    /// allows. Runs under the socket slock in the softirq half.
+    fn dp_on_ack(&mut self, op: &mut Op, sock: SockId, pkt: &Packet, out: &mut RxOutcome) {
+        let now = op.now();
+        let mut fast_rtx: Option<Packet> = None;
+        let mut ecn_echo = false;
+        {
+            let t = self.socks.get_mut(sock);
+            let snd_nxt = t.snd_nxt;
+            let front = t.unacked.front().copied();
+            let Some(dp) = t.dp.as_mut() else { return };
+            match dp.snd.on_ack(pkt.ack, snd_nxt, pkt.wnd) {
+                AckKind::Old => {}
+                AckKind::Dup { count } => {
+                    if count == DUP_ACK_THRESHOLD && !dp.snd.in_recovery {
+                        dp.cc.on_fast_retransmit(dp.snd.inflight(snd_nxt), now);
+                        dp.snd.enter_recovery(snd_nxt);
+                        fast_rtx = front;
+                    }
+                }
+                AckKind::Advance { acked } => {
+                    let marked = pkt.flags.ece();
+                    ecn_echo = marked;
+                    let una = dp.snd.una;
+                    dp.cc.on_ack(&AckCtx {
+                        acked,
+                        marked,
+                        now,
+                        una,
+                        snd_nxt,
+                    });
+                    if dp.snd.in_recovery {
+                        if dp.snd.recovery_done() {
+                            dp.snd.exit_recovery();
+                            dp.cc.on_recovery_exit();
+                        } else {
+                            // NewReno partial ACK: the next hole starts
+                            // at the new una (clear_acked already
+                            // dropped what this ACK covered).
+                            fast_rtx = front;
+                        }
+                    }
+                }
+            }
+        }
+        if ecn_echo {
+            self.stats.dp_mut().ecn_echoes += 1;
+        }
+        if let Some(seg) = fast_rtx {
+            self.stats.dp_mut().fast_retransmits += 1;
+            self.transmit(op, seg, out);
+        }
+        self.push_segments(op, sock, out);
+    }
+
+    /// Segments and transmits as much queued data as the congestion
+    /// and peer windows allow, charging GSO-amortized per-segment TX
+    /// costs, then emits the deferred FIN once the queue drains. The
+    /// caller holds the socket slock.
+    fn push_segments(&mut self, op: &mut Op, sock: SockId, out: &mut RxOutcome) {
+        let costs = self.config.costs;
+        loop {
+            let seg = {
+                let t = self.socks.get_mut(sock);
+                let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
+                let Some(dp) = t.dp.as_mut() else { return };
+                if dp.snd.pending == 0 {
+                    None
+                } else {
+                    let seg_len = dp.snd.pending.min(u64::from(dp.mss)) as u32;
+                    if dp.snd.usable(snd_nxt, dp.cc.cwnd()) < seg_len {
+                        None
+                    } else {
+                        dp.snd.pending -= u64::from(seg_len);
+                        let idx = dp.gso_idx;
+                        dp.gso_idx = dp.gso_idx.wrapping_add(1);
+                        let cost = dp.batch.gso_cost(idx, costs.tx_per_packet);
+                        let seg = Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+                            .with_seq(snd_nxt)
+                            .with_ack(rcv_nxt)
+                            .with_payload(seg_len as u16)
+                            .with_wnd(dp.rcv.advertised());
+                        t.snd_nxt = snd_nxt.wrapping_add(seg_len);
+                        Some((seg, cost))
+                    }
+                }
+            };
+            let Some((seg, cost)) = seg else { break };
+            op.work(CycleClass::TxPath, cost);
+            self.track_unacked_dp(sock, seg);
+            self.stats.dp_mut().bytes_streamed += u64::from(seg.payload_len);
+            out.replies.push(seg);
+        }
+        // Deferred FIN: close() ran while bytes were still queued; it
+        // rides behind the final data segment.
+        let fin = {
+            let t = self.socks.get_mut(sock);
+            let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
+            let Some(dp) = t.dp.as_mut() else { return };
+            if dp.snd.fin_pending && dp.snd.pending == 0 {
+                dp.snd.fin_pending = false;
+                let fin = Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
+                    .with_seq(snd_nxt)
+                    .with_ack(rcv_nxt)
+                    .with_wnd(dp.rcv.advertised());
+                t.snd_nxt = snd_nxt.wrapping_add(1);
+                Some(fin)
+            } else {
+                None
+            }
+        };
+        if let Some(fin) = fin {
+            op.work(CycleClass::TxPath, costs.tx_per_packet);
+            self.track_unacked_dp(sock, fin);
+            out.replies.push(fin);
         }
     }
 
@@ -645,6 +811,9 @@ impl TcpStack {
 
         if pkt.flags.ack() {
             self.clear_acked(sock, pkt.ack);
+            if self.socks.get(sock).dp.is_some() {
+                self.dp_on_ack(op, sock, pkt, out);
+            }
         }
         // Duplicate of an already-received segment (the peer, or we,
         // retransmitted under loss): re-ACK and drop.
@@ -655,9 +824,39 @@ impl TcpStack {
                 && (t.rcv_nxt.wrapping_sub(pkt.seq.wrapping_add(pkt.seq_len())) as i32) >= 0;
             if is_dup {
                 self.stats.duplicate_segments += 1;
-                let reply = Packet::new(t.flow, TcpFlags::ACK)
+                let mut reply = Packet::new(t.flow, TcpFlags::ACK)
                     .with_seq(t.snd_nxt)
                     .with_ack(t.rcv_nxt);
+                if let Some(dp) = t.dp.as_ref() {
+                    reply = reply.with_wnd(dp.rcv.advertised());
+                }
+                self.transmit(op, reply, out);
+                if let Some(held) = slock.take() {
+                    op.unlock(held);
+                }
+                return;
+            }
+        }
+        // Data-plane receive windows have no reassembly queue: a
+        // segment past `rcv_nxt` (a loss upstream) or beyond the buffer
+        // budget is dropped, and a duplicate ACK asks the sender to
+        // resend from `rcv_nxt`.
+        if pkt.seq_len() > 0 && self.socks.get(sock).dp.is_some() {
+            let reply = {
+                let t = self.socks.get_mut(sock);
+                let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
+                let dp = t.dp.as_mut().expect("checked above");
+                let ooo = seq_gt(pkt.seq, rcv_nxt);
+                let over = !ooo && pkt.payload_len > 0 && !dp.rcv.accept(pkt.payload_len);
+                (ooo || over).then(|| {
+                    Packet::new(flow, TcpFlags::ACK)
+                        .with_seq(snd_nxt)
+                        .with_ack(rcv_nxt)
+                        .with_wnd(dp.rcv.advertised())
+                })
+            };
+            if let Some(reply) = reply {
+                self.stats.dp_mut().out_of_order_segments += 1;
                 self.transmit(op, reply, out);
                 if let Some(held) = slock.take() {
                     op.unlock(held);
@@ -667,7 +866,16 @@ impl TcpStack {
         }
         let trans = {
             let t = self.socks.get_mut(sock);
-            t.rcv_nxt = t.rcv_nxt.max(pkt.seq.wrapping_add(pkt.seq_len()));
+            let seg_end = pkt.seq.wrapping_add(pkt.seq_len());
+            if t.dp.is_some() {
+                // Wrap-safe advance: bulk transfers cross the u32
+                // boundary when the random ISN sits near it.
+                if seq_gt(seg_end, t.rcv_nxt) {
+                    t.rcv_nxt = seg_end;
+                }
+            } else {
+                t.rcv_nxt = t.rcv_nxt.max(seg_end);
+            }
             state::on_segment(t.state, pkt.flags, pkt.payload_len)
         };
 
@@ -699,8 +907,15 @@ impl TcpStack {
         let mut notify_writable = false;
 
         if trans.established {
+            let cc_cfg = self.config.cc;
             let t = self.socks.get_mut(sock);
             t.state = trans.next;
+            if t.dp.is_none() {
+                let snd_nxt = t.snd_nxt;
+                t.dp = cc_cfg
+                    .as_ref()
+                    .map(|c| Box::new(DataPlane::new(c, snd_nxt)));
+            }
             let flow = t.flow;
             if t.active {
                 self.stats.active_established += 1;
@@ -719,7 +934,17 @@ impl TcpStack {
             t.rx_ready += u32::from(pkt.payload_len);
             let buf = t.buf_obj;
             let flow = t.flow;
-            op.work(CycleClass::SoftirqBase, costs.data_segment);
+            // GRO: an in-order train of data-plane segments amortizes
+            // the per-segment receive cost.
+            let seg_cost = match t.dp.as_mut() {
+                Some(dp) => {
+                    let c = dp.batch.gro_cost(dp.gro_idx, costs.data_segment);
+                    dp.gro_idx = dp.gro_idx.wrapping_add(1);
+                    c
+                }
+                None => costs.data_segment,
+            };
+            op.work(CycleClass::SoftirqBase, seg_cost);
             op.work(
                 CycleClass::SoftirqBase,
                 costs.copy_cost(u32::from(pkt.payload_len)),
@@ -738,9 +963,12 @@ impl TcpStack {
 
         if trans.send_ack {
             let t = self.socks.get(sock);
-            let reply = Packet::new(t.flow, TcpFlags::ACK)
+            let mut reply = Packet::new(t.flow, TcpFlags::ACK)
                 .with_seq(t.snd_nxt)
                 .with_ack(t.rcv_nxt);
+            if let Some(dp) = t.dp.as_ref() {
+                reply = reply.with_wnd(dp.rcv.advertised());
+            }
             self.transmit(op, reply, out);
         }
 
@@ -955,11 +1183,19 @@ impl TcpStack {
         // here too).
         let home = self.est.insert(ctx, op, core, *lflow, child, &costs);
         {
+            let cc_cfg = self.config.cc;
             let t = self.socks.get_mut(child);
             t.in_est = true;
             t.est_home = home;
+            let snd_nxt = t.snd_nxt;
+            t.dp = cc_cfg
+                .as_ref()
+                .map(|c| Box::new(DataPlane::new(c, snd_nxt)));
             if pkt.payload_len > 0 {
                 t.rx_ready += u32::from(pkt.payload_len);
+                if let Some(dp) = t.dp.as_mut() {
+                    let _ = dp.rcv.accept(pkt.payload_len);
+                }
             }
         }
 
@@ -1395,8 +1631,71 @@ impl TcpStack {
         Some(dummy.replies.pop().unwrap())
     }
 
-    /// `read()`: drains the receive queue, returning the bytes read.
-    pub fn recv(&mut self, ctx: &mut KernelCtx, op: &mut Op, sock: SockId) -> u32 {
+    /// `write()` for bulk responses: queues `bytes` on the send window
+    /// and transmits as many MSS segments as the congestion and peer
+    /// windows currently allow (GSO-amortized). Returns the segments
+    /// to put on the wire; the rest follow from the softirq half as
+    /// ACKs open the window. Falls back to one plain
+    /// [`TcpStack::send`] segment when the data plane is disabled.
+    pub fn send_bulk(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        op: &mut Op,
+        sock: SockId,
+        bytes: u32,
+    ) -> Vec<Packet> {
+        if self.socks.get(sock).dp.is_none() {
+            return self
+                .send(ctx, os, op, sock, bytes.min(u32::from(u16::MAX)) as u16)
+                .into_iter()
+                .collect();
+        }
+        let costs = self.config.costs;
+        let (lock, buf, can, timer) = {
+            let t = self.socks.get(sock);
+            (t.lock, t.buf_obj, t.state.can_send(), t.rtx_timer)
+        };
+        if !can || bytes == 0 {
+            return Vec::new();
+        }
+        self.syscall_entry(op);
+        op.work(CycleClass::Syscall, costs.send);
+        op.work(CycleClass::Syscall, self.copy_cost(bytes));
+        op.touch_mut(ctx, buf);
+        // The slock covers window queueing, segmentation and the RTO
+        // arm, as tcp_sendmsg under lock_sock() does.
+        let held = op.lock_scope(
+            &mut ctx.locks,
+            lock,
+            CycleClass::TcbManage,
+            costs.slock_hold_app,
+        );
+        match timer {
+            Some(t) => os.timers.modify(ctx, op, t),
+            None => {
+                let t = os.timers.arm(ctx, op);
+                self.socks.get_mut(sock).rtx_timer = Some(t);
+            }
+        }
+        if let Some(dp) = self.socks.get_mut(sock).dp.as_mut() {
+            dp.snd.queue(u64::from(bytes));
+        }
+        let mut out = RxOutcome::default();
+        self.push_segments(op, sock, &mut out);
+        op.unlock(held);
+        out.replies
+    }
+
+    /// `read()`: drains the receive queue, returning the bytes read
+    /// and — under the data plane — a window-update ACK when the drain
+    /// reopens a mostly-closed advertised window.
+    pub fn recv(
+        &mut self,
+        ctx: &mut KernelCtx,
+        op: &mut Op,
+        sock: SockId,
+    ) -> (u32, Option<Packet>) {
         let costs = self.config.costs;
         let (lock, buf) = {
             let t = self.socks.get(sock);
@@ -1413,8 +1712,29 @@ impl TcpStack {
         );
         let t = self.socks.get_mut(sock);
         let bytes = std::mem::take(&mut t.rx_ready);
+        let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
+        let mut update = None;
+        if let Some(dp) = t.dp.as_mut() {
+            let before = dp.rcv.advertised();
+            dp.rcv.drain(bytes);
+            let after = dp.rcv.advertised();
+            // Only bother the wire when the window was mostly closed
+            // (the half-budget heuristic real stacks use to suppress
+            // silly-window updates).
+            if after > before && u32::from(before) < dp.rcv.budget / 2 {
+                update = Some(
+                    Packet::new(flow, TcpFlags::ACK)
+                        .with_seq(snd_nxt)
+                        .with_ack(rcv_nxt)
+                        .with_wnd(after),
+                );
+            }
+        }
         op.work(CycleClass::Syscall, self.copy_cost(bytes));
-        bytes
+        if update.is_some() {
+            op.work(CycleClass::TxPath, costs.tx_per_packet);
+        }
+        (bytes, update)
     }
 
     /// `close()`: releases the FD-side resources and initiates the TCP
@@ -1449,7 +1769,22 @@ impl TcpStack {
         match state::on_close(state) {
             Some((next, send_fin)) => {
                 self.socks.get_mut(sock).state = next;
-                if send_fin {
+                // Data plane: bytes still queued for segmentation mean
+                // the FIN must ride behind them — push_segments emits
+                // it once the window lets the queue drain.
+                let defer_fin = send_fin && {
+                    let t = self.socks.get_mut(sock);
+                    match t.dp.as_mut() {
+                        Some(dp) if dp.snd.pending > 0 => {
+                            dp.snd.fin_pending = true;
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if defer_fin {
+                    None
+                } else if send_fin {
                     let (timer,) = { (self.socks.get(sock).rtx_timer,) };
                     match timer {
                         Some(t) => os.timers.modify(ctx, op, t),
@@ -1459,9 +1794,12 @@ impl TcpStack {
                         }
                     }
                     let t = self.socks.get_mut(sock);
-                    let fin = Packet::new(t.flow, TcpFlags::FIN | TcpFlags::ACK)
+                    let mut fin = Packet::new(t.flow, TcpFlags::FIN | TcpFlags::ACK)
                         .with_seq(t.snd_nxt)
                         .with_ack(t.rcv_nxt);
+                    if let Some(dp) = t.dp.as_ref() {
+                        fin = fin.with_wnd(dp.rcv.advertised());
+                    }
                     t.snd_nxt = t.snd_nxt.wrapping_add(1);
                     self.track_unacked(sock, fin);
                     let mut dummy = RxOutcome::default();
@@ -1540,11 +1878,18 @@ impl TcpStack {
             .socks
             .alloc(ctx, *lflow, TcpState::Established, false, core);
         {
+            let cc_cfg = self.config.cc;
             let t = self.socks.get_mut(child);
             t.snd_nxt = pkt.ack;
             t.rcv_nxt = pkt.seq.wrapping_add(pkt.seq_len());
+            t.dp = cc_cfg
+                .as_ref()
+                .map(|c| Box::new(DataPlane::new(c, pkt.ack)));
             if pkt.payload_len > 0 {
                 t.rx_ready += u32::from(pkt.payload_len);
+                if let Some(dp) = t.dp.as_mut() {
+                    let _ = dp.rcv.accept(pkt.payload_len);
+                }
             }
         }
         self.stats.passive_established += 1;

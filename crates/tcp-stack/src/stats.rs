@@ -59,6 +59,28 @@ pub struct StackStats {
     /// SYNs dropped by the TCB memory-pressure cap (admission control
     /// under orphan/embryo buildup; Linux's `tcp_max_orphans` analogue).
     pub mem_pressure_drops: u64,
+    /// Data-plane (sliding-window bulk transfer) counters. `None`
+    /// unless `StackConfig::cc` armed the data plane and a counter
+    /// fired, and elided from the serialized form when `None`, so
+    /// legacy report digests are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dp: Option<DataPlaneStats>,
+}
+
+/// Counters specific to the sliding-window data plane.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DataPlaneStats {
+    /// Segments retransmitted by dup-ACK fast retransmit (as opposed to
+    /// the RTO-driven `StackStats::retransmits`).
+    pub fast_retransmits: u64,
+    /// Data segments dropped because they arrived beyond `rcv_nxt` (no
+    /// reassembly queue is modeled) or overran the receive budget.
+    pub out_of_order_segments: u64,
+    /// ACKs carrying an ECN echo (ECE) consumed by the congestion
+    /// controller.
+    pub ecn_echoes: u64,
+    /// Payload bytes emitted by the sliding-window send path.
+    pub bytes_streamed: u64,
 }
 
 impl StackStats {
@@ -84,6 +106,11 @@ impl StackStats {
     /// Total connections established.
     pub fn established(&self) -> u64 {
         self.passive_established + self.active_established
+    }
+
+    /// The data-plane counters, materializing them on first use.
+    pub fn dp_mut(&mut self) -> &mut DataPlaneStats {
+        self.dp.get_or_insert_with(DataPlaneStats::default)
     }
 }
 

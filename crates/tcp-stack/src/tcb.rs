@@ -78,6 +78,12 @@ pub struct Tcb {
     /// Consecutive RTO firings without forward progress; the
     /// connection is aborted past the retry limit.
     pub rtx_attempts: u8,
+    /// Sliding-window data-plane state (send/receive windows and the
+    /// congestion controller); present only when `StackConfig::cc`
+    /// enables bulk transfer. The single-packet request/response paths
+    /// never allocate it, so they stay byte-identical to the pre-data-
+    /// plane model.
+    pub dp: Option<Box<crate::window::DataPlane>>,
 }
 
 /// The socket registry (slab).
@@ -139,6 +145,7 @@ impl SockTable {
             syn_queued_in: None,
             unacked: std::collections::VecDeque::new(),
             rtx_attempts: 0,
+            dp: None,
         };
         self.live += 1;
         let id = if let Some(idx) = self.free.pop() {

@@ -172,8 +172,12 @@ fn run_one_connection(rig: &mut Rig, core: CoreId, src_port: u16) -> SockId {
     // Request.
     let out = rig.rx(core, client.data(600));
     assert_eq!(out.replies.len(), 1, "data must be ACKed");
-    let got = rig.op(core, |rig, op| rig.stack.recv(&mut rig.ctx, op, sock));
+    let (got, wnd_update) = rig.op(core, |rig, op| rig.stack.recv(&mut rig.ctx, op, sock));
     assert_eq!(got, 600);
+    assert!(
+        wnd_update.is_none(),
+        "no window updates without a data plane"
+    );
 
     // Response + server-initiated close.
     let resp = rig

@@ -52,4 +52,16 @@ cargo build -q --release -p fastsocket-bench --bin capacity
 ./target/release/capacity --smoke
 ./target/release/capacity --validate results/BENCH_capacity.json
 
+# Bulk smoke: a short kernel x congestion-control x response-size
+# matrix with the sliding-window data plane armed and sanitizers on —
+# the first cell of every (kernel, cc) column runs doubled and must be
+# bit-identical, the three controllers must leave distinct result
+# digests, and the emitted bench artifact must round-trip through the
+# schema. Then the committed full-matrix artifact is coverage-checked
+# (3 kernels x 3 cc x >= 3 sizes, every cell moving payload).
+echo "==> bulk smoke (sliding-window data plane under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin bulk
+./target/release/bulk --smoke
+./target/release/bulk --validate results/BENCH_bulk.json
+
 echo "All checks passed."

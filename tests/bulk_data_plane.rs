@@ -1,0 +1,85 @@
+//! Data-plane determinism gates: with the sliding-window data plane
+//! armed, same-seed runs must stay bit-identical per congestion
+//! controller, and the three controllers must be distinguishable in
+//! the results — same seed, same offered work, different dynamics.
+//!
+//! The closed-loop golden digests in `open_loop.rs` already pin that
+//! an *unarmed* data plane changes nothing; this file covers the
+//! armed side.
+
+use fastsocket::{AppSpec, DataPlaneConfig, KernelSpec, SimConfig, Simulation};
+use sim_nic::BatchConfig;
+use tcp_stack::CcAlgo;
+
+fn bulk_cell(cc: CcAlgo) -> SimConfig {
+    SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 2)
+        .warmup_secs(0.01)
+        .measure_secs(0.03)
+        .seed(7)
+        .data_plane(DataPlaneConfig {
+            cc,
+            response_bytes: 49_152,
+            batch: BatchConfig::offload(),
+            ..DataPlaneConfig::default()
+        })
+}
+
+#[test]
+fn same_seed_bulk_runs_are_bit_identical_per_controller() {
+    let mut digests = Vec::new();
+    for cc in CcAlgo::ALL {
+        let a = Simulation::new(bulk_cell(cc)).run();
+        let b = Simulation::new(bulk_cell(cc)).run();
+        assert_eq!(
+            a.results_digest(),
+            b.results_digest(),
+            "{}: same-seed bulk reruns diverged",
+            cc.name()
+        );
+        let bulk = a.bulk.as_ref().expect("data plane was armed");
+        assert_eq!(bulk.cc, cc.name());
+        assert!(
+            bulk.payload_bytes > 0 && bulk.goodput_gbps > 0.0,
+            "{}: no payload streamed",
+            cc.name()
+        );
+        digests.push((cc.name(), a.results_digest()));
+    }
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(
+                digests[i].1, digests[j].1,
+                "controllers {} and {} produced identical runs",
+                digests[i].0, digests[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn proxy_bulk_relay_streams_and_stays_deterministic() {
+    let cell = || {
+        SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 2)
+            .warmup_secs(0.01)
+            .measure_secs(0.03)
+            .seed(11)
+            .data_plane(DataPlaneConfig {
+                cc: CcAlgo::NewReno,
+                response_bytes: 24_576,
+                ..DataPlaneConfig::default()
+            })
+    };
+    let a = Simulation::new(cell()).run();
+    let b = Simulation::new(cell()).run();
+    assert_eq!(
+        a.results_digest(),
+        b.results_digest(),
+        "same-seed proxy bulk reruns diverged"
+    );
+    let bulk = a.bulk.as_ref().expect("data plane was armed");
+    assert!(
+        bulk.payload_bytes > 0,
+        "proxy relayed no bulk payload: {bulk:?}"
+    );
+    assert!(a.throughput_cps > 0.0, "proxy served no exchanges");
+}
