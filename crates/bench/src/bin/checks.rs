@@ -1,5 +1,6 @@
 //! Sanitizer sweep: every stock kernel variant × core count runs under
 //! the full `sim-check` suite (lockdep, lockset race detection,
+//! happens-before vector clocks, the shard-safety certifier, and the
 //! partition lints) and must report **zero** violations.
 //!
 //! This is the repo's analog of booting a kernel with
@@ -42,10 +43,10 @@ fn main() {
         .clone()
         .unwrap_or_else(|| vec![1, 2, 4, 8, 12, 16, 24]);
 
-    println!("sim-check sweep: lockdep + lockset + partition lints, web workload\n");
+    println!("sim-check sweep: lockdep + lockset + hb + shard + partition lints, web workload\n");
     println!(
-        "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10} {:>9}",
-        "kernel", "cores", "lockdep", "lockset", "partition", "invariant", "verdict"
+        "{:<14} {:>5} {:>8} {:>8} {:>4} {:>6} {:>10} {:>10} {:>9}",
+        "kernel", "cores", "lockdep", "lockset", "hb", "shard", "partition", "invariant", "verdict"
     );
     let mut rows = Vec::new();
     let mut dirty = 0u32;
@@ -76,11 +77,13 @@ fn main() {
                 }
             }
             println!(
-                "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10} {:>9}",
+                "{:<14} {:>5} {:>8} {:>8} {:>4} {:>6} {:>10} {:>10} {:>9}",
                 kernel.label(),
                 cores,
                 r.lockdep,
                 r.lockset,
+                r.hb,
+                r.shard,
                 r.partition,
                 r.invariant,
                 verdict
@@ -91,10 +94,10 @@ fn main() {
 
     println!("\nfault-injection cross-check (each knob must trip its own detector):\n");
     println!(
-        "{:<18} {:>8} {:>8} {:>10} {:>9}",
-        "fault", "lockdep", "lockset", "partition", "verdict"
+        "{:<18} {:>8} {:>8} {:>4} {:>6} {:>10} {:>9}",
+        "fault", "lockdep", "lockset", "hb", "shard", "partition", "verdict"
     );
-    let faults: [FaultRow; 5] = [
+    let faults: [FaultRow; 7] = [
         (FaultInjection::SkipSlock, KernelSpec::BaseLinux, |r| {
             r.lockset > 0
         }),
@@ -116,6 +119,12 @@ fn main() {
             KernelSpec::Fastsocket,
             |r| r.partition > 0,
         ),
+        (FaultInjection::SilentHandoff, KernelSpec::BaseLinux, |r| {
+            r.hb > 0 && r.lockset == 0
+        }),
+        (FaultInjection::OwnerPingPong, KernelSpec::Fastsocket, |r| {
+            r.shard > 0 && r.hb == 0 && r.lockset == 0
+        }),
     ];
     for (fault, kernel, fired) in faults {
         let app = if fault == FaultInjection::MisSteer {
@@ -129,10 +138,12 @@ fn main() {
             dirty += 1;
         }
         println!(
-            "{:<18} {:>8} {:>8} {:>10} {:>9}",
+            "{:<18} {:>8} {:>8} {:>4} {:>6} {:>10} {:>9}",
             format!("{fault:?}"),
             r.lockdep,
             r.lockset,
+            r.hb,
+            r.shard,
             r.partition,
             if ok { "fires" } else { "SILENT" }
         );

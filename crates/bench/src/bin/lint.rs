@@ -1,0 +1,507 @@
+//! Write-scope lint: enforces component ownership of mutable state in
+//! `tcp-stack` at the source level, complementing the runtime
+//! detectors in `sim-check`.
+//!
+//! Three rules, checked by a small token scanner over
+//! `crates/tcp-stack/src/*.rs` (comments and strings stripped):
+//!
+//! 1. **Congestion-control scope** — `cwnd` / `ssthresh` may be
+//!    constructed or mutated only inside `cc.rs`. Everyone else goes
+//!    through `CongestionControl` trait methods.
+//! 2. **Window scope** — the sliding-window state fields (`una`,
+//!    `pending`, `fin_pending`, `gso_idx`, ...) may be assigned only
+//!    inside `window.rs`, and `SendWindow` / `RecvWindow` /
+//!    `DataPlane` may be struct-literal-constructed only there
+//!    (everyone else calls `new`).
+//! 3. **TCB component map** — every field of the `Tcb` struct maps to
+//!    exactly one owning component; an unmapped or doubly-mapped field
+//!    fails the lint, so adding a TCB field forces an explicit
+//!    ownership decision.
+//!
+//! Run with `--self-test` to prove the scanner actually fails on
+//! deliberately mis-scoped writes before trusting its clean bill.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Fields whose writes must stay inside `window.rs`.
+const WINDOW_FIELDS: &[&str] = &[
+    "una",
+    "peer_wnd",
+    "dup_acks",
+    "in_recovery",
+    "recover",
+    "pending",
+    "fin_pending",
+    "budget",
+    "used",
+    "gso_idx",
+    "gro_idx",
+];
+
+/// Types that may only be struct-literal-constructed in `window.rs`.
+const WINDOW_TYPES: &[&str] = &["SendWindow", "RecvWindow", "DataPlane"];
+
+/// Fields whose writes must stay inside `cc.rs`.
+const CC_FIELDS: &[&str] = &["cwnd", "ssthresh"];
+
+/// The TCB ownership map: every `Tcb` field belongs to exactly one
+/// component. Rule 3 cross-checks this against the struct definition
+/// in `tcb.rs`, so the list cannot silently go stale.
+const TCB_COMPONENTS: &[(&str, &[&str])] = &[
+    (
+        "tcb.rs (identity & registry)",
+        &[
+            "id", "gen", "flow", "active", "lock", "obj", "buf_obj", "app_core",
+        ],
+    ),
+    ("state.rs (state machine)", &["state"]),
+    (
+        "stack.rs (sequence & retransmit path)",
+        &[
+            "snd_nxt",
+            "rcv_nxt",
+            "rx_ready",
+            "peer_fin_seen",
+            "unacked",
+            "rtx_attempts",
+            "rtx_timer",
+        ],
+    ),
+    (
+        "sim-os integration (vfs/epoll/process)",
+        &["owner", "epoll", "epoll_data", "vfs"],
+    ),
+    (
+        "listen.rs (accept & SYN queues)",
+        &["queued_in", "syn_queued_in"],
+    ),
+    ("established.rs (table membership)", &["in_est", "est_home"]),
+    ("window.rs (data plane)", &["dp"]),
+];
+
+/// One lint finding: file, 1-based line, and what went wrong.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    file: String,
+    line: usize,
+    detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.detail)
+    }
+}
+
+/// Strips line comments, block comments, and string/char literals so
+/// the token rules never fire on prose or test fixtures. Keeps line
+/// structure intact (newlines survive) so reported line numbers match
+/// the source. `in_block` carries `/* ... */` state across lines.
+fn strip_noise(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut in_block = false;
+    while i < b.len() {
+        if in_block {
+            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                in_block = false;
+                i += 2;
+            } else {
+                if b[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: skip to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                in_block = true;
+                i += 2;
+            }
+            b'"' => {
+                // String literal: skip, honoring escapes.
+                out.push(' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        if b[i] == b'\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+                i += 1;
+            }
+            b'\'' if i + 2 < b.len() && (b[i + 1] == b'\\' || b[i + 2] == b'\'') => {
+                // Char literal (not a lifetime): skip it.
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+            }
+            c => {
+                out.push(char::from(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether the byte at `pos` starts an assignment operator (`=`,
+/// `+=`, ..., but not `==`, `<=`, `>=`, `!=` or `=>`).
+fn is_assignment(rest: &str) -> bool {
+    let rest = rest.trim_start();
+    for op in ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="] {
+        if rest.starts_with(op) {
+            return true;
+        }
+    }
+    rest.starts_with('=') && !rest.starts_with("==") && !rest.starts_with("=>")
+}
+
+/// Whether `line[at..]` starts with `word` at an identifier boundary
+/// on both sides.
+fn word_at(line: &str, at: usize, word: &str) -> bool {
+    if !line[at..].starts_with(word) {
+        return false;
+    }
+    let after = at + word.len();
+    !line[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Scans one (already noise-stripped) line for field writes and
+/// struct-literal constructions outside their owning module.
+fn scan_line(file: &str, lineno: usize, line: &str, out: &mut Vec<Violation>) {
+    let in_cc = file == "cc.rs";
+    let in_window = file == "window.rs";
+
+    // Rule 1 & 2 (mutation): `.field` followed by an assignment op.
+    for (idx, _) in line.match_indices('.') {
+        let at = idx + 1;
+        for &f in CC_FIELDS.iter().chain(WINDOW_FIELDS) {
+            if !word_at(line, at, f) {
+                continue;
+            }
+            let cc_field = CC_FIELDS.contains(&f);
+            if (cc_field && in_cc) || (!cc_field && in_window) {
+                continue;
+            }
+            if is_assignment(&line[at + f.len()..]) {
+                let owner = if cc_field { "cc.rs" } else { "window.rs" };
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    detail: format!(
+                        "write to `{f}` outside {owner}: this field may only \
+                         be mutated through {owner} methods"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 1 (construction): `cwnd:` / `ssthresh:` struct-literal
+    // field init outside cc.rs. Lines declaring a `fn` are exempt —
+    // a parameter named `cwnd: u32` is a read-side binding.
+    if !in_cc && !line.contains("fn ") {
+        for &f in CC_FIELDS {
+            for (idx, _) in line.match_indices(f) {
+                let boundary_ok = idx == 0
+                    || !line[..idx]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+                if boundary_ok
+                    && word_at(line, idx, f)
+                    && line[idx + f.len()..].trim_start().starts_with(':')
+                    && !line[idx + f.len()..].trim_start().starts_with("::")
+                {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: lineno,
+                        detail: format!(
+                            "`{f}` constructed outside cc.rs: congestion state \
+                             is built only by cc::build"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 2 (construction): `SendWindow {` etc. outside window.rs.
+    if !in_window {
+        for &ty in WINDOW_TYPES {
+            for (idx, _) in line.match_indices(ty) {
+                let boundary_ok = idx == 0
+                    || !line[..idx]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if boundary_ok
+                    && word_at(line, idx, ty)
+                    && line[idx + ty.len()..].trim_start().starts_with('{')
+                {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: lineno,
+                        detail: format!(
+                            "`{ty}` struct literal outside window.rs: \
+                             construct it with `{ty}::new`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Scans one file's source text.
+fn scan_file(file: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in strip_noise(src).lines().enumerate() {
+        scan_line(file, i + 1, line, &mut out);
+    }
+    out
+}
+
+/// Extracts the field names of `pub struct Tcb` from (noise-stripped)
+/// `tcb.rs` source.
+fn tcb_fields(src: &str) -> Vec<String> {
+    let stripped = strip_noise(src);
+    let mut fields = Vec::new();
+    let mut in_struct = false;
+    for line in stripped.lines() {
+        let t = line.trim();
+        if t.starts_with("pub struct Tcb {") {
+            in_struct = true;
+            continue;
+        }
+        if in_struct {
+            if t.starts_with('}') {
+                break;
+            }
+            if let Some(rest) = t.strip_prefix("pub ") {
+                if let Some((name, _)) = rest.split_once(':') {
+                    let name = name.trim();
+                    if name.chars().all(|c| c.is_alphanumeric() || c == '_') && !name.is_empty() {
+                        fields.push(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Rule 3: every `Tcb` field maps to exactly one component.
+fn check_tcb_map(fields: &[String]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in fields {
+        let owners: Vec<&str> = TCB_COMPONENTS
+            .iter()
+            .filter(|(_, fs)| fs.contains(&f.as_str()))
+            .map(|(c, _)| *c)
+            .collect();
+        match owners.len() {
+            1 => {}
+            0 => out.push(Violation {
+                file: "tcb.rs".to_string(),
+                line: 0,
+                detail: format!(
+                    "Tcb field `{f}` is not mapped to any component: \
+                     assign it an owner in the lint's TCB_COMPONENTS map"
+                ),
+            }),
+            _ => out.push(Violation {
+                file: "tcb.rs".to_string(),
+                line: 0,
+                detail: format!("Tcb field `{f}` is mapped to {owners:?} (must be exactly one)"),
+            }),
+        }
+    }
+    // And the reverse: a mapped field that no longer exists is stale.
+    for (comp, fs) in TCB_COMPONENTS {
+        for f in *fs {
+            if !fields.iter().any(|x| x == f) {
+                out.push(Violation {
+                    file: "tcb.rs".to_string(),
+                    line: 0,
+                    detail: format!(
+                        "component map lists `{f}` under {comp} but Tcb has no such field"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Deliberately mis-scoped snippets: the scanner must flag each, and
+/// must stay silent on the clean one. Exercised by `--self-test`.
+fn self_test() -> Result<(), String> {
+    let bad: &[(&str, &str, &str)] = &[
+        (
+            "stack.rs",
+            "fn f(t: &mut Tcb) { t.dp.as_mut().unwrap().cc.cwnd = 10; }",
+            "cwnd",
+        ),
+        (
+            "established.rs",
+            "fn f(dp: &mut DataPlane) {\n    dp.snd.pending -= 4;\n}",
+            "pending",
+        ),
+        (
+            "stack.rs",
+            "let w = SendWindow { una: 0, peer_wnd: 0 };",
+            "SendWindow",
+        ),
+        (
+            "listen.rs",
+            "fn f(s: &mut Snd) { s.fin_pending = true; }",
+            "fin_pending",
+        ),
+        ("stack.rs", "let c = Reno { cwnd: 4, ssthresh: 8 };", "cwnd"),
+    ];
+    for (file, src, needle) in bad {
+        let v = scan_file(file, src);
+        if v.is_empty() {
+            return Err(format!(
+                "self-test: mis-scoped write in {file} was NOT flagged: {src}"
+            ));
+        }
+        if !v.iter().any(|v| v.detail.contains(needle)) {
+            return Err(format!(
+                "self-test: {file} flagged, but not for `{needle}`: {v:?}"
+            ));
+        }
+    }
+    let clean: &[(&str, &str)] = &[
+        ("cc.rs", "self.cwnd = self.ssthresh;"),
+        ("window.rs", "self.snd.pending -= u64::from(seg_len);"),
+        (
+            "stack.rs",
+            "if dp.snd.pending == 0 { dp.snd.on_ack(ack, wnd); }\n\
+             let b = Box::new(DataPlane::new(c, snd_nxt));\n\
+             // dp.snd.pending = 99; (commented out)\n\
+             let s = \"dp.gso_idx = 1\";",
+        ),
+        (
+            "window.rs",
+            "pub fn usable(&self, snd_nxt: u32, cwnd: u32) -> u32 {",
+        ),
+        ("stats.rs", "pub dp: Option<DataPlaneStats>,"),
+    ];
+    for (file, src) in clean {
+        let v = scan_file(file, src);
+        if !v.is_empty() {
+            return Err(format!("self-test: false positive in {file}: {v:?}"));
+        }
+    }
+    // Rule 3 must catch both an unmapped and a vanished field.
+    let fields = vec!["id".to_string(), "brand_new_field".to_string()];
+    let v = check_tcb_map(&fields);
+    if !v.iter().any(|v| v.detail.contains("brand_new_field")) {
+        return Err("self-test: unmapped Tcb field was NOT flagged".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let self_test_mode = std::env::args().any(|a| a == "--self-test");
+    if self_test_mode {
+        return match self_test() {
+            Ok(()) => {
+                println!("write-scope lint self-test: all mis-scoped snippets flagged");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tcp-stack/src");
+    let mut entries: Vec<_> = match std::fs::read_dir(&src_dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect(),
+        Err(e) => {
+            eprintln!("lint: cannot read {}: {e}", src_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+
+    let mut violations = Vec::new();
+    let mut files = 0usize;
+    let mut tcb_src = None;
+    for path in &entries {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("lint: cannot read {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if file == "tcb.rs" {
+            tcb_src = Some(src.clone());
+        }
+        violations.extend(scan_file(&file, &src));
+        files += 1;
+    }
+    match tcb_src {
+        Some(src) => violations.extend(check_tcb_map(&tcb_fields(&src))),
+        None => violations.push(Violation {
+            file: "tcb.rs".to_string(),
+            line: 0,
+            detail: "tcb.rs not found; cannot check the TCB component map".to_string(),
+        }),
+    }
+
+    if violations.is_empty() {
+        let mut summary = String::new();
+        let _ = write!(
+            summary,
+            "write-scope lint: {files} files clean ({} cc-scoped, {} window-scoped fields, \
+             {} TCB components)",
+            CC_FIELDS.len(),
+            WINDOW_FIELDS.len(),
+            TCB_COMPONENTS.len()
+        );
+        println!("{summary}");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("lint: {v}");
+        }
+        eprintln!("write-scope lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -37,7 +37,7 @@ pub mod sim;
 pub use config::{AppSpec, DataPlaneConfig, KernelSpec, SimConfig};
 pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
-pub use sim_check::CheckReport;
+pub use sim_check::{CheckReport, ShardClass, ShardReport};
 pub use sim_fault::{FaultEvent, FaultKind, FaultRecord, FaultSchedule, RobustnessReport};
 pub use sim_load::{
     ArrivalProcess, LoadReport, MmppPhase, OpenLoopConfig, RateProfile, SessionDist, SizeDist,

@@ -21,7 +21,7 @@ use std::net::Ipv4Addr;
 use sim_apps::peer::{Backend, ClientSlot};
 use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
 use sim_apps::{Proxy, WebServer};
-use sim_check::{Checker, PartitionPolicy};
+use sim_check::{Chan, Checker, PartitionPolicy, ShardClass, ShardPolicy};
 use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
 use sim_fault::{FaultKind, RobustnessReport, WindowSample};
 use sim_load::{ArrivalGen, LoadReport, OpenLoopConfig, ScheduleDigest};
@@ -205,6 +205,35 @@ fn client_ip(slot: u32) -> Ipv4Addr {
     Ipv4Addr::new(10, (1 + slot / 250) as u8, (slot % 250) as u8, 2)
 }
 
+/// Per-kind shard-class bounds the kernel variant under test promises.
+///
+/// Only the full Fastsocket partition (local listen plus local
+/// established plus RFD, no dedicated stack core) makes claims worth
+/// certifying: its per-core tables, timer bases, and process zones are
+/// supposed to keep connection state core-local, with the accept-path
+/// handover and RFD warm-up as the only sanctioned migrations. Tcbs
+/// and socket buffers may migrate once (softirq core to accepting
+/// core before RFD has learned the flow) but must never ping-pong;
+/// per-core infrastructure (listen socks, table buckets, timer bases,
+/// fd tables, epoll instances) must stay strictly core-local. Stock
+/// kernels share everything by design, so they certify permissively.
+fn shard_policy(full_partition: bool) -> ShardPolicy {
+    use sim_mem::ObjKind;
+    if !full_partition {
+        return ShardPolicy::permissive();
+    }
+    ShardPolicy::permissive()
+        .with(ObjKind::Tcb, ShardClass::Migrated)
+        .with(ObjKind::SockBuf, ShardClass::Migrated)
+        .with(ObjKind::Dentry, ShardClass::Migrated)
+        .with(ObjKind::Inode, ShardClass::Migrated)
+        .with(ObjKind::ListenSock, ShardClass::CoreLocal)
+        .with(ObjKind::TableBucket, ShardClass::CoreLocal)
+        .with(ObjKind::Epoll, ShardClass::CoreLocal)
+        .with(ObjKind::TimerBase, ShardClass::CoreLocal)
+        .with(ObjKind::FdTable, ShardClass::CoreLocal)
+}
+
 impl Simulation {
     /// Builds the simulated machine, kernel, applications and peers.
     pub fn new(cfg: SimConfig) -> Self {
@@ -239,7 +268,7 @@ impl Simulation {
             // from their own cores, so the est-affinity and
             // timer-affinity lints stand down for crash schedules.
             let crash_faults = cfg.faults.has_worker_crash();
-            Checker::enabled(
+            let checker = Checker::enabled(
                 cores,
                 PartitionPolicy {
                     local_listen: stack_config.listen == ListenVariant::Local,
@@ -247,7 +276,20 @@ impl Simulation {
                     rfd: stack_config.rfd,
                     timer_affinity: full_partition && !crash_faults,
                 },
-            )
+            );
+            // The shard certifier's per-kind bounds hold for undamaged
+            // runs only: a fault schedule migrates queues and legally
+            // ping-pongs ownership, so it certifies permissively there.
+            if cfg.faults.is_empty() {
+                checker.set_shard_policy(shard_policy(full_partition));
+            }
+            // With no scheduled faults and no injection knob armed, a
+            // broken table invariant is a bug — fail hard, as the
+            // tables did before the fault-injection PR soft-downgraded
+            // their assertions.
+            checker
+                .set_strict(cfg.faults.is_empty() && cfg.fault == tcp_stack::FaultInjection::None);
+            checker
         } else {
             Checker::disabled()
         };
@@ -798,11 +840,21 @@ impl Simulation {
         let mut wakes: Vec<Pid> = Vec::new();
         let tw = self.stack.config().time_wait;
         for (pkt, steered) in batch {
+            if steered {
+                // The dequeue half of a cross-core softirq handoff:
+                // order this core after whoever steered the packet.
+                self.checker.hb_join(core, Chan::Softirq(core));
+            }
             op.trace_enter(TraceLabel::NetRx);
             let out = self
                 .stack
                 .net_rx(&mut self.ctx, &mut self.os, &mut op, &pkt, steered);
             op.trace_exit(TraceLabel::NetRx);
+            if let Some(target) = out.steer {
+                // The enqueue half: published at the boundary below so
+                // it carries the epoch stamping this packet's writes.
+                self.checker.hb_publish(core, Chan::Softirq(target.0));
+            }
             op.check_boundary();
             if let Some(target) = out.steer {
                 if self.softirq.push(target.index(), (pkt, true)) {

@@ -1,0 +1,372 @@
+//! FastTrack-style vector-clock happens-before race detection.
+//!
+//! Each simulated core carries a vector clock; its own component is an
+//! *epoch* advanced at every `op_begin` and `check_boundary`. Ordering
+//! flows through **channels** — the synchronization edges the kernel
+//! actually has:
+//!
+//! - [`Chan::Lock`]: release→acquire of a lock *class* (class level,
+//!   matching the lockset detector's masks, so a lockset-clean
+//!   discipline is always happens-before-clean too);
+//! - [`Chan::Softirq`]: cross-core packet handoff — the steering core
+//!   enqueues onto the target core's softirq backlog, the target joins
+//!   when it dequeues (RFD steering and NIC re-steering both ride this
+//!   edge);
+//! - [`Chan::Epoll`]: ready-list post → `epoll_wait` on one instance
+//!   (the wakeup edge of the accept/read path handover);
+//! - [`Chan::Timer`]: timer arm → expiry on a per-core timer base.
+//!
+//! A channel **publish** is buffered and flushed when the publishing
+//! op commits (or at a boundary): writes are stamped with the epoch
+//! current at commit/boundary time, so publishing mid-op would claim
+//! ordering for writes the op had not yet stamped. The deferral is
+//! sound because the driver dispatches ops sequentially in host order —
+//! a receiver's join always runs in a later dispatch than the sender's
+//! commit.
+//!
+//! Per sim-mem object generation the detector keeps only the **last
+//! write epoch** (the FastTrack compression): a write by core `c` races
+//! the previous write `(w, k)` iff `c != w` and `clock_c[w] < k` — no
+//! synchronization chain carried `w`'s write to `c`. Reads are not
+//! tracked (the stack's lock-free lookups are RCU-idiomatic), so this
+//! detector judges write-write ordering only. Unlike the lockset pass
+//! it stays silent on ownership transfer: an accept-path handover or a
+//! recycled slab slot whose handoff rides a channel is simply ordered.
+
+use std::collections::HashMap;
+
+use sim_mem::ObjKind;
+use sim_sync::LockClass;
+
+use crate::{CheckReport, Detector, Violation};
+
+/// A synchronization channel: the carrier of a happens-before edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chan {
+    /// Release→acquire of a lock class (class level, like locksets).
+    Lock(LockClass),
+    /// Softirq backlog handoff onto the given target core.
+    Softirq(u16),
+    /// Epoll ready-list post→wait on the given instance.
+    Epoll(u32),
+    /// Timer arm→expiry on the given core's timer base.
+    Timer(u16),
+}
+
+/// The epoch of one write: which core, at which own-clock value.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    core: u16,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct LastWrite {
+    gen: u64,
+    epoch: Epoch,
+    /// Site of the previous write — the other half of a race witness.
+    site: String,
+    reported: bool,
+}
+
+/// The vector-clock happens-before detector.
+#[derive(Debug, Default)]
+pub struct HappensBefore {
+    /// `clocks[c]` is core `c`'s vector clock; `clocks[c][c]` its epoch.
+    clocks: Vec<Vec<u64>>,
+    /// Last published clock per channel (join of all publishers).
+    channels: HashMap<Chan, Vec<u64>>,
+    /// Channels the current op on each core will publish at flush time.
+    pending: Vec<Vec<Chan>>,
+    /// FastTrack-compressed last-write metadata per slab slot.
+    last: HashMap<u32, LastWrite>,
+}
+
+impl HappensBefore {
+    /// A detector for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        HappensBefore {
+            clocks: (0..cores).map(|_| vec![0; cores]).collect(),
+            channels: HashMap::new(),
+            pending: (0..cores).map(|_| Vec::new()).collect(),
+            last: HashMap::new(),
+        }
+    }
+
+    fn ensure(&mut self, core: u16) {
+        let n = (core as usize) + 1;
+        if n > self.clocks.len() {
+            for clock in &mut self.clocks {
+                clock.resize(n, 0);
+            }
+            self.clocks.resize_with(n, || vec![0; n]);
+            self.pending.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Advances `core`'s own epoch (new op or new boundary segment).
+    pub fn tick(&mut self, core: u16) {
+        self.ensure(core);
+        let c = core as usize;
+        self.clocks[c][c] += 1;
+    }
+
+    /// Joins `chan`'s published clock into `core`'s clock.
+    pub fn join(&mut self, core: u16, chan: Chan) {
+        self.ensure(core);
+        if let Some(ch) = self.channels.get(&chan) {
+            let clock = &mut self.clocks[core as usize];
+            if ch.len() > clock.len() {
+                clock.resize(ch.len(), 0);
+            }
+            for (mine, theirs) in clock.iter_mut().zip(ch.iter()) {
+                *mine = (*mine).max(*theirs);
+            }
+        }
+    }
+
+    /// Schedules a publish of `core`'s clock onto `chan`, performed at
+    /// the next [`HappensBefore::flush`] so it carries the same epoch
+    /// that stamps the op's writes.
+    pub fn defer_publish(&mut self, core: u16, chan: Chan) {
+        self.ensure(core);
+        let pending = &mut self.pending[core as usize];
+        if !pending.contains(&chan) {
+            pending.push(chan);
+        }
+    }
+
+    /// Publishes every deferred channel with `core`'s current clock.
+    /// Called at op commit and at boundaries, after write evaluation.
+    pub fn flush(&mut self, core: u16) {
+        self.ensure(core);
+        let chans = std::mem::take(&mut self.pending[core as usize]);
+        let clock = &self.clocks[core as usize];
+        for chan in chans {
+            let ch = self
+                .channels
+                .entry(chan)
+                .or_insert_with(|| vec![0; clock.len()]);
+            if clock.len() > ch.len() {
+                ch.resize(clock.len(), 0);
+            }
+            for (theirs, mine) in ch.iter_mut().zip(clock.iter()) {
+                *theirs = (*theirs).max(*mine);
+            }
+        }
+    }
+
+    /// Feeds one committed write and returns whether it was *ordered*
+    /// after the previous write (same core, fresh object, or a
+    /// happens-before chain exists). An unordered pair is a race,
+    /// reported once per object generation.
+    #[allow(clippy::too_many_arguments)] // flat hot-path call, every field used
+    pub fn write(
+        &mut self,
+        slot: u32,
+        gen: u64,
+        kind: ObjKind,
+        core: u16,
+        site: &str,
+        report: &mut CheckReport,
+    ) -> bool {
+        self.ensure(core);
+        let c = core as usize;
+        let clock = self.clocks[c][c];
+        let st = match self.last.entry(slot) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(LastWrite {
+                    gen,
+                    epoch: Epoch { core, clock },
+                    site: site.to_string(),
+                    reported: false,
+                });
+                return true;
+            }
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+        };
+        if st.gen != gen {
+            // Slab slot recycled: a different object now lives here.
+            *st = LastWrite {
+                gen,
+                epoch: Epoch { core, clock },
+                site: site.to_string(),
+                reported: false,
+            };
+            return true;
+        }
+        let prev = st.epoch;
+        let ordered = prev.core == core
+            || self.clocks[c]
+                .get(prev.core as usize)
+                .is_some_and(|&seen| seen >= prev.clock);
+        if !ordered && !st.reported {
+            st.reported = true;
+            report.record(Violation {
+                detector: Detector::Hb,
+                subject: kind.name().to_string(),
+                cores: vec![core, prev.core],
+                site: site.to_string(),
+                detail: format!(
+                    "unsynchronized write to {} slot {slot} on core {core} at {site}: \
+                     no happens-before edge from the previous write on core {} at {} \
+                     (epoch {}, core {core} has seen only {})",
+                    kind.name(),
+                    prev.core,
+                    st.site,
+                    prev.clock,
+                    self.clocks[c].get(prev.core as usize).copied().unwrap_or(0),
+                ),
+            });
+        }
+        st.epoch = Epoch { core, clock };
+        st.site = site.to_string();
+        ordered
+    }
+
+    /// Number of objects currently carrying last-write metadata.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.last.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb() -> (HappensBefore, CheckReport) {
+        (HappensBefore::new(4), CheckReport::default())
+    }
+
+    /// One op: tick, optional joins, one write, publishes, flush.
+    fn op_write(
+        h: &mut HappensBefore,
+        r: &mut CheckReport,
+        core: u16,
+        joins: &[Chan],
+        slot: u32,
+        pubs: &[Chan],
+    ) -> bool {
+        h.tick(core);
+        for &c in joins {
+            h.join(core, c);
+        }
+        for &c in pubs {
+            h.defer_publish(core, c);
+        }
+        let ordered = h.write(slot, 1, ObjKind::Tcb, core, "op", r);
+        h.flush(core);
+        ordered
+    }
+
+    #[test]
+    fn same_core_writes_are_always_ordered() {
+        let (mut h, mut r) = hb();
+        for _ in 0..10 {
+            assert!(op_write(&mut h, &mut r, 1, &[], 7, &[]));
+        }
+        assert_eq!(r.hb, 0);
+    }
+
+    #[test]
+    fn lock_channel_orders_cross_core_writes() {
+        let (mut h, mut r) = hb();
+        let l = Chan::Lock(LockClass::Slock);
+        assert!(op_write(&mut h, &mut r, 0, &[l], 3, &[l]));
+        assert!(op_write(&mut h, &mut r, 2, &[l], 3, &[l]));
+        assert!(op_write(&mut h, &mut r, 0, &[l], 3, &[l]));
+        assert_eq!(r.hb, 0);
+    }
+
+    #[test]
+    fn unsynchronized_cross_core_write_races_once() {
+        let (mut h, mut r) = hb();
+        // Core 0 writes without publishing anything; core 1 writes the
+        // same object having joined nothing that saw core 0's epoch.
+        assert!(op_write(&mut h, &mut r, 0, &[], 5, &[]));
+        assert!(!op_write(&mut h, &mut r, 1, &[], 5, &[]));
+        // Reported once per object.
+        op_write(&mut h, &mut r, 0, &[], 5, &[]);
+        assert_eq!(r.hb, 1, "{r:#?}");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.detector, Detector::Hb);
+        assert_eq!(d.subject, "tcb");
+        assert_eq!(d.cores, vec![1, 0], "racing core first, then previous");
+    }
+
+    #[test]
+    fn publish_without_matching_join_does_not_order() {
+        let (mut h, mut r) = hb();
+        let slock = Chan::Lock(LockClass::Slock);
+        let base = Chan::Lock(LockClass::BaseLock);
+        assert!(op_write(&mut h, &mut r, 0, &[slock], 9, &[slock]));
+        // Core 3 joins a *different* channel: no edge.
+        assert!(!op_write(&mut h, &mut r, 3, &[base], 9, &[base]));
+        assert_eq!(r.hb, 1);
+    }
+
+    #[test]
+    fn softirq_handoff_orders_steered_packet_processing() {
+        let (mut h, mut r) = hb();
+        // Core 0 processes a packet, writes the TCB, and steers the
+        // packet to core 2 (publish onto core 2's softirq channel).
+        assert!(op_write(&mut h, &mut r, 0, &[], 11, &[Chan::Softirq(2)]));
+        // Core 2 dequeues: joins its own softirq channel, then writes.
+        assert!(op_write(&mut h, &mut r, 2, &[Chan::Softirq(2)], 11, &[]));
+        assert_eq!(r.hb, 0);
+    }
+
+    #[test]
+    fn epoll_post_wait_orders_the_wakeup_path() {
+        let (mut h, mut r) = hb();
+        let ep = Chan::Epoll(4);
+        assert!(op_write(&mut h, &mut r, 1, &[], 13, &[ep]));
+        assert!(op_write(&mut h, &mut r, 3, &[ep], 13, &[]));
+        assert_eq!(r.hb, 0);
+    }
+
+    #[test]
+    fn transitive_chains_order_through_a_middleman() {
+        let (mut h, mut r) = hb();
+        let a = Chan::Lock(LockClass::Slock);
+        let b = Chan::Lock(LockClass::EhashLock);
+        assert!(op_write(&mut h, &mut r, 0, &[], 17, &[a]));
+        // Core 1 joins a and republishes on b without touching the obj.
+        h.tick(1);
+        h.join(1, a);
+        h.defer_publish(1, b);
+        h.flush(1);
+        // Core 2 joins b: transitively ordered after core 0's write.
+        assert!(op_write(&mut h, &mut r, 2, &[b], 17, &[]));
+        assert_eq!(r.hb, 0);
+    }
+
+    #[test]
+    fn publish_is_deferred_to_flush() {
+        let (mut h, mut r) = hb();
+        let l = Chan::Lock(LockClass::Slock);
+        // Core 0 defers a publish but has not flushed yet; core 1's
+        // join sees nothing.
+        h.tick(0);
+        h.defer_publish(0, l);
+        h.write(21, 1, ObjKind::Tcb, 0, "op", &mut r);
+        h.tick(1);
+        h.join(1, l);
+        assert!(!h.write(21, 1, ObjKind::Tcb, 1, "op", &mut r));
+        assert_eq!(r.hb, 1, "join before flush must not order");
+    }
+
+    #[test]
+    fn generation_change_resets_state() {
+        let (mut h, mut r) = hb();
+        assert!(op_write(&mut h, &mut r, 0, &[], 23, &[]));
+        // Recycled slot: the new object's first write is fresh even
+        // with no synchronization back to the old owner.
+        h.tick(2);
+        assert!(h.write(23, 2, ObjKind::Epoll, 2, "op", &mut r));
+        assert_eq!(r.hb, 0);
+        assert_eq!(h.tracked(), 1);
+    }
+}

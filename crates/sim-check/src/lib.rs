@@ -1,6 +1,6 @@
 //! Dynamic sanitizers for the simulated kernel.
 //!
-//! Three detectors run over the event stream of a simulation, in the
+//! Five detectors run over the event stream of a simulation, in the
 //! same zero-cost-when-disabled style as `sim-trace`:
 //!
 //! - **lockdep** ([`lockdep::Lockdep`]): per-core held-lock stacks and
@@ -13,6 +13,17 @@
 //!   keeps the intersection of the lock classes held by every op that
 //!   wrote it from a second core onward; an empty intersection means no
 //!   common lock protects the object.
+//! - **happens-before** ([`hb::HappensBefore`]): FastTrack-style
+//!   vector-clock race detection. Per-core epochs advance at `op_begin`
+//!   and boundaries; ordering flows through lock-class, softirq-handoff,
+//!   epoll-wakeup, and timer channels. Catches ordering races locksets
+//!   cannot see, and stays silent on the ownership transfers (accept
+//!   handover, slab recycling) where locksets over-report.
+//! - **shard certifier** ([`shard::ShardCert`]): tracks every object's
+//!   owning core over its lifetime and classifies each [`ObjKind`] as
+//!   core-local / migrated / shared, against a per-kind
+//!   [`shard::ShardPolicy`] bound. The aggregate [`shard::ShardReport`]
+//!   names every cross-core ownership edge with dual witness sites.
 //! - **partition lints** ([`partition::PartitionLint`]): Fastsocket
 //!   invariants — local listen/established table entries, RFD-steered
 //!   packets, and per-core timer bases must only be touched by their
@@ -28,20 +39,25 @@
 //! performs. Violations accumulate into a [`CheckReport`] surfaced via
 //! `RunReport::checks`.
 
+pub mod hb;
 pub mod lockdep;
 pub mod lockset;
 pub mod partition;
+pub mod shard;
 
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 use sim_mem::ObjKind;
 use sim_sync::LockClass;
 
+pub use hb::{Chan, HappensBefore};
 pub use lockdep::Lockdep;
 pub use lockset::Lockset;
 pub use partition::{PartitionLint, PartitionPolicy};
+pub use shard::{ShardCert, ShardClass, ShardPolicy, ShardReport};
 
 /// Upper bound on diagnostics retained in a [`CheckReport`]; violation
 /// *counts* keep accumulating past it.
@@ -56,9 +72,13 @@ pub fn class_bit(class: LockClass) -> u16 {
     1 << (class as u16)
 }
 
-/// Renders a class bitmask as `{A, B}` for diagnostics.
+/// Renders a class bitmask as `{A, B}` for diagnostics; the empty mask
+/// renders as `{no locks held}` so reports stay readable on their own.
 #[must_use]
 pub fn mask_names(mask: u16) -> String {
+    if mask == 0 {
+        return "{no locks held}".to_string();
+    }
     let names: Vec<&str> = LockClass::ALL
         .iter()
         .filter(|&&c| mask & class_bit(c) != 0)
@@ -74,6 +94,10 @@ pub enum Detector {
     Lockdep,
     /// Empty candidate lockset on a shared object (data race).
     Lockset,
+    /// Missing happens-before edge between cross-core writes.
+    Hb,
+    /// Object kind exceeded its shard-policy ownership class.
+    Shard,
     /// Cross-core touch of per-core partitioned state.
     Partition,
     /// A table invariant that previously `assert!`ed.
@@ -87,6 +111,8 @@ impl Detector {
         match self {
             Detector::Lockdep => "lockdep",
             Detector::Lockset => "lockset",
+            Detector::Hb => "hb",
+            Detector::Shard => "shard",
             Detector::Partition => "partition",
             Detector::Invariant => "invariant",
         }
@@ -109,6 +135,23 @@ pub struct Violation {
     pub detail: String,
 }
 
+impl fmt::Display for Violation {
+    /// One actionable line: detector, subject (object kind or lock
+    /// pair), every witness core, the observing site, and the detail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cores: Vec<String> = self.cores.iter().map(ToString::to_string).collect();
+        write!(
+            f,
+            "[{}] {} cores=[{}] at {}: {}",
+            self.detector.name(),
+            self.subject,
+            cores.join(","),
+            self.site,
+            self.detail
+        )
+    }
+}
+
 /// Violation counts plus the first [`MAX_DIAGNOSTICS`] diagnostics.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckReport {
@@ -116,19 +159,26 @@ pub struct CheckReport {
     pub lockdep: u64,
     /// Empty-lockset races (counted once per object).
     pub lockset: u64,
+    /// Happens-before races (counted once per object generation).
+    pub hb: u64,
+    /// Shard-policy violations (counted once per object).
+    pub shard: u64,
     /// Partition-lint violations.
     pub partition: u64,
     /// Soft table-invariant breaks.
     pub invariant: u64,
     /// First diagnostics, in detection order.
     pub diagnostics: Vec<Violation>,
+    /// Certified shard inventory (present when the checker is enabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_report: Option<ShardReport>,
 }
 
 impl CheckReport {
     /// Total violations across all detectors.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.lockdep + self.lockset + self.partition + self.invariant
+        self.lockdep + self.lockset + self.hb + self.shard + self.partition + self.invariant
     }
 
     /// Whether no detector fired.
@@ -141,6 +191,8 @@ impl CheckReport {
         match v.detector {
             Detector::Lockdep => self.lockdep += 1,
             Detector::Lockset => self.lockset += 1,
+            Detector::Hb => self.hb += 1,
+            Detector::Shard => self.shard += 1,
             Detector::Partition => self.partition += 1,
             Detector::Invariant => self.invariant += 1,
         }
@@ -189,6 +241,11 @@ struct CheckState {
     cores: Vec<CoreState>,
     lockdep: Lockdep,
     lockset: Lockset,
+    hb: HappensBefore,
+    shard: ShardCert,
+    /// When set, soft invariant diagnostics panic immediately: with no
+    /// fault schedule active they are real bugs, not expected damage.
+    strict: bool,
     report: CheckReport,
 }
 
@@ -226,10 +283,27 @@ impl Checker {
             cores: (0..cores).map(|_| CoreState::default()).collect(),
             lockdep: Lockdep::new(usize::from(cores)),
             lockset: Lockset::new(),
+            hb: HappensBefore::new(usize::from(cores)),
+            shard: ShardCert::default(),
+            strict: false,
             report: CheckReport::default(),
         };
         Self {
             inner: Some(Rc::new(RefCell::new(state))),
+        }
+    }
+
+    /// Sets the per-kind shard-class bounds the certifier enforces.
+    pub fn set_shard_policy(&self, policy: ShardPolicy) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().shard.set_policy(policy);
+        }
+    }
+
+    /// Arms strict mode: soft invariant diagnostics become panics.
+    pub fn set_strict(&self, strict: bool) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().strict = strict;
         }
     }
 
@@ -239,7 +313,8 @@ impl Checker {
         self.inner.is_some()
     }
 
-    /// Starts a fresh op on `core`, clearing its per-op state.
+    /// Starts a fresh op on `core`, clearing its per-op state and
+    /// advancing the core's happens-before epoch.
     pub fn op_begin(&self, core: u16) {
         if let Some(inner) = &self.inner {
             let mut st = inner.borrow_mut();
@@ -247,11 +322,15 @@ impl Checker {
             cs.sites.clear();
             cs.classes = 0;
             cs.writes.clear();
+            st.hb.tick(core);
         }
     }
 
     /// Commits the op on `core`: evaluates every recorded write against
-    /// the op's full acquired-class set and flags leaked lock scopes.
+    /// the op's full acquired-class set (lockset), the vector clocks
+    /// (happens-before), and the ownership history (shard certifier),
+    /// then flushes deferred channel publishes and flags leaked lock
+    /// scopes.
     pub fn op_commit(&self, core: u16) {
         if let Some(inner) = &self.inner {
             let mut st = inner.borrow_mut();
@@ -263,12 +342,17 @@ impl Checker {
             let CheckState {
                 lockset,
                 lockdep,
+                hb,
+                shard,
                 report,
                 ..
             } = &mut *st;
             for w in &writes {
+                let ordered = hb.write(w.slot, w.gen, w.kind, core, &w.site, report);
                 lockset.write(w.slot, w.gen, w.kind, core, mask, &w.site, report);
+                shard.write(w.slot, w.gen, w.kind, core, &w.site, ordered, report);
             }
+            hb.flush(core);
             for node in lockdep.clear_core(core) {
                 report.record(Violation {
                     detector: Detector::Invariant,
@@ -299,12 +383,18 @@ impl Checker {
             let CheckState {
                 lockset,
                 lockdep,
+                hb,
+                shard,
                 report,
                 ..
             } = &mut *st;
             for w in &writes {
+                let ordered = hb.write(w.slot, w.gen, w.kind, core, &w.site, report);
                 lockset.write(w.slot, w.gen, w.kind, core, mask, &w.site, report);
+                shard.write(w.slot, w.gen, w.kind, core, &w.site, ordered, report);
             }
+            hb.flush(core);
+            hb.tick(core);
             let held = lockdep.held_mask(core);
             st.core(core).classes = held;
         }
@@ -333,9 +423,36 @@ impl Checker {
             st.core(core).classes |= class_bit(class);
             let site = st.core(core).site();
             let CheckState {
-                lockdep, report, ..
+                lockdep,
+                hb,
+                report,
+                ..
             } = &mut *st;
+            // Acquire is the join half of the lock channel; the publish
+            // half (release) is deferred to commit so it carries the
+            // epoch that stamps this op's writes.
+            hb.join(core, Chan::Lock(class));
+            hb.defer_publish(core, Chan::Lock(class));
             lockdep.acquire(core, class, subclass, scoped, &site, report);
+        }
+    }
+
+    /// Joins a happens-before channel into `core`'s clock: the receive
+    /// half of a cross-core handoff (softirq dequeue, `epoll_wait`,
+    /// timer expiry).
+    pub fn hb_join(&self, core: u16, chan: Chan) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().hb.join(core, chan);
+        }
+    }
+
+    /// Schedules a publish of `core`'s clock onto a happens-before
+    /// channel, flushed when the current op commits: the send half of a
+    /// cross-core handoff (softirq enqueue, epoll ready-list post,
+    /// timer arm).
+    pub fn hb_publish(&self, core: u16, chan: Chan) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().hb.defer_publish(core, chan);
         }
     }
 
@@ -383,11 +500,22 @@ impl Checker {
         }
     }
 
-    /// Reports a soft table-invariant break (a former `assert!`).
+    /// Reports a soft table-invariant break (a former `assert!`). In
+    /// strict mode — no fault schedule active, so the tables have no
+    /// excuse — this panics on the spot, restoring the pre-fault-PR
+    /// hard-failure behaviour.
+    ///
+    /// # Panics
+    /// When strict mode is armed via [`Checker::set_strict`].
     pub fn invariant_violation(&self, subject: &str, core: u16, detail: String) {
         if let Some(inner) = &self.inner {
             let mut st = inner.borrow_mut();
             let site = st.core(core).site();
+            assert!(
+                !st.strict,
+                "table invariant broken with no fault schedule active: \
+                 {subject} on core {core} at {site}: {detail}"
+            );
             st.report.record(Violation {
                 detector: Detector::Invariant,
                 subject: subject.to_string(),
@@ -398,12 +526,16 @@ impl Checker {
         }
     }
 
-    /// Snapshot of the accumulated report (`None` when disabled).
+    /// Snapshot of the accumulated report (`None` when disabled),
+    /// including the certified shard inventory.
     #[must_use]
     pub fn report(&self) -> Option<CheckReport> {
-        self.inner
-            .as_ref()
-            .map(|inner| inner.borrow().report.clone())
+        self.inner.as_ref().map(|inner| {
+            let st = inner.borrow();
+            let mut report = st.report.clone();
+            report.shard_report = Some(st.shard.report());
+            report
+        })
     }
 }
 
@@ -524,7 +656,14 @@ mod tests {
         c.op_commit(0);
         let r = c.report().unwrap();
         assert_eq!(r.lockset, 1);
-        let d = &r.diagnostics[0];
+        // The same undisciplined handoff also lacks a happens-before
+        // edge (disjoint lock channels), so the HB detector agrees.
+        assert_eq!(r.hb, 1);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.detector == Detector::Lockset)
+            .unwrap();
         assert_eq!(d.subject, "sock_buf");
         assert_eq!(d.cores, vec![2, 0], "previous then current writer");
         assert_eq!(d.site, "softirq");
@@ -665,6 +804,6 @@ mod tests {
         let m = class_bit(LockClass::Slock) | class_bit(LockClass::BaseLock);
         let s = mask_names(m);
         assert!(s.contains("slock") && s.contains("base.lock"), "{s}");
-        assert_eq!(mask_names(0), "{}");
+        assert_eq!(mask_names(0), "{no locks held}");
     }
 }

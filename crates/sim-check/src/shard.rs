@@ -1,0 +1,497 @@
+//! Shard-safety certification: who owns which kernel object, and does
+//! the ownership ever cross cores?
+//!
+//! The paper's scalability argument is a partition proof — per-core
+//! listen/established tables, per-core timer bases and RFD delivery
+//! keep connection state core-local. This module turns that claim into
+//! a certified inventory: every sim-mem object's **writer core** is
+//! tracked over its lifetime, every cross-core transfer is recorded as
+//! an edge with dual witness sites, and each object *kind* is
+//! classified into the strongest statement that held for every object
+//! of the kind:
+//!
+//! - [`ShardClass::CoreLocal`] — never written by a second core;
+//! - [`ShardClass::Migrated`] — ownership moved, but never returned to
+//!   a core that already owned it (a bounded handover, e.g. the
+//!   accept-path handoff);
+//! - [`ShardClass::Shared`] — some core re-acquired ownership it had
+//!   before (ping-pong): the object is genuinely shared state.
+//!
+//! A [`ShardPolicy`] states, per kind, the weakest class the kernel
+//! variant under test is allowed to exhibit; an object exceeding its
+//! kind's bound is a [`Detector::Shard`] violation. The aggregate
+//! [`ShardReport`] — deterministic, `BTreeMap`-ordered, digestable —
+//! is the certified input contract for sharding the simulator itself
+//! (ROADMAP item 1): anything `CoreLocal` may live in a per-lane event
+//! loop without synchronization, `Migrated` needs a handoff protocol,
+//! `Shared` needs a real lock or a redesign.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use sim_mem::ObjKind;
+
+use crate::{CheckReport, Detector, Violation};
+
+/// How far an object (or kind) strays from core-locality. Ordered:
+/// `CoreLocal < Migrated < Shared`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ShardClass {
+    /// Only ever written by one core.
+    CoreLocal,
+    /// Ownership transferred, never back to a previous owner.
+    Migrated,
+    /// Ownership revisited a previous owner: truly shared.
+    Shared,
+}
+
+impl ShardClass {
+    /// Stable short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardClass::CoreLocal => "core_local",
+            ShardClass::Migrated => "migrated",
+            ShardClass::Shared => "shared",
+        }
+    }
+}
+
+/// Per-kind upper bounds on the shard class a kernel variant may
+/// exhibit. Derived from the stack configuration by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// The weakest class each [`ObjKind`] may reach (indexed by kind).
+    pub max: [ShardClass; ObjKind::COUNT],
+}
+
+impl ShardPolicy {
+    /// Allows everything (the default): the certifier only inventories.
+    #[must_use]
+    pub fn permissive() -> Self {
+        ShardPolicy {
+            max: [ShardClass::Shared; ObjKind::COUNT],
+        }
+    }
+
+    /// Returns the bound for one kind.
+    #[must_use]
+    pub fn bound(&self, kind: ObjKind) -> ShardClass {
+        self.max[kind as usize]
+    }
+
+    /// Sets the bound for one kind (builder style).
+    #[must_use]
+    pub fn with(mut self, kind: ObjKind, max: ShardClass) -> Self {
+        self.max[kind as usize] = max;
+        self
+    }
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self::permissive()
+    }
+}
+
+/// One cross-core ownership edge of a kind, with dual witness sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardEdge {
+    /// The core that owned the object before the transfer.
+    pub from_core: u16,
+    /// The core that took ownership.
+    pub to_core: u16,
+    /// Transfers along this edge.
+    pub count: u64,
+    /// Transfers that rode a happens-before channel (synchronized).
+    pub synced: u64,
+    /// Site of the previous owner's last write (first witness).
+    pub from_site: String,
+    /// Site of the transferring write (second witness).
+    pub to_site: String,
+}
+
+/// Aggregate classification of one object kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardKindReport {
+    /// Kind name (`ObjKind::name`).
+    pub kind: String,
+    /// Objects of this kind observed (distinct slot generations).
+    pub objects: u64,
+    /// Total cross-core ownership transfers.
+    pub transfers: u64,
+    /// Transfers with no happens-before edge from the previous owner.
+    pub unsynced: u64,
+    /// The strongest class reached by any object of the kind.
+    pub class: String,
+    /// The policy bound the kind was certified against.
+    pub allowed: String,
+    /// Every distinct cross-core edge, ordered by (from, to).
+    pub edges: Vec<ShardEdge>,
+}
+
+/// The certified shard inventory, embedded in `CheckReport`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// One entry per object kind that was observed, in kind order.
+    pub kinds: Vec<ShardKindReport>,
+}
+
+impl ShardReport {
+    /// FNV-1a digest over the canonical JSON encoding: deterministic
+    /// runs must produce bit-identical reports.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let json = serde_json::to_string(self).unwrap_or_default();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Total cross-core transfers across every kind.
+    #[must_use]
+    pub fn total_transfers(&self) -> u64 {
+        self.kinds.iter().map(|k| k.transfers).sum()
+    }
+
+    /// Number of distinct cross-core edges across every kind.
+    #[must_use]
+    pub fn total_edges(&self) -> usize {
+        self.kinds.iter().map(|k| k.edges.len()).sum()
+    }
+
+    /// The entry for one kind, if it was observed.
+    #[must_use]
+    pub fn kind(&self, kind: ObjKind) -> Option<&ShardKindReport> {
+        self.kinds.iter().find(|k| k.kind == kind.name())
+    }
+}
+
+#[derive(Debug)]
+struct ObjHist {
+    gen: u64,
+    owner: u16,
+    /// Bitmask of cores that have owned this object (cores ≥ 127 fold
+    /// onto the top bit — a safe over-approximation toward `Shared`).
+    visited: u128,
+    class: ShardClass,
+    last_site: String,
+    reported: bool,
+}
+
+#[derive(Debug, Default)]
+struct KindAgg {
+    objects: u64,
+    transfers: u64,
+    unsynced: u64,
+    class: Option<ShardClass>,
+    edges: BTreeMap<(u16, u16), EdgeAgg>,
+}
+
+#[derive(Debug)]
+struct EdgeAgg {
+    count: u64,
+    synced: u64,
+    from_site: String,
+    to_site: String,
+}
+
+fn core_bit(core: u16) -> u128 {
+    1u128 << u32::from(core).min(127)
+}
+
+/// The per-object ownership tracker and per-kind aggregator.
+#[derive(Debug)]
+pub struct ShardCert {
+    policy: ShardPolicy,
+    objs: HashMap<u32, ObjHist>,
+    kinds: Vec<KindAgg>,
+}
+
+impl Default for ShardCert {
+    fn default() -> Self {
+        Self::new(ShardPolicy::permissive())
+    }
+}
+
+impl ShardCert {
+    /// A certifier enforcing `policy`.
+    #[must_use]
+    pub fn new(policy: ShardPolicy) -> Self {
+        ShardCert {
+            policy,
+            objs: HashMap::new(),
+            kinds: (0..ObjKind::COUNT).map(|_| KindAgg::default()).collect(),
+        }
+    }
+
+    /// Replaces the enforced policy (before any writes are observed).
+    pub fn set_policy(&mut self, policy: ShardPolicy) {
+        self.policy = policy;
+    }
+
+    /// Feeds one committed write: object `slot` (generation `gen`) was
+    /// written on `core`; `synced` says whether the happens-before
+    /// detector found the write ordered after the previous one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write(
+        &mut self,
+        slot: u32,
+        gen: u64,
+        kind: ObjKind,
+        core: u16,
+        site: &str,
+        synced: bool,
+        report: &mut CheckReport,
+    ) {
+        let agg = &mut self.kinds[kind as usize];
+        let st = match self.objs.entry(slot) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                agg.objects += 1;
+                agg.class = Some(
+                    agg.class
+                        .map_or(ShardClass::CoreLocal, |c| c.max(ShardClass::CoreLocal)),
+                );
+                v.insert(ObjHist {
+                    gen,
+                    owner: core,
+                    visited: core_bit(core),
+                    class: ShardClass::CoreLocal,
+                    last_site: site.to_string(),
+                    reported: false,
+                });
+                return;
+            }
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+        };
+        if st.gen != gen {
+            // Slab slot recycled: a fresh object, a fresh history.
+            agg.objects += 1;
+            agg.class = Some(
+                agg.class
+                    .map_or(ShardClass::CoreLocal, |c| c.max(ShardClass::CoreLocal)),
+            );
+            *st = ObjHist {
+                gen,
+                owner: core,
+                visited: core_bit(core),
+                class: ShardClass::CoreLocal,
+                last_site: site.to_string(),
+                reported: false,
+            };
+            return;
+        }
+        if st.owner == core {
+            st.last_site = site.to_string();
+            return;
+        }
+        // Ownership transfer.
+        let from = st.owner;
+        agg.transfers += 1;
+        agg.unsynced += u64::from(!synced);
+        let edge = agg.edges.entry((from, core)).or_insert_with(|| EdgeAgg {
+            count: 0,
+            synced: 0,
+            from_site: st.last_site.clone(),
+            to_site: site.to_string(),
+        });
+        edge.count += 1;
+        edge.synced += u64::from(synced);
+        let revisit = st.visited & core_bit(core) != 0;
+        let class = if revisit {
+            ShardClass::Shared
+        } else {
+            ShardClass::Migrated
+        };
+        st.visited |= core_bit(core);
+        st.owner = core;
+        st.class = st.class.max(class);
+        st.last_site = site.to_string();
+        agg.class = Some(agg.class.map_or(st.class, |c| c.max(st.class)));
+        let bound = self.policy.bound(kind);
+        if st.class > bound && !st.reported {
+            st.reported = true;
+            report.record(Violation {
+                detector: Detector::Shard,
+                subject: kind.name().to_string(),
+                cores: vec![core, from],
+                site: site.to_string(),
+                detail: format!(
+                    "{} slot {slot} became {} (policy allows {}): core {core} took \
+                     ownership at {site} from core {from} (previous write at {}), \
+                     transfer was {}",
+                    kind.name(),
+                    st.class.name(),
+                    bound.name(),
+                    edge.from_site,
+                    if synced {
+                        "synchronized"
+                    } else {
+                        "UNSYNCHRONIZED"
+                    },
+                ),
+            });
+        }
+    }
+
+    /// The aggregate inventory, ordered by kind declaration order.
+    /// Every kind gets a row — a kind with zero objects was never
+    /// written during the run (read-only or not exercised) and is
+    /// vacuously `core_local`.
+    #[must_use]
+    pub fn report(&self) -> ShardReport {
+        let mut kinds = Vec::new();
+        for k in ObjKind::ALL {
+            let agg = &self.kinds[k as usize];
+            let class = agg.class.unwrap_or(ShardClass::CoreLocal);
+            kinds.push(ShardKindReport {
+                kind: k.name().to_string(),
+                objects: agg.objects,
+                transfers: agg.transfers,
+                unsynced: agg.unsynced,
+                class: class.name().to_string(),
+                allowed: self.policy.bound(k).name().to_string(),
+                edges: agg
+                    .edges
+                    .iter()
+                    .map(|(&(from, to), e)| ShardEdge {
+                        from_core: from,
+                        to_core: to,
+                        count: e.count,
+                        synced: e.synced,
+                        from_site: e.from_site.clone(),
+                        to_site: e.to_site.clone(),
+                    })
+                    .collect(),
+            });
+        }
+        ShardReport { kinds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(policy: ShardPolicy) -> (ShardCert, CheckReport) {
+        (ShardCert::new(policy), CheckReport::default())
+    }
+
+    #[test]
+    fn single_core_objects_stay_core_local() {
+        let (mut c, mut r) =
+            cert(ShardPolicy::permissive().with(ObjKind::Tcb, ShardClass::CoreLocal));
+        for _ in 0..5 {
+            c.write(1, 1, ObjKind::Tcb, 2, "app", true, &mut r);
+        }
+        assert!(r.is_clean());
+        let rep = c.report();
+        let k = rep.kind(ObjKind::Tcb).unwrap();
+        assert_eq!(k.class, "core_local");
+        assert_eq!(k.transfers, 0);
+        assert!(k.edges.is_empty());
+    }
+
+    #[test]
+    fn one_way_handover_is_migrated() {
+        let (mut c, mut r) =
+            cert(ShardPolicy::permissive().with(ObjKind::Tcb, ShardClass::Migrated));
+        c.write(4, 1, ObjKind::Tcb, 0, "softirq", true, &mut r);
+        c.write(4, 1, ObjKind::Tcb, 3, "accept", true, &mut r);
+        c.write(4, 1, ObjKind::Tcb, 3, "recv", true, &mut r);
+        assert!(r.is_clean(), "{r:#?}");
+        let rep = c.report();
+        let k = rep.kind(ObjKind::Tcb).unwrap();
+        assert_eq!(k.class, "migrated");
+        assert_eq!(k.transfers, 1);
+        assert_eq!(k.edges.len(), 1);
+        assert_eq!(k.edges[0].from_core, 0);
+        assert_eq!(k.edges[0].to_core, 3);
+        assert_eq!(k.edges[0].from_site, "softirq");
+        assert_eq!(k.edges[0].to_site, "accept");
+    }
+
+    #[test]
+    fn ping_pong_is_shared_and_violates_a_tighter_policy() {
+        let (mut c, mut r) =
+            cert(ShardPolicy::permissive().with(ObjKind::SockBuf, ShardClass::CoreLocal));
+        c.write(7, 1, ObjKind::SockBuf, 1, "app", true, &mut r);
+        c.write(7, 1, ObjKind::SockBuf, 2, "softirq", true, &mut r);
+        assert_eq!(r.shard, 1, "already Migrated > CoreLocal");
+        c.write(7, 1, ObjKind::SockBuf, 1, "app", true, &mut r);
+        // Reported once per object, class upgraded to shared.
+        assert_eq!(r.shard, 1);
+        assert_eq!(c.report().kind(ObjKind::SockBuf).unwrap().class, "shared");
+        let d = &r.diagnostics[0];
+        assert_eq!(d.detector, Detector::Shard);
+        assert_eq!(d.cores, vec![2, 1]);
+        assert!(d.detail.contains("sock_buf"), "{}", d.detail);
+    }
+
+    #[test]
+    fn unsynced_transfers_are_counted() {
+        let (mut c, mut r) = cert(ShardPolicy::permissive());
+        c.write(9, 1, ObjKind::Epoll, 0, "a", true, &mut r);
+        c.write(9, 1, ObjKind::Epoll, 1, "b", false, &mut r);
+        c.write(9, 1, ObjKind::Epoll, 2, "c", true, &mut r);
+        assert!(r.is_clean(), "permissive policy never violates");
+        let rep = c.report();
+        let k = rep.kind(ObjKind::Epoll).unwrap();
+        assert_eq!(k.transfers, 2);
+        assert_eq!(k.unsynced, 1);
+    }
+
+    #[test]
+    fn generation_change_starts_a_fresh_history() {
+        let (mut c, mut r) =
+            cert(ShardPolicy::permissive().with(ObjKind::Tcb, ShardClass::CoreLocal));
+        c.write(5, 1, ObjKind::Tcb, 0, "a", true, &mut r);
+        // Recycled on another core: not a transfer.
+        c.write(5, 2, ObjKind::Tcb, 3, "b", true, &mut r);
+        assert!(r.is_clean());
+        let rep = c.report();
+        assert_eq!(rep.kind(ObjKind::Tcb).unwrap().objects, 2);
+        assert_eq!(rep.kind(ObjKind::Tcb).unwrap().transfers, 0);
+    }
+
+    #[test]
+    fn report_digest_is_deterministic_and_content_sensitive() {
+        let (mut a, mut r1) = cert(ShardPolicy::permissive());
+        let (mut b, mut r2) = cert(ShardPolicy::permissive());
+        for c in [&mut a, &mut b] {
+            c.write(
+                1,
+                1,
+                ObjKind::Tcb,
+                0,
+                "x",
+                true,
+                &mut CheckReport::default(),
+            );
+            c.write(
+                1,
+                1,
+                ObjKind::Tcb,
+                1,
+                "y",
+                true,
+                &mut CheckReport::default(),
+            );
+        }
+        let _ = (&mut r1, &mut r2);
+        assert_eq!(a.report().digest(), b.report().digest());
+        b.write(
+            1,
+            1,
+            ObjKind::Tcb,
+            2,
+            "z",
+            true,
+            &mut CheckReport::default(),
+        );
+        assert_ne!(a.report().digest(), b.report().digest());
+    }
+}

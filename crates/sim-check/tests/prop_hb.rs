@@ -1,0 +1,112 @@
+//! Property tests relating the lockset detector and the
+//! happens-before (vector-clock) detector.
+//!
+//! The classic containment: a *lock-disciplined* schedule — every
+//! write to an object holds that object's designated lock — is clean
+//! under both detectors, because each lock release publishes the
+//! writer's clock on the lock's channel and each acquire joins it.
+//! The containment is deliberately NOT claimed for arbitrary
+//! schedules: a lock-free handoff over a non-lock channel (softirq
+//! steer, epoll wakeup) is HB-clean yet lockset-racy, and an
+//! exclusive-phase two-write pattern is lockset-clean yet HB-racy —
+//! the `SilentHandoff` fault knob exploits exactly that gap.
+
+use proptest::prelude::*;
+use sim_check::{Chan, Checker, PartitionPolicy};
+use sim_mem::ObjKind;
+use sim_sync::LockClass;
+
+/// The designated lock class for a slot, fixing the discipline.
+fn class_for(slot: u32) -> LockClass {
+    LockClass::ALL[slot as usize % LockClass::COUNT]
+}
+
+proptest! {
+    /// Lock-disciplined random schedules are clean under the lockset
+    /// detector AND the happens-before detector: consecutive writes
+    /// under a common class are ordered by the lock's channel, so the
+    /// vector clocks agree with the lockset verdict.
+    #[test]
+    fn lock_disciplined_schedules_are_clean_under_both(
+        writes in collection::vec((0u16..6, 0u32..5), 1..120)
+    ) {
+        let c = Checker::enabled(6, PartitionPolicy::default());
+        for (core, slot) in &writes {
+            c.op_begin(*core);
+            c.on_acquire(*core, class_for(*slot), 0, false);
+            c.on_write(*core, *slot, 1, ObjKind::Tcb);
+            c.op_commit(*core);
+        }
+        let r = c.report().unwrap();
+        prop_assert_eq!(r.lockset, 0, "discipline held: {:?}", r.diagnostics);
+        prop_assert_eq!(r.hb, 0, "lock channels must order the writes: {:?}", r.diagnostics);
+    }
+
+    /// With no locks and no channels at all, the two detectors agree
+    /// exactly: a report fires iff some slot was written by two
+    /// distinct cores (and the HB detector names it at least once).
+    #[test]
+    fn lockless_schedules_make_both_detectors_agree(
+        writes in collection::vec((0u16..4, 0u32..6), 1..80)
+    ) {
+        let c = Checker::enabled(4, PartitionPolicy::default());
+        for (core, slot) in &writes {
+            c.op_begin(*core);
+            c.on_write(*core, *slot, 1, ObjKind::SockBuf);
+            c.op_commit(*core);
+        }
+        let mut contested = false;
+        for (i, (core, slot)) in writes.iter().enumerate() {
+            if writes[..i].iter().any(|(c2, s2)| s2 == slot && c2 != core) {
+                contested = true;
+            }
+        }
+        let r = c.report().unwrap();
+        prop_assert_eq!(r.lockset > 0, contested, "{:?}", r.diagnostics);
+        prop_assert_eq!(r.hb > 0, contested, "{:?}", r.diagnostics);
+    }
+
+    /// The other side of the gap: a lock-free ownership handoff over
+    /// an explicit channel (the softirq-steer pattern) is HB-clean —
+    /// the vector clocks see the publish/join edge — while the lockset
+    /// detector, blind to channels, suspects the object as soon as a
+    /// second core writes it. HB-clean does NOT imply lockset-clean.
+    #[test]
+    fn channel_handoffs_are_hb_clean_but_lockset_suspect(
+        chain in collection::vec(0u16..4, 2..10)
+    ) {
+        let c = Checker::enabled(4, PartitionPolicy::default());
+        let mut prev: Option<u16> = None;
+        for (i, &core) in chain.iter().enumerate() {
+            c.op_begin(core);
+            if let Some(p) = prev {
+                if p != core {
+                    // The previous owner published on this channel.
+                    c.hb_join(core, Chan::Softirq(core));
+                }
+            }
+            c.on_write(core, 7, 1, ObjKind::SockBuf);
+            if let Some(&next) = chain.get(i + 1) {
+                if next != core {
+                    c.hb_publish(core, Chan::Softirq(next));
+                }
+            }
+            c.op_commit(core);
+            prev = Some(core);
+        }
+        let distinct_cores = {
+            let mut cs: Vec<u16> = chain.clone();
+            cs.sort_unstable();
+            cs.dedup();
+            cs.len()
+        };
+        let r = c.report().unwrap();
+        prop_assert_eq!(r.hb, 0, "every handoff rode a channel: {:?}", r.diagnostics);
+        prop_assert_eq!(
+            r.lockset > 0,
+            distinct_cores > 1,
+            "lockset cannot see channels: {:?}",
+            r.diagnostics
+        );
+    }
+}

@@ -131,6 +131,11 @@ impl EpollSystem {
     pub fn post(&mut self, ctx: &mut KernelCtx, op: &mut Op, ep: EpollId, ev: EpollEvent) -> bool {
         op.trace_enter(sim_trace::TraceLabel::Epoll);
         let inst = &mut self.instances[ep.0 as usize];
+        // The post→wait wakeup is a happens-before edge on this
+        // instance: the waiter is ordered after everything the posting
+        // op wrote (published at the poster's commit).
+        op.checker()
+            .hb_publish(op.core().0, sim_check::Chan::Epoll(ep.0));
         op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,
@@ -166,6 +171,8 @@ impl EpollSystem {
             op.core().0,
             inst.owner_core.0,
         );
+        op.checker()
+            .hb_join(op.core().0, sim_check::Chan::Epoll(ep.0));
         op.touch_mut(ctx, inst.obj);
         op.lock_do(
             &mut ctx.locks,

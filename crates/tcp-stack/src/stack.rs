@@ -61,6 +61,19 @@ pub enum FaultInjection {
     /// Established-segment timer maintenance re-arms on the next core's
     /// timer base (partition detector: `timer_base`).
     CrossCoreTimer,
+    /// A fresh socket buffer is written on one remote core and then on
+    /// another with no connecting synchronization channel (happens-
+    /// before detector). Invisible to the lockset detector: the first
+    /// write is exclusive, and the second holds a real lock so its
+    /// candidate set never empties.
+    SilentHandoff,
+    /// A remote core briefly takes ownership of an established
+    /// connection's socket buffer *under its socket lock*, so the
+    /// owning core's next write bounces ownership straight back (shard
+    /// certifier: `sock_buf` exceeds its migrated-once bound). The
+    /// lock makes every write both lockset-clean and happens-before
+    /// ordered, so no other detector fires.
+    OwnerPingPong,
 }
 
 /// Full configuration of the simulated kernel's TCP stack.
@@ -252,6 +265,13 @@ pub struct TcpStack {
     stats: StackStats,
     cookie_secret: u64,
     pending_rto: Vec<(SockId, u64, Cycles)>,
+    /// One-shot latch for the [`FaultInjection::SilentHandoff`] and
+    /// [`FaultInjection::OwnerPingPong`] knobs.
+    fault_fired: bool,
+    /// Victim `(socket, generation)` armed for `OwnerPingPong`: the
+    /// knob fires while a *different* connection is being processed so
+    /// the victim has no writes pending in the current op segment.
+    fault_victim: Option<(SockId, u64)>,
 }
 
 impl TcpStack {
@@ -271,6 +291,8 @@ impl TcpStack {
             stats: StackStats::default(),
             cookie_secret: ctx.rng.next_u64(),
             pending_rto: Vec::new(),
+            fault_fired: false,
+            fault_victim: None,
         }
     }
 
@@ -452,16 +474,9 @@ impl TcpStack {
                 let t = self.socks.get_mut(sock);
                 let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
                 let Some(dp) = t.dp.as_mut() else { return };
-                if dp.snd.pending == 0 {
-                    None
-                } else {
-                    let seg_len = dp.snd.pending.min(u64::from(dp.mss)) as u32;
-                    if dp.snd.usable(snd_nxt, dp.cc.cwnd()) < seg_len {
-                        None
-                    } else {
-                        dp.snd.pending -= u64::from(seg_len);
-                        let idx = dp.gso_idx;
-                        dp.gso_idx = dp.gso_idx.wrapping_add(1);
+                match dp.next_segment(snd_nxt) {
+                    None => None,
+                    Some((seg_len, idx)) => {
                         let cost = dp.batch.gso_cost(idx, costs.tx_per_packet);
                         let seg = Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
                             .with_seq(snd_nxt)
@@ -485,8 +500,7 @@ impl TcpStack {
             let t = self.socks.get_mut(sock);
             let (flow, snd_nxt, rcv_nxt) = (t.flow, t.snd_nxt, t.rcv_nxt);
             let Some(dp) = t.dp.as_mut() else { return };
-            if dp.snd.fin_pending && dp.snd.pending == 0 {
-                dp.snd.fin_pending = false;
+            if dp.snd.take_deferred_fin() {
                 let fin = Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
                     .with_seq(snd_nxt)
                     .with_ack(rcv_nxt)
@@ -673,6 +687,14 @@ impl TcpStack {
         let core = op.core();
         let mut out = RxOutcome::default();
 
+        if self.config.fault == FaultInjection::SilentHandoff
+            && !self.fault_fired
+            && self.config.cores >= 3
+        {
+            self.fault_fired = true;
+            self.inject_silent_handoff(ctx, os, core, op.now());
+        }
+
         // A steered packet must have landed on its connection's owning
         // core — the delivery guarantee the Local Established Table
         // depends on (§3.3).
@@ -770,6 +792,77 @@ impl TcpStack {
         out
     }
 
+    /// Fault: writes a fresh socket buffer on remote core `a`, then on
+    /// remote core `b`, with no synchronization channel between the two
+    /// ops. The first write is exclusive (lockset stays full) and the
+    /// second holds `b`'s timer base lock (candidate set stays
+    /// nonempty), so only the happens-before detector can see that
+    /// nothing ordered the handoff.
+    fn inject_silent_handoff(
+        &mut self,
+        ctx: &mut KernelCtx,
+        os: &mut OsServices,
+        core: CoreId,
+        now: Cycles,
+    ) {
+        let a = CoreId((core.0 + 1) % self.config.cores);
+        let b = CoreId((core.0 + 2) % self.config.cores);
+        let obj = ctx.cache.alloc(sim_mem::ObjKind::SockBuf, a);
+        let mut first = ctx.begin(a, now);
+        first.touch_mut(ctx, obj);
+        first.commit(&mut ctx.cpu);
+        let mut second = ctx.begin(b, now);
+        second.lock_do(&mut ctx.locks, os.timers.base_lock(b), CycleClass::Timer, 1);
+        second.touch_mut(ctx, obj);
+        second.commit(&mut ctx.cpu);
+        ctx.cache.free(obj);
+    }
+
+    /// Fault: arms the first data-carrying connection as a victim, then
+    /// — while a *different* connection is being processed, so the
+    /// victim has no writes pending in the current op segment — a
+    /// remote core takes the victim's socket lock and writes its
+    /// buffer. The victim's owning core writes the buffer again soon
+    /// after (it is an active connection), bouncing ownership back:
+    /// `core-local → migrated → shared`, under a full lock discipline
+    /// that keeps every other detector silent.
+    fn inject_owner_ping_pong(
+        &mut self,
+        ctx: &mut KernelCtx,
+        core: CoreId,
+        now: Cycles,
+        sock: SockId,
+        payload: bool,
+    ) {
+        let Some((victim, gen)) = self.fault_victim else {
+            if payload {
+                self.fault_victim = Some((sock, self.socks.get(sock).gen));
+            }
+            return;
+        };
+        if victim == sock {
+            return;
+        }
+        if !self.socks.exists(victim) || self.socks.get(victim).gen != gen {
+            self.fault_victim = None; // victim recycled before the knob fired; re-arm
+            return;
+        }
+        let t = self.socks.get(victim);
+        let (lock, buf, app) = (t.lock, t.buf_obj, t.app_core);
+        let mut thief_core = CoreId((app.0 + 1) % self.config.cores);
+        if thief_core == core {
+            thief_core = CoreId((app.0 + 2) % self.config.cores);
+        }
+        if thief_core == core || thief_core == app {
+            return; // no usable third core right now; try again later
+        }
+        self.fault_fired = true;
+        let mut thief = ctx.begin(thief_core, now);
+        thief.lock_do(&mut ctx.locks, lock, CycleClass::TcbManage, 1);
+        thief.touch_mut(ctx, buf);
+        thief.commit(&mut ctx.cpu);
+    }
+
     /// Segment processing for a socket found in the established table.
     fn process_established(
         &mut self,
@@ -781,6 +874,12 @@ impl TcpStack {
         out: &mut RxOutcome,
     ) {
         let costs = self.config.costs;
+        if self.config.fault == FaultInjection::OwnerPingPong
+            && !self.fault_fired
+            && self.config.cores >= 3
+        {
+            self.inject_owner_ping_pong(ctx, op.core(), op.now(), sock, pkt.payload_len > 0);
+        }
         let (lock, obj, timer) = {
             let t = self.socks.get(sock);
             (t.lock, t.obj, t.rtx_timer)
@@ -937,11 +1036,7 @@ impl TcpStack {
             // GRO: an in-order train of data-plane segments amortizes
             // the per-segment receive cost.
             let seg_cost = match t.dp.as_mut() {
-                Some(dp) => {
-                    let c = dp.batch.gro_cost(dp.gro_idx, costs.data_segment);
-                    dp.gro_idx = dp.gro_idx.wrapping_add(1);
-                    c
-                }
+                Some(dp) => dp.gro_advance(costs.data_segment),
                 None => costs.data_segment,
             };
             op.work(CycleClass::SoftirqBase, seg_cost);
@@ -1776,7 +1871,7 @@ impl TcpStack {
                     let t = self.socks.get_mut(sock);
                     match t.dp.as_mut() {
                         Some(dp) if dp.snd.pending > 0 => {
-                            dp.snd.fin_pending = true;
+                            dp.snd.defer_fin();
                             true
                         }
                         _ => false,

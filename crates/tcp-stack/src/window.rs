@@ -162,6 +162,23 @@ impl SendWindow {
         self.dup_acks = 0;
         self.in_recovery = false;
     }
+
+    /// `close()` ran while data was still queued: remember to emit the
+    /// FIN once the backlog drains.
+    pub fn defer_fin(&mut self) {
+        self.fin_pending = true;
+    }
+
+    /// Whether a deferred FIN is ready to ride out now (backlog empty);
+    /// consumes the pending flag when it is.
+    pub fn take_deferred_fin(&mut self) -> bool {
+        if self.fin_pending && self.pending == 0 {
+            self.fin_pending = false;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Receiver-side window: a per-connection buffer budget backing the
@@ -243,6 +260,31 @@ impl DataPlane {
             gso_idx: 0,
             gro_idx: 0,
         }
+    }
+
+    /// Carves the next data segment off the send backlog if both
+    /// windows allow a full one: consumes the backlog bytes, advances
+    /// the GSO counter, and returns `(segment_len, gso_index)`.
+    pub fn next_segment(&mut self, snd_nxt: u32) -> Option<(u32, u16)> {
+        if self.snd.pending == 0 {
+            return None;
+        }
+        let seg_len = self.snd.pending.min(u64::from(self.mss)) as u32;
+        if self.snd.usable(snd_nxt, self.cc.cwnd()) < seg_len {
+            return None;
+        }
+        self.snd.pending -= u64::from(seg_len);
+        let idx = self.gso_idx;
+        self.gso_idx = self.gso_idx.wrapping_add(1);
+        Some((seg_len, idx))
+    }
+
+    /// One in-order data segment arrived: advances the GRO train
+    /// counter and returns the amortized per-segment receive cost.
+    pub fn gro_advance(&mut self, per_segment: u64) -> u64 {
+        let cost = self.batch.gro_cost(self.gro_idx, per_segment);
+        self.gro_idx = self.gro_idx.wrapping_add(1);
+        cost
     }
 }
 

@@ -143,6 +143,76 @@ fn cross_core_timer_triggers_the_timer_base_lint() {
 }
 
 #[test]
+fn silent_handoff_triggers_exactly_the_happens_before_detector() {
+    // Two remote cores write a fresh socket buffer with no connecting
+    // synchronization channel. The lockset detector is structurally
+    // blind to it (first write exclusive, second write holds a lock),
+    // so a report can only come from the vector clocks.
+    let checks = run_faulty(
+        KernelSpec::BaseLinux,
+        AppSpec::web(),
+        4,
+        FaultInjection::SilentHandoff,
+    );
+    assert_eq!(
+        checks.hb, 1,
+        "the unsynchronized handoff must race exactly once\n{:#?}",
+        checks.diagnostics
+    );
+    assert_eq!(checks.lockset, 0, "the lockset detector cannot see it");
+    assert_eq!(checks.lockdep, 0, "no ordering fault was injected");
+    assert_eq!(checks.shard, 0, "a one-way migration breaks no shard bound");
+    assert_eq!(checks.partition, 0, "no partition lint is involved");
+    assert_eq!(checks.invariant, 0, "no table invariant is involved");
+    let race = checks
+        .diagnostics
+        .iter()
+        .find(|v| v.detector == sim_check::Detector::Hb)
+        .expect("an hb diagnostic must be recorded");
+    assert_eq!(race.subject, "sock_buf", "the racing object kind is named");
+    assert_eq!(race.cores.len(), 2, "both witness cores: {race:#?}");
+    assert_ne!(race.cores[0], race.cores[1], "distinct cores: {race:#?}");
+    assert!(
+        race.detail.contains("no happens-before edge"),
+        "actionable detail: {race:#?}"
+    );
+}
+
+#[test]
+fn owner_ping_pong_triggers_exactly_the_shard_certifier() {
+    // A remote core takes an established connection's socket lock and
+    // writes its buffer; the owning core writes it again right after.
+    // Every write is locked (lockset clean) and channel-ordered (hb
+    // clean) — only the ownership history shows the ping-pong.
+    let checks = run_faulty(
+        KernelSpec::Fastsocket,
+        AppSpec::web(),
+        4,
+        FaultInjection::OwnerPingPong,
+    );
+    assert!(
+        checks.shard > 0,
+        "bounced buffer ownership must break the migrated-once bound\n{:#?}",
+        checks.diagnostics
+    );
+    assert_eq!(checks.hb, 0, "the locked handoff is fully ordered");
+    assert_eq!(checks.lockset, 0, "every write held the socket lock");
+    assert_eq!(checks.lockdep, 0, "no ordering fault was injected");
+    assert_eq!(checks.partition, 0, "no partition lint is involved");
+    assert_eq!(checks.invariant, 0, "no table invariant is involved");
+    let v = checks
+        .diagnostics
+        .iter()
+        .find(|v| v.detector == sim_check::Detector::Shard)
+        .expect("a shard diagnostic must be recorded");
+    assert_eq!(v.subject, "sock_buf");
+    assert!(
+        v.detail.contains("shared") && v.detail.contains("migrated"),
+        "class and bound are named: {v:#?}"
+    );
+}
+
+#[test]
 fn faults_without_check_cost_nothing_and_report_nothing() {
     // The knobs perturb behavior but the sanitizer layer stays dark when
     // disabled — the run must still complete and report no checks.
