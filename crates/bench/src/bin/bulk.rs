@@ -23,7 +23,7 @@
 //! (also rewrites `results/BENCH_bulk.json` next to the JSON path).
 
 use fastsocket::{AppSpec, DataPlaneConfig, KernelSpec, RunReport, SimConfig, Simulation};
-use fastsocket_bench::{kcps, HarnessArgs};
+use fastsocket_bench::{assert_deterministic, kcps, HarnessArgs};
 use serde::{Deserialize, Serialize};
 use sim_nic::BatchConfig;
 use std::path::{Path, PathBuf};
@@ -140,17 +140,16 @@ fn run_cell(
     seed: u64,
     doubled: bool,
 ) -> Cell {
-    let r = run(kernel.clone(), cc, size, cores, t, check, seed);
-    if doubled {
-        let again = run(kernel.clone(), cc, size, cores, t, check, seed);
-        assert_eq!(
-            r.results_digest(),
-            again.results_digest(),
-            "same-seed bulk reruns diverged: {} {} {size}B",
-            kernel.label(),
-            cc.name()
-        );
-    }
+    let cell = || run(kernel.clone(), cc, size, cores, t, check, seed);
+    let r = if doubled {
+        assert_deterministic(
+            format_args!("bulk {} {} {size}B", kernel.label(), cc.name()),
+            cell,
+            RunReport::results_digest,
+        )
+    } else {
+        cell()
+    };
     if check {
         let checks = r.checks.as_ref().expect("sanitizers were armed");
         assert!(

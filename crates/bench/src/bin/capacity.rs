@@ -25,7 +25,7 @@
 //! (also rewrites `results/BENCH_capacity.json` next to the JSON path).
 
 use fastsocket::{AppSpec, KernelSpec, OpenLoopConfig, RunReport, SimConfig, Simulation};
-use fastsocket_bench::{kcps, pct, HarnessArgs};
+use fastsocket_bench::{assert_deterministic, kcps, pct, HarnessArgs};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -148,22 +148,21 @@ fn run_rung(
     seed: u64,
     doubled: bool,
 ) -> Rung {
-    let r = cell(kernel.clone(), cores, rate, t, check, seed);
-    if doubled {
-        let again = cell(kernel.clone(), cores, rate, t, check, seed);
-        assert_eq!(
-            r.results_digest(),
-            again.results_digest(),
-            "same-seed open-loop reruns diverged: {} {cores}c @{}",
-            kernel.label(),
-            kcps(rate)
-        );
-        assert_eq!(
-            r.load.as_ref().unwrap().schedule_digest,
-            again.load.as_ref().unwrap().schedule_digest,
-            "arrival schedule diverged across reruns"
-        );
-    }
+    let run = || cell(kernel.clone(), cores, rate, t, check, seed);
+    let r = if doubled {
+        assert_deterministic(
+            format_args!("open loop {} {cores}c @{}", kernel.label(), kcps(rate)),
+            run,
+            |r| {
+                (
+                    r.results_digest(),
+                    r.load.as_ref().unwrap().schedule_digest.clone(),
+                )
+            },
+        )
+    } else {
+        run()
+    };
     if check {
         let checks = r.checks.as_ref().expect("sanitizers were armed");
         assert!(

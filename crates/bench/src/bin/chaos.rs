@@ -18,7 +18,7 @@ use fastsocket::{
     AppSpec, FaultRecord, FaultSchedule, KernelSpec, RobustnessReport, RunReport, SimConfig,
     Simulation,
 };
-use fastsocket_bench::{kcps, pct, HarnessArgs};
+use fastsocket_bench::{assert_deterministic, kcps, pct, HarnessArgs};
 use serde::Serialize;
 use sim_core::secs_to_cycles;
 
@@ -166,18 +166,17 @@ fn goodput_ratio(rob: &RobustnessReport, rec: &FaultRecord) -> f64 {
 /// Runs one cell twice with the same seed and verifies the two
 /// robustness reports are bit-identical before returning the report.
 fn run_cell(kernel: KernelSpec, scenario: Scenario, t: Timing, check: bool) -> (RunReport, Row) {
-    let run = || Simulation::new(config(kernel.clone(), scenario, t, check)).run();
-    let a = run();
-    let b = run();
-    let ra = a.robustness.clone().expect("fault schedule => robustness");
-    let rb = b.robustness.as_ref().expect("fault schedule => robustness");
-    assert_eq!(
-        ra.digest(),
-        rb.digest(),
-        "{} × {}: robustness must be bit-identical across same-seed runs",
-        kernel.label(),
-        scenario.label()
+    let a = assert_deterministic(
+        format_args!("{} × {}", kernel.label(), scenario.label()),
+        || Simulation::new(config(kernel.clone(), scenario, t, check)).run(),
+        |r| {
+            r.robustness
+                .as_ref()
+                .expect("fault schedule => robustness")
+                .digest()
+        },
     );
+    let ra = a.robustness.clone().expect("fault schedule => robustness");
     let rec = ra.faults[0].clone();
     let row = Row {
         scenario: scenario.label().to_string(),

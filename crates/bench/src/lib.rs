@@ -23,7 +23,17 @@ impl HarnessArgs {
     /// Parses `[measure_secs] [--cores a,b,c] [--json path]` from the
     /// process arguments, with the given default measurement length.
     pub fn parse(default_measure: f64, experiment: &str) -> HarnessArgs {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(
+            std::env::args().skip(1).collect(),
+            default_measure,
+            experiment,
+        )
+    }
+
+    /// [`HarnessArgs::parse`] over an explicit argument vector —
+    /// for binaries that consume extra flags of their own first and
+    /// forward the remainder.
+    pub fn parse_from(args: Vec<String>, default_measure: f64, experiment: &str) -> HarnessArgs {
         let mut measure_secs = default_measure;
         let mut json_path = None;
         let mut cores = None;
@@ -77,6 +87,34 @@ impl HarnessArgs {
             }
         }
     }
+}
+
+/// Runs the same cell twice and asserts the chosen digest is
+/// bit-identical, returning the first run's result.
+///
+/// This is the shared "doubled run" reproducibility gate the harness
+/// binaries used to hand-roll: `run` must build a **fresh** config each
+/// call (taking a closure, rather than a prebuilt result pair, makes it
+/// structurally impossible for the second run to reuse mutated config
+/// state), and `digest` picks what must reproduce — a results digest, a
+/// schedule digest, a shard-report digest, or any tuple of them.
+///
+/// # Panics
+///
+/// Panics with `what` in the message when the two digests differ.
+pub fn assert_deterministic<R, D>(
+    what: impl std::fmt::Display,
+    run: impl Fn() -> R,
+    digest: impl Fn(&R) -> D,
+) -> R
+where
+    D: PartialEq + std::fmt::Debug,
+{
+    let first = run();
+    let again = run();
+    let (a, b) = (digest(&first), digest(&again));
+    assert_eq!(a, b, "{what}: same-seed reruns must be bit-identical");
+    first
 }
 
 /// Formats a ratio as a percentage with one decimal.

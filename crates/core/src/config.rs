@@ -181,6 +181,56 @@ pub struct SimConfig {
     /// canonicalizes a `None` away so legacy digests are unchanged by
     /// the field's existence.
     pub data_plane: Option<DataPlaneConfig>,
+    /// Parallel lane-sharded execution (`run_sharded`): partition the
+    /// simulated machine into per-lane event loops synchronized at the
+    /// NIC boundary. `None` (the default) keeps the serial engine.
+    /// Lane *count* forks result provenance (it changes the client→lane
+    /// decomposition); the executor (`threads`) and `horizon` do not —
+    /// the digest canonicalizes them away, which is exactly the
+    /// serial==parallel bit-identity the differential oracle asserts.
+    pub par: Option<ParConfig>,
+}
+
+/// Configuration of the parallel lane-sharded execution engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParConfig {
+    /// Requested lane count. The engine uses the largest divisor of
+    /// `cores` that is ≤ this (each lane owns an equal block of cores);
+    /// an effective count of 1 falls back to the serial legacy engine.
+    pub lanes: u16,
+    /// Run lanes on host threads (`true`) or pump them serially on the
+    /// calling thread (`false`). Result-identical by construction;
+    /// excluded from the config digest.
+    pub threads: bool,
+    /// Conservative-sync window (lookahead horizon) in cycles. `None`
+    /// picks the model's minimum cross-lane latency (`rtt / 2`), the
+    /// largest horizon that is always safe. Values above that violate
+    /// lookahead and are only useful to the negative determinism test.
+    pub horizon: Option<Cycles>,
+}
+
+impl ParConfig {
+    /// `lanes` lanes, threaded executor, default horizon.
+    pub fn lanes(n: u16) -> ParConfig {
+        ParConfig {
+            lanes: n,
+            threads: true,
+            horizon: None,
+        }
+    }
+
+    /// Switches between the threaded and serial-reference executors
+    /// (builder style).
+    pub fn threads(mut self, on: bool) -> Self {
+        self.threads = on;
+        self
+    }
+
+    /// Overrides the sync horizon in cycles (builder style).
+    pub fn horizon(mut self, cycles: Cycles) -> Self {
+        self.horizon = Some(cycles);
+        self
+    }
 }
 
 /// Configuration of the sliding-window data plane (see
@@ -261,6 +311,7 @@ impl SimConfig {
             scheduler: SchedulerKind::default(),
             open_loop: None,
             data_plane: None,
+            par: None,
         }
     }
 
@@ -377,6 +428,19 @@ impl SimConfig {
         self
     }
 
+    /// Arms the parallel lane-sharded engine (builder style). See
+    /// [`ParConfig`].
+    pub fn par(mut self, cfg: ParConfig) -> Self {
+        self.par = Some(cfg);
+        self
+    }
+
+    /// Shorthand for [`par`](Self::par) with `n` threaded lanes.
+    pub fn par_lanes(mut self, n: u16) -> Self {
+        self.par = Some(ParConfig::lanes(n));
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
     /// parameter set that produced them. The scheduler backend is
@@ -385,6 +449,15 @@ impl SimConfig {
     pub fn config_digest(&self) -> String {
         let mut canon = self.clone();
         canon.scheduler = SchedulerKind::default();
+        // Of the parallel-engine knobs only the lane count is
+        // provenance: the executor and horizon are implementation
+        // details the serial==parallel differential oracle proves
+        // immaterial.
+        canon.par = canon.par.map(|p| ParConfig {
+            lanes: p.lanes,
+            threads: false,
+            horizon: None,
+        });
         let mut s = format!("{canon:?}");
         if canon.open_loop.is_none() {
             // Closed-loop configs must digest exactly as they did
@@ -397,6 +470,10 @@ impl SimConfig {
             // Same treatment for the data plane: 1-packet configs must
             // digest exactly as they did before the field existed.
             s = s.replace(", data_plane: None", "");
+        }
+        if canon.par.is_none() {
+            // Same treatment for an absent parallel engine.
+            s = s.replace(", par: None", "");
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in s.bytes() {
@@ -494,6 +571,32 @@ mod tests {
             c.config_digest(),
             "CC algo is provenance"
         );
+    }
+
+    #[test]
+    fn config_digest_unchanged_by_absent_par() {
+        // Same pin again: the parallel-engine knob must leave legacy
+        // digests alone when absent.
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), "827cde302cffa2a4");
+        let b = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4).par_lanes(4);
+        assert_ne!(
+            a.config_digest(),
+            b.config_digest(),
+            "lane count is provenance"
+        );
+    }
+
+    #[test]
+    fn config_digest_ignores_par_executor_and_horizon() {
+        let base = || SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 8);
+        let threads = base().par(ParConfig::lanes(4));
+        let serial = base().par(ParConfig::lanes(4).threads(false));
+        let horizon = base().par(ParConfig::lanes(4).horizon(999));
+        assert_eq!(threads.config_digest(), serial.config_digest());
+        assert_eq!(threads.config_digest(), horizon.config_digest());
+        let two = base().par(ParConfig::lanes(2));
+        assert_ne!(threads.config_digest(), two.config_digest());
     }
 
     #[test]

@@ -31,10 +31,12 @@
 
 pub mod config;
 pub mod experiments;
+pub mod par;
 pub mod report;
 pub mod sim;
 
-pub use config::{AppSpec, DataPlaneConfig, KernelSpec, SimConfig};
+pub use config::{AppSpec, DataPlaneConfig, KernelSpec, ParConfig, SimConfig};
+pub use par::{effective_lanes, run_sharded};
 pub use report::{LockReport, RunReport};
 pub use sim::Simulation;
 pub use sim_check::{CheckReport, ShardClass, ShardReport};

@@ -21,21 +21,23 @@ use std::net::Ipv4Addr;
 use sim_apps::peer::{Backend, ClientSlot};
 use sim_apps::sys::{Sys, Worker, LISTEN_TOKEN};
 use sim_apps::{Proxy, WebServer};
+use sim_check::CheckReport;
 use sim_check::{Chan, Checker, PartitionPolicy, ShardClass, ShardPolicy};
 use sim_core::{cycles_to_secs, usecs_to_cycles, CoreId, CycleClass, Cycles, EventQueue, SimRng};
 use sim_fault::{FaultKind, RobustnessReport, WindowSample};
 use sim_load::{ArrivalGen, LoadReport, OpenLoopConfig, ScheduleDigest};
-use sim_mem::CacheModel;
+use sim_mem::{CacheModel, CacheStats};
 use sim_net::{FlowTuple, Packet, TcpFlags};
-use sim_nic::{Nic, NicConfig, QueueId, SteeringMode};
+use sim_nic::{LaneRouter, Nic, NicConfig, QueueId, SteeringMode};
 use sim_os::epoll::EpollId;
 use sim_os::process::{Pid, ProcessTable};
 use sim_os::softirq::SoftirqQueues;
 use sim_os::KernelCtx;
-use sim_sync::LockTable;
-use sim_trace::{TraceLabel, Tracer};
+use sim_sync::{ClassStats, LockClass, LockTable};
+use sim_trace::{LatencyHistogram, TraceLabel, Tracer};
 use tcp_stack::established::flow_hash;
 use tcp_stack::stack::{OsServices, TcpStack};
+use tcp_stack::StackStats;
 use tcp_stack::{EstVariant, ListenVariant, SockId};
 
 use crate::config::{AppSpec, SimConfig};
@@ -162,6 +164,112 @@ struct SampleCursor {
     refusals: u64,
 }
 
+/// One cross-lane message of the parallel lane-sharded engine: the only
+/// traffic that crosses the simulated NIC boundary between lanes. Every
+/// variant is timestamped by the *sender* at `emission + rtt/2`, which
+/// is what makes the `rtt/2` lookahead horizon conservative.
+#[derive(Debug)]
+pub enum BoundaryMsg {
+    /// A client→server packet bound for another lane's NIC.
+    Server {
+        /// Arrival cycle at the destination lane.
+        at: Cycles,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A server→client packet bound for a client another lane owns.
+    Peer {
+        /// Arrival cycle at the destination lane.
+        at: Cycles,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// An open-loop lifecycle pre-mark (`SynArrival` at the scheduled
+    /// arrival cycle) for a connection whose server-side state lives on
+    /// another lane. Shipped *before* its SYN so the destination
+    /// tracer's earliest-mark-wins rule sees the scheduled time first.
+    Mark {
+        /// Server-orientation flow hash keying the lifecycle tracker.
+        conn: u64,
+        /// The scheduled arrival cycle.
+        ts: Cycles,
+    },
+}
+
+/// Which lane of the sharded machine this `Simulation` instance is —
+/// the legacy serial engine is simply the single lane of a 1-lane
+/// machine with no router, which keeps every legacy code path (and its
+/// golden digests) byte-identical.
+#[derive(Debug)]
+struct LaneEnv {
+    /// This lane's index.
+    id: u16,
+    /// Total lanes in the sharded machine.
+    lanes: u16,
+    /// Global client-slot count across all lanes (jitter arithmetic
+    /// must use global values so a 1-lane machine matches legacy).
+    total_slots: u64,
+    /// Local slot index → global slot id.
+    slot_global: Vec<u32>,
+    /// Cross-lane flow dispatcher; `None` on the legacy engine.
+    router: Option<LaneRouter>,
+    /// Cross-lane messages emitted during the current window.
+    outbox: Vec<(u16, BoundaryMsg)>,
+    /// Warmup-boundary snapshot taken by `lane_pump`.
+    snap: Option<Snapshot>,
+    /// Reusable dispatch batch for `lane_pump`.
+    batch: Vec<Ev>,
+}
+
+impl LaneEnv {
+    fn legacy(n_clients: u32) -> LaneEnv {
+        LaneEnv {
+            id: 0,
+            lanes: 1,
+            total_slots: u64::from(n_clients),
+            slot_global: (0..n_clients).collect(),
+            router: None,
+            outbox: Vec::new(),
+            snap: None,
+            batch: Vec::new(),
+        }
+    }
+}
+
+/// The mergeable measurement a lane hands back when its windowed run
+/// finishes — the raw ingredients of [`RunReport`], kept as plain data
+/// so it can cross a thread boundary (`Simulation` itself cannot).
+pub(crate) struct LaneOutcome {
+    pub(crate) completed: u64,
+    pub(crate) responses: u64,
+    pub(crate) resets: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) core_utilization: Vec<f64>,
+    pub(crate) busy_total: u64,
+    pub(crate) class_delta: [u64; CycleClass::COUNT],
+    pub(crate) locks: Vec<(LockClass, ClassStats)>,
+    pub(crate) cache: CacheStats,
+    pub(crate) stack: StackStats,
+    pub(crate) hists: Option<[LatencyHistogram; 3]>,
+    pub(crate) checks: Option<CheckReport>,
+    pub(crate) load: Option<LaneLoad>,
+    pub(crate) payload_bytes: u64,
+    pub(crate) events: u64,
+    pub(crate) live_sockets: u32,
+}
+
+/// Per-lane open-loop accounting carried by [`LaneOutcome`].
+pub(crate) struct LaneLoad {
+    pub(crate) offered: u64,
+    pub(crate) admitted: u64,
+    pub(crate) queued_admissions: u64,
+    pub(crate) abandoned_wait: u64,
+    pub(crate) abandoned_connect: u64,
+    pub(crate) completed_sessions: u64,
+    pub(crate) peak_backlog: u64,
+    pub(crate) digest: u64,
+}
+
 /// One configured simulation, ready to [`run`](Simulation::run).
 pub struct Simulation {
     cfg: SimConfig,
@@ -199,10 +307,25 @@ pub struct Simulation {
     sample_cursor: SampleCursor,
     /// Open-loop workload engine (`None` = closed loop).
     open: Option<OpenLoop>,
+    /// Lane identity within a sharded machine (legacy: the 1-lane
+    /// identity, which leaves every code path untouched).
+    lane: LaneEnv,
 }
 
 fn client_ip(slot: u32) -> Ipv4Addr {
     Ipv4Addr::new(10, (1 + slot / 250) as u8, (slot % 250) as u8, 2)
+}
+
+/// The global client slot owning `ip` — the inverse of [`client_ip`].
+/// `None` for every non-client address (server, backends, flood
+/// spoofing space).
+fn client_slot_of_ip(ip: Ipv4Addr) -> Option<u32> {
+    let o = ip.octets();
+    if o[0] == 10 && o[1] >= 1 && o[2] < 250 && o[3] == 2 {
+        Some((u32::from(o[1]) - 1) * 250 + u32::from(o[2]))
+    } else {
+        None
+    }
 }
 
 /// Per-kind shard-class bounds the kernel variant under test promises.
@@ -234,9 +357,59 @@ fn shard_policy(full_partition: bool) -> ShardPolicy {
         .with(ObjKind::FdTable, ShardClass::CoreLocal)
 }
 
+/// Construction-time identity of a lane build (`None` = legacy).
+#[derive(Debug, Clone, Copy)]
+struct LaneSpec {
+    lane: u16,
+    lanes: u16,
+    /// Machine-wide client-slot count (before lane partitioning).
+    total_slots: u32,
+}
+
 impl Simulation {
     /// Builds the simulated machine, kernel, applications and peers.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Builds lane `lane` of a `lanes`-lane sharded machine: a fully
+    /// independent simulation owning `cores/lanes` cores, the client
+    /// slots with global ids `≡ lane (mod lanes)`, and (open loop) a
+    /// `1/lanes` thinning of the arrival process. All RNG streams are
+    /// derived order-independently from `(seed, lane)`, so lanes built
+    /// concurrently on different threads draw identical streams.
+    pub(crate) fn new_lane(cfg: &SimConfig, lane: u16, lanes: u16) -> Self {
+        assert!(lanes >= 2, "use Simulation::new for the 1-lane machine");
+        assert_eq!(cfg.cores % lanes, 0, "lanes must divide the core count");
+        let mut lane_cfg = cfg.clone();
+        lane_cfg.cores = cfg.cores / lanes;
+        lane_cfg.open_loop = cfg
+            .open_loop
+            .as_ref()
+            .map(|o| o.split(u32::from(lane), u32::from(lanes)));
+        lane_cfg.par = None;
+        let total_slots = cfg
+            .open_loop
+            .as_ref()
+            .map_or(cfg.workload.concurrency(cfg.cores), |o| o.population);
+        Self::build(
+            lane_cfg,
+            Some(LaneSpec {
+                lane,
+                lanes,
+                total_slots,
+            }),
+        )
+    }
+
+    fn build(cfg: SimConfig, spec: Option<LaneSpec>) -> Self {
+        // Lane builds derive every RNG stream order-independently from
+        // the (seed, lane) pair; the legacy engine keeps its original
+        // direct seeding so golden digests are untouched.
+        let stream = |seed: u64| match spec {
+            None => SimRng::seed(seed),
+            Some(s) => SimRng::stream(seed, u64::from(s.lane)),
+        };
         let cores = cfg.cores;
         let mut stack_config = cfg.kernel.resolve(cores);
         stack_config.fault = cfg.fault;
@@ -297,7 +470,7 @@ impl Simulation {
             cores as usize,
             LockTable::new(cfg.lock_costs),
             CacheModel::new(cfg.cache_costs),
-            SimRng::seed(cfg.seed),
+            stream(cfg.seed),
         );
         ctx.set_tracer(tracer.clone());
         ctx.set_checker(checker.clone());
@@ -321,7 +494,7 @@ impl Simulation {
         // of the kernel-side RNG, so the offered load is identical
         // across kernel variants.
         let open = cfg.open_loop.clone().map(|oc| {
-            let mut root = SimRng::seed(cfg.seed ^ 0x6f70_656e_6c6f_6f70); // "openloop"
+            let mut root = stream(cfg.seed ^ 0x6f70_656e_6c6f_6f70); // "openloop"
             let gen = ArrivalGen::new(oc.arrivals.clone(), oc.profile.clone(), root.fork());
             let shape_rng = root.fork();
             let sizer_rng = root.fork();
@@ -345,14 +518,32 @@ impl Simulation {
         });
 
         // Peers. Open loop sizes the slot pool from the client
-        // population; closed loop from the workload concurrency.
+        // population; closed loop from the workload concurrency. A lane
+        // owns the slots with global ids ≡ lane (mod lanes) — IPs stay
+        // globally unique, and a 1-lane machine reduces to the legacy
+        // identity mapping.
         let n_clients = open
             .as_ref()
             .map_or(cfg.workload.concurrency(cores), |o| o.cfg.population);
+        let lane_env = match spec {
+            None => LaneEnv::legacy(n_clients),
+            Some(s) => LaneEnv {
+                id: s.lane,
+                lanes: s.lanes,
+                total_slots: u64::from(s.total_slots),
+                slot_global: (0..n_clients)
+                    .map(|i| u32::from(s.lane) + i * u32::from(s.lanes))
+                    .collect(),
+                router: Some(LaneRouter::new(s.lanes)),
+                outbox: Vec::new(),
+                snap: None,
+                batch: Vec::new(),
+            },
+        };
         let mut clients = Vec::with_capacity(n_clients as usize);
         let mut client_by_ip = HashMap::new();
         for s in 0..n_clients {
-            let ip = client_ip(s);
+            let ip = client_ip(lane_env.slot_global[s as usize]);
             client_by_ip.insert(ip, s);
             let mut slot = ClientSlot::new(
                 ip,
@@ -379,7 +570,7 @@ impl Simulation {
             }
         }
 
-        let peer_rng = SimRng::seed(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let peer_rng = stream(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut events = EventQueue::with_scheduler(cfg.scheduler, 1 << 16);
         events.set_tracer(tracer.clone(), Ev::label);
         let active_loss = cfg.loss;
@@ -414,6 +605,7 @@ impl Simulation {
             samples: Vec::new(),
             sample_cursor: SampleCursor::default(),
             open,
+            lane: lane_env,
         }
     }
 
@@ -479,10 +671,15 @@ impl Simulation {
             self.events.push(first, Ev::Arrival);
         } else {
             // Stagger the client starts over ~2 RTTs to avoid a
-            // synthetic SYN burst at t=0.
-            let n = self.clients.len() as u64;
+            // synthetic SYN burst at t=0. The arithmetic runs on global
+            // slot ids over the machine-wide population, so a lane's
+            // slots keep the exact offsets they'd have on the whole
+            // machine (and the 1-lane identity matches legacy
+            // bit-for-bit).
+            let n = self.lane.total_slots;
             for s in 0..self.clients.len() as u32 {
-                let jitter = (u64::from(s) * 2 * self.cfg.rtt) / n.max(1);
+                let g = self.lane.slot_global[s as usize];
+                let jitter = (u64::from(g) * 2 * self.cfg.rtt) / n.max(1);
                 self.events.push(jitter, Ev::ClientStart(s));
             }
         }
@@ -658,6 +855,137 @@ impl Simulation {
         self.report(snap, end)
     }
 
+    // ------------------------------------------------------------------
+    // Lane-sharded execution (driven by `crate::par`)
+    // ------------------------------------------------------------------
+
+    /// Runs setup for a windowed lane run (the lane analogue of the
+    /// prologue of [`run`](Self::run); lanes never carry scheduled
+    /// crashes, so that arm is omitted).
+    pub(crate) fn lane_start(&mut self) {
+        debug_assert!(self.pending_crashes.is_empty());
+        self.setup();
+    }
+
+    /// Pumps every event strictly before `until`, peek-based so events
+    /// at or beyond the window boundary stay queued for later windows
+    /// (the legacy loop may discard a popped batch at the end of the
+    /// run; a lane must not, since its run continues).
+    pub(crate) fn lane_pump(&mut self, until: Cycles) {
+        let warmup = self.cfg.warmup;
+        let mut batch = std::mem::take(&mut self.lane.batch);
+        while let Some(t) = self.events.peek_time() {
+            if t >= until {
+                break;
+            }
+            let popped = self.events.pop_batch(&mut batch);
+            debug_assert_eq!(popped, Some(t));
+            self.now = t;
+            self.ctx.locks.set_epoch(t);
+            if self.lane.snap.is_none() && t >= warmup {
+                let snap = self.snapshot();
+                self.lane.snap = Some(snap);
+                self.tracer.reset_window();
+            }
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
+        }
+        self.lane.batch = batch;
+    }
+
+    /// Moves this window's cross-lane messages into per-destination
+    /// buckets (`buckets[dst]`), preserving emission order.
+    pub(crate) fn lane_drain_outbox(&mut self, buckets: &mut [Vec<BoundaryMsg>]) {
+        for (dst, msg) in self.lane.outbox.drain(..) {
+            buckets[usize::from(dst)].push(msg);
+        }
+    }
+
+    /// Applies one source lane's window batch. `not_before` is the
+    /// window boundary: a valid lookahead horizon guarantees every
+    /// timestamp is already at or past it, so the clamp is a no-op —
+    /// with a *violated* horizon the clamp deterministically shifts
+    /// arrivals, which is exactly how the negative determinism test
+    /// observes the violation.
+    pub(crate) fn lane_deliver(&mut self, msgs: Vec<BoundaryMsg>, not_before: Cycles) {
+        for msg in msgs {
+            match msg {
+                BoundaryMsg::Server { at, pkt } => {
+                    self.events.push(at.max(not_before), Ev::ToServer(pkt));
+                }
+                BoundaryMsg::Peer { at, pkt } => {
+                    self.events.push(at.max(not_before), Ev::ToPeer(pkt));
+                }
+                BoundaryMsg::Mark { conn, ts } => {
+                    self.tracer.mark(ts, 0, conn, TraceLabel::SynArrival);
+                }
+            }
+        }
+    }
+
+    /// Finishes a windowed lane run at `end` and reduces it to the
+    /// mergeable [`LaneOutcome`] — the same measurement-window math as
+    /// [`report`](Self::report), kept as raw data instead of a report.
+    pub(crate) fn lane_finish(mut self, end: Cycles) -> LaneOutcome {
+        let snap = match self.lane.snap.take() {
+            Some(s) => s,
+            None => self.snapshot(),
+        };
+        self.tracer.finish(end);
+        let window = end.saturating_sub(snap.at).max(1);
+        let cores = self.cfg.cores as usize;
+
+        let completed: u64 = self.clients.iter().map(|c| c.completed).sum::<u64>() - snap.completed;
+        let responses: u64 = self.clients.iter().map(|c| c.responses).sum::<u64>() - snap.responses;
+        let resets: u64 = self.clients.iter().map(|c| c.resets).sum::<u64>() - snap.resets;
+        let timeouts = self.timeouts - snap.timeouts;
+        let payload_bytes = self.clients.iter().map(|c| c.bytes_received).sum::<u64>() - snap.bytes;
+
+        let mut core_utilization = Vec::with_capacity(cores);
+        let mut class_delta = [0u64; CycleClass::COUNT];
+        let mut busy_total = 0u64;
+        for c in 0..cores {
+            let busy = self.ctx.cpu.busy_cycles(CoreId(c as u16)) - snap.busy[c];
+            busy_total += busy;
+            core_utilization.push((busy as f64 / window as f64).min(1.0));
+            for (i, cl) in CycleClass::ALL.iter().enumerate() {
+                class_delta[i] +=
+                    self.ctx.cpu.class_cycles(CoreId(c as u16), *cl) - snap.class[c][i];
+            }
+        }
+
+        let load = self.open.as_ref().map(|o| LaneLoad {
+            offered: o.offered,
+            admitted: o.admitted,
+            queued_admissions: o.queued_admissions,
+            abandoned_wait: o.abandoned_wait,
+            abandoned_connect: o.abandoned_connect,
+            completed_sessions: o.completed_sessions,
+            peak_backlog: o.peak_backlog,
+            digest: o.digest.value(),
+        });
+
+        LaneOutcome {
+            completed,
+            responses,
+            resets,
+            timeouts,
+            core_utilization,
+            busy_total,
+            class_delta,
+            locks: self.ctx.locks.all_stats().to_vec(),
+            cache: self.ctx.cache.stats(),
+            stack: self.stack.stats(),
+            hists: self.tracer.lifecycle_histograms(),
+            checks: self.checker.report(),
+            load,
+            payload_bytes,
+            events: self.events.delivered(),
+            live_sockets: self.stack.socks.live_count(),
+        }
+    }
+
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::ToServer(pkt) => self.on_to_server(pkt),
@@ -729,15 +1057,31 @@ impl Simulation {
         self.client_attempt[slot as usize] += 1;
         let attempt = self.client_attempt[slot as usize];
         // The stack keys lifecycle marks by the server-side flow
-        // orientation.
-        self.tracer.mark(
-            p.sched,
-            0,
-            flow_hash(&syn.flow.reversed()),
-            TraceLabel::SynArrival,
-        );
-        self.events
-            .push(self.now + self.cfg.rtt / 2, Ev::ToServer(syn));
+        // orientation. When the flow's server-side state lives on
+        // another lane, the pre-mark ships with the SYN (mark first, so
+        // the destination tracer's earliest-wins rule sees the
+        // scheduled time before the stack marks actual arrival).
+        let conn = flow_hash(&syn.flow.reversed());
+        let at = self.now + self.cfg.rtt / 2;
+        let dst = self
+            .lane
+            .router
+            .as_ref()
+            .map(|r| r.lane_for_flow(&syn.flow));
+        match dst {
+            Some(d) if d != self.lane.id => {
+                self.lane
+                    .outbox
+                    .push((d, BoundaryMsg::Mark { conn, ts: p.sched }));
+                self.lane
+                    .outbox
+                    .push((d, BoundaryMsg::Server { at, pkt: syn }));
+            }
+            _ => {
+                self.tracer.mark(p.sched, 0, conn, TraceLabel::SynArrival);
+                self.events.push(at, Ev::ToServer(syn));
+            }
+        }
         self.events
             .push(self.now + timeout, Ev::ClientTimeout(slot, attempt));
         if self.cfg.loss > 0.0 || self.cfg.faults.has_loss_burst() {
@@ -784,8 +1128,7 @@ impl Simulation {
             let core = self.stack.socks.get(sock).app_core;
             let q = self.nic.tx_queue_for_core(core);
             self.nic.tx(&seg, q);
-            self.events
-                .push(self.now + self.cfg.rtt / 2, Ev::ToPeer(seg));
+            self.send_to_peer(self.now + self.cfg.rtt / 2, seg);
         }
         self.arm_rtos();
     }
@@ -799,10 +1142,54 @@ impl Simulation {
     }
 
     /// Whether a packet crosses the lossy client wire (backends live on
-    /// a lossless LAN).
+    /// a lossless LAN). A lane applies loss at the *receiving* lane, so
+    /// it classifies by the global client-IP pattern — its own
+    /// `client_by_ip` only knows the clients it hosts.
     fn on_client_wire(&self, pkt: &Packet) -> bool {
-        self.client_by_ip.contains_key(&pkt.flow.dst_ip)
-            || self.client_by_ip.contains_key(&pkt.flow.src_ip)
+        if self.lane.router.is_some() {
+            client_slot_of_ip(pkt.flow.dst_ip).is_some()
+                || client_slot_of_ip(pkt.flow.src_ip).is_some()
+        } else {
+            self.client_by_ip.contains_key(&pkt.flow.dst_ip)
+                || self.client_by_ip.contains_key(&pkt.flow.src_ip)
+        }
+    }
+
+    /// Dispatches a client-side packet toward the server NIC: on the
+    /// legacy engine a plain event push; on a lane, the router decides
+    /// which lane's NIC receives the flow — cross-lane packets go to
+    /// the outbox for delivery at the next sync window. Backend LAN
+    /// traffic is always lane-local (each lane owns backend replicas).
+    fn send_to_server(&mut self, at: Cycles, pkt: Packet) {
+        if let Some(router) = &self.lane.router {
+            if client_slot_of_ip(pkt.flow.src_ip).is_some() {
+                let dst = router.lane_for_flow(&pkt.flow);
+                if dst != self.lane.id {
+                    self.lane
+                        .outbox
+                        .push((dst, BoundaryMsg::Server { at, pkt }));
+                    return;
+                }
+            }
+        }
+        self.events.push(at, Ev::ToServer(pkt));
+    }
+
+    /// Dispatches a server-side packet toward a peer: cross-lane when
+    /// the destination client's global slot belongs to another lane.
+    fn send_to_peer(&mut self, at: Cycles, pkt: Packet) {
+        if self.lane.router.is_some() {
+            if let Some(slot) = client_slot_of_ip(pkt.flow.dst_ip) {
+                let owner = (slot % u32::from(self.lane.lanes)) as u16;
+                if owner != self.lane.id {
+                    self.lane
+                        .outbox
+                        .push((owner, BoundaryMsg::Peer { at, pkt }));
+                    return;
+                }
+            }
+        }
+        self.events.push(at, Ev::ToPeer(pkt));
     }
 
     fn on_to_server(&mut self, pkt: Packet) {
@@ -936,7 +1323,7 @@ impl Simulation {
         // disabled this is exactly the old per-packet tx loop.
         self.nic.tx_burst(&mut tx, q);
         for pkt in tx {
-            self.events.push(at + half_rtt, Ev::ToPeer(pkt));
+            self.send_to_peer(at + half_rtt, pkt);
         }
     }
 
@@ -962,7 +1349,7 @@ impl Simulation {
             let isn = self.peer_rng.next_u64() as u32;
             self.backends[b].on_packet(&pkt, isn, &mut out);
             for r in out {
-                self.events.push(self.now + half_rtt, Ev::ToServer(r));
+                self.send_to_server(self.now + half_rtt, r);
             }
             return;
         }
@@ -976,7 +1363,7 @@ impl Simulation {
         }
         let done = client.on_packet(&pkt, &mut out);
         for r in out {
-            self.events.push(self.now + half_rtt, Ev::ToServer(r));
+            self.send_to_server(self.now + half_rtt, r);
         }
         if done {
             if self.open.is_some() {
@@ -999,8 +1386,7 @@ impl Simulation {
         let syn = self.clients[slot as usize].start(isn);
         self.client_attempt[slot as usize] += 1;
         let attempt = self.client_attempt[slot as usize];
-        self.events
-            .push(self.now + self.cfg.rtt / 2, Ev::ToServer(syn));
+        self.send_to_server(self.now + self.cfg.rtt / 2, syn);
         self.events.push(
             self.now + self.cfg.client_timeout,
             Ev::ClientTimeout(slot, attempt),
@@ -1025,8 +1411,7 @@ impl Simulation {
         let mut out = Vec::new();
         self.clients[slot as usize].nudge(&mut out);
         for pkt in out {
-            self.events
-                .push(self.now + self.cfg.rtt / 2, Ev::ToServer(pkt));
+            self.send_to_server(self.now + self.cfg.rtt / 2, pkt);
         }
         self.events.push(
             self.now + self.nudge_interval(),
@@ -1040,8 +1425,7 @@ impl Simulation {
         }
         if let Some(rst) = self.clients[slot as usize].abort() {
             self.timeouts += 1;
-            self.events
-                .push(self.now + self.cfg.rtt / 2, Ev::ToServer(rst));
+            self.send_to_server(self.now + self.cfg.rtt / 2, rst);
             if self.open.is_some() {
                 // Open loop: the human behind the connection gives up;
                 // the slot turns to whatever arrival is waiting.

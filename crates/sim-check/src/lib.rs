@@ -200,6 +200,39 @@ impl CheckReport {
             self.diagnostics.push(v);
         }
     }
+
+    /// Folds another lane's report into this one. Counters sum;
+    /// diagnostics append (cores remapped by `core_offset` into the
+    /// merged machine's numbering) up to [`MAX_DIAGNOSTICS`]; the shard
+    /// inventories merge kind-by-kind. The parallel engine calls this
+    /// in lane order, so a merged report is deterministic.
+    pub fn merge(&mut self, other: &CheckReport, core_offset: u16) {
+        self.lockdep += other.lockdep;
+        self.lockset += other.lockset;
+        self.hb += other.hb;
+        self.shard += other.shard;
+        self.partition += other.partition;
+        self.invariant += other.invariant;
+        for v in &other.diagnostics {
+            if self.diagnostics.len() >= MAX_DIAGNOSTICS {
+                break;
+            }
+            let mut v = v.clone();
+            for c in &mut v.cores {
+                *c += core_offset;
+            }
+            self.diagnostics.push(v);
+        }
+        match (&mut self.shard_report, &other.shard_report) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs, core_offset),
+            (None, Some(theirs)) => {
+                let mut base = ShardReport::default();
+                base.merge(theirs, core_offset);
+                self.shard_report = Some(base);
+            }
+            _ => {}
+        }
+    }
 }
 
 /// A write recorded during the current op, evaluated at commit time

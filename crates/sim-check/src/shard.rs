@@ -168,6 +168,61 @@ impl ShardReport {
     pub fn kind(&self, kind: ObjKind) -> Option<&ShardKindReport> {
         self.kinds.iter().find(|k| k.kind == kind.name())
     }
+
+    /// Folds another lane's inventory into this one. Kinds merge by
+    /// name (objects/transfers/unsynced sum, the strongest class
+    /// wins); edges merge by remapped `(from, to)` pair with counts
+    /// summed, `core_offset` translating lane-local core ids into the
+    /// merged machine's numbering. Output ordering is canonical (kinds
+    /// by name, edges by pair), so lane-order merging is deterministic.
+    pub fn merge(&mut self, other: &ShardReport, core_offset: u16) {
+        for theirs in &other.kinds {
+            if let Some(mine) = self.kinds.iter_mut().find(|k| k.kind == theirs.kind) {
+                mine.objects += theirs.objects;
+                mine.transfers += theirs.transfers;
+                mine.unsynced += theirs.unsynced;
+                if class_rank(&theirs.class) > class_rank(&mine.class) {
+                    mine.class.clone_from(&theirs.class);
+                }
+                for e in &theirs.edges {
+                    let (from, to) = (e.from_core + core_offset, e.to_core + core_offset);
+                    if let Some(existing) = mine
+                        .edges
+                        .iter_mut()
+                        .find(|m| m.from_core == from && m.to_core == to)
+                    {
+                        existing.count += e.count;
+                        existing.synced += e.synced;
+                    } else {
+                        let mut e = e.clone();
+                        e.from_core = from;
+                        e.to_core = to;
+                        mine.edges.push(e);
+                    }
+                }
+                mine.edges.sort_by_key(|e| (e.from_core, e.to_core));
+            } else {
+                let mut k = theirs.clone();
+                for e in &mut k.edges {
+                    e.from_core += core_offset;
+                    e.to_core += core_offset;
+                }
+                self.kinds.push(k);
+            }
+        }
+        self.kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
+    }
+}
+
+/// Severity order of shard-class names for merged reports; unknown
+/// names rank above everything so they are never silently downgraded.
+fn class_rank(name: &str) -> u8 {
+    match name {
+        "core_local" => 0,
+        "migrated" => 1,
+        "shared" => 2,
+        _ => 3,
+    }
 }
 
 #[derive(Debug)]

@@ -55,6 +55,15 @@ const WHEEL_SLOTS: usize = 256;
 const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 const OCC_WORDS: usize = WHEEL_SLOTS / 64;
 
+/// One full rotation of the wheel, in cycles. An event scheduled
+/// exactly this far ahead has the same `slot & WHEEL_MASK` ring index
+/// as the current slot — the epoch-aliasing hazard. The push-side
+/// bound is strict (`slot < cur_slot + WHEEL_SLOTS`), so such an event
+/// is routed to the far-future heap rather than aliasing into the
+/// current rotation; `tests/wheel_epoch.rs` pins that behaviour across
+/// multiple rotations.
+pub const WHEEL_SPAN_CYCLES: Cycles = (WHEEL_SLOTS as u64) << SLOT_BITS;
+
 /// An event queue ordered by `(time, insertion order)`: equal-time
 /// events dispatch in the order they were scheduled.
 ///

@@ -1,0 +1,310 @@
+//! Conservative parallel lane execution for the discrete-event engine.
+//!
+//! A *lane* is an independent sub-simulation owning a slice of the
+//! modeled machine (its own event queue, its own per-core state).
+//! Lanes only interact through explicit boundary messages — packets
+//! crossing the simulated network — and the network gives us
+//! *lookahead*: a message emitted at virtual time `t` cannot take
+//! effect before `t + latency`. That is the classic conservative-PDES
+//! (null-message) argument: every lane may safely advance `horizon ≤
+//! latency` cycles past the last synchronization point without waiting
+//! to hear from its peers.
+//!
+//! Execution is windowed: all lanes pump `[T, T + horizon)`, exchange
+//! the boundary messages generated in that window (an empty vector is
+//! the null message), and advance to the next window. The exchange
+//! doubles as the barrier — a lane starts window `n + 1` only after it
+//! has received window `n` traffic from every peer.
+//!
+//! Two executors run the *identical* protocol:
+//!
+//! * [`run_lanes_serial`] — one thread, lanes pumped in index order.
+//! * [`run_lanes_threads`] — one host thread per lane, `std::sync::mpsc`
+//!   channels carrying the per-window message vectors.
+//!
+//! Because message delivery is ordered (by source lane, then emission
+//! order) and each lane is internally deterministic, both executors
+//! produce bit-identical results; the differential tests in the
+//! top-level crate hold them to that.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::time::Cycles;
+
+/// `wires[a][b]` — one channel endpoint per ordered lane pair (the
+/// diagonal stays `None`).
+type Wires<M> = Vec<Vec<Option<M>>>;
+
+/// One lane of a partitioned simulation.
+///
+/// Implementors own an event queue plus whatever model state the lane
+/// covers; the engine only ever drives the three hooks below, once per
+/// window.
+pub trait LaneSim {
+    /// Boundary message crossing between lanes (must be plain data —
+    /// it is sent over channels in the threaded executor).
+    type Msg: Send;
+
+    /// Processes every local event with timestamp `< until`.
+    fn pump(&mut self, until: Cycles);
+
+    /// Moves the boundary messages generated since the last call into
+    /// `buckets` (one bucket per destination lane), preserving emission
+    /// order. `buckets.len()` equals the lane count; a lane's own
+    /// bucket stays empty.
+    fn drain_outbox(&mut self, buckets: &mut [Vec<Self::Msg>]);
+
+    /// Delivers one window's messages from lane `src`. `not_before` is
+    /// the start of the next unprocessed window: with a valid horizon
+    /// every message already takes effect at or after it, so a clamp to
+    /// `not_before` is a no-op — and with a deliberately violated
+    /// horizon the clamp turns causality errors into a deterministic
+    /// (and detectable) divergence instead of time travel.
+    fn deliver(&mut self, src: u16, msgs: Vec<Self::Msg>, not_before: Cycles);
+}
+
+/// The barrier-window schedule shared by both executors.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneSchedule {
+    /// Window length in cycles — must not exceed the minimum cross-lane
+    /// message latency (the lookahead).
+    pub horizon: Cycles,
+    /// Virtual end time: no event at or after `end` is processed.
+    pub end: Cycles,
+}
+
+impl LaneSchedule {
+    /// A schedule covering `[0, end)` in `horizon`-sized windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(horizon: Cycles, end: Cycles) -> LaneSchedule {
+        assert!(horizon > 0, "lane horizon must be positive");
+        LaneSchedule { horizon, end }
+    }
+}
+
+/// Runs the windowed protocol over `lanes` on the current thread.
+///
+/// This is the serial oracle the threaded executor is differentially
+/// tested against: same windows, same exchange order, no concurrency.
+pub fn run_lanes_serial<S: LaneSim>(lanes: &mut [S], sched: LaneSchedule) {
+    let n = lanes.len();
+    let mut t: Cycles = 0;
+    while t < sched.end {
+        let w_end = sched.end.min(t.saturating_add(sched.horizon));
+        let mut all: Vec<Vec<Vec<S::Msg>>> = Vec::with_capacity(n);
+        for lane in lanes.iter_mut() {
+            lane.pump(w_end);
+            let mut buckets: Vec<Vec<S::Msg>> = (0..n).map(|_| Vec::new()).collect();
+            lane.drain_outbox(&mut buckets);
+            all.push(buckets);
+        }
+        for (dst, lane) in lanes.iter_mut().enumerate() {
+            for (src, buckets) in all.iter_mut().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                lane.deliver(src as u16, std::mem::take(&mut buckets[dst]), w_end);
+            }
+        }
+        t = w_end;
+    }
+}
+
+/// Runs the windowed protocol with one host thread per lane.
+///
+/// Lanes are *built inside their threads* (simulations typically hold
+/// `!Send` state), so the caller passes one builder per lane plus a
+/// `finish` function that reduces the completed lane to a `Send`
+/// outcome. Each pair of lanes is wired with a dedicated channel; the
+/// per-window receive from every peer is the synchronization barrier,
+/// and an empty message vector is the null message that lets a quiet
+/// lane's neighbors advance.
+///
+/// Returns the outcomes in lane-index order.
+///
+/// # Panics
+///
+/// Panics if a lane thread panics or a channel is severed (both
+/// indicate a bug in the lane implementation, not recoverable state).
+pub fn run_lanes_threads<S, B, O, F>(builders: Vec<B>, sched: LaneSchedule, finish: F) -> Vec<O>
+where
+    S: LaneSim,
+    B: FnOnce() -> S + Send,
+    O: Send,
+    F: Fn(S) -> O + Sync,
+{
+    let n = builders.len();
+    // txs[src][dst] / rxs[dst][src]: a channel per ordered lane pair.
+    let mut txs: Wires<Sender<Vec<S::Msg>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut rxs: Wires<Receiver<Vec<S::Msg>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let (tx, rx) = channel();
+            txs[src][dst] = Some(tx);
+            rxs[dst][src] = Some(rx);
+        }
+    }
+
+    let finish = &finish;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, build) in builders.into_iter().enumerate() {
+            let my_txs = std::mem::take(&mut txs[i]);
+            let my_rxs = std::mem::take(&mut rxs[i]);
+            handles.push(scope.spawn(move || {
+                let mut lane = build();
+                let mut t: Cycles = 0;
+                while t < sched.end {
+                    let w_end = sched.end.min(t.saturating_add(sched.horizon));
+                    lane.pump(w_end);
+                    let mut buckets: Vec<Vec<S::Msg>> = (0..n).map(|_| Vec::new()).collect();
+                    lane.drain_outbox(&mut buckets);
+                    for (dst, msgs) in buckets.into_iter().enumerate() {
+                        if let Some(tx) = &my_txs[dst] {
+                            tx.send(msgs).expect("peer lane hung up mid-run");
+                        }
+                    }
+                    for (src, rx) in my_rxs.iter().enumerate() {
+                        if let Some(rx) = rx {
+                            let msgs = rx.recv().expect("peer lane hung up mid-run");
+                            lane.deliver(src as u16, msgs, w_end);
+                        }
+                    }
+                    t = w_end;
+                }
+                finish(lane)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lane thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy lane: counts ticks, forwards a token to the next lane with
+    /// +`latency` cycles, and records every (time, value) it sees.
+    struct TokenLane {
+        id: u16,
+        lanes: u16,
+        latency: Cycles,
+        queue: Vec<(Cycles, u64)>,
+        seen: Vec<(Cycles, u64)>,
+        outbox: Vec<(u16, (Cycles, u64))>,
+        now: Cycles,
+    }
+
+    impl TokenLane {
+        fn new(id: u16, lanes: u16, latency: Cycles) -> TokenLane {
+            let queue = if id == 0 { vec![(0, 0)] } else { Vec::new() };
+            TokenLane {
+                id,
+                lanes,
+                latency,
+                queue,
+                seen: Vec::new(),
+                outbox: Vec::new(),
+                now: 0,
+            }
+        }
+    }
+
+    impl LaneSim for TokenLane {
+        type Msg = (Cycles, u64);
+
+        fn pump(&mut self, until: Cycles) {
+            self.queue.sort_unstable();
+            while let Some(&(t, v)) = self.queue.first() {
+                if t >= until {
+                    break;
+                }
+                self.queue.remove(0);
+                self.now = t;
+                self.seen.push((t, v));
+                let next = (self.id + 1) % self.lanes;
+                let msg = (t + self.latency, v + 1);
+                if next == self.id {
+                    self.queue.push(msg);
+                } else {
+                    self.outbox.push((next, msg));
+                }
+            }
+        }
+
+        fn drain_outbox(&mut self, buckets: &mut [Vec<Self::Msg>]) {
+            for (dst, msg) in self.outbox.drain(..) {
+                buckets[usize::from(dst)].push(msg);
+            }
+        }
+
+        fn deliver(&mut self, _src: u16, msgs: Vec<Self::Msg>, not_before: Cycles) {
+            for (t, v) in msgs {
+                assert!(t >= not_before, "causality violated: {t} < {not_before}");
+                self.queue.push((t, v));
+            }
+        }
+    }
+
+    fn outcome_serial(lanes_n: u16, latency: Cycles, end: Cycles) -> Vec<Vec<(Cycles, u64)>> {
+        let mut lanes: Vec<TokenLane> = (0..lanes_n)
+            .map(|i| TokenLane::new(i, lanes_n, latency))
+            .collect();
+        run_lanes_serial(&mut lanes, LaneSchedule::new(latency, end));
+        lanes.into_iter().map(|l| l.seen).collect()
+    }
+
+    fn outcome_threads(lanes_n: u16, latency: Cycles, end: Cycles) -> Vec<Vec<(Cycles, u64)>> {
+        let builders: Vec<_> = (0..lanes_n)
+            .map(|i| move || TokenLane::new(i, lanes_n, latency))
+            .collect();
+        run_lanes_threads(builders, LaneSchedule::new(latency, end), |l| l.seen)
+    }
+
+    #[test]
+    fn token_ring_advances_across_lanes() {
+        let seen = outcome_serial(3, 10, 100);
+        // The token visits lane 0 at t=0, lane 1 at t=10, ... 10 hops.
+        let total: usize = seen.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(seen[1][0], (10, 1));
+        assert_eq!(seen[2][0], (20, 2));
+    }
+
+    #[test]
+    fn serial_and_threaded_executors_agree() {
+        for lanes_n in [1u16, 2, 3, 5] {
+            let a = outcome_serial(lanes_n, 7, 200);
+            let b = outcome_threads(lanes_n, 7, 200);
+            assert_eq!(a, b, "executors diverged at {lanes_n} lanes");
+        }
+    }
+
+    #[test]
+    fn shorter_valid_horizons_preserve_causality() {
+        // Any horizon ≤ latency is conservative; the TokenLane asserts
+        // causality on every delivery.
+        let full = outcome_serial(4, 12, 240);
+        let mut lanes: Vec<TokenLane> = (0..4).map(|i| TokenLane::new(i, 4, 12)).collect();
+        run_lanes_serial(&mut lanes, LaneSchedule::new(5, 240));
+        let short: Vec<_> = lanes.into_iter().map(|l| l.seen).collect();
+        assert_eq!(full, short, "token ring is horizon-invariant");
+    }
+
+    #[test]
+    #[should_panic(expected = "lane horizon must be positive")]
+    fn zero_horizon_is_rejected() {
+        LaneSchedule::new(0, 100);
+    }
+}

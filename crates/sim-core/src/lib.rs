@@ -30,10 +30,12 @@
 
 pub mod cpu;
 pub mod event;
+pub mod lane;
 pub mod rng;
 pub mod time;
 
 pub use cpu::{CoreId, CostSheet, Cpu, CycleClass};
 pub use event::{EventQueue, SchedulerKind};
+pub use lane::{run_lanes_serial, run_lanes_threads, LaneSchedule, LaneSim};
 pub use rng::SimRng;
 pub use time::{cycles_to_secs, secs_to_cycles, usecs_to_cycles, Cycles, CYCLES_PER_SEC};

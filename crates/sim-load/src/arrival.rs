@@ -65,6 +65,39 @@ impl ArrivalProcess {
             }
         }
     }
+
+    /// The process thinned to `1/ways` of its rate, for lane-partitioned
+    /// runs where each lane drives an independent arrival stream.
+    ///
+    /// Splitting a Poisson process by independent thinning yields
+    /// exactly `ways` Poisson processes at `rate/ways`, so the
+    /// superposition is statistically the original process. For MMPP
+    /// each lane's phase trajectory is sampled from its own RNG stream,
+    /// so lane bursts desync — the aggregate is an approximation of the
+    /// single-stream MMPP (mean rate preserved, burst correlation
+    /// across lanes lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`.
+    pub fn split(&self, ways: u32) -> ArrivalProcess {
+        assert!(ways > 0, "cannot split an arrival process zero ways");
+        let f = f64::from(ways);
+        match self {
+            ArrivalProcess::Poisson { rate_cps } => ArrivalProcess::Poisson {
+                rate_cps: rate_cps / f,
+            },
+            ArrivalProcess::Mmpp { phases } => ArrivalProcess::Mmpp {
+                phases: phases
+                    .iter()
+                    .map(|p| MmppPhase {
+                        rate_cps: p.rate_cps / f,
+                        mean_dwell_secs: p.mean_dwell_secs,
+                    })
+                    .collect(),
+            },
+        }
+    }
 }
 
 /// Hourly load shape used by [`RateProfile::diurnal`]: trough before

@@ -136,6 +136,30 @@ impl OpenLoopConfig {
     pub fn keep_alive(&self) -> bool {
         self.session.max_len() > 1
     }
+
+    /// The per-lane share of this config for lane `lane` of `lanes`:
+    /// arrivals thinned to `1/lanes` of the rate, population divided
+    /// with the remainder going to the lowest lanes, everything else
+    /// (timeouts, size and session distributions) unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes` or the lane's population share is 0
+    /// (more lanes than population).
+    pub fn split(&self, lane: u32, lanes: u32) -> OpenLoopConfig {
+        assert!(lane < lanes, "lane {lane} out of range for {lanes} lanes");
+        let share = self.population / lanes + u32::from(lane < self.population % lanes);
+        assert!(
+            share >= 1,
+            "population {} cannot be split {lanes} ways",
+            self.population
+        );
+        OpenLoopConfig {
+            arrivals: self.arrivals.split(lanes),
+            population: share,
+            ..self.clone()
+        }
+    }
 }
 
 /// Open-loop accounting attached to the run report. Counters cover the
@@ -191,6 +215,12 @@ impl ScheduleDigest {
     pub fn hex(&self) -> String {
         format!("{:016x}", self.h)
     }
+
+    /// The digest so far as a raw word — used to fold per-lane schedule
+    /// digests into one machine-wide digest deterministically.
+    pub fn value(&self) -> u64 {
+        self.h
+    }
 }
 
 impl Default for ScheduleDigest {
@@ -245,6 +275,52 @@ mod tests {
         b.push(1);
         assert_ne!(a.hex(), b.hex());
         assert_eq!(ScheduleDigest::new().hex(), ScheduleDigest::default().hex());
+    }
+
+    #[test]
+    fn split_divides_rate_and_population() {
+        let c = OpenLoopConfig::poisson(90_000.0).population(10);
+        let parts: Vec<_> = (0..3).map(|l| c.split(l, 3)).collect();
+        let mut pop = 0;
+        let mut rate = 0.0;
+        for p in &parts {
+            pop += p.population;
+            let ArrivalProcess::Poisson { rate_cps } = p.arrivals else {
+                panic!("split changed the process kind");
+            };
+            rate += rate_cps;
+            assert_eq!(p.connect_timeout, c.connect_timeout);
+        }
+        assert_eq!(pop, 10);
+        assert_eq!(parts[0].population, 4); // remainder goes low
+        assert!((rate - 90_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_mmpp_preserves_dwell() {
+        let c = OpenLoopConfig::mmpp(vec![MmppPhase {
+            rate_cps: 40_000.0,
+            mean_dwell_secs: 0.1,
+        }]);
+        let part = c.split(0, 2);
+        let ArrivalProcess::Mmpp { phases } = &part.arrivals else {
+            panic!("split changed the process kind");
+        };
+        assert!((phases[0].rate_cps - 20_000.0).abs() < 1e-9);
+        assert!((phases[0].mean_dwell_secs - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be split")]
+    fn split_rejects_starved_lane() {
+        let _ = OpenLoopConfig::poisson(1_000.0).population(2).split(2, 3);
+    }
+
+    #[test]
+    fn digest_value_matches_hex() {
+        let mut d = ScheduleDigest::new();
+        d.push(7);
+        assert_eq!(format!("{:016x}", d.value()), d.hex());
     }
 
     #[test]

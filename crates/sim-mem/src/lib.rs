@@ -231,6 +231,14 @@ impl CacheStats {
             self.remote as f64 / self.accesses as f64
         }
     }
+
+    /// Folds `other`'s counters into `self`. Used when per-lane cache
+    /// models are merged into one machine-wide report.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.remote += other.remote;
+        self.l3_misses += other.l3_misses;
+    }
 }
 
 /// The object-granularity cache-coherence model.

@@ -41,12 +41,14 @@
 
 pub mod batch;
 pub mod fdir;
+pub mod lane;
 pub mod nic;
 pub mod rss;
 pub mod toeplitz;
 
 pub use batch::BatchConfig;
 pub use fdir::{AtrConfig, FlowDirector, PerfectFilterConfig};
+pub use lane::LaneRouter;
 pub use nic::{Nic, NicConfig, QueueId, SteeringMode};
 pub use rss::RssEngine;
 pub use toeplitz::{toeplitz_hash, RSS_KEY};

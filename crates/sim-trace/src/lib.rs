@@ -59,6 +59,23 @@ pub struct LatencyReport {
     pub lifetime: LatencySummary,
 }
 
+impl LatencyReport {
+    /// Summarizes `[setup, ttfb, lifetime]` histograms into a report,
+    /// with [`Tracer::latency`]'s convention: `None` when no setup
+    /// completed. This is how the parallel engine rebuilds the report
+    /// after merging per-lane histograms.
+    pub fn from_histograms(hists: &[LatencyHistogram; 3], cycles_per_usec: f64) -> Option<Self> {
+        if hists[0].is_empty() {
+            return None;
+        }
+        Some(LatencyReport {
+            setup: hists[0].summarize(cycles_per_usec),
+            ttfb: hists[1].summarize(cycles_per_usec),
+            lifetime: hists[2].summarize(cycles_per_usec),
+        })
+    }
+}
+
 #[derive(Debug)]
 struct TraceState {
     rings: Vec<EventRing>,
@@ -276,6 +293,21 @@ impl Tracer {
             ttfb: state.lifecycle.ttfb.summarize(cycles_per_usec),
             lifetime: state.lifecycle.lifetime.summarize(cycles_per_usec),
         })
+    }
+
+    /// Owned copies of the three lifecycle histograms — `[setup, ttfb,
+    /// lifetime]` — or `None` when the tracer is disabled. Plain data,
+    /// so a parallel lane can ship its histograms across a thread
+    /// boundary for merging ([`LatencyHistogram::merge`]); build the
+    /// merged summary with [`LatencyReport::from_histograms`].
+    pub fn lifecycle_histograms(&self) -> Option<[LatencyHistogram; 3]> {
+        let inner = self.inner.as_ref()?;
+        let state = inner.borrow();
+        Some([
+            state.lifecycle.setup.clone(),
+            state.lifecycle.ttfb.clone(),
+            state.lifecycle.lifetime.clone(),
+        ])
     }
 
     /// Non-empty buckets of the setup-latency histogram as

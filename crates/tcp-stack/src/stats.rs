@@ -112,6 +112,43 @@ impl StackStats {
     pub fn dp_mut(&mut self) -> &mut DataPlaneStats {
         self.dp.get_or_insert_with(DataPlaneStats::default)
     }
+
+    /// Folds `other`'s counters into `self`. Used when per-lane stacks
+    /// are merged into one machine-wide report; `dp` stays `None` only
+    /// if no lane armed the data plane, preserving legacy digests.
+    pub fn merge(&mut self, other: &StackStats) {
+        self.passive_established += other.passive_established;
+        self.active_established += other.active_established;
+        self.closed += other.closed;
+        self.rst_sent += other.rst_sent;
+        self.syn_drops += other.syn_drops;
+        self.no_match_drops += other.no_match_drops;
+        self.accepts_local += other.accepts_local;
+        self.accepts_global += other.accepts_global;
+        self.listen_entries_walked += other.listen_entries_walked;
+        self.listen_lookups += other.listen_lookups;
+        self.active_in_packets += other.active_in_packets;
+        self.active_in_local += other.active_in_local;
+        self.steered_packets += other.steered_packets;
+        self.rfd_rule1 += other.rfd_rule1;
+        self.rfd_rule2 += other.rfd_rule2;
+        self.rfd_rule3 += other.rfd_rule3;
+        self.retransmits += other.retransmits;
+        self.duplicate_segments += other.duplicate_segments;
+        self.syn_cookies_sent += other.syn_cookies_sent;
+        self.syn_cookies_ok += other.syn_cookies_ok;
+        self.rtx_abandoned += other.rtx_abandoned;
+        self.tw_reused += other.tw_reused;
+        self.syn_refusals += other.syn_refusals;
+        self.mem_pressure_drops += other.mem_pressure_drops;
+        if let Some(odp) = &other.dp {
+            let dp = self.dp_mut();
+            dp.fast_retransmits += odp.fast_retransmits;
+            dp.out_of_order_segments += odp.out_of_order_segments;
+            dp.ecn_echoes += odp.ecn_echoes;
+            dp.bytes_streamed += odp.bytes_streamed;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +176,38 @@ mod tests {
         assert!((s.local_packet_proportion() - 0.25).abs() < 1e-12);
         assert!((s.avg_listen_walk() - 24.0).abs() < 1e-12);
         assert_eq!(s.established(), 7);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_dp() {
+        let mut a = StackStats {
+            passive_established: 2,
+            retransmits: 1,
+            ..StackStats::default()
+        };
+        let b = StackStats {
+            passive_established: 3,
+            tw_reused: 4,
+            dp: Some(DataPlaneStats {
+                fast_retransmits: 5,
+                bytes_streamed: 100,
+                ..DataPlaneStats::default()
+            }),
+            ..StackStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.passive_established, 5);
+        assert_eq!(a.retransmits, 1);
+        assert_eq!(a.tw_reused, 4);
+        let dp = a.dp.expect("dp materialized by merge");
+        assert_eq!(dp.fast_retransmits, 5);
+        assert_eq!(dp.bytes_streamed, 100);
+    }
+
+    #[test]
+    fn merge_without_dp_keeps_none() {
+        let mut a = StackStats::default();
+        a.merge(&StackStats::default());
+        assert!(a.dp.is_none());
     }
 }

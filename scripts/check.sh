@@ -64,6 +64,25 @@ cargo build -q --release -p fastsocket-bench --bin bulk
 ./target/release/bulk --smoke
 ./target/release/bulk --validate results/BENCH_bulk.json
 
+# Parallel-engine smoke: a 2-lane sharded run with every sanitizer
+# armed, digest-asserted bit-identical between the serial-windowed and
+# threaded executors. Then the speedup gate: the 8-lane point of the
+# 24-core fig4a profile must stay at >= 3x over the legacy serial
+# engine — but only on hosts with >= 8 cores to express it; smaller
+# hosts still run the sweep (every point stays digest-asserted) and
+# skip only the wall-clock threshold.
+echo "==> par smoke (lane-sharded engine under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin par_speedup
+./target/release/par_speedup --smoke
+host_cores=$(nproc 2>/dev/null || echo 1)
+if [ "$host_cores" -ge 8 ]; then
+  echo "==> par speedup gate (host has ${host_cores} cores: enforcing >= 3x at 8 lanes)"
+  ./target/release/par_speedup 0.1 --min-speedup 3.0
+else
+  echo "==> par speedup sweep (host has ${host_cores} cores: digest-asserted, wall-clock gate skipped)"
+  ./target/release/par_speedup 0.1
+fi
+
 # Verification gate: the write-scope lint proves (via --self-test)
 # that it still catches deliberately mis-scoped writes, then scans the
 # real tcp-stack sources; the verify bin runs all three runtime
