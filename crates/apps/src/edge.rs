@@ -1,0 +1,495 @@
+//! Edge-tier resilience: weighted backend pools, health checks,
+//! failover, and the knobs that drive them.
+//!
+//! The paper's 500K-cps short-connection storms are exactly the traffic
+//! an edge/proxy tier faces, and surviving them takes more than peak
+//! throughput: backends crash and flap, hostile flows spoof SYNs, and
+//! the proxy must keep serving. This module holds the *mechanism*
+//! layer, all pure state machines with no simulation dependencies:
+//!
+//! * [`EdgeConfig`] / [`PoolConfig`] / [`BackendSpec`] — named backend
+//!   pools with per-member weights plus the health-check, retry and
+//!   pooling knobs (embedded as `SimConfig::edge`);
+//! * [`HealthTracker`] — the per-backend up/down state machine driven
+//!   by active probes and passive connection errors, with
+//!   consecutive-failure / consecutive-success thresholds;
+//! * [`WeightedRr`] — nginx-style smooth weighted round-robin over the
+//!   currently-healthy pool members (deterministic, no RNG);
+//! * [`EdgeCounters`] — the proxy-side resilience counters surfaced
+//!   through the run report's `netstat_ext` rows.
+//!
+//! The policy layer (how the proxy uses these) lives in
+//! [`crate::proxy`]; the wire effects (RSTs from a crashed backend, the
+//! XDP-style early-drop stage) live in the peer model and `sim-nic`.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// One backend in a pool, with its load-balancing weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Backend address (the driver instantiates a scripted peer here).
+    pub ip: Ipv4Addr,
+    /// Smooth-weighted-round-robin weight (≥ 1).
+    pub weight: u32,
+}
+
+/// A named pool of weighted backends, selected by the SNI token of a
+/// client's first payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Pool name (the SNI-token space maps onto pool indices).
+    pub name: String,
+    /// The pool's members.
+    pub backends: Vec<BackendSpec>,
+}
+
+/// Edge-tier tuning, embedded as `SimConfig::edge`.
+///
+/// Arming this turns `crates/apps`' proxy into a resilient edge tier:
+/// SNI-routed weighted pools, active health probes, passive
+/// connection-error health signals, retry with jittered exponential
+/// backoff, and optional backend connection pooling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeConfig {
+    /// Backend pools; a client's SNI token selects one.
+    pub pools: Vec<PoolConfig>,
+    /// Active health-probe period, in cycles (also the granularity at
+    /// which queued retries are released).
+    pub probe_interval: Cycles,
+    /// Consecutive failures (probe or passive) that mark a backend down.
+    pub fail_threshold: u8,
+    /// Consecutive probe successes that re-admit a down backend.
+    pub success_threshold: u8,
+    /// Retries granted per client request after its backend fails; 0
+    /// disables failover retry entirely.
+    pub retry_budget: u8,
+    /// First-retry backoff ceiling, in cycles.
+    pub retry_base: Cycles,
+    /// Backoff stops doubling after this many attempts.
+    pub retry_cap_shift: u8,
+    /// Idle backend connections kept pooled per backend; 0 opens a
+    /// fresh backend connection per request (HAProxy's
+    /// `http-server-close` mode, the pre-edge behaviour).
+    pub pooling: u32,
+    /// Arms the XDP-style pre-steering drop stage in the NIC against
+    /// the spoofed-source flood space.
+    pub early_drop: bool,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            pools: vec![
+                PoolConfig {
+                    name: "static".into(),
+                    backends: vec![
+                        BackendSpec {
+                            ip: Ipv4Addr::new(10, 0, 0, 100),
+                            weight: 2,
+                        },
+                        BackendSpec {
+                            ip: Ipv4Addr::new(10, 0, 0, 101),
+                            weight: 1,
+                        },
+                    ],
+                },
+                PoolConfig {
+                    name: "api".into(),
+                    backends: vec![
+                        BackendSpec {
+                            ip: Ipv4Addr::new(10, 0, 0, 102),
+                            weight: 1,
+                        },
+                        BackendSpec {
+                            ip: Ipv4Addr::new(10, 0, 0, 103),
+                            weight: 1,
+                        },
+                    ],
+                },
+            ],
+            // 0.5 ms at the simulated 2.7 GHz clock.
+            probe_interval: 1_350_000,
+            fail_threshold: 2,
+            success_threshold: 2,
+            retry_budget: 2,
+            // 0.1 ms first-retry ceiling, capped at 1.6 ms.
+            retry_base: 270_000,
+            retry_cap_shift: 4,
+            pooling: 4,
+            early_drop: false,
+        }
+    }
+}
+
+impl EdgeConfig {
+    /// Enables/disables the NIC early-drop stage (builder style).
+    pub fn early_drop(mut self, on: bool) -> Self {
+        self.early_drop = on;
+        self
+    }
+
+    /// Sets the per-request retry budget (builder style).
+    pub fn retry_budget(mut self, budget: u8) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the pooled idle connections per backend (builder style).
+    pub fn pooling(mut self, n: u32) -> Self {
+        self.pooling = n;
+        self
+    }
+
+    /// Every backend address across all pools, deduplicated in
+    /// first-seen order — the set of scripted peers the driver must
+    /// instantiate, and the index space fault schedules address with
+    /// `FaultKind::BackendCrash { backend }`.
+    pub fn union_backends(&self) -> Vec<Ipv4Addr> {
+        let mut out: Vec<Ipv4Addr> = Vec::new();
+        for pool in &self.pools {
+            for b in &pool.backends {
+                if !out.contains(&b.ip) {
+                    out.push(b.ip);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the config: at least one pool, every pool non-empty,
+    /// every weight ≥ 1, thresholds ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant (misconfiguration is a bench
+    /// bug, not a runtime condition).
+    pub fn validate(&self) {
+        assert!(
+            !self.pools.is_empty(),
+            "edge config needs at least one pool"
+        );
+        assert!(self.fail_threshold >= 1, "fail_threshold must be >= 1");
+        assert!(
+            self.success_threshold >= 1,
+            "success_threshold must be >= 1"
+        );
+        assert!(self.probe_interval > 0, "probe_interval must be positive");
+        assert!(self.retry_base > 0, "retry_base must be positive");
+        for pool in &self.pools {
+            assert!(
+                !pool.backends.is_empty(),
+                "pool {:?} has no backends",
+                pool.name
+            );
+            for b in &pool.backends {
+                assert!(b.weight >= 1, "backend {} weight must be >= 1", b.ip);
+            }
+        }
+    }
+}
+
+/// A backend's health as seen by one proxy worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// In rotation: eligible for routing.
+    Up,
+    /// Out of rotation: only probes go there.
+    Down,
+}
+
+/// The per-backend health state machine: `fail_threshold` consecutive
+/// failures (active probe or passive connection error) take a backend
+/// out of rotation; `success_threshold` consecutive probe successes
+/// re-admit it. A success resets the failure streak and vice versa, so
+/// any probe/error sequence converges to the state its suffix demands.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    state: HealthState,
+    fails: u8,
+    successes: u8,
+    fail_threshold: u8,
+    success_threshold: u8,
+    /// Down→Up transitions (recovery re-admissions).
+    pub readmissions: u64,
+}
+
+impl HealthTracker {
+    /// Creates a tracker that starts `Up` (backends are presumed
+    /// healthy until proven otherwise, as HAProxy does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either threshold is zero.
+    pub fn new(fail_threshold: u8, success_threshold: u8) -> Self {
+        assert!(fail_threshold >= 1, "fail_threshold must be >= 1");
+        assert!(success_threshold >= 1, "success_threshold must be >= 1");
+        HealthTracker {
+            state: HealthState::Up,
+            fails: 0,
+            successes: 0,
+            fail_threshold,
+            success_threshold,
+            readmissions: 0,
+        }
+    }
+
+    /// Whether the backend is in rotation.
+    pub fn is_up(&self) -> bool {
+        self.state == HealthState::Up
+    }
+
+    /// Records a probe success (or any successful exchange). Returns
+    /// `true` when this re-admits a down backend.
+    pub fn on_success(&mut self) -> bool {
+        self.fails = 0;
+        match self.state {
+            HealthState::Up => false,
+            HealthState::Down => {
+                self.successes = self.successes.saturating_add(1);
+                if self.successes >= self.success_threshold {
+                    self.state = HealthState::Up;
+                    self.successes = 0;
+                    self.readmissions += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a probe failure or passive connection error. Returns
+    /// `true` when this takes an up backend out of rotation.
+    pub fn on_failure(&mut self) -> bool {
+        self.successes = 0;
+        match self.state {
+            HealthState::Down => false,
+            HealthState::Up => {
+                self.fails = self.fails.saturating_add(1);
+                if self.fails >= self.fail_threshold {
+                    self.state = HealthState::Down;
+                    self.fails = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Nginx-style smooth weighted round-robin over a fixed member list,
+/// restricted per pick to the currently-healthy members. Deterministic
+/// (no RNG): each pick adds every healthy member's weight to its
+/// running credit, selects the highest credit (ties to the lowest
+/// index), and debits the winner by the total healthy weight — a
+/// weight-2 member gets every other pick, not two in a row.
+#[derive(Debug, Clone)]
+pub struct WeightedRr {
+    current: Vec<i64>,
+}
+
+impl WeightedRr {
+    /// Creates a scheduler over `n` member slots.
+    pub fn new(n: usize) -> Self {
+        WeightedRr {
+            current: vec![0; n],
+        }
+    }
+
+    /// Picks the next member index among those with `healthy[i]`,
+    /// or `None` when no member is healthy. `weights` and `healthy`
+    /// must both have the scheduler's length.
+    pub fn pick(&mut self, weights: &[u32], healthy: &[bool]) -> Option<usize> {
+        assert_eq!(weights.len(), self.current.len());
+        assert_eq!(healthy.len(), self.current.len());
+        let total: i64 = weights
+            .iter()
+            .zip(healthy)
+            .filter(|(_, &h)| h)
+            .map(|(&w, _)| i64::from(w))
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for i in 0..self.current.len() {
+            if !healthy[i] {
+                continue;
+            }
+            self.current[i] += i64::from(weights[i]);
+            if best.is_none_or(|b| self.current[i] > self.current[b]) {
+                best = Some(i);
+            }
+        }
+        let b = best.expect("total > 0 implies a healthy member");
+        self.current[b] -= total;
+        Some(b)
+    }
+}
+
+/// Per-worker resilience counters, merged machine-wide into the run
+/// report's `EdgeReport` and surfaced as `netstat_ext` rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeCounters {
+    /// Active health probes launched.
+    pub probes_sent: u64,
+    /// Probes that failed (RST, timeout abandonment, or connect error).
+    pub probe_failures: u64,
+    /// Client requests re-dispatched after a backend failure.
+    pub retried: u64,
+    /// Of `retried`, how many landed on a *different* backend.
+    pub failed_over: u64,
+    /// Client requests dropped with their retry budget exhausted (or
+    /// budget 0) — the "requests lost" the acceptance gate scores.
+    pub lost: u64,
+    /// Down→Up health re-admissions observed.
+    pub readmissions: u64,
+    /// Requests served over a pooled (reused) backend connection.
+    pub reused_conns: u64,
+}
+
+impl EdgeCounters {
+    /// Folds another worker's counters into this one.
+    pub fn merge(&mut self, o: &EdgeCounters) {
+        self.probes_sent += o.probes_sent;
+        self.probe_failures += o.probe_failures;
+        self.retried += o.retried;
+        self.failed_over += o.failed_over;
+        self.lost += o.lost;
+        self.readmissions += o.readmissions;
+        self.reused_conns += o.reused_conns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = EdgeConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.pools.len(), 2);
+        assert_eq!(cfg.union_backends().len(), 4);
+    }
+
+    #[test]
+    fn union_backends_dedups_across_pools() {
+        let shared = BackendSpec {
+            ip: Ipv4Addr::new(10, 0, 0, 100),
+            weight: 1,
+        };
+        let cfg = EdgeConfig {
+            pools: vec![
+                PoolConfig {
+                    name: "a".into(),
+                    backends: vec![shared],
+                },
+                PoolConfig {
+                    name: "b".into(),
+                    backends: vec![
+                        shared,
+                        BackendSpec {
+                            ip: Ipv4Addr::new(10, 0, 0, 101),
+                            weight: 1,
+                        },
+                    ],
+                },
+            ],
+            ..EdgeConfig::default()
+        };
+        assert_eq!(cfg.union_backends().len(), 2);
+    }
+
+    #[test]
+    fn health_tracker_downs_after_threshold() {
+        let mut h = HealthTracker::new(2, 2);
+        assert!(h.is_up());
+        assert!(!h.on_failure());
+        assert!(h.is_up(), "one failure below threshold");
+        assert!(h.on_failure(), "second consecutive failure downs it");
+        assert!(!h.is_up());
+        assert!(!h.on_failure(), "already down");
+    }
+
+    #[test]
+    fn health_tracker_readmits_after_threshold() {
+        let mut h = HealthTracker::new(1, 2);
+        assert!(h.on_failure());
+        assert!(!h.on_success());
+        assert!(!h.is_up(), "one success below threshold");
+        assert!(h.on_success());
+        assert!(h.is_up());
+        assert_eq!(h.readmissions, 1);
+    }
+
+    #[test]
+    fn mixed_streak_resets_counters() {
+        let mut h = HealthTracker::new(2, 2);
+        h.on_failure();
+        h.on_success(); // resets the failure streak
+        assert!(!h.on_failure());
+        assert!(h.is_up(), "streak was broken, still one short");
+        assert!(h.on_failure());
+        assert!(!h.is_up());
+    }
+
+    #[test]
+    fn weighted_rr_honors_weights_smoothly() {
+        let mut rr = WeightedRr::new(2);
+        let weights = [2, 1];
+        let healthy = [true, true];
+        let picks: Vec<usize> = (0..6)
+            .map(|_| rr.pick(&weights, &healthy).unwrap())
+            .collect();
+        // Smooth WRR with weights (2, 1) interleaves: 0 1 0, not 0 0 1.
+        assert_eq!(picks, vec![0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn weighted_rr_skips_unhealthy_and_recovers() {
+        let mut rr = WeightedRr::new(3);
+        let weights = [1, 1, 1];
+        assert_eq!(rr.pick(&weights, &[false, true, false]), Some(1));
+        assert_eq!(rr.pick(&weights, &[false, true, false]), Some(1));
+        assert_eq!(rr.pick(&weights, &[false, false, false]), None);
+        // All healthy again: rotation resumes over everyone.
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            seen[rr.pick(&weights, &[true, true, true]).unwrap()] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn counters_merge_sums_fields() {
+        let mut a = EdgeCounters {
+            probes_sent: 1,
+            retried: 2,
+            lost: 3,
+            ..EdgeCounters::default()
+        };
+        let b = EdgeCounters {
+            probes_sent: 10,
+            failed_over: 5,
+            ..EdgeCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.probes_sent, 11);
+        assert_eq!(a.retried, 2);
+        assert_eq!(a.failed_over, 5);
+        assert_eq!(a.lost, 3);
+    }
+
+    #[test]
+    fn edge_config_round_trips_through_json() {
+        let cfg = EdgeConfig::default().early_drop(true).retry_budget(3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: EdgeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -17,14 +17,20 @@
 //!   correct TCP sequencing for the 9-packet short-lived exchange;
 //! * [`workload::HttpWorkload`] — the 600-byte-request /
 //!   1200-byte-response short-lived connection profile from the paper's
-//!   introduction.
+//!   introduction;
+//! * [`edge`] — the resilient-edge mechanism layer: weighted backend
+//!   pools, the health-check state machine, smooth weighted
+//!   round-robin, and the resilience counters [`Proxy::with_edge`]
+//!   wires into the proxy.
 
+pub mod edge;
 pub mod peer;
 pub mod proxy;
 pub mod sys;
 pub mod web;
 pub mod workload;
 
+pub use edge::{BackendSpec, EdgeConfig, EdgeCounters, HealthTracker, PoolConfig, WeightedRr};
 pub use peer::{Backend, ClientSlot};
 pub use proxy::Proxy;
 pub use sys::{Sys, Worker, LISTEN_TOKEN};

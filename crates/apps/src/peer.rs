@@ -418,6 +418,12 @@ pub struct Backend {
     /// Bulk mode: `(response_bytes, mss)` — responses stream as MSS
     /// segments paced by the proxy's advertised window.
     bulk: Option<(u32, u16)>,
+    /// Keep-alive mode: respond without a FIN so the proxy can pool
+    /// the connection for later requests.
+    keep_alive: bool,
+    /// Crashed: every arriving segment is answered with RST, exactly
+    /// what a host whose process died does to live connections.
+    down: bool,
     /// Requests served.
     pub served: u64,
 }
@@ -431,6 +437,8 @@ impl Backend {
             response_len,
             conns: HashMap::new(),
             bulk: None,
+            keep_alive: false,
+            down: false,
             served: 0,
         }
     }
@@ -441,6 +449,33 @@ impl Backend {
     pub fn with_bulk(mut self, response_bytes: u32, mss: u16) -> Self {
         self.bulk = Some((response_bytes, mss));
         self
+    }
+
+    /// Switches the backend to keep-alive mode (builder style):
+    /// responses carry no FIN and the connection stays open for the
+    /// proxy's next pooled request; the proxy closes first.
+    pub fn with_keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Crashes the backend: all connection state is lost and every
+    /// subsequent segment (including new SYNs) is answered with RST
+    /// until [`heal`](Self::heal).
+    pub fn crash(&mut self) {
+        self.down = true;
+        self.conns.clear();
+    }
+
+    /// Restores a crashed backend. Its conn table starts empty — the
+    /// proxy's health checker decides when it re-enters rotation.
+    pub fn heal(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the backend is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Sends whatever the flow-control window currently allows of a
@@ -487,6 +522,20 @@ impl Backend {
         debug_assert_eq!(pkt.flow.dst_ip, self.ip);
         debug_assert_eq!(pkt.flow.dst_port, self.port);
         let lflow = pkt.flow.reversed();
+        if self.down {
+            // A crashed host: no listener, no connection state. RFC
+            // 9293-style refusal — RST seq'd at the peer's ACK so the
+            // proxy's stack accepts it in SYN_SENT and ESTABLISHED
+            // alike (nothing answers an RST with an RST).
+            if !pkt.flags.rst() {
+                out.push(
+                    Packet::new(lflow, TcpFlags::RST)
+                        .with_seq(pkt.ack)
+                        .with_ack(pkt.seq.wrapping_add(pkt.seq_len())),
+                );
+            }
+            return;
+        }
         if pkt.flags.syn() && !pkt.flags.ack() {
             let conn = BackendConn {
                 snd_nxt: isn.wrapping_add(1),
@@ -508,6 +557,20 @@ impl Backend {
         };
         if pkt.flags.rst() {
             self.conns.remove(&lflow);
+            return;
+        }
+        if pkt.seq_len() > 0 && pkt.seq != conn.rcv_nxt {
+            // A retransmission (the proxy's RTO fired before our
+            // response/ACK made it back). Serving it again would
+            // duplicate the response — fatal for a pooled keep-alive
+            // connection, where the stray response reaches whichever
+            // client owns the conn by then. Re-ACK the cumulative
+            // point to quench the retransmit timer and drop it.
+            out.push(
+                Packet::new(lflow, TcpFlags::ACK)
+                    .with_seq(conn.snd_nxt)
+                    .with_ack(conn.rcv_nxt),
+            );
             return;
         }
         conn.rcv_nxt = conn.rcv_nxt.wrapping_add(pkt.seq_len());
@@ -540,7 +603,9 @@ impl Backend {
                     Self::push_bulk(conn, lflow, mss, out);
                 }
                 None => {
-                    // The request: answer with response + FIN.
+                    // The request: answer with the response, followed
+                    // by a FIN (HTTP/1.0 close) unless keep-alive keeps
+                    // the connection open for the proxy's next request.
                     out.push(
                         Packet::new(lflow, TcpFlags::PSH | TcpFlags::ACK)
                             .with_seq(conn.snd_nxt)
@@ -548,24 +613,36 @@ impl Backend {
                             .with_payload(self.response_len),
                     );
                     conn.snd_nxt = conn.snd_nxt.wrapping_add(u32::from(self.response_len));
-                    out.push(
-                        Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
-                            .with_seq(conn.snd_nxt)
-                            .with_ack(conn.rcv_nxt),
-                    );
-                    conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
-                    conn.fin_sent = true;
+                    if !self.keep_alive {
+                        out.push(
+                            Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
+                                .with_seq(conn.snd_nxt)
+                                .with_ack(conn.rcv_nxt),
+                        );
+                        conn.snd_nxt = conn.snd_nxt.wrapping_add(1);
+                        conn.fin_sent = true;
+                    }
                     self.served += 1;
                 }
             }
         }
         if pkt.flags.fin() {
-            // The proxy's FIN (LAST_ACK side): acknowledge and forget.
-            out.push(
-                Packet::new(lflow, TcpFlags::ACK)
-                    .with_seq(conn.snd_nxt)
-                    .with_ack(conn.rcv_nxt),
-            );
+            if conn.fin_sent {
+                // The proxy's FIN (LAST_ACK side): acknowledge, forget.
+                out.push(
+                    Packet::new(lflow, TcpFlags::ACK)
+                        .with_seq(conn.snd_nxt)
+                        .with_ack(conn.rcv_nxt),
+                );
+            } else {
+                // The proxy closed first (a pooled keep-alive conn, or
+                // a probe): close our side with the acknowledging FIN.
+                out.push(
+                    Packet::new(lflow, TcpFlags::FIN | TcpFlags::ACK)
+                        .with_seq(conn.snd_nxt)
+                        .with_ack(conn.rcv_nxt),
+                );
+            }
             self.conns.remove(&lflow);
         }
     }
@@ -690,6 +767,114 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         assert!(out[0].flags.ack());
+        assert_eq!(be.open_conns(), 0);
+    }
+
+    #[test]
+    fn crashed_backend_rsts_everything_and_heals_empty() {
+        let mut be = Backend::new(BACKEND, 80, 1_200);
+        let flow = FlowTuple::new(SERVER, 40_000, BACKEND, 80);
+        let mut out = Vec::new();
+
+        // Establish a connection, then crash under it.
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::SYN).with_seq(10),
+            900,
+            &mut out,
+        );
+        assert_eq!(be.open_conns(), 1);
+        be.crash();
+        assert!(be.is_down());
+        assert_eq!(be.open_conns(), 0, "crash wipes connection state");
+
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::SYN).with_seq(50),
+            901,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.rst(), "new SYN refused with RST");
+
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+                .with_seq(11)
+                .with_ack(901)
+                .with_payload(600),
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.rst(), "old-connection data refused with RST");
+
+        out.clear();
+        be.on_packet(&Packet::new(flow, TcpFlags::RST).with_seq(11), 0, &mut out);
+        assert!(out.is_empty(), "nothing answers an RST with an RST");
+
+        be.heal();
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::SYN).with_seq(99),
+            902,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].flags.syn() && out[0].flags.ack(),
+            "healed: accepts again"
+        );
+    }
+
+    #[test]
+    fn keep_alive_backend_serves_repeat_requests_without_fin() {
+        let mut be = Backend::new(BACKEND, 80, 1_200).with_keep_alive(true);
+        let flow = FlowTuple::new(SERVER, 41_000, BACKEND, 80);
+        let mut out = Vec::new();
+
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::SYN).with_seq(10),
+            900,
+            &mut out,
+        );
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+                .with_seq(11)
+                .with_ack(901)
+                .with_payload(600),
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "response only, no FIN");
+        assert_eq!(out[0].payload_len, 1_200);
+        assert!(!out[0].flags.fin());
+        assert_eq!(be.open_conns(), 1, "connection stays pooled");
+
+        // A second request on the same connection is served too.
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::PSH | TcpFlags::ACK)
+                .with_seq(611)
+                .with_ack(2_101)
+                .with_payload(600),
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(be.served, 2);
+
+        // The proxy closes first; the backend FINs back and forgets.
+        out.clear();
+        be.on_packet(
+            &Packet::new(flow, TcpFlags::FIN | TcpFlags::ACK)
+                .with_seq(1_211)
+                .with_ack(3_301),
+            0,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.fin() && out[0].flags.ack());
         assert_eq!(be.open_conns(), 0);
     }
 }

@@ -90,6 +90,34 @@ impl Sys<'_> {
         self.stack.socks.exists(sock)
     }
 
+    /// The allocation generation of a live socket. Slot ids are reused
+    /// after teardown; pairing the id with its generation lets callers
+    /// detect that a queued event refers to a previous occupant.
+    pub fn sock_gen(&self, sock: SockId) -> u64 {
+        self.stack.sock_gen(sock)
+    }
+
+    /// Whether `sock` still exists *and* is the same allocation the
+    /// caller recorded. [`Sys::alive`] alone cannot tell a reused slot
+    /// apart from the original socket.
+    pub fn alive_gen(&self, sock: SockId, gen: u64) -> bool {
+        self.stack.socks.exists(sock) && self.stack.sock_gen(sock) == gen
+    }
+
+    /// The flow hash of an established connection — the edge tier's
+    /// SNI-token stand-in: simulated packets carry no payload bytes, so
+    /// the ClientHello's server-name token is modelled as a
+    /// deterministic per-connection hash (stable across doubled
+    /// same-seed runs because the flow tuple is).
+    pub fn flow_hash(&self, sock: SockId) -> u64 {
+        tcp_stack::established::flow_hash(&self.stack.socks.get(sock).flow)
+    }
+
+    /// The current simulated time (cycles) of the running operation.
+    pub fn now(&self) -> Cycles {
+        self.op.now()
+    }
+
     /// `write()`: sends `bytes` of payload.
     pub fn send(&mut self, sock: SockId, bytes: u16) {
         self.op.trace_enter(TraceLabel::SysSend);
@@ -189,4 +217,14 @@ pub trait Worker {
 
     /// Completed request/response exchanges served by this worker.
     fn served(&self) -> u64;
+
+    /// Periodic maintenance tick (health probes, retry release). The
+    /// driver calls this on every worker at the edge tier's probe
+    /// interval; workers without timed duties ignore it.
+    fn on_tick(&mut self, _sys: &mut Sys<'_>) {}
+
+    /// Resilience counters, when the worker runs the edge tier.
+    fn edge_counters(&self) -> Option<crate::edge::EdgeCounters> {
+        None
+    }
 }

@@ -1,0 +1,142 @@
+//! Property tests for the edge tier's health-check state machine and
+//! weighted round-robin scheduler.
+//!
+//! The guarantee the failover design leans on: whatever interleaving of
+//! probe successes and connection errors a backend sees, the tracker's
+//! final state is a pure function of the sequence's *suffix* — a long
+//! enough terminal streak always converges it — and every intermediate
+//! state is reachable only through full threshold streaks.
+
+use proptest::prelude::*;
+use sim_apps::edge::{HealthTracker, WeightedRr};
+
+/// Reference model: the tracker's state is determined by replaying the
+/// sequence with explicit consecutive counters.
+fn reference_is_up(fail_t: u8, succ_t: u8, seq: &[bool]) -> bool {
+    let mut up = true;
+    let mut fails = 0u32;
+    let mut succs = 0u32;
+    for &ok in seq {
+        if ok {
+            fails = 0;
+            if !up {
+                succs += 1;
+                if succs >= u32::from(succ_t) {
+                    up = true;
+                    succs = 0;
+                }
+            }
+        } else {
+            succs = 0;
+            if up {
+                fails += 1;
+                if fails >= u32::from(fail_t) {
+                    up = false;
+                    fails = 0;
+                }
+            }
+        }
+    }
+    up
+}
+
+proptest! {
+    /// Any probe/error sequence leaves the tracker in exactly the state
+    /// the reference model computes.
+    #[test]
+    fn tracker_matches_reference_model(
+        fail_t in 1u8..=5,
+        succ_t in 1u8..=5,
+        seq in collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut h = HealthTracker::new(fail_t, succ_t);
+        for &ok in &seq {
+            if ok {
+                h.on_success();
+            } else {
+                h.on_failure();
+            }
+        }
+        prop_assert_eq!(h.is_up(), reference_is_up(fail_t, succ_t, &seq));
+    }
+
+    /// A terminal streak at least as long as the relevant threshold
+    /// forces convergence to that streak's state, no matter the prefix.
+    #[test]
+    fn terminal_streak_converges(
+        fail_t in 1u8..=4,
+        succ_t in 1u8..=4,
+        prefix in collection::vec(any::<bool>(), 0..100),
+        terminal_ok in any::<bool>(),
+    ) {
+        let mut h = HealthTracker::new(fail_t, succ_t);
+        for &ok in &prefix {
+            if ok { h.on_success(); } else { h.on_failure(); }
+        }
+        let streak = usize::from(fail_t.max(succ_t));
+        for _ in 0..streak {
+            if terminal_ok { h.on_success(); } else { h.on_failure(); }
+        }
+        prop_assert_eq!(h.is_up(), terminal_ok);
+    }
+
+    /// Transition notifications fire exactly on state changes: replaying
+    /// the returned booleans reconstructs the state.
+    #[test]
+    fn transition_returns_track_state(
+        fail_t in 1u8..=4,
+        succ_t in 1u8..=4,
+        seq in collection::vec(any::<bool>(), 0..150),
+    ) {
+        let mut h = HealthTracker::new(fail_t, succ_t);
+        let mut up = true;
+        let mut readmissions = 0u64;
+        for &ok in &seq {
+            if ok {
+                if h.on_success() {
+                    prop_assert!(!up, "re-admission from Up");
+                    up = true;
+                    readmissions += 1;
+                }
+            } else if h.on_failure() {
+                prop_assert!(up, "down transition from Down");
+                up = false;
+            }
+            prop_assert_eq!(h.is_up(), up);
+        }
+        prop_assert_eq!(h.readmissions, readmissions);
+    }
+
+    /// Smooth WRR is fair over one full cycle: picking
+    /// `sum(weights)` times hands each healthy member exactly its
+    /// weight, and never selects an unhealthy one.
+    #[test]
+    fn weighted_rr_is_exact_over_a_cycle(
+        weights in collection::vec(1u32..=5, 1..6),
+        healthy in collection::vec(any::<bool>(), 1..6),
+    ) {
+        let n = weights.len().min(healthy.len());
+        let weights = &weights[..n];
+        let healthy = &healthy[..n];
+        let total: u32 = weights
+            .iter()
+            .zip(healthy)
+            .filter(|(_, &h)| h)
+            .map(|(&w, _)| w)
+            .sum();
+        let mut rr = WeightedRr::new(n);
+        let mut picks = vec![0u32; n];
+        for _ in 0..total {
+            let Some(i) = rr.pick(weights, healthy) else {
+                prop_assert_eq!(total, 0);
+                return Ok(());
+            };
+            prop_assert!(healthy[i], "picked an unhealthy member");
+            picks[i] += 1;
+        }
+        for i in 0..n {
+            let expect = if healthy[i] { weights[i] } else { 0 };
+            prop_assert_eq!(picks[i], expect, "member {} share", i);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
+use sim_apps::edge::EdgeConfig;
 use sim_apps::proxy::ProxyConfig;
 use sim_apps::web::WebConfig;
 use sim_apps::HttpWorkload;
@@ -189,6 +190,12 @@ pub struct SimConfig {
     /// the digest canonicalizes them away, which is exactly the
     /// serial==parallel bit-identity the differential oracle asserts.
     pub par: Option<ParConfig>,
+    /// Edge-tier resilience (`sim_apps::edge`): weighted backend pools,
+    /// health checks, failover retries, connection pooling, and the
+    /// NIC's XDP-style early-drop stage. `None` (the default) keeps the
+    /// plain round-robin proxy; the digest canonicalizes an absent
+    /// config away so legacy digests are unchanged.
+    pub edge: Option<EdgeConfig>,
 }
 
 /// Configuration of the parallel lane-sharded execution engine.
@@ -312,6 +319,7 @@ impl SimConfig {
             open_loop: None,
             data_plane: None,
             par: None,
+            edge: None,
         }
     }
 
@@ -441,6 +449,14 @@ impl SimConfig {
         self
     }
 
+    /// Arms the resilient edge tier (builder style): weighted backend
+    /// pools with health checks, failover retries, and (optionally) the
+    /// NIC early-drop stage. Proxy workloads only. See [`EdgeConfig`].
+    pub fn edge(mut self, cfg: EdgeConfig) -> Self {
+        self.edge = Some(cfg);
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
     /// parameter set that produced them. The scheduler backend is
@@ -474,6 +490,10 @@ impl SimConfig {
         if canon.par.is_none() {
             // Same treatment for an absent parallel engine.
             s = s.replace(", par: None", "");
+        }
+        if canon.edge.is_none() {
+            // Same treatment for an absent edge tier.
+            s = s.replace(", edge: None", "");
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in s.bytes() {
@@ -584,6 +604,25 @@ mod tests {
             a.config_digest(),
             b.config_digest(),
             "lane count is provenance"
+        );
+    }
+
+    #[test]
+    fn config_digest_unchanged_by_absent_edge() {
+        // Same pin again: the edge-tier knob must leave legacy digests
+        // alone when absent, and fork them when armed.
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), "827cde302cffa2a4");
+        let b =
+            SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 4).edge(EdgeConfig::default());
+        let c = SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 4);
+        assert_ne!(b.config_digest(), c.config_digest());
+        let d = SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 4)
+            .edge(EdgeConfig::default().early_drop(true));
+        assert_ne!(
+            b.config_digest(),
+            d.config_digest(),
+            "early-drop arming is provenance"
         );
     }
 

@@ -37,7 +37,7 @@ pub mod sim;
 
 pub use config::{AppSpec, DataPlaneConfig, KernelSpec, ParConfig, SimConfig};
 pub use par::{effective_lanes, run_sharded};
-pub use report::{LockReport, RunReport};
+pub use report::{EdgeReport, LockReport, RunReport};
 pub use sim::Simulation;
 pub use sim_check::{CheckReport, ShardClass, ShardReport};
 pub use sim_fault::{FaultEvent, FaultKind, FaultRecord, FaultSchedule, RobustnessReport};

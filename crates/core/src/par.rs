@@ -64,6 +64,7 @@ impl LaneSim for Simulation {
 /// * IsoStack's dedicated stack core (cross-core by design);
 /// * any fault schedule or fault-injection knob (faults address global
 ///   core/queue ids);
+/// * an armed edge tier (backend health and failover are shared state);
 /// * an open-loop population smaller than the lane count.
 pub fn effective_lanes(cfg: &SimConfig) -> u16 {
     let Some(p) = cfg.par else {
@@ -75,6 +76,11 @@ pub fn effective_lanes(cfg: &SimConfig) -> u16 {
         && stack.rfd
         && !cfg.dedicated_stack_core;
     if !full_partition || !cfg.faults.is_empty() || cfg.fault != FaultInjection::None {
+        return 1;
+    }
+    // Edge-tier runs are serial: backend health, failover retries, and
+    // fault schedules address shared backend state lanes cannot shard.
+    if cfg.edge.is_some() {
         return 1;
     }
     if let Some(o) = &cfg.open_loop {
@@ -188,6 +194,21 @@ mod tests {
             "lane construction order leaked into the arrival schedule"
         );
         assert_eq!(a.results_digest(), b.results_digest());
+    }
+
+    /// An armed edge tier forces the serial engine: backend health and
+    /// failover retries are shared state no lane partition can own.
+    #[test]
+    fn edge_tier_forces_serial_execution() {
+        let base =
+            SimConfig::new(KernelSpec::Fastsocket, AppSpec::proxy(), 8).par(ParConfig::lanes(4));
+        assert_eq!(effective_lanes(&base), 4);
+        let edged = base.edge(sim_apps::edge::EdgeConfig::default());
+        assert_eq!(
+            effective_lanes(&edged),
+            1,
+            "edge fault domains must run on the serial engine"
+        );
     }
 }
 
@@ -354,5 +375,8 @@ fn merge_outcomes(
         live_sockets,
         load,
         bulk,
+        // Lanes never run with the edge tier armed (`effective_lanes`
+        // forces such configurations serial), so nothing to merge.
+        edge: None,
     }
 }

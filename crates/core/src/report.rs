@@ -97,6 +97,11 @@ pub struct RunReport {
     /// form byte-identical to before the field existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub bulk: Option<BulkReport>,
+    /// Edge-tier resilience accounting — `None` unless the run armed
+    /// `SimConfig::edge`, which keeps legacy serialized forms
+    /// byte-identical to before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub edge: Option<EdgeReport>,
 }
 
 /// Goodput accounting for sliding-window bulk-transfer runs.
@@ -112,6 +117,33 @@ pub struct BulkReport {
     pub payload_bytes: u64,
     /// Goodput over the measured window, in Gbps (payload bits only).
     pub goodput_gbps: f64,
+}
+
+/// Resilience accounting for edge-tier runs: the proxy workers'
+/// merged [`EdgeCounters`](sim_apps::EdgeCounters) plus the NIC's
+/// pre-steering drop count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeReport {
+    /// Hostile packets discarded by the NIC early-drop stage before
+    /// they could touch listen locks.
+    pub early_dropped: u64,
+    /// Active health probes the proxy workers sent.
+    pub probes_sent: u64,
+    /// Probes that failed (connect refused or reset).
+    pub probe_failures: u64,
+    /// Client requests re-dispatched after a backend error.
+    pub retried: u64,
+    /// Retries that landed on a *different* backend than the failed
+    /// attempt — the failover count proper.
+    pub failed_over: u64,
+    /// Client requests dropped after the retry budget ran out.
+    pub lost: u64,
+    /// Down→Up health transitions (backends re-admitted after
+    /// recovery).
+    pub readmissions: u64,
+    /// Backend connections served from the idle pool instead of a
+    /// fresh connect.
+    pub reused_conns: u64,
 }
 
 impl RunReport {
@@ -214,6 +246,20 @@ impl RunReport {
                 out.push_str(&format!("    {v} {label}\n"));
             }
         }
+        if let Some(e) = &self.edge {
+            for (label, v) in [
+                ("packets early-dropped pre-steering", e.early_dropped),
+                ("health probes sent", e.probes_sent),
+                ("health probes failed", e.probe_failures),
+                ("requests retried after backend error", e.retried),
+                ("requests failed over to another backend", e.failed_over),
+                ("requests lost (retry budget exhausted)", e.lost),
+                ("backends re-admitted after recovery", e.readmissions),
+                ("backend connections reused from pool", e.reused_conns),
+            ] {
+                out.push_str(&format!("    {v} {label}\n"));
+            }
+        }
         out
     }
 }
@@ -275,6 +321,7 @@ mod tests {
             live_sockets: 5,
             load: None,
             bulk: None,
+            edge: None,
         }
     }
 
@@ -341,5 +388,32 @@ mod tests {
         });
         assert_ne!(d, b.results_digest());
         assert!(!serde_json::to_string(&a).unwrap().contains("bulk"));
+    }
+
+    #[test]
+    fn report_digest_unchanged_by_absent_edge() {
+        let a = report();
+        let d = a.results_digest();
+        let mut b = report();
+        b.edge = Some(EdgeReport {
+            early_dropped: 100,
+            probes_sent: 8,
+            probe_failures: 2,
+            retried: 3,
+            failed_over: 3,
+            lost: 0,
+            readmissions: 1,
+            reused_conns: 40,
+        });
+        assert_ne!(d, b.results_digest());
+        assert!(!serde_json::to_string(&a).unwrap().contains("edge"));
+        let text = b.netstat_ext();
+        assert!(text.contains("100 packets early-dropped pre-steering"));
+        assert!(text.contains("3 requests failed over to another backend"));
+        assert!(text.contains("0 requests lost (retry budget exhausted)"));
+        assert!(
+            !a.netstat_ext().contains("early-dropped"),
+            "no edge rows without an edge report"
+        );
     }
 }

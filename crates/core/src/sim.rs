@@ -41,7 +41,7 @@ use tcp_stack::StackStats;
 use tcp_stack::{EstVariant, ListenVariant, SockId};
 
 use crate::config::{AppSpec, SimConfig};
-use crate::report::{lock_reports, BulkReport, RunReport};
+use crate::report::{lock_reports, BulkReport, EdgeReport, RunReport};
 
 /// The server's IP address.
 pub const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -84,6 +84,9 @@ enum Ev {
     FloodTick(u32),
     /// An open-loop connection arrival is due (`sim-load` generator).
     Arrival,
+    /// Periodic edge-tier maintenance: release due failover retries and
+    /// launch active health probes (edge runs only).
+    EdgeTick,
 }
 
 impl Ev {
@@ -104,6 +107,7 @@ impl Ev {
             Ev::Sample => "sample",
             Ev::FloodTick(_) => "flood_tick",
             Ev::Arrival => "arrival",
+            Ev::EdgeTick => "edge_tick",
         }
     }
 }
@@ -420,6 +424,17 @@ impl Simulation {
         if let Some(dp) = cfg.data_plane {
             stack_config.cc = Some(dp.cc_config());
         }
+        if let Some(e) = &cfg.edge {
+            e.validate();
+            assert!(
+                matches!(cfg.app, AppSpec::Proxy(_)),
+                "the edge tier is a proxy feature (SimConfig::edge with AppSpec::proxy)"
+            );
+            // Failed backends refuse connections with RSTs; the proxy
+            // only learns of them if teardown posts an EPOLLERR-style
+            // event, so the edge tier requires error events.
+            stack_config.err_events = true;
+        }
         let tracer = if cfg.trace {
             Tracer::enabled(cores, cfg.trace_ring_capacity)
         } else {
@@ -481,6 +496,15 @@ impl Simulation {
         nic_config.rfd_shift = stack.config().rfd_shift;
         if let Some(dp) = cfg.data_plane {
             nic_config.batch = dp.batch;
+        }
+        if cfg.edge.as_ref().is_some_and(|e| e.early_drop) {
+            // XDP-style pre-steering drop: the spoofed SYN-flood source
+            // space (172.16/12) never overlaps real clients (10/8), so
+            // the blacklist is a pure hostile-traffic filter.
+            nic_config.early_drop = Some(sim_nic::DropFilter::blacklisting(vec![(
+                Ipv4Addr::new(172, 16, 0, 0),
+                12,
+            )]));
         }
         if cfg.dedicated_stack_core {
             // IsoStack: every RX queue interrupts the dedicated core.
@@ -560,11 +584,25 @@ impl Simulation {
         let mut backends = Vec::new();
         let mut backend_by_ip = HashMap::new();
         if let AppSpec::Proxy(p) = &cfg.app {
-            for (i, &ip) in p.backends.iter().enumerate() {
+            // The edge tier supplies its own backend set (the pools'
+            // deduplicated union, whose indices are the FaultKind::
+            // BackendCrash index space); plain proxies keep theirs.
+            let ips: Vec<Ipv4Addr> = match &cfg.edge {
+                Some(e) => e.union_backends(),
+                None => p.backends.clone(),
+            };
+            let pooled = cfg.edge.as_ref().is_some_and(|e| e.pooling > 0);
+            for (i, &ip) in ips.iter().enumerate() {
                 backend_by_ip.insert(ip, i);
                 let mut b = Backend::new(ip, p.backend_port, p.response_len);
                 if let Some(dp) = cfg.data_plane {
                     b = b.with_bulk(dp.response_bytes, dp.mss);
+                }
+                if pooled {
+                    // Pooled backend connections stay open across
+                    // requests: the backend must not FIN after each
+                    // response.
+                    b = b.with_keep_alive(true);
                 }
                 backends.push(b);
             }
@@ -696,6 +734,11 @@ impl Simulation {
             let w = self.sample_window_cycles();
             self.events.push(w, Ev::Sample);
         }
+
+        // Edge maintenance heartbeat: retry release and health probes.
+        if let Some(e) = &self.cfg.edge {
+            self.events.push(e.probe_interval, Ev::EdgeTick);
+        }
     }
 
     /// Forks a worker pinned to `core` and registers its listen/epoll
@@ -795,6 +838,16 @@ impl Simulation {
                     .with_bulk(self.cfg.data_plane.is_some());
                 if let Some((dist, rng)) = sizer {
                     srv = srv.with_response_sizer(dist, rng);
+                }
+                if let Some(e) = &self.cfg.edge {
+                    // Per-worker retry-jitter stream, forked from a
+                    // dedicated root so edge arming never perturbs the
+                    // kernel-side or peer RNG sequences.
+                    let rng = SimRng::stream(
+                        self.cfg.seed ^ 0x6564_6765_7469_6572, // "edgetier"
+                        u64::from(pid.0),
+                    );
+                    srv = srv.with_edge(e.clone(), rng);
                 }
                 Box::new(srv)
             }
@@ -1002,6 +1055,7 @@ impl Simulation {
             Ev::Sample => self.on_sample(),
             Ev::FloodTick(i) => self.on_flood_tick(i),
             Ev::Arrival => self.on_arrival(),
+            Ev::EdgeTick => self.on_edge_tick(),
         }
     }
 
@@ -1131,6 +1185,11 @@ impl Simulation {
             self.send_to_peer(self.now + self.cfg.rtt / 2, seg);
         }
         self.arm_rtos();
+        // Retry-abandonment posts error events from timer context (no
+        // softirq wakeup list to ride); deliver the wakeups here.
+        for pid in self.stack.take_err_wakeups() {
+            self.wake(pid, self.now);
+        }
     }
 
     fn arm_rtos(&mut self) {
@@ -1198,6 +1257,12 @@ impl Simulation {
             && self.peer_rng.chance(self.active_loss)
         {
             return; // lost on the wire
+        }
+        // XDP-style pre-steering stage: blacklisted flows are discarded
+        // in the driver before RSS/FDir, the softirq queues, and any
+        // listen lock can see them.
+        if self.nic.early_drop(&pkt) {
+            return;
         }
         let core = self.nic.rx_core(&pkt);
         if self.softirq.push(core.index(), (pkt, false)) {
@@ -1313,6 +1378,54 @@ impl Simulation {
         if self.os.epolls.pending(ep) > 0 {
             self.wake(pid, span.end);
         }
+    }
+
+    /// One edge-tier maintenance tick: every live proxy worker releases
+    /// its due failover retries and launches health probes toward
+    /// backends without one in flight. Runs as a costed operation on
+    /// the worker's own core (probes are syscalls the worker issues).
+    fn on_edge_tick(&mut self) {
+        let Some(interval) = self.cfg.edge.as_ref().map(|e| e.probe_interval) else {
+            return;
+        };
+        for i in 0..self.workers.len() {
+            let pid = Pid(i as u32);
+            if !self.procs.get(pid).alive {
+                continue;
+            }
+            let core = self.procs.get(pid).core;
+            if self.stalled_until(core).is_some() {
+                // A stalled core skips this tick; the next heartbeat
+                // retries after the stall heals.
+                continue;
+            }
+            let ep = self.eps[i];
+            let mut op = self.ctx.begin(core, self.now);
+            op.trace_enter(TraceLabel::ProcWake);
+            let mut tx: Vec<Packet> = Vec::new();
+            {
+                let mut sys = Sys {
+                    ctx: &mut self.ctx,
+                    os: &mut self.os,
+                    stack: &mut self.stack,
+                    op: &mut op,
+                    core,
+                    pid,
+                    ep,
+                    local_ip: SERVER_IP,
+                    tx: &mut tx,
+                };
+                self.workers[i].on_tick(&mut sys);
+            }
+            op.trace_exit(TraceLabel::ProcWake);
+            let span = op.commit(&mut self.ctx.cpu);
+            self.transmit(core, tx, span.end);
+            self.arm_rtos();
+            if self.os.epolls.pending(ep) > 0 {
+                self.wake(pid, span.end);
+            }
+        }
+        self.events.push(self.now + interval, Ev::EdgeTick);
     }
 
     fn transmit(&mut self, core: CoreId, mut tx: Vec<Packet>, at: Cycles) {
@@ -1487,6 +1600,11 @@ impl Simulation {
             FaultKind::SynFlood { .. } => {
                 self.events.push(self.now, Ev::FloodTick(idx));
             }
+            FaultKind::BackendCrash { backend } => {
+                if let Some(b) = self.backends.get_mut(usize::from(backend)) {
+                    b.crash();
+                }
+            }
         }
     }
 
@@ -1499,6 +1617,11 @@ impl Simulation {
             FaultKind::CoreStall { core } => self.stalled[core as usize] = None,
             FaultKind::LossBurst { .. } => self.active_loss = self.cfg.loss,
             FaultKind::SynFlood { .. } => {}
+            FaultKind::BackendCrash { backend } => {
+                if let Some(b) = self.backends.get_mut(usize::from(backend)) {
+                    b.heal();
+                }
+            }
         }
     }
 
@@ -1665,6 +1788,25 @@ impl Simulation {
             }
         });
 
+        let edge = self.cfg.edge.as_ref().map(|_| {
+            let mut c = sim_apps::EdgeCounters::default();
+            for w in &self.workers {
+                if let Some(wc) = w.edge_counters() {
+                    c.merge(&wc);
+                }
+            }
+            EdgeReport {
+                early_dropped: self.nic.stats().early_dropped,
+                probes_sent: c.probes_sent,
+                probe_failures: c.probe_failures,
+                retried: c.retried,
+                failed_over: c.failed_over,
+                lost: c.lost,
+                readmissions: c.readmissions,
+                reused_conns: c.reused_conns,
+            }
+        });
+
         let stack_stats = self.stack.stats();
         let steering = match self.cfg.steering {
             SteeringMode::Rss => "rss",
@@ -1700,6 +1842,7 @@ impl Simulation {
             live_sockets: self.stack.socks.live_count(),
             load,
             bulk,
+            edge,
         }
     }
 }

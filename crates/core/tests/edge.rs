@@ -1,0 +1,122 @@
+//! End-to-end tests for the resilient edge tier: health-checked
+//! backend pools, failover retries, connection pooling, and the NIC
+//! early-drop stage.
+
+use fastsocket::{AppSpec, FaultSchedule, KernelSpec, RunReport, SimConfig, Simulation};
+use sim_apps::edge::EdgeConfig;
+use sim_core::secs_to_cycles;
+
+fn edge_cfg(kernel: KernelSpec, edge: EdgeConfig) -> SimConfig {
+    SimConfig::new(kernel, AppSpec::proxy(), 2)
+        .warmup_secs(0.02)
+        .measure_secs(0.10)
+        .concurrency(80)
+        .edge(edge)
+}
+
+fn run(cfg: SimConfig) -> RunReport {
+    Simulation::new(cfg).run()
+}
+
+#[test]
+fn edge_proxy_completes_connections_and_probes() {
+    let r = run(edge_cfg(KernelSpec::Fastsocket, EdgeConfig::default()));
+    assert!(r.throughput_cps > 500.0, "cps={}", r.throughput_cps);
+    assert_eq!(r.resets, 0, "{r:?}");
+    assert_eq!(r.timeouts, 0);
+    let e = r.edge.as_ref().expect("edge report present");
+    assert!(e.probes_sent > 0, "health probes must run: {e:?}");
+    assert_eq!(e.probe_failures, 0, "all backends healthy: {e:?}");
+    assert_eq!(e.lost, 0, "no requests lost on a healthy tier: {e:?}");
+    assert!(
+        e.reused_conns > 0,
+        "pooling must serve repeat requests from idle conns: {e:?}"
+    );
+    assert!(
+        r.live_sockets < 200,
+        "probe/pool sockets must not leak: {}",
+        r.live_sockets
+    );
+}
+
+#[test]
+fn edge_without_pooling_connects_per_request() {
+    let r = run(edge_cfg(
+        KernelSpec::Fastsocket,
+        EdgeConfig::default().pooling(0),
+    ));
+    let e = r.edge.as_ref().expect("edge report present");
+    assert_eq!(e.reused_conns, 0, "pooling disabled: {e:?}");
+    assert!(r.throughput_cps > 500.0, "cps={}", r.throughput_cps);
+    assert_eq!(e.lost, 0);
+}
+
+#[test]
+fn backend_crash_fails_over_with_zero_lost_requests() {
+    // Crash backend 0 mid-measurement and heal it later. With a retry
+    // budget >= 1 every request that hits the dead backend must be
+    // re-dispatched to a healthy one: zero lost requests end to end.
+    let faults =
+        FaultSchedule::new().backend_crash(secs_to_cycles(0.04), Some(secs_to_cycles(0.08)), 0);
+    let r = run(edge_cfg(KernelSpec::Fastsocket, EdgeConfig::default()).faults(faults));
+    let e = r.edge.as_ref().expect("edge report present");
+    assert_eq!(
+        e.lost, 0,
+        "retry budget >= 1 must save every request: {e:?}"
+    );
+    assert!(e.retried > 0, "the crash must have forced retries: {e:?}");
+    assert!(
+        e.failed_over > 0,
+        "retries must land on another backend: {e:?}"
+    );
+    assert!(e.probe_failures > 0, "probes must see the crash: {e:?}");
+    assert!(
+        e.readmissions > 0,
+        "the healed backend must be re-admitted: {e:?}"
+    );
+    assert_eq!(r.timeouts, 0, "clients must never notice: {r:?}");
+    assert!(r.robustness.is_some(), "fault schedules score robustness");
+}
+
+#[test]
+fn backend_failover_is_deterministic_same_seed() {
+    let cfg = || {
+        edge_cfg(KernelSpec::Fastsocket, EdgeConfig::default())
+            .seed(42)
+            .faults(FaultSchedule::new().backend_flap(
+                secs_to_cycles(0.03),
+                secs_to_cycles(0.02),
+                secs_to_cycles(0.01),
+                2,
+                1,
+            ))
+    };
+    let a = run(cfg());
+    let b = run(cfg());
+    assert_eq!(
+        a.results_digest(),
+        b.results_digest(),
+        "failover under backend flap must be bit-deterministic"
+    );
+    assert!(a.edge.as_ref().expect("edge").retried > 0);
+}
+
+#[test]
+fn early_drop_discards_flood_before_the_stack() {
+    let flood =
+        || FaultSchedule::new().syn_flood(secs_to_cycles(0.03), Some(secs_to_cycles(0.07)), 200);
+    let defended = run(edge_cfg(
+        KernelSpec::BaseLinux,
+        EdgeConfig::default().early_drop(true),
+    )
+    .syn_cookies(false)
+    .faults(flood()));
+    let e = defended.edge.as_ref().expect("edge report present");
+    assert!(
+        e.early_dropped > 1_000,
+        "the flood must be dropped pre-steering: {e:?}"
+    );
+    // With every spoofed SYN discarded in the driver, the listen path
+    // never sees the flood: no cookies, no backlog drops.
+    assert_eq!(defended.stack.syn_drops, 0, "{:?}", defended.stack);
+}

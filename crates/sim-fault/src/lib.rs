@@ -67,6 +67,15 @@ pub enum FaultKind {
         /// Spoofed SYNs injected per flood tick.
         syns_per_tick: u32,
     },
+    /// Backend `backend` (index into the proxy's union backend list)
+    /// crashes: it answers every packet with RST and drops its in-flight
+    /// connections, so the edge tier sees refusals on new connects and
+    /// resets on relays. Healing brings it back; the health checker must
+    /// then re-admit it into its pool.
+    BackendCrash {
+        /// Index of the crashing backend.
+        backend: u16,
+    },
 }
 
 impl FaultKind {
@@ -79,6 +88,7 @@ impl FaultKind {
             FaultKind::CoreStall { .. } => "core_stall",
             FaultKind::LossBurst { .. } => "loss_burst",
             FaultKind::SynFlood { .. } => "syn_flood",
+            FaultKind::BackendCrash { .. } => "backend_crash",
         }
     }
 }
@@ -155,6 +165,34 @@ impl FaultSchedule {
         self.push(at, heal_at, FaultKind::SynFlood { syns_per_tick })
     }
 
+    /// Schedules a backend crash (builder style).
+    #[must_use]
+    pub fn backend_crash(self, at: u64, heal_at: Option<u64>, backend: u16) -> Self {
+        self.push(at, heal_at, FaultKind::BackendCrash { backend })
+    }
+
+    /// Schedules a flapping backend: `cycles` crash/heal pairs starting
+    /// at `at`, each down for `down` cycles and up for `up` cycles
+    /// before the next crash (builder style). Each pair is analyzed as
+    /// its own [`FaultRecord`].
+    #[must_use]
+    pub fn backend_flap(
+        mut self,
+        at: u64,
+        down: u64,
+        up: u64,
+        cycles_n: u16,
+        backend: u16,
+    ) -> Self {
+        assert!(down > 0 && up > 0, "flap phases must be non-empty");
+        let mut t = at;
+        for _ in 0..cycles_n {
+            self = self.backend_crash(t, Some(t + down), backend);
+            t += down + up;
+        }
+        self
+    }
+
     /// Sets the sampling period (builder style).
     #[must_use]
     pub fn sample_every(mut self, cycles: u64) -> Self {
@@ -186,6 +224,16 @@ impl FaultSchedule {
         self.events
             .iter()
             .any(|e| matches!(e.kind, FaultKind::LossBurst { .. }))
+    }
+
+    /// Whether any backend crash (or flap) is scheduled — the driver
+    /// must route such schedules through the edge tier's health/failover
+    /// machinery.
+    #[must_use]
+    pub fn has_backend_fault(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::BackendCrash { .. }))
     }
 }
 
@@ -409,6 +457,32 @@ mod tests {
     #[should_panic(expected = "heal must come after injection")]
     fn heal_before_injection_panics() {
         let _ = FaultSchedule::new().worker_crash(100, Some(100), 0);
+    }
+
+    #[test]
+    fn backend_crash_and_flap_builders() {
+        let s = FaultSchedule::new().backend_crash(100, Some(200), 1);
+        assert!(s.has_backend_fault());
+        assert!(!s.has_worker_crash());
+        assert_eq!(s.events[0].kind.label(), "backend_crash");
+
+        let f = FaultSchedule::new().backend_flap(100, 50, 30, 3, 0);
+        assert_eq!(f.events.len(), 3);
+        assert_eq!(f.events[0].at, 100);
+        assert_eq!(f.events[0].heal_at, Some(150));
+        assert_eq!(f.events[1].at, 180);
+        assert_eq!(f.events[1].heal_at, Some(230));
+        assert_eq!(f.events[2].at, 260);
+        assert!(f.has_backend_fault());
+        assert!(!FaultSchedule::new()
+            .syn_flood(1, None, 4)
+            .has_backend_fault());
+    }
+
+    #[test]
+    #[should_panic(expected = "flap phases must be non-empty")]
+    fn empty_flap_phase_panics() {
+        let _ = FaultSchedule::new().backend_flap(100, 0, 10, 2, 0);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Retry backoff: capped exponential with jitter.
+//!
+//! Retry storms are a load phenomenon — a failing backend turns every
+//! client into a synchronized re-arrival source, and without jitter the
+//! retries arrive in lockstep waves. The edge tier's failover retries
+//! draw their delays from this policy with a forked [`SimRng`] stream,
+//! so retry timing is deterministic per seed yet decorrelated across
+//! workers.
+
+use sim_core::{Cycles, SimRng};
+
+/// Capped exponential backoff with equal jitter.
+///
+/// Attempt `n` (0-based) waits uniformly in `[d/2, d)` where
+/// `d = base << min(n, cap_shift)` — the "equal jitter" variant: half
+/// the delay is deterministic spacing, half is decorrelation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-attempt delay ceiling, in cycles.
+    pub base: Cycles,
+    /// Maximum exponent: delays stop doubling after `cap_shift`
+    /// attempts, bounding the worst-case wait.
+    pub cap_shift: u8,
+}
+
+impl BackoffPolicy {
+    /// Creates a policy with first-retry ceiling `base` cycles, capped
+    /// at `base << cap_shift`.
+    pub fn new(base: Cycles, cap_shift: u8) -> Self {
+        assert!(base > 0, "backoff base must be positive");
+        BackoffPolicy { base, cap_shift }
+    }
+
+    /// The jittered delay before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u8, rng: &mut SimRng) -> Cycles {
+        let ceiling = self.base << u32::from(attempt.min(self.cap_shift));
+        let half = (ceiling / 2).max(1);
+        half + rng.below(half)
+    }
+
+    /// The un-jittered ceiling for retry `attempt` (0-based).
+    pub fn ceiling(&self, attempt: u8) -> Cycles {
+        self.base << u32::from(attempt.min(self.cap_shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let p = BackoffPolicy::new(1_000, 3);
+        assert_eq!(p.ceiling(0), 1_000);
+        assert_eq!(p.ceiling(1), 2_000);
+        assert_eq!(p.ceiling(3), 8_000);
+        assert_eq!(p.ceiling(7), 8_000, "capped at base << cap_shift");
+    }
+
+    #[test]
+    fn delay_stays_in_equal_jitter_band() {
+        let p = BackoffPolicy::new(1_000, 4);
+        let mut rng = SimRng::seed(42);
+        for attempt in 0..8 {
+            for _ in 0..100 {
+                let d = p.delay(attempt, &mut rng);
+                let c = p.ceiling(attempt);
+                assert!(d >= c / 2 && d < c, "delay {d} outside [{}, {c})", c / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_delays() {
+        let p = BackoffPolicy::new(500, 2);
+        let a: Vec<Cycles> = {
+            let mut rng = SimRng::seed(7);
+            (0..10).map(|i| p.delay(i, &mut rng)).collect()
+        };
+        let b: Vec<Cycles> = {
+            let mut rng = SimRng::seed(7);
+            (0..10).map(|i| p.delay(i, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_base_rejected() {
+        let _ = BackoffPolicy::new(0, 1);
+    }
+}

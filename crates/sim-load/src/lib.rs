@@ -21,12 +21,17 @@
 //! * [`LoadReport`] — offered/admitted/abandoned accounting plus the
 //!   arrival-schedule digest, attached to the run report;
 //! * [`ScheduleDigest`] — the FNV-1a accumulator that fingerprints the
-//!   arrival schedule for the determinism gates.
+//!   arrival schedule for the determinism gates;
+//! * [`BackoffPolicy`] — capped exponential retry backoff with jitter,
+//!   used by the edge tier's failover retries (a failing backend turns
+//!   clients into a synchronized re-arrival source — a load problem).
 
 pub mod arrival;
+pub mod backoff;
 pub mod dist;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, MmppPhase, RateProfile, DEFAULT_DIURNAL};
+pub use backoff::BackoffPolicy;
 pub use dist::{SessionDist, SizeDist};
 
 use serde::{Deserialize, Serialize};

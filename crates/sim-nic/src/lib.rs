@@ -49,6 +49,6 @@ pub mod toeplitz;
 pub use batch::BatchConfig;
 pub use fdir::{AtrConfig, FlowDirector, PerfectFilterConfig};
 pub use lane::LaneRouter;
-pub use nic::{Nic, NicConfig, QueueId, SteeringMode};
+pub use nic::{DropFilter, Nic, NicConfig, NicStats, QueueId, SteeringMode};
 pub use rss::RssEngine;
 pub use toeplitz::{toeplitz_hash, RSS_KEY};

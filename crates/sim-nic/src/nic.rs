@@ -1,8 +1,10 @@
-//! The composed NIC: steering mode dispatch, queue→core affinity, XPS.
+//! The composed NIC: steering mode dispatch, queue→core affinity, XPS,
+//! and an XDP-style pre-steering drop stage.
 
 use serde::{Deserialize, Serialize};
 use sim_core::CoreId;
 use sim_net::Packet;
+use std::net::Ipv4Addr;
 
 use crate::batch::BatchConfig;
 use crate::fdir::{AtrConfig, FdirStats, FlowDirector, PerfectFilterConfig};
@@ -26,6 +28,42 @@ pub enum SteeringMode {
     FdirPerfect,
 }
 
+/// An XDP-style source-prefix blacklist evaluated before steering: a
+/// matching packet is discarded at the driver entry point, costing
+/// neither a softirq nor a listen-lock acquisition — exactly where an
+/// `XDP_DROP` program running at the NIC driver would stand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropFilter {
+    /// Blacklisted `(prefix, prefix_len)` pairs; a packet whose source
+    /// address falls in any prefix is dropped.
+    pub blacklist: Vec<(Ipv4Addr, u8)>,
+}
+
+impl DropFilter {
+    /// A filter dropping the given source prefixes.
+    #[must_use]
+    pub fn blacklisting(blacklist: Vec<(Ipv4Addr, u8)>) -> Self {
+        for &(_, len) in &blacklist {
+            assert!(len <= 32, "prefix length out of range");
+        }
+        DropFilter { blacklist }
+    }
+
+    /// Whether `src` falls in any blacklisted prefix.
+    #[must_use]
+    pub fn matches(&self, src: Ipv4Addr) -> bool {
+        let addr = u32::from(src);
+        self.blacklist.iter().any(|&(prefix, len)| {
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
+            (addr & mask) == (u32::from(prefix) & mask)
+        })
+    }
+}
+
 /// NIC configuration.
 #[derive(Debug, Clone)]
 pub struct NicConfig {
@@ -44,6 +82,8 @@ pub struct NicConfig {
     pub irq_affinity: Vec<CoreId>,
     /// GSO/GRO batch offload and ECN marking (disabled by default).
     pub batch: BatchConfig,
+    /// Pre-steering drop stage; `None` disables it.
+    pub early_drop: Option<DropFilter>,
 }
 
 impl NicConfig {
@@ -62,6 +102,7 @@ impl NicConfig {
             rfd_shift: 0,
             irq_affinity: (0..queues).map(CoreId).collect(),
             batch: BatchConfig::default(),
+            early_drop: None,
         }
     }
 }
@@ -77,6 +118,8 @@ pub struct NicStats {
     pub redirected: u64,
     /// Data segments CE-marked by the ECN queue-threshold model.
     pub ecn_marked: u64,
+    /// Packets discarded by the pre-steering drop stage.
+    pub early_dropped: u64,
 }
 
 /// The NIC model.
@@ -109,6 +152,7 @@ impl Nic {
             tx_per_queue: vec![0; config.queues as usize],
             redirected: 0,
             ecn_marked: 0,
+            early_dropped: 0,
         };
         let failed = vec![false; config.queues as usize];
         Nic {
@@ -150,6 +194,21 @@ impl Nic {
             .map(|k| (q + k) % n)
             .find(|&c| !self.failed[c as usize])
             .unwrap_or(0)
+    }
+
+    /// The pre-steering drop stage: returns `true` (and counts the
+    /// packet) when the configured [`DropFilter`] blacklists its source.
+    /// The driver must consult this *before* [`Nic::rx_queue`] /
+    /// [`Nic::rx_core`] so a dropped packet never reaches a softirq or
+    /// a listen lock.
+    pub fn early_drop(&mut self, pkt: &Packet) -> bool {
+        match &self.config.early_drop {
+            Some(f) if f.matches(pkt.flow.src_ip) => {
+                self.stats.early_dropped += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Selects the RX queue for an incoming packet, per the steering
@@ -369,6 +428,64 @@ mod tests {
         nic.tx_burst(&mut burst, QueueId(1));
         assert!(burst.iter().all(|p| !p.flags.ce()));
         assert_eq!(nic.stats().ecn_marked, 0);
+    }
+
+    #[test]
+    fn drop_filter_matches_prefixes() {
+        let f = DropFilter::blacklisting(vec![
+            (Ipv4Addr::new(172, 16, 0, 0), 12),
+            (Ipv4Addr::new(192, 0, 2, 7), 32),
+        ]);
+        assert!(f.matches(Ipv4Addr::new(172, 16, 0, 1)));
+        assert!(f.matches(Ipv4Addr::new(172, 31, 255, 255)));
+        assert!(!f.matches(Ipv4Addr::new(172, 32, 0, 1)));
+        assert!(f.matches(Ipv4Addr::new(192, 0, 2, 7)));
+        assert!(!f.matches(Ipv4Addr::new(192, 0, 2, 8)));
+        assert!(!DropFilter::default().matches(Ipv4Addr::new(10, 0, 0, 1)));
+        // A /0 blacklists everything.
+        let all = DropFilter::blacklisting(vec![(Ipv4Addr::new(0, 0, 0, 0), 0)]);
+        assert!(all.matches(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn early_drop_discards_before_steering() {
+        let mut cfg = NicConfig::new(4, SteeringMode::Rss);
+        cfg.early_drop = Some(DropFilter::blacklisting(vec![(
+            Ipv4Addr::new(172, 16, 0, 0),
+            12,
+        )]));
+        let mut nic = Nic::new(cfg);
+        let hostile = Packet::new(
+            FlowTuple::new(
+                Ipv4Addr::new(172, 17, 3, 4),
+                40_000,
+                Ipv4Addr::new(10, 0, 0, 1),
+                80,
+            ),
+            TcpFlags::SYN,
+        );
+        let legit = Packet::new(flow(40_000, 80), TcpFlags::SYN);
+        assert!(nic.early_drop(&hostile));
+        assert!(!nic.early_drop(&legit));
+        assert_eq!(nic.stats().early_dropped, 1);
+        // The dropped packet was never counted against a queue.
+        assert_eq!(nic.stats().rx_per_queue.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn early_drop_disabled_by_default() {
+        let mut nic = Nic::new(NicConfig::new(2, SteeringMode::Rss));
+        let hostile = Packet::new(
+            FlowTuple::new(
+                Ipv4Addr::new(172, 17, 3, 4),
+                40_000,
+                Ipv4Addr::new(10, 0, 0, 1),
+                80,
+            ),
+            TcpFlags::SYN,
+        );
+        assert!(!nic.early_drop(&hostile));
+        assert_eq!(nic.stats().early_dropped, 0);
     }
 
     #[test]

@@ -120,6 +120,20 @@ pub struct StackConfig {
     /// matters). Doubles per retry up to [`MAX_RTO_BACKOFF_SHIFT`]
     /// doublings, as Linux's exponential backoff does.
     pub rto: Cycles,
+    /// Maximum doublings of the base RTO under exponential backoff: the
+    /// retry timeout is capped at `rto << rto_backoff_shift`, mirroring
+    /// Linux's `TCP_RTO_MAX` clamp. Defaults to
+    /// [`MAX_RTO_BACKOFF_SHIFT`]; long fault schedules lower it so a
+    /// backed-off retry cannot overshoot the simulated window.
+    pub rto_backoff_shift: u8,
+    /// Post an epoll error event (readable, like `EPOLLERR`) to the
+    /// owning process when an established or connecting socket is torn
+    /// down by a peer RST or by retransmission abandonment. Off by
+    /// default — the edge tier arms it so the proxy observes backend
+    /// death instead of leaking the relay; the stock request/response
+    /// benchmarks keep the historical silent-teardown behaviour (and
+    /// their pinned digests).
+    pub err_events: bool,
     /// Memory-pressure cap on live TCBs (Linux's `tcp_max_orphans` /
     /// `tcp_mem` analogue): when the socket slab holds this many live
     /// sockets, new embryo allocations are refused (admission-control
@@ -156,6 +170,8 @@ impl StackConfig {
             syscall_batching: false,
             zero_copy: false,
             rto: 13_500_000, // 5 ms at 2.7 GHz
+            rto_backoff_shift: MAX_RTO_BACKOFF_SHIFT,
+            err_events: false,
             tcb_cap: None,
             fault: FaultInjection::None,
             cc: None,
@@ -247,9 +263,10 @@ pub struct RxOutcome {
 /// (Linux's `tcp_retries2`-style bound).
 pub const MAX_RTX_ATTEMPTS: u8 = 8;
 
-/// Maximum doublings of the base RTO under exponential backoff (the
-/// retry timeout is capped at `rto << MAX_RTO_BACKOFF_SHIFT`, mirroring
-/// Linux's `TCP_RTO_MAX` clamp).
+/// Default maximum doublings of the base RTO under exponential backoff
+/// (the retry timeout is capped at `rto << rto_backoff_shift`,
+/// mirroring Linux's `TCP_RTO_MAX` clamp); configurable via
+/// `StackConfig::rto_backoff_shift`.
 pub const MAX_RTO_BACKOFF_SHIFT: u8 = 6;
 
 /// The simulated kernel TCP stack.
@@ -265,6 +282,10 @@ pub struct TcpStack {
     stats: StackStats,
     cookie_secret: u64,
     pending_rto: Vec<(SockId, u64, Cycles)>,
+    /// Processes woken by an error event posted outside softirq context
+    /// (RTO abandonment has no [`RxOutcome`] to carry the wakeup); the
+    /// driver drains these via [`TcpStack::take_err_wakeups`].
+    pending_err_wakeups: Vec<Pid>,
     /// One-shot latch for the [`FaultInjection::SilentHandoff`] and
     /// [`FaultInjection::OwnerPingPong`] knobs.
     fault_fired: bool,
@@ -291,6 +312,7 @@ impl TcpStack {
             stats: StackStats::default(),
             cookie_secret: ctx.rng.next_u64(),
             pending_rto: Vec::new(),
+            pending_err_wakeups: Vec::new(),
             fault_fired: false,
             fault_victim: None,
         }
@@ -304,11 +326,19 @@ impl TcpStack {
         std::mem::take(&mut self.pending_rto)
     }
 
+    /// Drains the processes that gained their first ready event from an
+    /// error notification posted outside softirq context (currently:
+    /// retransmission abandonment with `err_events` armed). The driver
+    /// schedules a process wakeup for each.
+    pub fn take_err_wakeups(&mut self) -> Vec<Pid> {
+        std::mem::take(&mut self.pending_err_wakeups)
+    }
+
     /// The backed-off retransmission timeout after `attempts` RTO
     /// firings: doubles per retry, capped at
-    /// `rto << `[`MAX_RTO_BACKOFF_SHIFT`].
+    /// `rto << config.rto_backoff_shift`.
     fn rto_after(&self, attempts: u8) -> Cycles {
-        self.config.rto << attempts.min(MAX_RTO_BACKOFF_SHIFT)
+        self.config.rto << attempts.min(self.config.rto_backoff_shift)
     }
 
     /// Retransmission timeout for `sock` (if still live and matching
@@ -336,6 +366,11 @@ impl TcpStack {
         if attempts > MAX_RTX_ATTEMPTS {
             // Give up (as `tcp_retries2` does): the peer is gone.
             self.stats.rtx_abandoned += 1;
+            if self.config.err_events {
+                let mut tmp = RxOutcome::default();
+                self.post_epoll(ctx, os, &mut op, sock, true, false, &mut tmp);
+                self.pending_err_wakeups.extend(tmp.wakeups);
+            }
             self.teardown(ctx, os, &mut op, sock);
             op.commit(&mut ctx.cpu);
             return None;
@@ -985,6 +1020,9 @@ impl TcpStack {
             self.stats.rst_sent += 1;
             op.work(CycleClass::Handshake, costs.rst);
             self.transmit(op, reply, out);
+            if self.config.err_events {
+                self.post_epoll(ctx, os, op, sock, true, false, out);
+            }
             self.teardown(ctx, os, op, sock);
             out.closed.push(sock);
             if let Some(held) = slock.take() {
@@ -1075,6 +1113,14 @@ impl TcpStack {
             self.disarm_timer(ctx, os, op, sock);
             out.time_wait.push(sock);
         } else if trans.next == TcpState::Closed {
+            // A peer RST lands here. With error events armed, the owner
+            // learns of the death through its epoll (EPOLLERR-style
+            // readable event) instead of a silent teardown — `ctl_del`
+            // leaves already-posted events on the ready list, so the
+            // notification survives the teardown below.
+            if self.config.err_events {
+                self.post_epoll(ctx, os, op, sock, true, false, out);
+            }
             self.teardown(ctx, os, op, sock);
             self.stats.closed += 1;
             out.closed.push(sock);

@@ -42,6 +42,15 @@ echo "==> chaos smoke (fault injection under sanitizers)"
 cargo build -q --release -p fastsocket-bench --bin chaos
 ./target/release/chaos --smoke
 
+# Edge smoke: one short edge-tier fault schedule per kernel (SYN flood
+# behind the pre-steering drop filter, a backend flap, a backend crash)
+# with all five sim-check detectors armed. Fails on any sanitizer
+# finding or on a single lost request — the retry budget must save
+# every client that hits a dead backend.
+echo "==> edge smoke (edge-tier resilience under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin edge
+./target/release/edge --smoke
+
 # Capacity smoke: a short open-loop ladder per kernel with sanitizers
 # armed — doubled same-seed runs must be bit-identical and the emitted
 # bench artifact must round-trip through the schema. Then the committed
