@@ -41,6 +41,13 @@ pub struct ClientSlot {
     pub responses: u64,
     /// Connections aborted by RST.
     pub resets: u64,
+    /// Long-lived mode: after the last response the slot parks in
+    /// `Holding` with the connection open instead of closing; the
+    /// driver releases the hold later (WebSocket-like sessions).
+    hold: bool,
+    /// Set when the slot just entered `Holding`; the driver consumes it
+    /// via [`ClientSlot::take_hold_started`] to schedule the release.
+    hold_started: bool,
     /// Bulk mode: expected response size in bytes. The slot then ACKs
     /// every in-order data segment (the server's ACK clock), echoes ECN
     /// marks, dup-ACKs on gaps, and counts a response complete only
@@ -63,6 +70,9 @@ enum ClientState {
     AwaitFinalAck,
     /// We closed first (keep-alive); awaiting the server's FIN.
     Closing,
+    /// Long-lived session: all responses received, connection parked
+    /// open until the driver releases the hold (sends our FIN).
+    Holding,
 }
 
 impl ClientSlot {
@@ -87,6 +97,8 @@ impl ClientSlot {
             requests_per_conn,
             requests_left: 0,
             client_closes: requests_per_conn > 1,
+            hold: false,
+            hold_started: false,
             inflight_request: None,
             next_port: 1_025,
             state: ClientState::Idle,
@@ -127,6 +139,7 @@ impl ClientSlot {
         self.rcv_nxt = 0;
         self.requests_left = self.requests_per_conn;
         self.inflight_request = None;
+        self.hold_started = false;
         self.state = ClientState::SynSent;
         Packet::new(self.flow, TcpFlags::SYN).with_seq(isn)
     }
@@ -153,6 +166,42 @@ impl ClientSlot {
         self.request_len = request_len;
         self.requests_per_conn = requests_per_conn;
         self.client_closes = client_closes;
+    }
+
+    /// Arms or disarms the long-lived hold for the next session (the
+    /// open-loop long-lived mix). With the hold armed the slot parks
+    /// in `Holding` after its last response instead of closing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection is in flight.
+    pub fn set_hold(&mut self, on: bool) {
+        assert_eq!(self.state, ClientState::Idle, "connection already active");
+        self.hold = on;
+    }
+
+    /// Whether the slot just parked into its idle hold. Edge-triggered:
+    /// reading clears the flag, so the driver schedules exactly one
+    /// release per hold.
+    pub fn take_hold_started(&mut self) -> bool {
+        std::mem::take(&mut self.hold_started)
+    }
+
+    /// Ends the idle hold: appends the deferred FIN to `out` and moves
+    /// to `Closing`. Returns `false` (sending nothing) when the
+    /// connection already ended some other way (reset, abort).
+    pub fn release_hold(&mut self, out: &mut Vec<Packet>) -> bool {
+        if self.state != ClientState::Holding {
+            return false;
+        }
+        out.push(
+            Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+                .with_seq(self.snd_nxt)
+                .with_ack(self.rcv_nxt),
+        );
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        self.state = ClientState::Closing;
+        true
     }
 
     /// Aborts the in-flight connection (client-side timeout). Returns
@@ -216,6 +265,8 @@ impl ClientSlot {
             ClientState::AwaitFinalAck | ClientState::Closing => {
                 out.push(self.fin_ack_resend());
             }
+            // Nothing of ours is in flight during the hold.
+            ClientState::Holding => {}
         }
     }
 
@@ -311,6 +362,14 @@ impl ClientSlot {
                             return false;
                         }
                         if self.client_closes && !pkt.flags.fin() {
+                            if self.hold {
+                                // Long-lived: park with the connection
+                                // open; the driver sends the FIN when
+                                // the hold expires.
+                                self.hold_started = true;
+                                self.state = ClientState::Holding;
+                                return false;
+                            }
                             // Keep-alive done: the client closes first.
                             out.push(
                                 Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
@@ -349,6 +408,21 @@ impl ClientSlot {
                 } else {
                     false
                 }
+            }
+            ClientState::Holding => {
+                if pkt.flags.fin() {
+                    // The server closed under our hold (shutdown or an
+                    // orphan kill): FIN back and finish normally.
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(pkt.seq_len());
+                    out.push(
+                        Packet::new(self.flow, TcpFlags::FIN | TcpFlags::ACK)
+                            .with_seq(self.snd_nxt)
+                            .with_ack(self.rcv_nxt),
+                    );
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    self.state = ClientState::AwaitFinalAck;
+                }
+                false
             }
             ClientState::Closing => {
                 if pkt.seq_len() > 0 && pkt.seq != self.rcv_nxt {
@@ -700,6 +774,86 @@ mod tests {
         assert!(slot.on_packet(&last, &mut Vec::new()));
         assert_eq!(slot.completed, 1);
         assert!(slot.idle());
+    }
+
+    #[test]
+    fn client_hold_parks_then_releases_fin() {
+        let mut slot = ClientSlot::new(CLIENT, SERVER, 80, 600, 1);
+        slot.set_session(600, 1, true);
+        slot.set_hold(true);
+        let syn = slot.start(100);
+        let rev = syn.flow.reversed();
+        let mut out = Vec::new();
+        let synack = Packet::new(rev, TcpFlags::SYN | TcpFlags::ACK)
+            .with_seq(500)
+            .with_ack(101);
+        assert!(!slot.on_packet(&synack, &mut out));
+        out.clear();
+
+        // Last response arrives: the slot parks instead of closing.
+        let resp = Packet::new(rev, TcpFlags::PSH | TcpFlags::ACK)
+            .with_seq(501)
+            .with_ack(701)
+            .with_payload(1_200);
+        assert!(!slot.on_packet(&resp, &mut out));
+        assert!(out.is_empty(), "parked: no FIN on the wire yet");
+        assert!(slot.take_hold_started());
+        assert!(!slot.take_hold_started(), "edge-triggered");
+        assert!(!slot.idle(), "the connection is still open");
+
+        // The driver releases the hold: our FIN goes out.
+        assert!(slot.release_hold(&mut out));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.fin());
+        out.clear();
+        assert!(!slot.release_hold(&mut out), "hold already released");
+
+        // Server FINs back; the close handshake completes the session.
+        let fin = Packet::new(rev, TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(1_701)
+            .with_ack(702);
+        assert!(slot.on_packet(&fin, &mut out));
+        assert_eq!(slot.completed, 1);
+        assert!(slot.idle());
+    }
+
+    #[test]
+    fn server_fin_during_hold_closes_cleanly() {
+        let mut slot = ClientSlot::new(CLIENT, SERVER, 80, 600, 1);
+        slot.set_hold(true);
+        slot.set_session(600, 1, true);
+        let syn = slot.start(100);
+        let rev = syn.flow.reversed();
+        let mut out = Vec::new();
+        slot.on_packet(
+            &Packet::new(rev, TcpFlags::SYN | TcpFlags::ACK)
+                .with_seq(500)
+                .with_ack(101),
+            &mut out,
+        );
+        out.clear();
+        slot.on_packet(
+            &Packet::new(rev, TcpFlags::PSH | TcpFlags::ACK)
+                .with_seq(501)
+                .with_ack(701)
+                .with_payload(1_200),
+            &mut out,
+        );
+        assert!(slot.take_hold_started());
+
+        // The server closes under the hold: FIN back, await final ACK.
+        out.clear();
+        let fin = Packet::new(rev, TcpFlags::FIN | TcpFlags::ACK)
+            .with_seq(1_701)
+            .with_ack(701);
+        assert!(!slot.on_packet(&fin, &mut out));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.fin() && out[0].flags.ack());
+        let last = Packet::new(rev, TcpFlags::ACK)
+            .with_seq(1_702)
+            .with_ack(out[0].seq.wrapping_add(1));
+        assert!(slot.on_packet(&last, &mut Vec::new()));
+        assert_eq!(slot.completed, 1);
     }
 
     #[test]

@@ -79,6 +79,10 @@ const TCB_COMPONENTS: &[(&str, &[&str])] = &[
     ),
     ("established.rs (table membership)", &["in_est", "est_home"]),
     ("window.rs (data plane)", &["dp"]),
+    (
+        "stack.rs mem_* helpers (sim-res ledger)",
+        &["mem_charge", "mem_rcv", "mem_snd", "mem_orphan", "mem_core"],
+    ),
 ];
 
 /// One lint finding: file, 1-based line, and what went wrong.

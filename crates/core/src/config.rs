@@ -10,6 +10,7 @@ use sim_fault::FaultSchedule;
 use sim_load::OpenLoopConfig;
 use sim_mem::CacheCosts;
 use sim_nic::{AtrConfig, BatchConfig, SteeringMode};
+use sim_res::MemConfig;
 use sim_sync::LockCosts;
 use tcp_stack::stack::{FaultInjection, StackConfig};
 use tcp_stack::{CcAlgo, CcConfig};
@@ -196,6 +197,15 @@ pub struct SimConfig {
     /// plain round-robin proxy; the digest canonicalizes an absent
     /// config away so legacy digests are unchanged.
     pub edge: Option<EdgeConfig>,
+    /// Memory accounting and pressure (`sim-res`): per-core ledgers of
+    /// TCB / buffer bytes and embryo / TIME_WAIT / orphan buckets
+    /// rolled into a `tcp_mem`-style budget, with the pressure
+    /// reactions (window clamping, SYN drops, forced TIME_WAIT
+    /// recycle, orphan kills) armed in the stack. `None` (the default)
+    /// keeps the unaccounted legacy model byte-identical; the digest
+    /// canonicalizes an absent config away so legacy digests are
+    /// unchanged.
+    pub mem: Option<MemConfig>,
 }
 
 /// Configuration of the parallel lane-sharded execution engine.
@@ -320,6 +330,7 @@ impl SimConfig {
             data_plane: None,
             par: None,
             edge: None,
+            mem: None,
         }
     }
 
@@ -457,6 +468,15 @@ impl SimConfig {
         self
     }
 
+    /// Arms the memory-accounting and pressure subsystem (builder
+    /// style): every TCB, buffer byte, and TIME_WAIT / orphan bucket
+    /// is charged against `cfg`'s budget and the stack's pressure
+    /// reactions engage at its thresholds. See [`MemConfig`].
+    pub fn mem(mut self, cfg: MemConfig) -> Self {
+        self.mem = Some(cfg);
+        self
+    }
+
     /// FNV-1a hash of the full configuration (via its `Debug` form),
     /// surfaced in reports so results can be tied back to the exact
     /// parameter set that produced them. The scheduler backend is
@@ -494,6 +514,10 @@ impl SimConfig {
         if canon.edge.is_none() {
             // Same treatment for an absent edge tier.
             s = s.replace(", edge: None", "");
+        }
+        if canon.mem.is_none() {
+            // Same treatment for absent memory accounting.
+            s = s.replace(", mem: None", "");
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in s.bytes() {
@@ -623,6 +647,24 @@ mod tests {
             b.config_digest(),
             d.config_digest(),
             "early-drop arming is provenance"
+        );
+    }
+
+    #[test]
+    fn config_digest_unchanged_by_absent_mem() {
+        // Same pin again: memory accounting must leave legacy digests
+        // alone when absent, and fork them when armed.
+        let a = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4);
+        assert_eq!(a.config_digest(), "827cde302cffa2a4");
+        let b =
+            SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4).mem(MemConfig::ram_mb(512));
+        assert_ne!(a.config_digest(), b.config_digest());
+        let c = SimConfig::new(KernelSpec::Fastsocket, AppSpec::web(), 4)
+            .mem(MemConfig::ram_mb(512).scaled(16));
+        assert_ne!(
+            b.config_digest(),
+            c.config_digest(),
+            "modeling scale is provenance"
         );
     }
 

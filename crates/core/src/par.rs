@@ -241,6 +241,7 @@ fn merge_outcomes(
     let mut hists = None;
     let mut checks = None;
     let mut load_acc: Option<(LoadReport, ScheduleDigest)> = None;
+    let mut mem_acc: Option<sim_res::MemReport> = None;
 
     for (l, o) in outcomes.into_iter().enumerate() {
         completed += o.completed;
@@ -310,6 +311,15 @@ fn merge_outcomes(
             acc.peak_backlog += ll.peak_backlog;
             digest.push(ll.digest);
         }
+        if let Some(m) = o.mem {
+            // Budgets and peaks re-add across the lane shares;
+            // `balanced` stays conjunctive (one unbalanced lane taints
+            // the machine).
+            match &mut mem_acc {
+                None => mem_acc = Some(m),
+                Some(acc) => acc.merge(&m),
+            }
+        }
     }
 
     let cycle_shares: Vec<(String, f64)> = CycleClass::ALL
@@ -378,5 +388,6 @@ fn merge_outcomes(
         // Lanes never run with the edge tier armed (`effective_lanes`
         // forces such configurations serial), so nothing to merge.
         edge: None,
+        mem: mem_acc,
     }
 }

@@ -6,6 +6,7 @@ use sim_core::{CycleClass, Cycles};
 use sim_fault::RobustnessReport;
 use sim_load::LoadReport;
 use sim_mem::CacheStats;
+use sim_res::MemReport;
 use sim_sync::{ClassStats, LockClass};
 use sim_trace::LatencyReport;
 use tcp_stack::StackStats;
@@ -102,6 +103,11 @@ pub struct RunReport {
     /// byte-identical to before the field existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub edge: Option<EdgeReport>,
+    /// Memory-accounting and pressure report — `None` unless the run
+    /// armed `SimConfig::mem`, which keeps legacy serialized forms
+    /// byte-identical to before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mem: Option<MemReport>,
 }
 
 /// Goodput accounting for sliding-window bulk-transfer runs.
@@ -246,6 +252,25 @@ impl RunReport {
                 out.push_str(&format!("    {v} {label}\n"));
             }
         }
+        if let Some(m) = &self.mem {
+            for (label, v) in [
+                ("peak modeled bytes charged", m.peak_bytes),
+                ("peak modeled concurrent sockets", m.peak_sockets),
+                ("peak modeled TIME_WAIT buckets", m.peak_time_wait),
+                ("peak modeled orphans", m.peak_orphans),
+                ("SYNs dropped at tcp_mem high", m.stats.pressure_syn_drops),
+                ("embryonic connections pruned", m.stats.embryos_pruned),
+                (
+                    "TIME_WAIT buckets force-recycled",
+                    m.stats.tw_forced_recycles,
+                ),
+                ("orphans reset at tcp_max_orphans", m.stats.orphans_killed),
+                ("window advertisements clamped", m.stats.window_clamps),
+                ("receive queues collapsed", m.stats.buffer_reclaims),
+            ] {
+                out.push_str(&format!("    {v} {label}\n"));
+            }
+        }
         if let Some(e) = &self.edge {
             for (label, v) in [
                 ("packets early-dropped pre-steering", e.early_dropped),
@@ -322,6 +347,7 @@ mod tests {
             load: None,
             bulk: None,
             edge: None,
+            mem: None,
         }
     }
 
@@ -414,6 +440,37 @@ mod tests {
         assert!(
             !a.netstat_ext().contains("early-dropped"),
             "no edge rows without an edge report"
+        );
+    }
+
+    #[test]
+    fn report_digest_unchanged_by_absent_mem() {
+        let a = report();
+        let d = a.results_digest();
+        let mut b = report();
+        b.mem = Some(MemReport {
+            budget_bytes: 1 << 30,
+            scale: 16,
+            peak_bytes: 1 << 29,
+            peak_sockets: 1_048_576,
+            peak_embryos: 4_096,
+            peak_time_wait: 180_000,
+            peak_orphans: 64,
+            stats: sim_res::MemStats {
+                pressure_syn_drops: 5,
+                tw_forced_recycles: 7,
+                ..sim_res::MemStats::default()
+            },
+            balanced: true,
+        });
+        assert_ne!(d, b.results_digest());
+        assert!(!serde_json::to_string(&a).unwrap().contains("\"mem\""));
+        let text = b.netstat_ext();
+        assert!(text.contains("1048576 peak modeled concurrent sockets"));
+        assert!(text.contains("7 TIME_WAIT buckets force-recycled"));
+        assert!(
+            !a.netstat_ext().contains("modeled"),
+            "no mem rows without a mem report"
         );
     }
 }

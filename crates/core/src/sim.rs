@@ -74,6 +74,8 @@ enum Ev {
     ClientTimeout(u32, u64),
     /// Client-side retransmission check (loss recovery).
     ClientNudge(u32, u64),
+    /// A long-lived client releases its held connection (sends FIN).
+    ClientRelease(u32, u64),
     /// Inject scheduled fault `i` of the fault schedule.
     Fault(u32),
     /// Heal scheduled fault `i`.
@@ -102,6 +104,7 @@ impl Ev {
             Ev::ClientStart(_) => "client_start",
             Ev::ClientTimeout(..) => "client_timeout",
             Ev::ClientNudge(..) => "client_nudge",
+            Ev::ClientRelease(..) => "client_release",
             Ev::Fault(_) => "fault",
             Ev::Heal(_) => "heal",
             Ev::Sample => "sample",
@@ -127,6 +130,9 @@ struct PendingSession {
     request_len: u16,
     /// Number of requests in the session (keep-alive length).
     requests: u32,
+    /// Idle hold after the last response before the client FINs
+    /// (WebSocket-like long-lived sessions); `0` = close immediately.
+    hold: Cycles,
 }
 
 /// Open-loop workload state (`SimConfig::open_loop`).
@@ -260,6 +266,7 @@ pub(crate) struct LaneOutcome {
     pub(crate) payload_bytes: u64,
     pub(crate) events: u64,
     pub(crate) live_sockets: u32,
+    pub(crate) mem: Option<sim_res::MemReport>,
 }
 
 /// Per-lane open-loop accounting carried by [`LaneOutcome`].
@@ -287,6 +294,9 @@ pub struct Simulation {
     eps: Vec<EpollId>,
     clients: Vec<ClientSlot>,
     client_attempt: Vec<u64>,
+    /// Per-slot idle-hold duration of the session currently running
+    /// (long-lived mix); consulted when the hold starts.
+    client_hold: Vec<Cycles>,
     client_by_ip: HashMap<Ipv4Addr, u32>,
     backends: Vec<Backend>,
     backend_by_ip: HashMap<Ipv4Addr, usize>,
@@ -391,6 +401,10 @@ impl Simulation {
             .open_loop
             .as_ref()
             .map(|o| o.split(u32::from(lane), u32::from(lanes)));
+        // Each lane polices a 1/lanes share of the machine budget (its
+        // cores are a 1/lanes share too); the merged report re-adds the
+        // shares.
+        lane_cfg.mem = cfg.mem.map(|m| m.split(lanes));
         lane_cfg.par = None;
         let total_slots = cfg
             .open_loop
@@ -418,6 +432,7 @@ impl Simulation {
         let mut stack_config = cfg.kernel.resolve(cores);
         stack_config.fault = cfg.fault;
         stack_config.tcb_cap = cfg.tcb_cap;
+        stack_config.mem = cfg.mem;
         if let Some(on) = cfg.syn_cookies {
             stack_config.syn_cookies = on;
         }
@@ -626,6 +641,7 @@ impl Simulation {
             eps: Vec::new(),
             clients,
             client_attempt: vec![0; n_clients as usize],
+            client_hold: vec![0; n_clients as usize],
             client_by_ip,
             backends,
             backend_by_ip,
@@ -981,6 +997,9 @@ impl Simulation {
     /// mergeable [`LaneOutcome`] — the same measurement-window math as
     /// [`report`](Self::report), kept as raw data instead of a report.
     pub(crate) fn lane_finish(mut self, end: Cycles) -> LaneOutcome {
+        if let Some(detail) = self.stack.mem_imbalance() {
+            self.checker.invariant_violation("mem_account", 0, detail);
+        }
         let snap = match self.lane.snap.take() {
             Some(s) => s,
             None => self.snapshot(),
@@ -1036,6 +1055,7 @@ impl Simulation {
             payload_bytes,
             events: self.events.delivered(),
             live_sockets: self.stack.socks.live_count(),
+            mem: self.stack.mem_report(),
         }
     }
 
@@ -1050,6 +1070,7 @@ impl Simulation {
             Ev::ClientStart(slot) => self.on_client_start(slot),
             Ev::ClientTimeout(slot, attempt) => self.on_client_timeout(slot, attempt),
             Ev::ClientNudge(slot, attempt) => self.on_client_nudge(slot, attempt),
+            Ev::ClientRelease(slot, attempt) => self.on_client_release(slot, attempt),
             Ev::Fault(i) => self.on_fault(i),
             Ev::Heal(i) => self.on_heal(i),
             Ev::Sample => self.on_sample(),
@@ -1072,10 +1093,23 @@ impl Simulation {
         };
         let sched = self.now;
         let request_len = o.cfg.request_len.sample(&mut o.shape_rng);
-        let requests = o.cfg.session.sample(&mut o.shape_rng);
+        let mut requests = o.cfg.session.sample(&mut o.shape_rng);
+        let mut hold = 0;
+        if let Some(mix) = o.cfg.longlived {
+            // The long-lived draw rides the same shape stream; gated on
+            // the option so legacy schedules draw the identical
+            // sequence.
+            if o.shape_rng.chance(mix.fraction) {
+                requests = mix.requests;
+                hold = mix.hold;
+            }
+        }
         o.digest.push(sched);
         o.digest
             .push((u64::from(request_len) << 32) | u64::from(requests));
+        if o.cfg.longlived.is_some() {
+            o.digest.push(hold);
+        }
         o.offered += 1;
         let next = o.gen.next_arrival();
         self.events.push(next, Ev::Arrival);
@@ -1083,6 +1117,7 @@ impl Simulation {
             sched,
             request_len,
             requests,
+            hold,
         };
         if let Some(slot) = o.free.pop() {
             o.admitted += 1;
@@ -1100,12 +1135,16 @@ impl Simulation {
     /// per connection), so setup latency includes any admission queueing
     /// — the open-loop engine cannot commit coordinated omission.
     fn start_open_session(&mut self, slot: u32, p: PendingSession) {
-        let client_closes = self.open.as_ref().is_some_and(|o| o.cfg.keep_alive());
+        // A held session must close from the client side regardless of
+        // the keep-alive policy: the hold *is* client-owned lingering.
+        let client_closes = self.open.as_ref().is_some_and(|o| o.cfg.keep_alive()) || p.hold > 0;
         let timeout = self
             .open
             .as_ref()
             .map_or(self.cfg.client_timeout, |o| o.cfg.connect_timeout);
         self.clients[slot as usize].set_session(p.request_len, p.requests, client_closes);
+        self.clients[slot as usize].set_hold(p.hold > 0);
+        self.client_hold[slot as usize] = p.hold;
         let isn = self.peer_rng.next_u64() as u32;
         let syn = self.clients[slot as usize].start(isn);
         self.client_attempt[slot as usize] += 1;
@@ -1478,6 +1517,17 @@ impl Simulation {
         for r in out {
             self.send_to_server(self.now + half_rtt, r);
         }
+        if self.clients[slot as usize].take_hold_started() {
+            // The slot parked instead of closing: invalidate the
+            // pending connect-timeout/nudge (the hold may far exceed
+            // them) and schedule the FIN for the end of the hold.
+            self.client_attempt[slot as usize] += 1;
+            let attempt = self.client_attempt[slot as usize];
+            self.events.push(
+                self.now + self.client_hold[slot as usize],
+                Ev::ClientRelease(slot, attempt),
+            );
+        }
         if done {
             if self.open.is_some() {
                 if let Some(o) = &mut self.open {
@@ -1530,6 +1580,27 @@ impl Simulation {
             self.now + self.nudge_interval(),
             Ev::ClientNudge(slot, attempt),
         );
+    }
+
+    /// The idle hold of a long-lived session ends: the client sends its
+    /// FIN and the normal close handshake (with a fresh timeout guard)
+    /// takes over.
+    fn on_client_release(&mut self, slot: u32, attempt: u64) {
+        if self.client_attempt[slot as usize] != attempt {
+            return;
+        }
+        let mut out = Vec::new();
+        if self.clients[slot as usize].release_hold(&mut out) {
+            for pkt in out {
+                self.send_to_server(self.now + self.cfg.rtt / 2, pkt);
+            }
+            let timeout = self
+                .open
+                .as_ref()
+                .map_or(self.cfg.client_timeout, |o| o.cfg.connect_timeout);
+            self.events
+                .push(self.now + timeout, Ev::ClientTimeout(slot, attempt));
+        }
     }
 
     fn on_client_timeout(&mut self, slot: u32, attempt: u64) {
@@ -1719,6 +1790,12 @@ impl Simulation {
     }
 
     fn report(self, snap: Snapshot, end: Cycles) -> RunReport {
+        // Conservation audit at drain: whatever sockets remain must
+        // account for every modeled byte and bucket still in the
+        // ledger (strict runs panic on a mismatch).
+        if let Some(detail) = self.stack.mem_imbalance() {
+            self.checker.invariant_violation("mem_account", 0, detail);
+        }
         let window = end.saturating_sub(snap.at).max(1);
         let secs = cycles_to_secs(window);
         let cores = self.cfg.cores as usize;
@@ -1843,6 +1920,7 @@ impl Simulation {
             load,
             bulk,
             edge,
+            mem: self.stack.mem_report(),
         }
     }
 }

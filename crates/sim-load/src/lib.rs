@@ -65,6 +65,48 @@ pub struct OpenLoopConfig {
     pub response_len: SizeDist,
     /// Requests per connection (keep-alive), drawn per session.
     pub session: SessionDist,
+    /// Optional long-lived (WebSocket-like) session mix: a fraction of
+    /// arrivals exchange a few requests and then sit idle, holding
+    /// their connection open, before closing. `None` (the default)
+    /// keeps the pure short-lived storm and the legacy arrival digest.
+    pub longlived: Option<LongLivedMix>,
+}
+
+/// Shape of the long-lived slice of an open-loop population
+/// ([`OpenLoopConfig::longlived`]). Long-lived sessions are what turn a
+/// connections-per-second benchmark into a concurrent-connections one:
+/// each held connection pins TCB and buffer memory for its whole hold.
+#[derive(Debug, Clone, Copy)]
+pub struct LongLivedMix {
+    /// Probability that an arrival is long-lived (drawn per arrival
+    /// from the shape stream).
+    pub fraction: f64,
+    /// Requests a long-lived session exchanges before going idle.
+    pub requests: u32,
+    /// Idle hold after the last response, in cycles, before the client
+    /// closes.
+    pub hold: Cycles,
+}
+
+impl LongLivedMix {
+    /// A mix where `fraction` of arrivals hold their connection idle
+    /// for `hold_secs` after two requests.
+    pub fn fraction_held(fraction: f64, hold_secs: f64) -> LongLivedMix {
+        assert!((0.0..=1.0).contains(&fraction), "fraction is a probability");
+        LongLivedMix {
+            fraction,
+            requests: 2,
+            hold: secs_to_cycles(hold_secs),
+        }
+    }
+
+    /// Sets the requests exchanged before the idle hold (builder
+    /// style).
+    pub fn requests(mut self, n: u32) -> Self {
+        assert!(n >= 1, "a session exchanges at least one request");
+        self.requests = n;
+        self
+    }
 }
 
 impl OpenLoopConfig {
@@ -81,6 +123,7 @@ impl OpenLoopConfig {
             request_len: SizeDist::Fixed(600),
             response_len: SizeDist::Fixed(1_200),
             session: SessionDist::Fixed(1),
+            longlived: None,
         }
     }
 
@@ -136,10 +179,17 @@ impl OpenLoopConfig {
         self
     }
 
+    /// Mixes long-lived held sessions into the arrival stream (builder
+    /// style).
+    pub fn longlived(mut self, mix: LongLivedMix) -> Self {
+        self.longlived = Some(mix);
+        self
+    }
+
     /// Whether the workload requires the server to hold connections
     /// open across requests (any session can exceed one request).
     pub fn keep_alive(&self) -> bool {
-        self.session.max_len() > 1
+        self.session.max_len() > 1 || self.longlived.is_some_and(|m| m.requests > 1)
     }
 
     /// The per-lane share of this config for lane `lane` of `lanes`:
@@ -319,6 +369,20 @@ mod tests {
     #[should_panic(expected = "cannot be split")]
     fn split_rejects_starved_lane() {
         let _ = OpenLoopConfig::poisson(1_000.0).population(2).split(2, 3);
+    }
+
+    #[test]
+    fn longlived_mix_flows_through_split_and_keep_alive() {
+        let c = OpenLoopConfig::poisson(1_000.0)
+            .population(8)
+            .longlived(LongLivedMix::fraction_held(0.25, 5.0).requests(3));
+        assert!(c.keep_alive(), "held sessions need server keep-alive");
+        let part = c.split(1, 2);
+        let m = part.longlived.expect("mix carries through split");
+        assert_eq!(m.requests, 3);
+        assert!((m.fraction - 0.25).abs() < 1e-12);
+        assert!(m.hold > 0);
+        assert!(!OpenLoopConfig::poisson(1.0).keep_alive());
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct EpollCosts {
     pub post_hold: Cycles,
     /// `epoll_wait` fixed cost plus protected drain work.
     pub wait_hold: Cycles,
+    /// Extra `epoll_wait` cycles per 1024 *watched* descriptors
+    /// (modeled, after `watched_scale`): the rbtree/ready-list
+    /// bookkeeping that stops being free at million-fd interest sets.
+    /// Zero (the default) keeps the legacy constant-cost model.
+    pub wait_scan_per_1k: Cycles,
+    /// Each registered interest models this many real descriptors
+    /// (mirrors `MemConfig::scale` so 64k simulated sockets can stand
+    /// in for millions of watched fds).
+    pub watched_scale: u32,
 }
 
 impl Default for EpollCosts {
@@ -48,6 +57,8 @@ impl Default for EpollCosts {
             ctl: 700,
             post_hold: 260,
             wait_hold: 420,
+            wait_scan_per_1k: 0,
+            watched_scale: 1,
         }
     }
 }
@@ -174,6 +185,15 @@ impl EpollSystem {
         op.checker()
             .hb_join(op.core().0, sim_check::Chan::Epoll(ep.0));
         op.touch_mut(ctx, inst.obj);
+        if self.costs.wait_scan_per_1k > 0 {
+            // Ready-list scaling: the cost of a wait grows with the
+            // modeled watched-set size, in 1k-descriptor steps.
+            let watched = u64::from(inst.interest) * u64::from(self.costs.watched_scale.max(1));
+            op.work(
+                CycleClass::Epoll,
+                self.costs.wait_scan_per_1k * watched.div_ceil(1024),
+            );
+        }
         op.lock_do(
             &mut ctx.locks,
             inst.lock,

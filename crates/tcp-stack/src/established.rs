@@ -39,6 +39,41 @@ pub enum EstVariant {
 /// memory; 64Ki is typical for the testbed's RAM class).
 pub const GLOBAL_BUCKETS: usize = 65_536;
 
+/// FNV-1a hasher for the flow-keyed demux maps. Flow tuples are small
+/// fixed-size keys: FNV beats SipHash on them, and seeding no
+/// per-process randomness keeps the tables deterministic across runs
+/// (the simulator's reproducibility contract).
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Zero-seed build-hasher producing [`FnvHasher`]s.
+pub type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+type FlowMap = HashMap<FlowTuple, SockId, FnvBuild>;
+
+fn flow_map(capacity: usize) -> FlowMap {
+    FlowMap::with_capacity_and_hasher(capacity, FnvBuild::default())
+}
+
 /// FNV-1a hash of a flow tuple (deterministic across runs).
 pub fn flow_hash(flow: &FlowTuple) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -66,19 +101,21 @@ pub fn flow_hash(flow: &FlowTuple) -> u64 {
 pub struct EstTable {
     variant: EstVariant,
     // Global variant state.
-    map: HashMap<FlowTuple, SockId>,
+    map: FlowMap,
     bucket_locks: Vec<LockId>,
     bucket_objs: Vec<ObjId>,
     // Local variant state.
-    local_maps: Vec<HashMap<FlowTuple, SockId>>,
+    local_maps: Vec<FlowMap>,
     local_objs: Vec<ObjId>,
     local_locks: Vec<LockId>,
 }
 
 impl EstTable {
     /// Creates the table for `cores` cores, registering bucket locks
-    /// and cache objects.
-    pub fn new(ctx: &mut KernelCtx, variant: EstVariant, cores: usize) -> Self {
+    /// and cache objects. `capacity` is the expected peak connection
+    /// count — the maps are pre-sized for it (split across cores in the
+    /// Local variant) so the hot demux path never pays a rehash.
+    pub fn new(ctx: &mut KernelCtx, variant: EstVariant, cores: usize, capacity: usize) -> Self {
         match variant {
             EstVariant::Global => {
                 let bucket_locks = (0..GLOBAL_BUCKETS)
@@ -92,7 +129,7 @@ impl EstTable {
                     .collect();
                 EstTable {
                     variant,
-                    map: HashMap::new(),
+                    map: flow_map(capacity),
                     bucket_locks,
                     bucket_objs,
                     local_maps: Vec::new(),
@@ -101,7 +138,8 @@ impl EstTable {
                 }
             }
             EstVariant::Local => {
-                let local_maps = (0..cores).map(|_| HashMap::new()).collect();
+                let per_core = capacity.div_ceil(cores.max(1));
+                let local_maps = (0..cores).map(|_| flow_map(per_core)).collect();
                 let local_objs = (0..cores)
                     .map(|i| ctx.cache.alloc(ObjKind::TableBucket, CoreId(i as u16)))
                     .collect();
@@ -110,7 +148,7 @@ impl EstTable {
                     .collect();
                 EstTable {
                     variant,
-                    map: HashMap::new(),
+                    map: flow_map(0),
                     bucket_locks: Vec::new(),
                     bucket_objs: Vec::new(),
                     local_maps,
@@ -261,7 +299,21 @@ impl EstTable {
 
     /// Total live entries across all tables.
     pub fn len(&self) -> usize {
-        self.map.len() + self.local_maps.iter().map(HashMap::len).sum::<usize>()
+        self.map.len() + self.local_maps.iter().map(FlowMap::len).sum::<usize>()
+    }
+
+    /// Spare pre-sized slots left before any table would rehash (the
+    /// smallest per-table headroom; capacity-hint plumbing test hook).
+    pub fn spare_capacity(&self) -> usize {
+        if self.variant == EstVariant::Global {
+            self.map.capacity() - self.map.len()
+        } else {
+            self.local_maps
+                .iter()
+                .map(|m| m.capacity() - m.len())
+                .min()
+                .unwrap_or(0)
+        }
     }
 
     /// Whether no connections are registered.
@@ -299,7 +351,7 @@ mod tests {
     #[test]
     fn global_insert_lookup_remove() {
         let mut c = ctx(4);
-        let mut t = EstTable::new(&mut c, EstVariant::Global, 4);
+        let mut t = EstTable::new(&mut c, EstVariant::Global, 4, 1_024);
         let costs = StackCosts::default();
         let mut op = c.begin(CoreId(0), 0);
         let home = t.insert(&mut c, &mut op, CoreId(0), flow(40_000), SockId(7), &costs);
@@ -316,7 +368,7 @@ mod tests {
     #[test]
     fn local_tables_are_partitioned_per_core() {
         let mut c = ctx(4);
-        let mut t = EstTable::new(&mut c, EstVariant::Local, 4);
+        let mut t = EstTable::new(&mut c, EstVariant::Local, 4, 1_024);
         let costs = StackCosts::default();
         let mut op = c.begin(CoreId(1), 0);
         let home = t.insert(&mut c, &mut op, CoreId(1), flow(40_000), SockId(9), &costs);
@@ -358,9 +410,63 @@ mod tests {
     }
 
     #[test]
+    fn fnv_hasher_matches_flow_hash_and_is_seedless() {
+        use std::hash::Hasher;
+        let f = flow(40_000);
+        let mut h = FnvHasher::default();
+        for b in f.src_ip.octets() {
+            h.write(&[b]);
+        }
+        for b in f.dst_ip.octets() {
+            h.write(&[b]);
+        }
+        h.write(&f.src_port.to_be_bytes());
+        h.write(&f.dst_port.to_be_bytes());
+        assert_eq!(h.finish(), flow_hash(&f), "one FNV-1a, two spellings");
+        // Two independently built maps agree on layout (no random seed).
+        let a = flow_map(16);
+        let b = flow_map(16);
+        use std::hash::BuildHasher;
+        assert_eq!(
+            a.hasher().hash_one(f),
+            b.hasher().hash_one(f),
+            "seedless build-hasher"
+        );
+    }
+
+    #[test]
+    fn capacity_hint_presizes_tables() {
+        let mut c = ctx(4);
+        let mut t = EstTable::new(&mut c, EstVariant::Local, 4, 4_000);
+        assert!(
+            t.spare_capacity() >= 1_000,
+            "each local table pre-sized for its share: {}",
+            t.spare_capacity()
+        );
+        let costs = StackCosts::default();
+        let mut op = c.begin(CoreId(0), 0);
+        for p in 0..500u16 {
+            t.insert(
+                &mut c,
+                &mut op,
+                CoreId(0),
+                flow(30_000 + p),
+                SockId(u32::from(p)),
+                &costs,
+            );
+        }
+        op.commit(&mut c.cpu);
+        assert!(
+            t.spare_capacity() >= 500,
+            "no rehash below the hint: {}",
+            t.spare_capacity()
+        );
+    }
+
+    #[test]
     fn len_counts_both_variants() {
         let mut c = ctx(2);
-        let mut t = EstTable::new(&mut c, EstVariant::Local, 2);
+        let mut t = EstTable::new(&mut c, EstVariant::Local, 2, 64);
         let costs = StackCosts::default();
         let mut op = c.begin(CoreId(0), 0);
         t.insert(&mut c, &mut op, CoreId(0), flow(1_025), SockId(1), &costs);

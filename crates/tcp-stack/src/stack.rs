@@ -23,6 +23,7 @@ use sim_os::process::Pid;
 use sim_os::timer::{TimerCosts, TimerSystem};
 use sim_os::vfs::{Vfs, VfsCosts, VfsMode};
 use sim_os::{KernelCtx, Op};
+use sim_res::{MemCharge, PressureLevel};
 
 use sim_trace::TraceLabel;
 
@@ -149,6 +150,14 @@ pub struct StackConfig {
     /// request/response model byte-identical to the pre-data-plane
     /// stack.
     pub cc: Option<CcConfig>,
+    /// Memory-accounting subsystem (`sim-res`): when set, every TCB,
+    /// buffer byte, and TIME_WAIT/orphan bucket is charged to a
+    /// per-core ledger with `tcp_mem`-style low/pressure/high
+    /// thresholds, and the pressure reactions (SYN drops, embryo
+    /// pruning, window clamping, receive-queue collapse, forced
+    /// TIME_WAIT recycle, orphan killing) arm. `None` keeps the stack
+    /// byte-identical to the unaccounted model.
+    pub mem: Option<sim_res::MemConfig>,
 }
 
 impl StackConfig {
@@ -175,6 +184,7 @@ impl StackConfig {
             tcb_cap: None,
             fault: FaultInjection::None,
             cc: None,
+            mem: None,
         }
     }
 
@@ -207,6 +217,14 @@ impl StackConfig {
             ..Self::base_linux(cores)
         }
     }
+
+    /// Pre-size hint for the established tables: the TCB cap when one
+    /// is configured, else a 4Ki default. The tables grow past the
+    /// hint as needed — pre-sizing only keeps a million-entry climb
+    /// from rehashing mid-run.
+    pub fn est_capacity(&self) -> usize {
+        self.tcb_cap.map_or(4_096, |c| c as usize)
+    }
 }
 
 /// The OS services the TCP stack drives (VFS, epoll, timers), built to
@@ -224,9 +242,19 @@ pub struct OsServices {
 impl OsServices {
     /// Builds the services for `config` in `ctx`.
     pub fn new(ctx: &mut KernelCtx, config: &StackConfig) -> Self {
+        let mut ep_costs = sim_os::epoll::EpollCosts::default();
+        if let Some(m) = &config.mem {
+            // Million-connection realism: with the memory subsystem on,
+            // `epoll_wait` pays a ready-list/interest-tree scan cost
+            // that grows with the *modeled* watched-fd count (simulated
+            // interest x the accounting scale). Zero (legacy-exact)
+            // otherwise.
+            ep_costs.wait_scan_per_1k = EPOLL_SCAN_PER_1K_WATCHED;
+            ep_costs.watched_scale = m.scale.max(1);
+        }
         OsServices {
             vfs: Vfs::new(ctx, config.vfs_mode, VfsCosts::default()),
-            epolls: EpollSystem::new(sim_os::epoll::EpollCosts::default()),
+            epolls: EpollSystem::new(ep_costs),
             timers: TimerSystem::new(ctx, config.cores as usize, TimerCosts::default()),
         }
     }
@@ -269,6 +297,12 @@ pub const MAX_RTX_ATTEMPTS: u8 = 8;
 /// `StackConfig::rto_backoff_shift`.
 pub const MAX_RTO_BACKOFF_SHIFT: u8 = 6;
 
+/// `epoll_wait` scan cycles per 1024 *modeled* watched fds, armed by
+/// [`OsServices::new`] when `StackConfig::mem` is set (~0.02 cycles of
+/// interest-tree cache pressure per watched descriptor — ≈7 µs per
+/// wait at 1M watched fds on the 2.7 GHz model).
+pub const EPOLL_SCAN_PER_1K_WATCHED: u64 = 18;
+
 /// The simulated kernel TCP stack.
 #[derive(Debug)]
 pub struct TcpStack {
@@ -293,6 +327,9 @@ pub struct TcpStack {
     /// knob fires while a *different* connection is being processed so
     /// the victim has no writes pending in the current op segment.
     fault_victim: Option<(SockId, u64)>,
+    /// The memory-accounting ledger (`StackConfig::mem`); `None` keeps
+    /// every charge site a no-op.
+    mem: Option<sim_res::MemAccounts>,
 }
 
 impl TcpStack {
@@ -300,8 +337,16 @@ impl TcpStack {
     pub fn new(ctx: &mut KernelCtx, config: StackConfig) -> Self {
         let rfd_engine = Rfd::with_shift(config.cores, config.rfd_shift);
         let listen_table = ListenTable::new(config.listen, config.cores as usize);
-        let est = EstTable::new(ctx, config.established, config.cores as usize);
+        let est = EstTable::new(
+            ctx,
+            config.established,
+            config.cores as usize,
+            config.est_capacity(),
+        );
         let ports = PortAlloc::with_rfd(ctx, config.port_alloc, config.cores, rfd_engine);
+        let mem = config
+            .mem
+            .map(|m| sim_res::MemAccounts::new(m, config.cores as usize));
         TcpStack {
             config,
             rfd_engine,
@@ -315,6 +360,7 @@ impl TcpStack {
             pending_err_wakeups: Vec::new(),
             fault_fired: false,
             fault_victim: None,
+            mem,
         }
     }
 
@@ -332,6 +378,320 @@ impl TcpStack {
     /// schedules a process wakeup for each.
     pub fn take_err_wakeups(&mut self) -> Vec<Pid> {
         std::mem::take(&mut self.pending_err_wakeups)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory accounting (sim-res)
+    // ------------------------------------------------------------------
+    //
+    // Every charge site below is a no-op when `StackConfig::mem` is
+    // unset: no counters move, no RNG is drawn, no costs are paid, so
+    // the unaccounted stack stays byte-identical (pinned digests).
+
+    /// Records a pressure-zone transition reported by a charge.
+    fn mem_note(&mut self, transition: Option<PressureLevel>) {
+        if let Some(level) = transition {
+            self.stats.mem_mut().on_transition(level);
+        }
+    }
+
+    /// Whether the ledger sits at or past `level` (false when
+    /// accounting is off).
+    fn mem_at_least(&self, level: PressureLevel) -> bool {
+        self.mem.as_ref().is_some_and(|m| m.level() >= level)
+    }
+
+    /// Charges a new embryonic connection and tags the TCB.
+    fn mem_charge_embryo(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            t.mem_charge = MemCharge::Embryo;
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .charge_embryo(core);
+        self.mem_note(tr);
+    }
+
+    /// Charges a full TCB for a connection that never held an embryo
+    /// charge (active `connect`, cookie-validated handshake).
+    fn mem_charge_tcb(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            t.mem_charge = MemCharge::Tcb;
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .charge_tcb(core);
+        self.mem_note(tr);
+    }
+
+    /// Converts `sock`'s embryo charge into a full TCB charge
+    /// (handshake completion).
+    fn mem_promote(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            debug_assert_eq!(t.mem_charge, MemCharge::Embryo, "promote without embryo");
+            t.mem_charge = MemCharge::Tcb;
+            t.mem_core
+        };
+        let tr = self.mem.as_mut().expect("accounting armed").promote(core);
+        self.mem_note(tr);
+    }
+
+    /// Converts `sock`'s TCB charge into a TIME_WAIT bucket.
+    fn mem_enter_tw(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            debug_assert_eq!(t.mem_charge, MemCharge::Tcb, "TIME_WAIT without TCB");
+            t.mem_charge = MemCharge::TimeWait;
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .enter_time_wait(core);
+        self.mem_note(tr);
+    }
+
+    /// Charges delivered payload (plus skb overhead) to the receive
+    /// account; under pressure the queue is collapsed on the spot —
+    /// the overhead slack is reclaimed (`tcp_collapse`), the data kept.
+    fn mem_charge_recv(&mut self, sock: SockId, bytes: u16) {
+        if bytes == 0 || self.mem.is_none() {
+            return;
+        }
+        let charged = u64::from(bytes) + sim_res::SKB_OVERHEAD_BYTES;
+        let core = {
+            let t = self.socks.get_mut(sock);
+            t.mem_rcv += charged as u32;
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .charge_recv_buf(core, charged);
+        self.mem_note(tr);
+        if self.mem_at_least(PressureLevel::Pressure) {
+            let slack = {
+                let t = self.socks.get_mut(sock);
+                let slack = t.mem_rcv.saturating_sub(t.rx_ready);
+                t.mem_rcv = t.rx_ready;
+                slack
+            };
+            if slack > 0 {
+                let tr = self
+                    .mem
+                    .as_mut()
+                    .expect("accounting armed")
+                    .uncharge_recv_buf(core, u64::from(slack));
+                self.mem_note(tr);
+                let ms = self.stats.mem_mut();
+                ms.buffer_reclaims += 1;
+                ms.bytes_reclaimed += u64::from(slack);
+            }
+        }
+    }
+
+    /// Uncharges the socket's whole receive charge (the application
+    /// read everything that was queued).
+    fn mem_drain_recv(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let (core, charged) = {
+            let t = self.socks.get_mut(sock);
+            (t.mem_core, std::mem::take(&mut t.mem_rcv))
+        };
+        if charged == 0 {
+            return;
+        }
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .uncharge_recv_buf(core, u64::from(charged));
+        self.mem_note(tr);
+    }
+
+    /// Charges queued-but-unacked payload to the send account.
+    fn mem_charge_send(&mut self, sock: SockId, bytes: u16) {
+        if bytes == 0 || self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            t.mem_snd += u32::from(bytes);
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .charge_send_buf(core, u64::from(bytes));
+        self.mem_note(tr);
+    }
+
+    /// Uncharges `bytes` of acknowledged send payload.
+    fn mem_uncharge_send(&mut self, sock: SockId, bytes: u64) {
+        if bytes == 0 || self.mem.is_none() {
+            return;
+        }
+        let core = {
+            let t = self.socks.get_mut(sock);
+            t.mem_snd -= bytes as u32;
+            t.mem_core
+        };
+        let tr = self
+            .mem
+            .as_mut()
+            .expect("accounting armed")
+            .uncharge_send_buf(core, bytes);
+        self.mem_note(tr);
+    }
+
+    /// Uncharges everything `sock` still holds (bucket, buffer bytes,
+    /// orphan). Every socket release funnels through here (via
+    /// `teardown` or `abort_embryonic`), so the ledger provably drains
+    /// with the socket table.
+    fn mem_uncharge_sock(&mut self, sock: SockId) {
+        if self.mem.is_none() {
+            return;
+        }
+        let (core, kind, rcv, snd, orphan) = {
+            let t = self.socks.get_mut(sock);
+            (
+                t.mem_core,
+                std::mem::take(&mut t.mem_charge),
+                std::mem::take(&mut t.mem_rcv),
+                std::mem::take(&mut t.mem_snd),
+                std::mem::take(&mut t.mem_orphan),
+            )
+        };
+        let mem = self.mem.as_mut().expect("accounting armed");
+        let tr = match kind {
+            MemCharge::None => None,
+            MemCharge::Embryo => mem.uncharge_embryo(core),
+            MemCharge::Tcb => mem.uncharge_tcb(core),
+            MemCharge::TimeWait => mem.leave_time_wait(core),
+        };
+        self.mem_note(tr);
+        if rcv > 0 {
+            let tr = self
+                .mem
+                .as_mut()
+                .expect("accounting armed")
+                .uncharge_recv_buf(core, u64::from(rcv));
+            self.mem_note(tr);
+        }
+        if snd > 0 {
+            let tr = self
+                .mem
+                .as_mut()
+                .expect("accounting armed")
+                .uncharge_send_buf(core, u64::from(snd));
+            self.mem_note(tr);
+        }
+        if orphan {
+            self.mem
+                .as_mut()
+                .expect("accounting armed")
+                .uncharge_orphan(core);
+        }
+    }
+
+    /// Audits the ledger against the socket table: each live socket's
+    /// tagged bucket and buffer bytes, scaled, must equal the accounts
+    /// exactly (zero once the table drains). Returns a description of
+    /// the divergence, or `None` when clean or accounting is off. The
+    /// driver runs this at end of run under the strict-mode invariant
+    /// `mem_account`.
+    pub fn mem_imbalance(&self) -> Option<String> {
+        let mem = self.mem.as_ref()?;
+        let scale = u64::from(self.config.mem.map_or(1, |m| m.scale.max(1)));
+        let (mut bytes, mut sockets, mut embryos, mut tw, mut orphans) = (0u64, 0, 0, 0, 0u64);
+        for t in self.socks.iter() {
+            match t.mem_charge {
+                MemCharge::None => {}
+                MemCharge::Embryo => {
+                    embryos += 1;
+                    bytes += sim_res::EMBRYO_BYTES;
+                }
+                MemCharge::Tcb => {
+                    sockets += 1;
+                    bytes += sim_res::TCB_BYTES;
+                }
+                MemCharge::TimeWait => {
+                    tw += 1;
+                    bytes += sim_res::TW_BYTES;
+                }
+            }
+            bytes += u64::from(t.mem_rcv) + u64::from(t.mem_snd);
+            if t.mem_orphan {
+                orphans += 1;
+            }
+        }
+        let table = (
+            bytes * scale,
+            sockets * scale,
+            embryos * scale,
+            tw * scale,
+            orphans * scale,
+        );
+        let ledger = (
+            mem.total_bytes(),
+            mem.sockets(),
+            mem.embryos(),
+            mem.time_wait(),
+            mem.orphans(),
+        );
+        if ledger == table {
+            return None;
+        }
+        Some(format!(
+            "memory ledger diverges from socket table: ledger \
+             (bytes {}, socks {}, embryos {}, tw {}, orphans {}) vs \
+             table ({}, {}, {}, {}, {})",
+            ledger.0,
+            ledger.1,
+            ledger.2,
+            ledger.3,
+            ledger.4,
+            table.0,
+            table.1,
+            table.2,
+            table.3,
+            table.4,
+        ))
+    }
+
+    /// The `mem` report block: ledger peaks, reaction counters, and
+    /// the conservation verdict. `None` when accounting is off.
+    pub fn mem_report(&self) -> Option<sim_res::MemReport> {
+        let mem = self.mem.as_ref()?;
+        let mut r = sim_res::MemReport::from_accounts(mem, self.stats.mem.unwrap_or_default());
+        r.balanced = self.mem_imbalance().is_none();
+        Some(r)
     }
 
     /// The backed-off retransmission timeout after `attempts` RTO
@@ -405,6 +765,7 @@ impl TcpStack {
         let t = self.socks.get_mut(sock);
         t.unacked.push_back(seg);
         self.pending_rto.push((sock, gen, rto));
+        self.mem_charge_send(sock, seg.payload_len);
     }
 
     /// Like [`TcpStack::track_unacked`], but arms the RTO only on the
@@ -421,22 +782,26 @@ impl TcpStack {
             self.pending_rto.push((sock, gen, rto));
         }
         t.unacked.push_back(seg);
+        self.mem_charge_send(sock, seg.payload_len);
     }
 
     /// Drops tracked segments fully acknowledged by `ack`; forward
     /// progress resets the retry counter.
     fn clear_acked(&mut self, sock: SockId, ack: u32) {
+        let mut acked_payload = 0u64;
         let t = self.socks.get_mut(sock);
         while let Some(front) = t.unacked.front() {
             let end = front.seq.wrapping_add(front.seq_len());
             // Wrap-safe "end <= ack" via signed distance.
             if (ack.wrapping_sub(end) as i32) >= 0 {
+                acked_payload += u64::from(front.payload_len);
                 t.unacked.pop_front();
                 t.rtx_attempts = 0;
             } else {
                 break;
             }
         }
+        self.mem_uncharge_send(sock, acked_payload);
     }
 
     /// Data-plane ACK processing: duplicate-ACK counting with
@@ -789,7 +1154,7 @@ impl TcpStack {
                 self.stats.tw_reused += 1;
                 self.teardown(ctx, os, op, sock);
                 op.trace_enter(TraceLabel::Handshake);
-                self.process_syn(ctx, op, &lflow, pkt, &mut out);
+                self.process_syn(ctx, os, op, &lflow, pkt, &mut out);
                 op.trace_exit(TraceLabel::Handshake);
                 return out;
             }
@@ -811,7 +1176,7 @@ impl TcpStack {
         // Not established: handshake traffic for a listen socket.
         if pkt.flags.syn() && !pkt.flags.ack() {
             op.trace_enter(TraceLabel::Handshake);
-            self.process_syn(ctx, op, &lflow, pkt, &mut out);
+            self.process_syn(ctx, os, op, &lflow, pkt, &mut out);
             op.trace_exit(TraceLabel::Handshake);
         } else if pkt.flags.rst() {
             // RST for a connection not in the established table: it may
@@ -1085,6 +1450,7 @@ impl TcpStack {
             op.touch_mut(ctx, buf);
             op.trace_mark(flow_hash(&flow), TraceLabel::FirstByte);
             notify_readable = true;
+            self.mem_charge_recv(sock, pkt.payload_len);
         }
 
         if trans.peer_fin {
@@ -1095,12 +1461,21 @@ impl TcpStack {
         }
 
         if trans.send_ack {
-            let t = self.socks.get(sock);
-            let mut reply = Packet::new(t.flow, TcpFlags::ACK)
-                .with_seq(t.snd_nxt)
-                .with_ack(t.rcv_nxt);
-            if let Some(dp) = t.dp.as_ref() {
-                reply = reply.with_wnd(dp.rcv.advertised());
+            let mut reply = {
+                let t = self.socks.get(sock);
+                let mut reply = Packet::new(t.flow, TcpFlags::ACK)
+                    .with_seq(t.snd_nxt)
+                    .with_ack(t.rcv_nxt);
+                if let Some(dp) = t.dp.as_ref() {
+                    reply = reply.with_wnd(dp.rcv.advertised());
+                }
+                reply
+            };
+            if reply.wnd > 0 && self.mem_at_least(PressureLevel::Pressure) {
+                // Pressure reaction: halve the advertised window so
+                // senders back off before the budget is breached.
+                reply.wnd /= 2;
+                self.stats.mem_mut().window_clamps += 1;
             }
             self.transmit(op, reply, out);
         }
@@ -1111,7 +1486,22 @@ impl TcpStack {
 
         if trans.enter_time_wait {
             self.disarm_timer(ctx, os, op, sock);
-            out.time_wait.push(sock);
+            let forced = self
+                .mem
+                .as_ref()
+                .is_some_and(sim_res::MemAccounts::tw_at_cap);
+            self.mem_enter_tw(sock);
+            if forced {
+                // tcp_max_tw_buckets overflow: recycle the bucket on
+                // the spot instead of holding it for 2*MSL ("TCP: time
+                // wait bucket table overflow").
+                self.stats.mem_mut().tw_forced_recycles += 1;
+                self.teardown(ctx, os, op, sock);
+                self.stats.closed += 1;
+                out.closed.push(sock);
+            } else {
+                out.time_wait.push(sock);
+            }
         } else if trans.next == TcpState::Closed {
             // A peer RST lands here. With error events armed, the owner
             // learns of the death through its epoll (EPOLLERR-style
@@ -1135,6 +1525,7 @@ impl TcpStack {
     fn process_syn(
         &mut self,
         ctx: &mut KernelCtx,
+        os: &mut OsServices,
         op: &mut Op,
         lflow: &FlowTuple,
         pkt: &Packet,
@@ -1154,6 +1545,16 @@ impl TcpStack {
             self.transmit(op, reply, out);
             return;
         };
+
+        if self.mem_at_least(PressureLevel::High) {
+            // tcp_mem[2]: the hard budget is exhausted. Drop the SYN
+            // outright (no cookie either — even a stateless reply
+            // invites a handshake completion the budget cannot hold)
+            // and prune the oldest embryo to claw memory back.
+            self.stats.mem_mut().pressure_syn_drops += 1;
+            self.prune_embryo(ctx, os, op, ls_id);
+            return;
+        }
 
         let (ls_sock, has_room) = {
             let ls = self.listen_table.ls(ls_id);
@@ -1234,6 +1635,7 @@ impl TcpStack {
             .syn_queue
             .insert(*lflow, child);
         self.socks.get_mut(child).syn_queued_in = Some(ls_id);
+        self.mem_charge_embryo(child);
 
         let (rcv_nxt, snd_isn) = {
             let t = self.socks.get(child);
@@ -1244,6 +1646,23 @@ impl TcpStack {
             .with_ack(rcv_nxt);
         self.track_unacked(child, reply);
         self.transmit(op, reply, out);
+    }
+
+    /// Prunes the oldest embryonic connection queued on listener
+    /// `ls_id` (deterministically: minimum allocation generation),
+    /// clawing memory back under `tcp_mem` high pressure.
+    fn prune_embryo(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, ls_id: LsId) {
+        let victim = self
+            .listen_table
+            .ls(ls_id)
+            .syn_queue
+            .values()
+            .copied()
+            .min_by_key(|&s| self.socks.get(s).gen);
+        if let Some(v) = victim {
+            self.stats.mem_mut().embryos_pruned += 1;
+            self.teardown(ctx, os, op, v);
+        }
     }
 
     /// Third-ACK processing: promote an embryonic connection to
@@ -1314,6 +1733,7 @@ impl TcpStack {
         };
         debug_assert!(trans.established, "3rd ACK must establish");
         self.stats.passive_established += 1;
+        self.mem_promote(child);
         op.trace_mark(flow_hash(lflow), TraceLabel::Established);
         if pkt.payload_len > 0 {
             op.trace_mark(flow_hash(lflow), TraceLabel::FirstByte);
@@ -1339,6 +1759,7 @@ impl TcpStack {
                 }
             }
         }
+        self.mem_charge_recv(child, pkt.payload_len);
 
         // Queue on the accept queue under the listen slock (held across
         // the watcher notification, as __inet_csk_reqsk_queue_add +
@@ -1701,6 +2122,7 @@ impl TcpStack {
             t.owner = Some(pid);
             t.snd_nxt = isn.wrapping_add(1);
         }
+        self.mem_charge_tcb(sock);
         let node = os.vfs.alloc_socket(ctx, op, core);
         self.socks.get_mut(sock).vfs = Some(node);
         op.work(CycleClass::Syscall, costs.fd_alloc);
@@ -1871,6 +2293,7 @@ impl TcpStack {
                 );
             }
         }
+        self.mem_drain_recv(sock);
         op.work(CycleClass::Syscall, self.copy_cost(bytes));
         if update.is_some() {
             op.work(CycleClass::TxPath, costs.tx_per_packet);
@@ -1910,6 +2333,38 @@ impl TcpStack {
         match state::on_close(state) {
             Some((next, send_fin)) => {
                 self.socks.get_mut(sock).state = next;
+                if send_fin && self.mem.is_some() {
+                    if self
+                        .mem
+                        .as_ref()
+                        .is_some_and(sim_res::MemAccounts::orphans_at_cap)
+                    {
+                        // tcp_max_orphans analogue: too many fd-less
+                        // sockets already in teardown — abort with a
+                        // RST instead of lingering through FIN states.
+                        self.stats.mem_mut().orphans_killed += 1;
+                        let rst = {
+                            let t = self.socks.get(sock);
+                            Packet::new(t.flow, TcpFlags::RST | TcpFlags::ACK)
+                                .with_seq(t.snd_nxt)
+                                .with_ack(t.rcv_nxt)
+                        };
+                        self.stats.rst_sent += 1;
+                        self.teardown(ctx, os, op, sock);
+                        self.stats.closed += 1;
+                        let mut dummy = RxOutcome::default();
+                        self.transmit(op, rst, &mut dummy);
+                        return dummy.replies.pop();
+                    }
+                    let core = {
+                        let t = self.socks.get_mut(sock);
+                        t.mem_orphan = true;
+                        t.mem_core
+                    };
+                    if let Some(m) = self.mem.as_mut() {
+                        m.charge_orphan(core);
+                    }
+                }
                 // Data plane: bytes still queued for segmentation mean
                 // the FIN must ride behind them — push_segments emits
                 // it once the window lets the queue drain.
@@ -1968,6 +2423,7 @@ impl TcpStack {
             return;
         };
         if let Some(child) = self.listen_table.ls_mut(ls_id).syn_queue.remove(lflow) {
+            self.mem_uncharge_sock(child);
             self.socks.release(ctx, child);
             op.trace_mark(flow_hash(lflow), TraceLabel::Closed);
         }
@@ -2033,6 +2489,8 @@ impl TcpStack {
                 }
             }
         }
+        self.mem_charge_tcb(child);
+        self.mem_charge_recv(child, pkt.payload_len);
         self.stats.passive_established += 1;
         op.trace_mark(flow_hash(lflow), TraceLabel::SynArrival);
         op.trace_mark(flow_hash(lflow), TraceLabel::Established);
@@ -2071,6 +2529,7 @@ impl TcpStack {
     /// Full resource teardown of a socket: established-table removal,
     /// port release, timers, VFS leftovers, TCB free.
     fn teardown(&mut self, ctx: &mut KernelCtx, os: &mut OsServices, op: &mut Op, sock: SockId) {
+        self.mem_uncharge_sock(sock);
         let costs = self.config.costs;
         let (in_est, est_home, flow, active, queued_in, syn_queued_in) = {
             let t = self.socks.get(sock);

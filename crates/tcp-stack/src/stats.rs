@@ -65,6 +65,12 @@ pub struct StackStats {
     /// legacy report digests are unchanged.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dp: Option<DataPlaneStats>,
+    /// Memory-pressure reaction counters (`sim-res`). `None` unless
+    /// `StackConfig::mem` armed the accounting subsystem, and elided
+    /// from the serialized form when `None`, so legacy report digests
+    /// are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mem: Option<sim_res::MemStats>,
 }
 
 /// Counters specific to the sliding-window data plane.
@@ -113,6 +119,11 @@ impl StackStats {
         self.dp.get_or_insert_with(DataPlaneStats::default)
     }
 
+    /// The memory-pressure counters, materializing them on first use.
+    pub fn mem_mut(&mut self) -> &mut sim_res::MemStats {
+        self.mem.get_or_insert_with(sim_res::MemStats::default)
+    }
+
     /// Folds `other`'s counters into `self`. Used when per-lane stacks
     /// are merged into one machine-wide report; `dp` stays `None` only
     /// if no lane armed the data plane, preserving legacy digests.
@@ -147,6 +158,9 @@ impl StackStats {
             dp.out_of_order_segments += odp.out_of_order_segments;
             dp.ecn_echoes += odp.ecn_echoes;
             dp.bytes_streamed += odp.bytes_streamed;
+        }
+        if let Some(omem) = &other.mem {
+            self.mem_mut().merge(omem);
         }
     }
 }
@@ -209,5 +223,19 @@ mod tests {
         let mut a = StackStats::default();
         a.merge(&StackStats::default());
         assert!(a.dp.is_none());
+        assert!(a.mem.is_none());
+    }
+
+    #[test]
+    fn merge_sums_mem_counters() {
+        let mut a = StackStats::default();
+        a.mem_mut().window_clamps = 2;
+        let mut b = StackStats::default();
+        b.mem_mut().window_clamps = 3;
+        b.mem_mut().orphans_killed = 1;
+        a.merge(&b);
+        let mem = a.mem.expect("mem block survives merge");
+        assert_eq!(mem.window_clamps, 5);
+        assert_eq!(mem.orphans_killed, 1);
     }
 }

@@ -84,6 +84,23 @@ pub struct Tcb {
     /// never allocate it, so they stay byte-identical to the pre-data-
     /// plane model.
     pub dp: Option<Box<crate::window::DataPlane>>,
+    /// What the memory ledger holds for this socket (`StackConfig::mem`
+    /// accounting only): the bucket kind to uncharge at teardown, kept
+    /// separately from `state` because resets rewrite the TCP state
+    /// before release.
+    pub mem_charge: sim_res::MemCharge,
+    /// Receive-buffer bytes (payload + skb overhead) currently charged
+    /// to the memory ledger for this socket, unscaled.
+    pub mem_rcv: u32,
+    /// Send-buffer bytes currently charged for this socket's unacked
+    /// queue, unscaled.
+    pub mem_snd: u32,
+    /// Whether an orphan bucket is charged (fd closed, TCP alive).
+    pub mem_orphan: bool,
+    /// The core whose account holds this socket's charges. Pinned at
+    /// the first charge so later `app_core` rebinds (accept moves the
+    /// socket to the accepting core) cannot unbalance a core account.
+    pub mem_core: CoreId,
 }
 
 /// The socket registry (slab).
@@ -146,6 +163,11 @@ impl SockTable {
             unacked: std::collections::VecDeque::new(),
             rtx_attempts: 0,
             dp: None,
+            mem_charge: sim_res::MemCharge::None,
+            mem_rcv: 0,
+            mem_snd: 0,
+            mem_orphan: false,
+            mem_core: core,
         };
         self.live += 1;
         let id = if let Some(idx) = self.free.pop() {

@@ -61,6 +61,18 @@ cargo build -q --release -p fastsocket-bench --bin capacity
 ./target/release/capacity --smoke
 ./target/release/capacity --validate results/BENCH_capacity.json
 
+# Concurrency smoke: a short 2-core max-concurrency ladder against a
+# deliberately tight modeled RAM budget with all five sim-check
+# detectors armed — the first rung of every ladder runs doubled and
+# must be bit-identical, every rung's memory accounts must balance at
+# drain, and the top rung must cross into the pressure zone. Then the
+# committed full artifact is schema-checked (fastsocket must hold 1M+
+# modeled concurrent sockets under the SLO, never behind a baseline).
+echo "==> concurrency smoke (memory ledger + pressure under sanitizers)"
+cargo build -q --release -p fastsocket-bench --bin concurrency
+./target/release/concurrency --smoke
+./target/release/concurrency --validate results/BENCH_concurrency.json
+
 # Bulk smoke: a short kernel x congestion-control x response-size
 # matrix with the sliding-window data plane armed and sanitizers on —
 # the first cell of every (kernel, cc) column runs doubled and must be
